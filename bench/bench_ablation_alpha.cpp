@@ -1,0 +1,76 @@
+// Ablation: sensitivity to the cluster dominance factor α (Sections 3, 4.4).
+//
+// Paper: "A value of α greater than 1.5 has been accepted to be sufficient
+// deviation ... Discovering clusters with higher values of α yields
+// clusters in the data set which are more dominant than the others in
+// terms of the number of data points contained in the cluster.  Hence,
+// choosing a suitable value of α is straightforward."
+//
+// This bench plants clusters of graded dominance and sweeps α: each
+// increase in α peels off the least dominant surviving cluster.  It also
+// compares the three density policies at the default α.
+#include "bench_common.hpp"
+
+#include "core/mafia.hpp"
+#include "datagen/generator.hpp"
+#include "io/data_source.hpp"
+
+int main() {
+  using namespace mafia;
+
+  const RecordIndex records = bench::scaled(60000);
+  bench::print_header(
+      "Ablation — alpha sensitivity and density policies (Section 4.4)",
+      "claim: raising alpha keeps only the more dominant clusters",
+      "3 planted clusters with dominance ~2.3 / ~4.5 / ~9");
+
+  // Three 3-d clusters, same extent (4% of the domain), different shares:
+  // dominance = share / extent_fraction = 2.3, 4.5, 9.1.
+  GeneratorConfig cfg;
+  cfg.num_dims = 12;
+  cfg.num_records = records;
+  cfg.seed = 101;
+  cfg.clusters.push_back(
+      ClusterSpec::box({0, 4, 8}, {10, 10, 10}, {14, 14, 14}, 1.0));   // weak
+  cfg.clusters.push_back(
+      ClusterSpec::box({1, 5, 9}, {40, 40, 40}, {44, 44, 44}, 2.0));   // mid
+  cfg.clusters.push_back(
+      ClusterSpec::box({2, 6, 10}, {70, 70, 70}, {74, 74, 74}, 4.0));  // strong
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  std::printf("\n%-8s %-10s %s\n", "alpha", "clusters", "which survive");
+  for (const double alpha : {1.5, 3.0, 6.0, 12.0}) {
+    MafiaOptions o;
+    o.fixed_domain = {{0.0f, 100.0f}};
+    o.grid.alpha = alpha;
+    const MafiaResult r = run_mafia(source, o);
+    std::string which;
+    for (const Cluster& c : r.clusters) {
+      if (c.dims == std::vector<DimId>{0, 4, 8}) which += " weak";
+      if (c.dims == std::vector<DimId>{1, 5, 9}) which += " mid";
+      if (c.dims == std::vector<DimId>{2, 6, 10}) which += " strong";
+    }
+    std::printf("%-8.1f %-10zu%s\n", alpha, r.clusters.size(), which.c_str());
+  }
+
+  std::printf("\ndensity policies at alpha = 1.5 (total dense units found):\n");
+  for (const auto& [name, policy] :
+       {std::pair<const char*, DensityPolicy>{"AllBins (paper)",
+                                              DensityPolicy::AllBins},
+        {"AnyBin", DensityPolicy::AnyBin},
+        {"ScaledProduct", DensityPolicy::ScaledProduct}}) {
+    MafiaOptions o;
+    o.fixed_domain = {{0.0f, 100.0f}};
+    o.density = policy;
+    const MafiaResult r = run_mafia(source, o);
+    std::size_t total_ndu = 0;
+    for (const LevelTrace& t : r.levels) total_ndu += t.ndu;
+    std::printf("  %-18s %zu clusters, %zu dense units total, max level %zu\n",
+                name, r.clusters.size(), total_ndu, r.max_dense_level());
+  }
+  std::printf("\nexpected: alpha = 1.5 finds all three; each raise drops the "
+              "least dominant; ScaledProduct admits the most units (its "
+              "threshold shrinks geometrically with dimensionality).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: robustness to noise records.
+//
+// The paper's generator adds 10% uniform noise to every data set and
+// Section 1 motivates the design with "Noise present with data makes
+// cluster detection harder".  This bench sweeps the noise fraction far
+// beyond the paper's 10% and reports recovery quality: the per-bin
+// thresholds alpha*N*a/D automatically rise with the noise-inflated N, so
+// recovery degrades gracefully rather than cliff-ing.
+#include "bench_common.hpp"
+
+#include "cluster/quality.hpp"
+#include "core/mafia.hpp"
+#include "datagen/generator.hpp"
+#include "io/data_source.hpp"
+
+int main() {
+  using namespace mafia;
+
+  const RecordIndex records = bench::scaled(40000);
+  bench::print_header(
+      "Ablation — noise robustness",
+      "paper: all data sets carry 10% uniform noise records",
+      "noise fraction swept 0% .. 150% of the cluster records");
+
+  std::printf("\n%-8s %-12s %-12s %-11s %-11s %s\n", "noise", "records",
+              "clusters", "subspaces", "coverage", "spurious");
+  for (const double noise : {0.0, 0.10, 0.25, 0.50, 1.0, 1.5}) {
+    GeneratorConfig cfg;
+    cfg.num_dims = 10;
+    cfg.num_records = records;
+    cfg.seed = 91;
+    cfg.noise_fraction = noise;
+    cfg.clusters.push_back(
+        ClusterSpec::box({1, 4, 7}, {20, 20, 20}, {30, 30, 30}, 1.0));
+    cfg.clusters.push_back(
+        ClusterSpec::box({2, 5, 8}, {60, 60, 60}, {70, 70, 70}, 1.0));
+    const Dataset data = generate(cfg);
+    InMemorySource source(data);
+    const auto truth = ground_truth(cfg);
+
+    MafiaOptions options;
+    options.fixed_domain = {{0.0f, 100.0f}};
+    const MafiaResult r = run_mafia(source, options);
+    const QualityReport q = evaluate_quality(r.clusters, r.grids, truth);
+    char noise_text[16];
+    std::snprintf(noise_text, sizeof(noise_text), "%.0f%%", 100.0 * noise);
+    std::printf("%-8s %-12llu %-12zu %zu/%-9zu %-11.3f %zu\n", noise_text,
+                static_cast<unsigned long long>(data.num_records()),
+                r.clusters.size(), q.subspaces_matched, truth.size(),
+                q.mean_coverage, q.spurious_clusters);
+  }
+  std::printf("\nexpected: full recovery with zero spurious clusters through "
+              "the paper's 10%% and well beyond; at extreme noise the "
+              "cluster share falls below alpha times the bin fraction and "
+              "recovery fades rather than producing false positives.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared scaffolding for the table/figure reproduction benches.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation (Section 5): it builds the corresponding synthetic data set,
+// runs pMAFIA (and CLIQUE where the paper compares), and prints the same
+// rows/series the paper reports, with a "paper" column for reference.
+//
+// Record counts are scaled down from the paper's multi-million-record SP2
+// runs so the whole suite finishes in minutes on a laptop; the structure
+// (dimensionality, cluster subspaces, extents) is identical and the SHAPE
+// of every result — who wins, by what factor, what the curve looks like —
+// is what each bench verifies.  Set MAFIA_BENCH_SCALE to grow/shrink all
+// record counts (e.g. MAFIA_BENCH_SCALE=10 for a long run).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mafia::bench {
+
+/// Global record-count multiplier from MAFIA_BENCH_SCALE (default 1).
+inline double scale() {
+  static const double s = [] {
+    const char* env = std::getenv("MAFIA_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::strtod(env, nullptr);
+    return v > 0 ? v : 1.0;
+  }();
+  return s;
+}
+
+/// A base record count scaled by MAFIA_BENCH_SCALE.
+inline RecordIndex scaled(RecordIndex base) {
+  return static_cast<RecordIndex>(static_cast<double>(base) * scale());
+}
+
+/// Physical parallelism available here (the paper had 16 SP2 nodes).
+inline unsigned hw_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+/// The paper's processor counts.
+inline const std::vector<int>& rank_counts() {
+  static const std::vector<int> p{1, 2, 4, 8, 16};
+  return p;
+}
+
+/// Standard bench banner: what we reproduce and on what substrate.
+inline void print_header(const char* id, const char* paper_setup,
+                         const char* scaled_setup) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id);
+  std::printf("  paper setup : %s\n", paper_setup);
+  std::printf("  this run    : %s (scale=%.2g, %u hw threads)\n", scaled_setup,
+              scale(), hw_threads());
+  std::printf("  note        : SPMD ranks are threads; speedups saturate at\n");
+  std::printf("                the hardware thread count, unlike the paper's\n");
+  std::printf("                16 physical SP2 nodes. Shapes, unit counts and\n");
+  std::printf("                algorithm ratios are the reproduction targets.\n");
+  std::printf("==============================================================\n");
+}
+
+inline std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return buf;
+}
+
+}  // namespace mafia::bench

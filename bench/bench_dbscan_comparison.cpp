@@ -1,0 +1,79 @@
+// Related work, completed: full-space density clustering (DBSCAN, the
+// paper's reference [7]) on subspace-clustered data.
+//
+// The paper's Section 1/2 framing: full-space methods fail on clusters
+// "embedded in a subspace of the total data space".  For density methods
+// the failure is distance concentration — uniform dimensions inflate every
+// pairwise distance by ~sqrt(d_noise)·sigma, so the eps knob has no value
+// that separates subspace clusters.  This bench sweeps eps and shows the
+// transition goes directly from "all noise" to "one giant cluster" without
+// ever passing through "the two planted clusters", while pMAFIA reads them
+// off with no parameters.
+#include "bench_common.hpp"
+
+#include "core/mafia.hpp"
+#include "datagen/generator.hpp"
+#include "dbscan/dbscan.hpp"
+#include "io/data_source.hpp"
+
+int main() {
+  using namespace mafia;
+
+  // DBSCAN's O(N^2) neighbor scan caps the record count.
+  const RecordIndex records = std::min<RecordIndex>(bench::scaled(3000), 20000);
+  bench::print_header(
+      "Related work — DBSCAN [7] (full-space density) vs pMAFIA",
+      "Sections 1-2: full-space methods cannot find subspace clusters",
+      "20-d data, 2 clusters in 2-d subspaces; eps sweep");
+
+  GeneratorConfig cfg;
+  cfg.num_dims = 20;
+  cfg.num_records = records;
+  cfg.seed = 97;
+  cfg.clusters.push_back(ClusterSpec::box({1, 7}, {20, 20}, {28, 28}, 1.0));
+  cfg.clusters.push_back(ClusterSpec::box({3, 9}, {70, 70}, {78, 78}, 1.0));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  std::printf("\nDBSCAN (min_pts = 8), full-space Euclidean:\n");
+  std::printf("%-8s %-10s %-12s %-12s %s\n", "eps", "clusters", "noise pts",
+              "largest", "verdict");
+  for (const double eps : {10.0, 25.0, 40.0, 55.0, 70.0, 85.0, 100.0}) {
+    DbscanOptions o;
+    o.eps = eps;
+    o.min_pts = 8;
+    const DbscanResult r = run_dbscan(data, o);
+    std::vector<std::size_t> sizes(r.num_clusters, 0);
+    for (const std::int32_t l : r.labels) {
+      if (l >= 0) ++sizes[static_cast<std::size_t>(l)];
+    }
+    std::size_t largest = 0;
+    for (const std::size_t s : sizes) largest = std::max(largest, s);
+    const char* verdict = "—";
+    if (r.num_noise > r.labels.size() * 9 / 10) {
+      verdict = "almost everything noise";
+    } else if (largest > r.labels.size() * 9 / 10) {
+      verdict = "one giant cluster";
+    } else {
+      verdict = "fragmented";
+    }
+    std::printf("%-8.0f %-10zu %-12zu %-12zu %s\n", eps, r.num_clusters,
+                r.num_noise, largest, verdict);
+  }
+
+  MafiaOptions mo;
+  mo.fixed_domain = {{0.0f, 100.0f}};
+  // A few thousand records need a coarser rectangular wave (see
+  // AdaptiveGridOptions::for_sample_size).
+  mo.grid = AdaptiveGridOptions::for_sample_size(
+      static_cast<Count>(data.num_records()));
+  const MafiaResult mr = run_mafia(source, mo);
+  std::printf("\npMAFIA (no inputs): %zu clusters\n", mr.clusters.size());
+  for (const Cluster& c : mr.clusters) {
+    std::printf("  %s\n", c.to_string(mr.grids).c_str());
+  }
+  std::printf("\nreading the table: no eps yields the two planted clusters — "
+              "the transition jumps from noise to a single merged component "
+              "— while the grid/subspace method reports both exactly.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Section 2's ENCLUS criticism, quantified: "ENCLUS ... requires a
+// prohibitive amount of time to just discover interesting subspaces in
+// which clusters are embedded.  It also requires input of entropy
+// thresholds which is not intuitive for the user."
+//
+// This bench runs ENCLUS's subspace-mining phase alone (no clustering!)
+// against pMAFIA's COMPLETE clustering on the same data, and sweeps the
+// entropy threshold omega to show how sharply the output and the cost
+// depend on a knob with no physical meaning to the user.
+#include "bench_common.hpp"
+
+#include "core/mafia.hpp"
+#include "datagen/generator.hpp"
+#include "enclus/enclus.hpp"
+#include "io/data_source.hpp"
+
+int main() {
+  using namespace mafia;
+
+  const RecordIndex records = bench::scaled(40000);
+  bench::print_header(
+      "Related work — ENCLUS subspace mining vs complete pMAFIA",
+      "Section 2: ENCLUS needs 'prohibitive time to just discover"
+      " interesting subspaces' and unintuitive entropy thresholds",
+      "12-d data, 3 planted clusters; omega sweep");
+
+  GeneratorConfig cfg;
+  cfg.num_dims = 12;
+  cfg.num_records = records;
+  cfg.seed = 71;
+  cfg.clusters.push_back(ClusterSpec::box({0, 4, 8}, {20, 20, 20}, {30, 30, 30}, 1.0));
+  cfg.clusters.push_back(ClusterSpec::box({1, 5}, {50, 50}, {58, 58}, 1.0));
+  cfg.clusters.push_back(ClusterSpec::box({2, 6, 9}, {70, 70, 70}, {80, 80, 80}, 1.0));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  // pMAFIA: full clustering, no inputs.
+  MafiaOptions mo;
+  mo.fixed_domain = {{0.0f, 100.0f}};
+  const MafiaResult mafia = run_pmafia(source, mo, 1);
+  std::printf("\npMAFIA (complete clustering, no inputs): %.3f s, %zu "
+              "clusters, %zu subspace candidates total\n",
+              mafia.total_seconds, mafia.clusters.size(),
+              [&] {
+                std::size_t t = 0;
+                for (const auto& l : mafia.levels) t += l.ncdu;
+                return t;
+              }());
+
+  std::printf("\nENCLUS subspace mining only (xi=10, epsilon=0.05):\n");
+  std::printf("%-8s %-12s %-12s %-12s %-12s %s\n", "omega", "time(s)",
+              "evaluated", "significant", "interesting", "vs pMAFIA total");
+  for (const double omega : {2.5, 3.5, 4.5, 5.5, 7.0}) {
+    EnclusOptions eo;
+    eo.fixed_domain = {{0.0f, 100.0f}};
+    eo.omega = omega;
+    eo.epsilon = 0.05;
+    eo.max_dims = 5;
+    const EnclusResult r = run_enclus(source, eo);
+    std::printf("%-8.1f %-12.3f %-12zu %-12zu %-12zu %.1fx\n", omega, r.seconds,
+                r.subspaces_evaluated, r.significant.size(),
+                r.interesting.size(), r.seconds / mafia.total_seconds);
+  }
+  std::printf("\nreading the table: a slightly generous omega multiplies the "
+              "evaluated-subspace count and the runtime (each level is a full "
+              "data pass with one hash table per candidate), and the set of "
+              "'interesting' subspaces swings from empty to dozens — while "
+              "pMAFIA finished the whole clustering, boundaries included, "
+              "with no thresholds to pick.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 1: uniform vs adaptive grids — candidate counts and cluster
+// boundary fidelity.
+//
+// Paper, Figure 1.1: a uniform grid "generates many more candidate dense
+// units than an adaptive grid".  Figure 1.2: CLIQUE's reported cluster
+// pqrs "loses the boundaries of the cluster", and its greedy rectangle
+// cover further approximates it, while pMAFIA's adaptive boundaries land on
+// the cluster's true edges and its DNF is minimal.
+//
+// This bench quantifies both panels on one data set: total bins, per-level
+// candidate counts, boundary error, and the cover/DNF sizes.
+#include "bench_common.hpp"
+
+#include "clique/clique.hpp"
+#include "clique/greedy_cover.hpp"
+#include "cluster/quality.hpp"
+#include "core/mafia.hpp"
+#include "datagen/workloads.hpp"
+#include "io/data_source.hpp"
+
+int main() {
+  using namespace mafia;
+
+  const RecordIndex records = bench::scaled(40000);
+  bench::print_header(
+      "Figure 1 — Grid size and cluster-boundary fidelity",
+      "conceptual figure: uniform grid candidates vs adaptive; boundary loss",
+      "quantified on the Table 3 data set (misaligned cluster extents)");
+
+  const GeneratorConfig cfg = workloads::tab3_quality(records);
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+  const auto truth = ground_truth(cfg);
+
+  CliqueOptions co;
+  co.fixed_domain = {{0.0f, 100.0f}};
+  co.xi = 10;
+  co.tau_fraction = 0.01;
+  const MafiaResult uniform = run_clique(source, co);
+
+  MafiaOptions mo;
+  mo.fixed_domain = {{0.0f, 100.0f}};
+  const MafiaResult adaptive = run_mafia(source, mo);
+
+  // --- Figure 1.1: candidate dense unit counts.
+  std::printf("\nFigure 1.1 — candidate dense units per level\n");
+  std::printf("%-8s %-16s %-16s\n", "level", "uniform (CLIQUE)",
+              "adaptive (MAFIA)");
+  const std::size_t levels =
+      std::max(uniform.levels.size(), adaptive.levels.size());
+  std::size_t total_u = 0;
+  std::size_t total_a = 0;
+  for (std::size_t i = 0; i < levels; ++i) {
+    const std::size_t nu = i < uniform.levels.size() ? uniform.levels[i].ncdu : 0;
+    const std::size_t na = i < adaptive.levels.size() ? adaptive.levels[i].ncdu : 0;
+    total_u += nu;
+    total_a += na;
+    std::printf("%-8zu %-16zu %-16zu\n", i + 1, nu, na);
+  }
+  std::printf("%-8s %-16zu %-16zu  (%.1fx fewer candidates)\n", "total",
+              total_u, total_a,
+              static_cast<double>(total_u) / std::max<std::size_t>(total_a, 1));
+  std::printf("grid size: uniform %zu bins total, adaptive %zu bins total\n",
+              uniform.grids.total_bins(), adaptive.grids.total_bins());
+
+  // --- Figure 1.2: boundary fidelity and description size.
+  const QualityReport qu = evaluate_quality(uniform.clusters, uniform.grids, truth);
+  const QualityReport qa = evaluate_quality(adaptive.clusters, adaptive.grids, truth);
+  std::printf("\nFigure 1.2 — reported cluster vs true boundary\n");
+  std::printf("%-20s %-18s %-18s\n", "", "uniform (CLIQUE)", "adaptive (MAFIA)");
+  std::printf("%-20s %-18.4f %-18.4f\n", "boundary error", qu.mean_boundary_error,
+              qa.mean_boundary_error);
+  std::printf("%-20s %-18.3f %-18.3f\n", "volume coverage", qu.mean_coverage,
+              qa.mean_coverage);
+
+  // CLIQUE's greedy cover vs MAFIA's minimal DNF on the discovered clusters.
+  std::size_t cover_rects = 0;
+  std::size_t dnf_rects = 0;
+  for (const Cluster& c : uniform.clusters) cover_rects += greedy_cover(c).size();
+  for (const Cluster& c : adaptive.clusters) dnf_rects += c.dnf.size();
+  std::printf("%-20s %-18zu %-18zu\n", "description rects", cover_rects,
+              dnf_rects);
+  std::printf("\nshape check: adaptive grids need far fewer candidates and "
+              "land within one fine window of the true boundary; the uniform "
+              "grid loses up to half a bin width per edge.\n");
+  return 0;
+}

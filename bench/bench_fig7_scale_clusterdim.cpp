@@ -1,0 +1,43 @@
+// Figure 7: scalability with cluster dimensionality.
+//
+// Paper: 50-d data, 650,000 records, one cluster of dimensionality 3..10 on
+// 16 processors; time grows exponentially with the hidden cluster's
+// dimensionality (a k-d dense cell makes all O(2^k) projections dense, and
+// the level loop runs k passes over the data with C(k, j) candidates).
+#include "bench_common.hpp"
+
+#include "core/mafia.hpp"
+#include "datagen/workloads.hpp"
+#include "io/data_source.hpp"
+
+int main() {
+  using namespace mafia;
+
+  const RecordIndex records = bench::scaled(50000);
+  bench::print_header(
+      "Figure 7 — Scalability with cluster dimension",
+      "50-d, 650k records, 1 hidden cluster of dim 3..10, 16 procs",
+      "scaled records, same sweep");
+
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+
+  std::printf("\n%-14s %-10s %-14s %-12s %s\n", "cluster dims", "time(s)",
+              "peak Ncdu", "passes", "recovered?");
+  for (std::size_t k = 3; k <= 10; ++k) {
+    const GeneratorConfig cfg = workloads::fig7_clusterdim(records, k);
+    const Dataset data = generate(cfg);
+    InMemorySource source(data);
+    const MafiaResult r = run_pmafia(source, options, 16);
+    std::size_t peak = 0;
+    for (const LevelTrace& t : r.levels) peak = std::max(peak, t.ncdu);
+    const bool recovered =
+        !r.clusters.empty() && r.clusters[0].dims.size() == k;
+    std::printf("%-14zu %-10.3f %-14zu %-12zu %s\n", k, r.total_seconds, peak,
+                r.levels.size(), recovered ? "yes" : "NO");
+  }
+  std::printf("\nshape check: time rises super-linearly with cluster "
+              "dimensionality (binomial candidate counts peak at C(k, k/2) "
+              "and the data is re-scanned once per level).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Section 5.9(2): the Ionosphere radar data — alpha sensitivity.
+//
+// Paper: 34-d, 351 records, 8 processors.  At alpha = 2 pMAFIA found 158
+// unique 3-d clusters and 32 unique 4-d clusters; raising alpha to 3 left a
+// single 3-d cluster.  (PROCLUS, needing k and the average dimensionality
+// as user inputs, reported two implausible 31-d/33-d clusters on the same
+// data — the paper's argument for un-supervised operation.)
+//
+// The UCI set is not bundled; the synthetic radar panel plants one strong
+// and seven moderate low-dimensional concentrations (DESIGN.md).  Target
+// shape: many small 3-d/4-d clusters at alpha = 2 collapsing to exactly one
+// at alpha = 3.
+#include "bench_common.hpp"
+
+#include "core/mafia.hpp"
+#include "datagen/workloads.hpp"
+#include "io/data_source.hpp"
+
+int main() {
+  using namespace mafia;
+
+  bench::print_header(
+      "Section 5.9(2) — Ionosphere-like data, alpha sensitivity",
+      "34-d, 351 records; alpha=2: 158 3-d + 32 4-d clusters; alpha=3: 1",
+      "synthetic radar returns, same collapse shape (DESIGN.md)");
+
+  const GeneratorConfig cfg = workloads::ionosphere_like();
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  std::printf("\n%-8s %-10s %-12s %-12s %s\n", "alpha", "clusters", "3-d",
+              "4-d", "paper");
+  for (const double alpha : {2.0, 3.0}) {
+    MafiaOptions options;
+    options.fixed_domain = {{0.0f, 100.0f}};
+    // 351 records: coarse wave + relaxed merge slack (the preset).
+    options.grid = AdaptiveGridOptions::for_sample_size(
+        static_cast<Count>(data.num_records()));
+    options.grid.alpha = alpha;
+    const MafiaResult r = run_pmafia(source, options, 8);
+    std::printf("%-8.0f %-10zu %-12zu %-12zu %s\n", alpha, r.clusters.size(),
+                r.clusters_of_dim(3), r.clusters_of_dim(4),
+                alpha < 2.5 ? "158 3-d + 32 4-d" : "1 cluster (3-d)");
+  }
+  std::printf("\nshape check: many low-dimensional clusters at alpha=2, "
+              "exactly one dominant 3-d cluster at alpha=3.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Google-benchmark microbenchmarks of the hot kernels: the MAFIA join, the
+// two dedup paths, CDU population, histogram accumulation, and the Eq. 1
+// boundary solver.  These complement the table/figure benches: when a
+// reproduction number drifts, this pins down which kernel moved.
+#include <benchmark/benchmark.h>
+
+#include "grid/adaptive_grid.hpp"
+#include "grid/histogram.hpp"
+#include "grid/uniform_grid.hpp"
+#include "taskpart/taskpart.hpp"
+#include "units/dedup.hpp"
+#include "units/join.hpp"
+#include "units/populate.hpp"
+
+namespace {
+
+using namespace mafia;
+
+UnitStore synthetic_dense(std::size_t n, std::size_t k, DimId span,
+                          std::uint64_t seed) {
+  UnitStore s(k);
+  std::uint64_t state = seed;
+  std::vector<DimId> dims(k);
+  std::vector<BinId> bins(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    DimId d = static_cast<DimId>((state >> 5) % (span - k));
+    for (std::size_t j = 0; j < k; ++j) {
+      dims[j] = d;
+      d = static_cast<DimId>(d + 1 + ((state >> (10 + 4 * j)) & 1));
+      bins[j] = static_cast<BinId>((state >> (20 + 3 * j)) % 8);
+    }
+    s.push_unchecked(dims.data(), bins.data());
+  }
+  return s;
+}
+
+void BM_MafiaJoin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const UnitStore dense = synthetic_dense(n, 3, 14, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(join_dense_units(dense, JoinRule::MafiaAnyShared));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MafiaJoin)->Range(64, 4096)->Complexity(benchmark::oNSquared);
+
+void BM_CliqueJoin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const UnitStore dense = synthetic_dense(n, 3, 14, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(join_dense_units(dense, JoinRule::CliquePrefix));
+  }
+}
+BENCHMARK(BM_CliqueJoin)->Range(64, 4096);
+
+void BM_DedupHash(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const UnitStore raw = synthetic_dense(n, 4, 16, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dedup_hash(raw));
+  }
+}
+BENCHMARK(BM_DedupHash)->Range(256, 16384);
+
+void BM_DedupPairwise(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const UnitStore raw = synthetic_dense(n, 4, 16, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairwise_repeat_flags(raw, 0, raw.size()));
+  }
+}
+BENCHMARK(BM_DedupPairwise)->Range(256, 4096);
+
+void BM_Populate(benchmark::State& state) {
+  const auto ncdu = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kDims = 16;
+  constexpr std::size_t kRecords = 4096;
+  const std::vector<Value> lo(kDims, 0.0f);
+  const std::vector<Value> hi(kDims, 100.0f);
+  const GridSet grids = compute_uniform_grids(lo, hi, 8, 0.01, kRecords);
+  const UnitStore cdus = synthetic_dense(ncdu, 3, kDims, 13);
+
+  std::vector<Value> rows(kRecords * kDims);
+  std::uint64_t s = 5;
+  for (auto& v : rows) {
+    s = s * 6364136223846793005ull + 1;
+    v = static_cast<Value>((s >> 33) % 10000) / 100.0f;
+  }
+  for (auto _ : state) {
+    UnitPopulator pop(grids, cdus);
+    pop.accumulate(rows.data(), kRecords);
+    benchmark::DoNotOptimize(pop.counts());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kRecords);
+}
+BENCHMARK(BM_Populate)->Range(16, 2048);
+
+void BM_HistogramAccumulate(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRecords = 4096;
+  const std::vector<Value> lo(dims, 0.0f);
+  const std::vector<Value> hi(dims, 100.0f);
+  std::vector<Value> rows(kRecords * dims);
+  std::uint64_t s = 9;
+  for (auto& v : rows) {
+    s = s * 6364136223846793005ull + 1;
+    v = static_cast<Value>((s >> 33) % 10000) / 100.0f;
+  }
+  for (auto _ : state) {
+    HistogramBuilder hb(lo, hi, 1000);
+    hb.accumulate(rows.data(), kRecords);
+    benchmark::DoNotOptimize(hb.counts());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kRecords);
+}
+BENCHMARK(BM_HistogramAccumulate)->Range(8, 64);
+
+void BM_AdaptiveGridCompute(benchmark::State& state) {
+  AdaptiveGridOptions o;
+  std::vector<Count> counts(o.fine_bins);
+  std::uint64_t s = 3;
+  for (auto& c : counts) {
+    s = s * 6364136223846793005ull + 1;
+    c = 100 + (s >> 40) % 900;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        compute_adaptive_grid(0, 0.0f, 100.0f, counts, 1000000, o));
+  }
+}
+BENCHMARK(BM_AdaptiveGridCompute);
+
+void BM_TriangularPartition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(triangular_partition(n, 16));
+  }
+}
+BENCHMARK(BM_TriangularPartition)->Range(1024, 1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

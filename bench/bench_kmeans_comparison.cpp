@@ -1,0 +1,92 @@
+// Section 2's k-means criticism, quantified: "k-means algorithm has been
+// parallelized [5], but is limited however in its applicability, as it
+// requires the user to specify k, the number of clusters, and also does not
+// find clusters in subspaces."
+//
+// Both algorithms run on the same SPMD runtime with identical data-parallel
+// structure (local pass + one Reduce per iteration/level), so the contrast
+// is purely algorithmic: on subspace-clustered data, k-means at the CORRECT
+// k still produces an uninformative split, while pMAFIA recovers the
+// subspaces without being told anything.
+#include "bench_common.hpp"
+
+#include <algorithm>
+
+#include "core/mafia.hpp"
+#include "datagen/generator.hpp"
+#include "io/data_source.hpp"
+#include "kmeans/kmeans.hpp"
+
+int main() {
+  using namespace mafia;
+
+  const RecordIndex records = bench::scaled(60000);
+  bench::print_header(
+      "Related work — parallel k-means [5] vs pMAFIA on subspace data",
+      "Section 2: k-means needs k and cannot find subspace clusters",
+      "12-d data; diagonal vs anti-diagonal box pairs in subspace {1,7} "
+      "(identical full-space centroids)");
+
+  GeneratorConfig cfg;
+  cfg.num_dims = 12;
+  cfg.num_records = records;
+  cfg.seed = 81;
+  // XOR arrangement: both clusters have the same mean in EVERY dimension,
+  // so no centroid-based method can tell them apart; each is a union of
+  // two boxes in subspace {1,7} (the generator's arbitrary-shape support).
+  ClusterSpec diag;
+  diag.dims = {1, 7};
+  diag.boxes.push_back(ClusterBox{{20, 20}, {28, 28}});
+  diag.boxes.push_back(ClusterBox{{72, 72}, {80, 80}});
+  ClusterSpec anti;
+  anti.dims = {1, 7};
+  anti.boxes.push_back(ClusterBox{{20, 72}, {28, 80}});
+  anti.boxes.push_back(ClusterBox{{72, 20}, {80, 28}});
+  cfg.clusters.push_back(std::move(diag));
+  cfg.clusters.push_back(std::move(anti));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  // Agreement of a 2-way split with the planted labels (0.5 = chance).
+  const auto purity = [&](const std::vector<std::int32_t>& labels) {
+    std::size_t agree = 0;
+    std::size_t total = 0;
+    for (RecordIndex i = 0; i < data.num_records(); ++i) {
+      if (data.label(i) < 0) continue;
+      ++total;
+      agree += (labels[static_cast<std::size_t>(i)] == data.label(i));
+    }
+    return std::max(static_cast<double>(agree),
+                    static_cast<double>(total - agree)) /
+           static_cast<double>(total);
+  };
+
+  std::printf("\nparallel k-means (given the CORRECT k = 2):\n");
+  std::printf("%-6s %-12s %-12s %-10s\n", "p", "time(s)", "iterations",
+              "purity");
+  for (const int p : {1, 2, 4}) {
+    KMeansOptions ko;
+    ko.k = 2;
+    ko.seed = 9;
+    const KMeansResult r = run_kmeans(source, ko, p);
+    const auto labels = kmeans_assign(source, r);
+    std::printf("%-6d %-12.3f %-12zu %-10.3f\n", p, r.total_seconds,
+                r.iterations, purity(labels));
+  }
+
+  MafiaOptions mo;
+  mo.fixed_domain = {{0.0f, 100.0f}};
+  const MafiaResult mr = run_pmafia(source, mo, 2);
+  std::printf("\npMAFIA (no inputs): %.3f s, %zu clusters:\n",
+              mr.total_seconds, mr.clusters.size());
+  for (const Cluster& c : mr.clusters) {
+    std::printf("  %s\n", c.to_string(mr.grids).c_str());
+  }
+  std::printf("\nreading the results: with identical full-space centroids, "
+              "k-means purity is ~0.5 (chance) even when HANDED the correct "
+              "k, while pMAFIA reports the four dense regions in subspace "
+              "{1,7} with exact boundaries and no inputs.  Same runtime, "
+              "same data-parallel pattern; the difference is the "
+              "algorithm.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table 1 + Figure 4: execution times of pMAFIA vs (parallel) CLIQUE, and
+// the speedup of pMAFIA over CLIQUE per processor count.
+//
+// Paper: 300,000 records, 15-d, one cluster in a 5-d subspace.  CLIQUE runs
+// with 10 uniform bins and a 2% threshold; pMAFIA sets everything
+// automatically.  Paper result: both parallelize well, and pMAFIA is 40-80x
+// faster than CLIQUE at every p (Table 1: CLIQUE 2469s -> 184s, pMAFIA
+// 32.2s -> 4.5s, reading the garbled table's decimal points back in).
+#include "bench_common.hpp"
+
+#include "clique/clique.hpp"
+#include "core/mafia.hpp"
+#include "datagen/workloads.hpp"
+#include "io/data_source.hpp"
+
+int main() {
+  using namespace mafia;
+
+  const RecordIndex records = bench::scaled(30000);
+  bench::print_header(
+      "Table 1 / Figure 4 — pMAFIA vs CLIQUE execution times",
+      "300k records, 15-d, 1 cluster in 5-d; CLIQUE: 10 bins, tau=2%",
+      "scaled records, same structure and baseline parameters");
+
+  const GeneratorConfig cfg = workloads::tab1_vs_clique(records);
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  MafiaOptions mafia_options;
+  mafia_options.fixed_domain = {{0.0f, 100.0f}};
+
+  CliqueOptions clique_options;
+  clique_options.fixed_domain = {{0.0f, 100.0f}};
+  clique_options.xi = 10;
+  clique_options.tau_fraction = 0.02;
+
+  std::printf("\n%-6s %-14s %-14s %-18s %s\n", "p", "pMAFIA(s)", "CLIQUE(s)",
+              "speedup/CLIQUE", "paper speedup");
+  const double paper_speedup[] = {76.8, 74.7, 79.7, 66.6, 40.9};
+  std::size_t row = 0;
+  for (const int p : bench::rank_counts()) {
+    const MafiaResult rm = run_pmafia(source, mafia_options, p);
+    const MafiaResult rc = run_clique(source, clique_options, p);
+    std::printf("%-6d %-14.3f %-14.3f %-18.1f %.1f\n", p, rm.total_seconds,
+                rc.total_seconds, rc.total_seconds / rm.total_seconds,
+                paper_speedup[row++]);
+  }
+  std::printf("\npaper's qualitative claim: pMAFIA is one to two orders of "
+              "magnitude faster than CLIQUE at every processor count\n"
+              "(adaptive grids prune the uniform dimensions at level 1; "
+              "CLIQUE's 150 dense level-1 bins explode into thousands of "
+              "candidates).\n");
+  return 0;
+}

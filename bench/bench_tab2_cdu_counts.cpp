@@ -1,0 +1,64 @@
+// Table 2 + Section 5.5: candidate and dense unit counts per level for
+// pMAFIA vs the "modified CLIQUE" (uniform grid + the generalized
+// any-(k-2) join), and the serial time ratio.
+//
+// Paper: 10-d data, 5.4M records, a single 7-d cluster.  pMAFIA's trace is
+// exactly the binomial C(7,k): Ncdu = Ndu = 21, 35, 35, 21, 7, 1 for
+// k = 2..7.  Modified CLIQUE (10 bins, tau = 1%) explodes: Ncdu = 2313,
+// 5739, 19215, 38484, 42836, 24804, 5820 and discovers 75 spurious 6-d and
+// 546 spurious 7-d clusters.  Serial speedup: 114.56x (691s vs 79162s on a
+// 400 MHz Pentium II).
+#include "bench_common.hpp"
+
+#include "clique/clique.hpp"
+#include "core/mafia.hpp"
+#include "datagen/workloads.hpp"
+#include "io/data_source.hpp"
+
+int main() {
+  using namespace mafia;
+
+  const RecordIndex records = bench::scaled(40000);
+  bench::print_header(
+      "Table 2 — CDUs generated: pMAFIA vs modified CLIQUE",
+      "10-d, 5.4M records, one 7-d cluster; CLIQUE: 10 bins, tau=1%",
+      "scaled records, same structure");
+
+  const GeneratorConfig cfg = workloads::tab2_cdu_counts(records);
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  MafiaOptions mafia_options;
+  mafia_options.fixed_domain = {{0.0f, 100.0f}};
+  const MafiaResult rm = run_mafia(source, mafia_options);
+
+  CliqueOptions clique_options;
+  clique_options.fixed_domain = {{0.0f, 100.0f}};
+  clique_options.xi = 10;
+  clique_options.tau_fraction = 0.01;
+  clique_options.modified_join = true;  // Section 5.5's modification
+  const MafiaResult rc = run_clique(source, clique_options);
+
+  const auto print_trace = [](const char* name, const MafiaResult& r) {
+    std::printf("\n%s\n", name);
+    std::printf("  %-6s %-12s %-12s\n", "dim", "Ncdu", "Ndu");
+    for (const LevelTrace& t : r.levels) {
+      if (t.level < 2) continue;  // Table 2 starts at dimension 2
+      std::printf("  %-6zu %-12zu %-12zu\n", t.level, t.ncdu, t.ndu);
+    }
+  };
+  print_trace("pMAFIA (paper: Ncdu = Ndu = 21 35 35 21 7 1 for k=2..7)", rm);
+  print_trace(
+      "modified CLIQUE (paper: Ncdu = 2313 5739 19215 38484 42836 24804 5820)",
+      rc);
+
+  std::printf("\nclusters reported: pMAFIA %zu (paper: the 1 planted 7-d "
+              "cluster), modified CLIQUE %zu (paper: 75 6-d + 546 7-d "
+              "spurious)\n",
+              rm.clusters.size(), rc.clusters.size());
+  std::printf("serial time: pMAFIA %.3f s, modified CLIQUE %.3f s -> "
+              "%.1fx (paper: 114.6x)\n",
+              rm.total_seconds, rc.total_seconds,
+              rc.total_seconds / rm.total_seconds);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 4: clusters discovered in the DAX data set.
+//
+// Paper: 22-d one-day-ahead DAX prediction panel, 2757 records, alpha = 2,
+// 8 processors, 8.16 s.  Clusters discovered per subspace dimensionality:
+// 3-d: 161, 4-d: 134, 5-d: 104, 6-d: 24 — many clusters, count decreasing
+// with dimensionality.
+//
+// The DAX panel is proprietary; the synthetic financial panel plants dense
+// low-dimensional regimes of the same shape (see DESIGN.md).  The
+// reproduction target is the SHAPE of the table: clusters found at
+// dimensionalities 3-6, more at lower dimensionality, completing in
+// seconds on 8 ranks.
+#include "bench_common.hpp"
+
+#include "core/mafia.hpp"
+#include "datagen/workloads.hpp"
+#include "io/data_source.hpp"
+
+int main() {
+  using namespace mafia;
+
+  bench::print_header(
+      "Table 4 — Clusters discovered in the DAX-like data set",
+      "22-d, 2757 records, alpha=2, 8 procs, 8.16 s; counts 161/134/104/24",
+      "synthetic financial panel, same shape (substitution per DESIGN.md)");
+
+  const GeneratorConfig cfg = workloads::dax_like();
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+  options.grid = AdaptiveGridOptions::for_sample_size(
+      static_cast<Count>(data.num_records()));
+  options.grid.alpha = 2.0;  // the paper's alpha for this data set
+
+  const MafiaResult r = run_pmafia(source, options, 8);
+
+  std::printf("\n%-22s %-10s %s\n", "cluster dimension", "count",
+              "paper count");
+  const std::size_t paper[] = {0, 0, 0, 161, 134, 104, 24};
+  for (std::size_t k = 3; k <= 6; ++k) {
+    std::printf("%-22zu %-10zu %zu\n", k, r.clusters_of_dim(k), paper[k]);
+  }
+  std::printf("\nrun time: %.2f s on 8 ranks (paper: 8.16 s on 8 SP2 nodes)\n",
+              r.total_seconds);
+  std::printf("shape check: clusters at every dimensionality 3..6, counts "
+              "decreasing with dimensionality.  (Absolute counts depend on "
+              "the proprietary panel's correlation structure; the synthetic "
+              "panel plants fewer, cleaner regimes.)\n");
+  return 0;
+}

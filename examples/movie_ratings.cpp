@@ -1,0 +1,54 @@
+// Collaborative-filtering demo modeled on the paper's EachMovie experiment
+// (Section 5.9, Table 5): ratings records (user-id, movie-id, score,
+// weight) mined for user-community x movie-group blocks — the paper found
+// 7 clusters, all in the 2-d {user, movie} subspace, and near-linear
+// parallel speedups on this data set.
+//
+// The DEC EachMovie collection is no longer distributed; the synthetic
+// blockmodel plants the same structure at a scaled record count.
+#include <cstdio>
+
+#include "core/mafia.hpp"
+#include "datagen/workloads.hpp"
+#include "io/data_source.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mafia;
+
+  const RecordIndex records = argc > 1 ? static_cast<RecordIndex>(
+                                             std::strtoull(argv[1], nullptr, 10))
+                                       : 200000;
+  const GeneratorConfig cfg = workloads::eachmovie_like(records);
+  const Dataset data = generate(cfg);
+  std::printf("ratings: %llu records (user, movie, score, weight)\n",
+              static_cast<unsigned long long>(data.num_records()));
+
+  InMemorySource source(data);
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+
+  // Parallel sweep, Table 5 style.
+  std::printf("\n%-8s %-12s %-10s %s\n", "ranks", "time (s)", "speedup",
+              "clusters");
+  double t1 = 0.0;
+  for (const int p : {1, 2, 4, 8}) {
+    const MafiaResult r = run_pmafia(source, options, p);
+    if (p == 1) t1 = r.total_seconds;
+    std::printf("%-8d %-12.3f %-10.2f %zu\n", p, r.total_seconds,
+                t1 / r.total_seconds, r.clusters.size());
+    if (p == 8) {
+      std::printf("\nuser-community x movie-group blocks found:\n");
+      for (const Cluster& c : r.clusters) {
+        const auto box = c.bounding_box(r.grids);
+        // Map the normalized [0,100] axes back to id ranges for display
+        // (72,916 users / 1,628 movies, as in the original collection).
+        std::printf("  users %5.0f..%-5.0f x movies %4.0f..%-4.0f\n",
+                    box[0].first * 729.16, box[0].second * 729.16,
+                    box[1].first * 16.28, box[1].second * 16.28);
+      }
+    }
+  }
+  std::printf("\n(speedups are bounded by this machine's core count; on the "
+              "paper's 16-node SP2 the same algorithm reached 14.23x)\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: plant two subspace clusters in 10-d data, run serial MAFIA
+// and 4-rank pMAFIA, and print what was found.
+//
+//   ./quickstart
+//
+// This is the smallest end-to-end tour of the public API:
+//   GeneratorConfig/generate  -> synthetic data with ground truth
+//   InMemorySource            -> the DataSource the driver scans
+//   MafiaOptions / run_mafia  -> the un-supervised algorithm (no tuning!)
+//   MafiaResult               -> clusters with DNF expressions + trace
+#include <cstdio>
+
+#include "core/mafia.hpp"
+#include "datagen/generator.hpp"
+#include "io/data_source.hpp"
+
+int main() {
+  using namespace mafia;
+
+  // --- 1. Make a data set: 100,000 records in 10 dimensions, one cluster
+  // in subspace {2,5,7}, another in {0,3}, plus 10% noise records.
+  GeneratorConfig cfg;
+  cfg.num_dims = 10;
+  cfg.num_records = 100000;
+  cfg.seed = 42;
+  cfg.clusters.push_back(
+      ClusterSpec::box({2, 5, 7}, {30, 30, 30}, {45, 45, 45}, 1.0));
+  cfg.clusters.push_back(ClusterSpec::box({0, 3}, {70, 70}, {82, 82}, 1.0));
+  const Dataset data = generate(cfg);
+  std::printf("generated %llu records x %zu dims (10%% noise)\n",
+              static_cast<unsigned long long>(data.num_records()),
+              data.num_dims());
+
+  // --- 2. Run MAFIA.  No parameters are required: adaptive grids size the
+  // bins and thresholds from the data (alpha = 1.5 default).
+  InMemorySource source(data);
+  MafiaOptions options;  // all defaults
+  const MafiaResult serial = run_mafia(source, options);
+
+  std::printf("\nserial run: %.3f s, %zu clusters\n", serial.total_seconds,
+              serial.clusters.size());
+  for (const Cluster& c : serial.clusters) {
+    std::printf("  %s\n", c.to_string(serial.grids).c_str());
+  }
+
+  std::printf("\nlevel trace (the bottom-up search):\n");
+  std::printf("  %-6s %-10s %-10s %-10s\n", "k", "raw CDUs", "unique", "dense");
+  for (const LevelTrace& t : serial.levels) {
+    std::printf("  %-6zu %-10zu %-10zu %-10zu\n", t.level, t.ncdu_raw, t.ncdu,
+                t.ndu);
+  }
+
+  // --- 3. The same algorithm on 4 SPMD ranks (pMAFIA).  Results are
+  // bit-identical; communication is a handful of small Reduce/Bcast ops.
+  const MafiaResult parallel = run_pmafia(source, options, 4);
+  std::printf("\npMAFIA on 4 ranks: %.3f s, %zu clusters (identical)\n",
+              parallel.total_seconds, parallel.clusters.size());
+  std::printf("  communication: %llu collective ops, %llu bytes total\n",
+              static_cast<unsigned long long>(
+                  parallel.comm.reduces + parallel.comm.bcasts +
+                  parallel.comm.gathers),
+              static_cast<unsigned long long>(parallel.comm.total_bytes()));
+  return 0;
+}

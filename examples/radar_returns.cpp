@@ -1,0 +1,50 @@
+// Radar-return demo modeled on the paper's Ionosphere experiment (Section
+// 5.9(2)): 351 returns x 34 signal attributes, mined at two dominance
+// levels.  The paper found 158 3-d + 32 4-d clusters at alpha = 2 but a
+// single 3-d cluster at alpha = 3 — alpha directly controls how dominant a
+// region must be, and raising it isolates the strongest structure.
+//
+// The UCI Ionosphere data isn't bundled; the synthetic stand-in plants one
+// strong and several moderate low-dimensional concentrations so the same
+// collapse appears (see DESIGN.md).
+#include <cstdio>
+
+#include "core/mafia.hpp"
+#include "datagen/workloads.hpp"
+#include "io/data_source.hpp"
+
+int main() {
+  using namespace mafia;
+
+  const GeneratorConfig cfg = workloads::ionosphere_like();
+  const Dataset data = generate(cfg);
+  std::printf("radar returns: %llu records x %zu attributes\n",
+              static_cast<unsigned long long>(data.num_records()),
+              data.num_dims());
+
+  for (const double alpha : {2.0, 3.0}) {
+    InMemorySource source(data);
+    MafiaOptions options;
+    options.fixed_domain = {{0.0f, 100.0f}};
+    // 351 records: a 1000-cell histogram sees single points; use the
+    // small-sample preset (coarse wave, relaxed merge slack).
+    options.grid = AdaptiveGridOptions::for_sample_size(
+        static_cast<Count>(data.num_records()));
+    options.grid.alpha = alpha;
+
+    const MafiaResult r = run_pmafia(source, options, 2);
+    std::printf("\nalpha = %.0f -> %zu clusters\n", alpha, r.clusters.size());
+    for (std::size_t k = 2; k <= 6; ++k) {
+      const std::size_t n = r.clusters_of_dim(k);
+      if (n > 0) std::printf("  %zu clusters in %zu-d subspaces\n", n, k);
+    }
+    if (alpha == 3.0) {
+      for (const Cluster& c : r.clusters) {
+        std::printf("  dominant structure: %s\n", c.to_string(r.grids).c_str());
+      }
+    }
+  }
+  std::printf("\n(raising alpha keeps only clusters more dominant over the "
+              "uniform background, exactly the paper's observation)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Financial-panel demo modeled on the paper's DAX experiment (Section 5.9,
+// Table 4): a 22-attribute daily panel (indices, bond yields, P/E ratios,
+// inflation indicators) of 2757 trading days, mined for co-moving regimes —
+// dense regions in low-dimensional subspaces of the indicator space.
+//
+// The original DAX prediction data set is proprietary; the synthetic panel
+// plants the same kind of structure (see DESIGN.md's substitution table).
+// As in the paper, alpha = 2 is used for this data set.
+#include <cstdio>
+
+#include "core/mafia.hpp"
+#include "datagen/workloads.hpp"
+#include "io/data_source.hpp"
+
+namespace {
+
+const char* kAttributeNames[22] = {
+    "DAX",          "DAX_PE",      "DAX_comp",    "bond_10y",   "bond_2y",
+    "infl_cpi",     "infl_ppi",    "fx_usd",      "fx_gbp",     "vol_index",
+    "oil",          "gold",        "cac40",       "ftse",       "dowjones",
+    "nikkei",       "m3_growth",   "ind_prod",    "retail",     "unemp",
+    "earnings_rev", "term_spread",
+};
+
+}  // namespace
+
+int main() {
+  using namespace mafia;
+
+  const GeneratorConfig cfg = workloads::dax_like();
+  const Dataset data = generate(cfg);
+  std::printf("financial panel: %llu trading days x %zu indicators\n",
+              static_cast<unsigned long long>(data.num_records()),
+              data.num_dims());
+
+  InMemorySource source(data);
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+  // 2757 records resolve poorly at 1000 fine cells; use the coarse preset.
+  options.grid = AdaptiveGridOptions::for_sample_size(
+      static_cast<Count>(data.num_records()));
+  options.grid.alpha = 2.0;  // the paper's choice for the DAX data set
+
+  const MafiaResult result = run_pmafia(source, options, 8);
+
+  std::printf("\ndiscovered %zu regimes in %.2f s on 8 ranks\n",
+              result.clusters.size(), result.total_seconds);
+
+  // Table 4 shape: clusters per subspace dimensionality.
+  std::printf("\n%-22s %s\n", "cluster dimension", "count");
+  for (std::size_t k = 2; k <= 8; ++k) {
+    const std::size_t n = result.clusters_of_dim(k);
+    if (n > 0) std::printf("%-22zu %zu\n", k, n);
+  }
+
+  std::printf("\nexample regimes (co-moving indicator ranges):\n");
+  std::size_t shown = 0;
+  for (const Cluster& c : result.clusters) {
+    if (shown++ >= 5) break;
+    std::printf("  regime %zu:", shown);
+    for (std::size_t i = 0; i < c.dims.size(); ++i) {
+      const auto box = c.bounding_box(result.grids);
+      std::printf(" %s[%.0f..%.0f]", kAttributeNames[c.dims[i]], box[i].first,
+                  box[i].second);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

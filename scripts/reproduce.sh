@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full reproduction run: configure, build, test, regenerate every table and
+# figure.  Outputs land in test_output.txt and bench_output.txt at the repo
+# root (the files EXPERIMENTS.md's numbers come from).
+#
+#   ./scripts/reproduce.sh            # default scale (minutes)
+#   MAFIA_BENCH_SCALE=10 ./scripts/reproduce.sh   # longer, closer to paper N
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    echo "==================================================================="
+    echo "### $(basename "$b")"
+    echo "==================================================================="
+    case "$b" in
+      *bench_kernels) "$b" --benchmark_min_time=0.05 ;;
+      *) "$b" ;;
+    esac
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,331 @@
+#include "baselines/birch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+namespace mafia {
+
+namespace {
+
+/// Clustering feature: (n, LS, SS).  Supports the BIRCH identities:
+/// centroid = LS/n, radius^2 = SS/n - ||LS/n||^2, and additivity.
+struct CF {
+  Count n = 0;
+  std::vector<double> ls;
+  double ss = 0.0;
+
+  explicit CF(std::size_t d) : ls(d, 0.0) {}
+
+  void add_point(const Value* row, std::size_t d) {
+    ++n;
+    for (std::size_t j = 0; j < d; ++j) {
+      ls[j] += row[j];
+      ss += static_cast<double>(row[j]) * row[j];
+    }
+  }
+
+  void merge(const CF& other) {
+    n += other.n;
+    for (std::size_t j = 0; j < ls.size(); ++j) ls[j] += other.ls[j];
+    ss += other.ss;
+  }
+
+  [[nodiscard]] double centroid(std::size_t j) const {
+    return n == 0 ? 0.0 : ls[j] / static_cast<double>(n);
+  }
+
+  [[nodiscard]] double radius() const {
+    if (n == 0) return 0.0;
+    double c2 = 0.0;
+    for (std::size_t j = 0; j < ls.size(); ++j) {
+      const double c = centroid(j);
+      c2 += c * c;
+    }
+    const double r2 = ss / static_cast<double>(n) - c2;
+    return r2 > 0 ? std::sqrt(r2) : 0.0;
+  }
+
+  /// Radius if `row` were absorbed (for the threshold test).
+  [[nodiscard]] double radius_with(const Value* row, std::size_t d) const {
+    CF probe = *this;
+    probe.add_point(row, d);
+    return probe.radius();
+  }
+
+  [[nodiscard]] double centroid_distance2(const CF& other) const {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < ls.size(); ++j) {
+      const double diff = centroid(j) - other.centroid(j);
+      sum += diff * diff;
+    }
+    return sum;
+  }
+
+  [[nodiscard]] double centroid_distance2(const Value* row) const {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < ls.size(); ++j) {
+      const double diff = centroid(j) - row[j];
+      sum += diff * diff;
+    }
+    return sum;
+  }
+};
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// CF-tree node: leaves hold CF entries; internal nodes hold children with
+/// summary CFs (entry i summarizes child i).
+struct Node {
+  bool leaf = true;
+  std::vector<CF> entries;
+  std::vector<NodePtr> children;  // internal only, aligned with entries
+};
+
+class CfTree {
+ public:
+  CfTree(std::size_t d, const BirchOptions& o)
+      : d_(d), options_(o), root_(std::make_unique<Node>()) {}
+
+  void insert(const Value* row) {
+    NodePtr sibling = insert_into(*root_, row);
+    if (sibling) {
+      // Root split: grow a new root over the two halves.
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      new_root->entries.push_back(summarize(*root_));
+      new_root->entries.push_back(summarize(*sibling));
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(sibling));
+      root_ = std::move(new_root);
+    }
+  }
+
+  /// All leaf-entry CFs, left to right.
+  [[nodiscard]] std::vector<CF> leaf_entries() const {
+    std::vector<CF> out;
+    collect(*root_, out);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t height() const {
+    std::size_t h = 1;
+    const Node* at = root_.get();
+    while (!at->leaf) {
+      ++h;
+      at = at->children.front().get();
+    }
+    return h;
+  }
+
+ private:
+  static CF summarize(const Node& node) {
+    CF sum(node.entries.empty() ? 0 : node.entries.front().ls.size());
+    for (const CF& e : node.entries) {
+      if (sum.ls.empty()) sum.ls.assign(e.ls.size(), 0.0);
+      sum.merge(e);
+    }
+    return sum;
+  }
+
+  /// Inserts into the subtree; returns a new sibling node when this node
+  /// split (caller must register it), nullptr otherwise.
+  NodePtr insert_into(Node& node, const Value* row) {
+    if (node.leaf) {
+      // Closest entry, absorb if the threshold permits.
+      std::size_t best = node.entries.size();
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t i = 0; i < node.entries.size(); ++i) {
+        const double dd = node.entries[i].centroid_distance2(row);
+        if (dd < best_d) {
+          best_d = dd;
+          best = i;
+        }
+      }
+      if (best < node.entries.size() &&
+          node.entries[best].radius_with(row, d_) <= options_.threshold) {
+        node.entries[best].add_point(row, d_);
+        return nullptr;
+      }
+      CF fresh(d_);
+      fresh.add_point(row, d_);
+      node.entries.push_back(std::move(fresh));
+      if (node.entries.size() <= options_.leaf_capacity) return nullptr;
+      return split(node);
+    }
+
+    // Internal: descend into the closest child.
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      const double dd = node.entries[i].centroid_distance2(row);
+      if (dd < best_d) {
+        best_d = dd;
+        best = i;
+      }
+    }
+    NodePtr sibling = insert_into(*node.children[best], row);
+    node.entries[best] = summarize(*node.children[best]);
+    if (sibling) {
+      node.entries.push_back(summarize(*sibling));
+      node.children.push_back(std::move(sibling));
+      if (node.entries.size() > options_.branching) return split(node);
+    }
+    return nullptr;
+  }
+
+  /// Farthest-pair split: seeds are the two most-separated entries, the
+  /// rest join the closer seed.  Returns the new right node; `node`
+  /// becomes the left node.
+  NodePtr split(Node& node) {
+    const std::size_t m = node.entries.size();
+    std::size_t seed_a = 0;
+    std::size_t seed_b = 1;
+    double far = -1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i + 1; j < m; ++j) {
+        const double dd = node.entries[i].centroid_distance2(node.entries[j]);
+        if (dd > far) {
+          far = dd;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+    // Decide every entry's side BEFORE moving anything (moved-from CFs
+    // would corrupt the seed distances).
+    std::vector<bool> go_left(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double da = node.entries[i].centroid_distance2(node.entries[seed_a]);
+      const double db = node.entries[i].centroid_distance2(node.entries[seed_b]);
+      go_left[i] = (i == seed_a) || (i != seed_b && da <= db);
+    }
+    auto right = std::make_unique<Node>();
+    right->leaf = node.leaf;
+    Node left;
+    left.leaf = node.leaf;
+    for (std::size_t i = 0; i < m; ++i) {
+      Node& target = go_left[i] ? left : *right;
+      target.entries.push_back(std::move(node.entries[i]));
+      if (!node.leaf) target.children.push_back(std::move(node.children[i]));
+    }
+    node = std::move(left);
+    return right;
+  }
+
+  static void collect(const Node& node, std::vector<CF>& out) {
+    if (node.leaf) {
+      out.insert(out.end(), node.entries.begin(), node.entries.end());
+      return;
+    }
+    for (const NodePtr& child : node.children) collect(*child, out);
+  }
+
+  const std::size_t d_;
+  const BirchOptions& options_;
+  NodePtr root_;
+};
+
+}  // namespace
+
+BirchResult run_birch(const Dataset& data, const BirchOptions& options) {
+  options.validate();
+  require(data.num_records() > 0, "run_birch: empty data set");
+  const std::size_t d = data.num_dims();
+
+  // Phase 1: build the CF-tree.
+  CfTree tree(d, options);
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    tree.insert(data.row(i).data());
+  }
+  std::vector<CF> entries = tree.leaf_entries();
+
+  // Phase 3 (BIRCH numbering): global clustering of the leaf entries —
+  // centroid-linkage agglomerative merging down to k groups, weighting
+  // merges by the CF counts (merging CFs is exact thanks to additivity).
+  // A nearest-neighbor cache keeps this ~O(E^2): a merge only invalidates
+  // entries that pointed at the merged pair.
+  std::vector<CF> groups = entries;
+  std::vector<std::size_t> nn(groups.size());
+  std::vector<double> nn_dist(groups.size());
+  const auto recompute_nn = [&](std::size_t i) {
+    nn_dist[i] = std::numeric_limits<double>::max();
+    nn[i] = i;
+    for (std::size_t j = 0; j < groups.size(); ++j) {
+      if (j == i) continue;
+      const double dd = groups[i].centroid_distance2(groups[j]);
+      if (dd < nn_dist[i]) {
+        nn_dist[i] = dd;
+        nn[i] = j;
+      }
+    }
+  };
+  for (std::size_t i = 0; i < groups.size(); ++i) recompute_nn(i);
+
+  while (groups.size() > options.num_clusters) {
+    std::size_t merge_a = 0;
+    for (std::size_t i = 1; i < groups.size(); ++i) {
+      if (nn_dist[i] < nn_dist[merge_a]) merge_a = i;
+    }
+    std::size_t merge_b = nn[merge_a];
+    if (merge_b < merge_a) std::swap(merge_a, merge_b);
+
+    groups[merge_a].merge(groups[merge_b]);
+    groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(merge_b));
+    nn.erase(nn.begin() + static_cast<std::ptrdiff_t>(merge_b));
+    nn_dist.erase(nn_dist.begin() + static_cast<std::ptrdiff_t>(merge_b));
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (i == merge_a || nn[i] == merge_a || nn[i] == merge_b) {
+        recompute_nn(i);
+      } else {
+        if (nn[i] > merge_b) --nn[i];
+        const double dd = groups[i].centroid_distance2(groups[merge_a]);
+        if (dd < nn_dist[i]) {
+          nn_dist[i] = dd;
+          nn[i] = merge_a;
+        }
+      }
+    }
+  }
+
+  BirchResult result;
+  result.num_dims = d;
+  result.leaf_entries = entries.size();
+  result.tree_height = tree.height();
+  for (const CF& g : groups) {
+    if (g.n == 0) continue;
+    for (std::size_t j = 0; j < d; ++j) result.centroids.push_back(g.centroid(j));
+    result.sizes.push_back(g.n);
+  }
+  return result;
+}
+
+std::vector<std::int32_t> birch_assign(const Dataset& data,
+                                       const BirchResult& model) {
+  require(model.num_dims == data.num_dims(), "birch_assign: dims mismatch");
+  const std::size_t d = model.num_dims;
+  const std::size_t k = model.num_clusters();
+  std::vector<std::int32_t> labels(static_cast<std::size_t>(data.num_records()));
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    const auto row = data.row(i);
+    double best = std::numeric_limits<double>::max();
+    std::int32_t arg = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff = static_cast<double>(row[j]) - model.centroid(c)[j];
+        sum += diff * diff;
+      }
+      if (sum < best) {
+        best = sum;
+        arg = static_cast<std::int32_t>(c);
+      }
+    }
+    labels[static_cast<std::size_t>(i)] = arg;
+  }
+  return labels;
+}
+
+}  // namespace mafia

@@ -1,0 +1,72 @@
+// BIRCH (Zhang, Ramakrishnan, Livny — SIGMOD 1996): the paper's reference
+// [19], surveyed in Section 2 among the full-space methods that "operate
+// and find clusters in the whole data space".
+//
+// BIRCH compresses the data into a height-balanced CF-tree of clustering
+// features CF = (n, LS, SS) — count, linear sum, sum of squares — inserting
+// each record into its closest leaf entry when absorption keeps the entry's
+// radius under a threshold T, splitting nodes B-way otherwise; a global
+// clustering pass then groups the leaf-entry centroids (here: centroid-
+// linkage agglomerative merging down to k clusters, the common choice).
+//
+// Like the other full-space baselines it needs user inputs (T, k) and is
+// blind to subspace structure; it earns its place in the zoo by showing the
+// contrast holds for summary-tree methods too, and the CF-tree itself is a
+// reusable streaming-summarization substrate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "io/dataset.hpp"
+
+namespace mafia {
+
+struct BirchOptions {
+  /// T: absorption threshold — max RADIUS of a leaf entry.
+  double threshold = 5.0;
+  /// B: max children of an internal node.
+  std::size_t branching = 8;
+  /// L: max entries in a leaf.
+  std::size_t leaf_capacity = 8;
+  /// k for the global clustering phase over leaf entries.
+  std::size_t num_clusters = 2;
+
+  void validate() const {
+    require(threshold > 0.0, "BirchOptions: threshold must be positive");
+    require(branching >= 2, "BirchOptions: branching must be >= 2");
+    require(leaf_capacity >= 2, "BirchOptions: leaf_capacity must be >= 2");
+    require(num_clusters >= 1, "BirchOptions: need at least one cluster");
+  }
+};
+
+struct BirchResult {
+  /// Final cluster centroids, row-major (num_clusters x d); clusters that
+  /// received no leaf entries are dropped, so rows <= num_clusters.
+  std::vector<double> centroids;
+  std::size_t num_dims = 0;
+  /// Records summarized into each final cluster.
+  std::vector<Count> sizes;
+  /// CF-tree statistics.
+  std::size_t leaf_entries = 0;
+  std::size_t tree_height = 0;
+
+  [[nodiscard]] std::size_t num_clusters() const {
+    return num_dims == 0 ? 0 : centroids.size() / num_dims;
+  }
+  [[nodiscard]] const double* centroid(std::size_t c) const {
+    return centroids.data() + c * num_dims;
+  }
+};
+
+/// Builds the CF-tree over `data` and globally clusters its leaf entries.
+[[nodiscard]] BirchResult run_birch(const Dataset& data,
+                                    const BirchOptions& options);
+
+/// Nearest-centroid assignment under the fitted model (-1 never occurs;
+/// BIRCH has no noise concept — another contrast with density methods).
+[[nodiscard]] std::vector<std::int32_t> birch_assign(const Dataset& data,
+                                                     const BirchResult& model);
+
+}  // namespace mafia

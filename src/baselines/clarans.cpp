@@ -1,0 +1,103 @@
+#include "baselines/clarans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "rng/distributions.hpp"
+#include "rng/icg.hpp"
+
+namespace mafia {
+
+namespace {
+
+double distance(const Dataset& data, RecordIndex a, RecordIndex b) {
+  const auto ra = data.row(a);
+  const auto rb = data.row(b);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < ra.size(); ++j) {
+    const double diff = static_cast<double>(ra[j]) - rb[j];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+/// Total cost and labels for a medoid set.
+double evaluate(const Dataset& data, const std::vector<RecordIndex>& medoids,
+                std::vector<std::int32_t>* labels) {
+  double cost = 0.0;
+  if (labels) labels->resize(static_cast<std::size_t>(data.num_records()));
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    double best = std::numeric_limits<double>::max();
+    std::int32_t arg = 0;
+    for (std::size_t m = 0; m < medoids.size(); ++m) {
+      const double d = distance(data, i, medoids[m]);
+      if (d < best) {
+        best = d;
+        arg = static_cast<std::int32_t>(m);
+      }
+    }
+    cost += best;
+    if (labels) (*labels)[static_cast<std::size_t>(i)] = arg;
+  }
+  return cost;
+}
+
+}  // namespace
+
+ClaransResult run_clarans(const Dataset& data, const ClaransOptions& options) {
+  options.validate();
+  require(data.num_records() >= options.num_clusters,
+          "run_clarans: fewer records than clusters");
+  IcgRandom rng(options.seed);
+  const RecordIndex n = data.num_records();
+  const std::size_t k = options.num_clusters;
+
+  ClaransResult best_result;
+  best_result.cost = std::numeric_limits<double>::max();
+
+  for (std::size_t restart = 0; restart < options.num_local; ++restart) {
+    // Random initial node (distinct medoids).
+    std::vector<RecordIndex> medoids;
+    while (medoids.size() < k) {
+      const RecordIndex pick = uniform_index(rng, n);
+      if (std::find(medoids.begin(), medoids.end(), pick) == medoids.end()) {
+        medoids.push_back(pick);
+      }
+    }
+    double cost = evaluate(data, medoids, nullptr);
+
+    // Hill-climb: try random swaps until max_neighbors in a row fail.
+    std::size_t failed = 0;
+    while (failed < options.max_neighbors) {
+      ++best_result.swaps_examined;
+      const std::size_t slot = uniform_index(rng, k);
+      const RecordIndex replacement = uniform_index(rng, n);
+      if (std::find(medoids.begin(), medoids.end(), replacement) !=
+          medoids.end()) {
+        ++failed;
+        continue;
+      }
+      const RecordIndex old = medoids[slot];
+      medoids[slot] = replacement;
+      const double new_cost = evaluate(data, medoids, nullptr);
+      if (new_cost < cost) {
+        cost = new_cost;
+        failed = 0;  // moved to the better node; reset the neighbor counter
+      } else {
+        medoids[slot] = old;
+        ++failed;
+      }
+    }
+
+    if (cost < best_result.cost) {
+      best_result.cost = cost;
+      best_result.medoids = medoids;
+    }
+  }
+
+  best_result.cost = evaluate(data, best_result.medoids, &best_result.labels);
+  return best_result;
+}
+
+}  // namespace mafia

@@ -1,0 +1,45 @@
+// CLARANS (Ng & Han — VLDB 1994): the paper's references [13]/[14],
+// "efficient and effective clustering methods for spatial data mining" —
+// randomized k-medoid search, surveyed in Section 2.
+//
+// CLARANS views the k-medoid problem as a graph whose nodes are medoid
+// sets and whose edges swap one medoid for one non-medoid; it hill-climbs
+// by sampling up to `max_neighbors` random swaps per node and restarts
+// `num_local` times, keeping the best local minimum of the total
+// point-to-medoid distance.
+//
+// Needs k, full-space metric — same contrasts as the rest of the zoo.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "io/dataset.hpp"
+
+namespace mafia {
+
+struct ClaransOptions {
+  std::size_t num_clusters = 2;   ///< k, user supplied
+  std::size_t num_local = 3;      ///< restarts
+  std::size_t max_neighbors = 40; ///< random swaps examined per step
+  std::uint64_t seed = 1;
+
+  void validate() const {
+    require(num_clusters >= 1, "ClaransOptions: need at least one cluster");
+    require(num_local >= 1, "ClaransOptions: need at least one restart");
+    require(max_neighbors >= 1, "ClaransOptions: need at least one neighbor");
+  }
+};
+
+struct ClaransResult {
+  std::vector<RecordIndex> medoids;  ///< k record indices
+  std::vector<std::int32_t> labels;  ///< per-record medoid index
+  double cost = 0.0;                 ///< total distance to assigned medoids
+  std::size_t swaps_examined = 0;
+};
+
+[[nodiscard]] ClaransResult run_clarans(const Dataset& data,
+                                        const ClaransOptions& options);
+
+}  // namespace mafia

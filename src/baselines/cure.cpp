@@ -1,0 +1,202 @@
+#include "baselines/cure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "rng/distributions.hpp"
+#include "rng/icg.hpp"
+
+namespace mafia {
+
+namespace {
+
+double distance2(const double* a, const double* b, std::size_t d) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double diff = a[j] - b[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// Working cluster during the hierarchical phase.
+struct Working {
+  std::vector<std::size_t> members;  ///< sample indices
+  std::vector<double> centroid;
+  std::vector<double> reps;  ///< shrunk representatives, row-major
+};
+
+}  // namespace
+
+CureResult run_cure(const Dataset& data, const CureOptions& options) {
+  options.validate();
+  require(data.num_records() >= options.num_clusters, "run_cure: too few records");
+  const std::size_t d = data.num_dims();
+
+  // ---- Sample for the hierarchical phase.
+  IcgRandom rng(options.seed);
+  std::vector<RecordIndex> sample(static_cast<std::size_t>(data.num_records()));
+  std::iota(sample.begin(), sample.end(), RecordIndex{0});
+  if (sample.size() > options.sample_size) {
+    shuffle(rng, sample.begin(), sample.end());
+    sample.resize(options.sample_size);
+  }
+  const std::size_t n = sample.size();
+  std::vector<double> points(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = data.row(sample[i]);
+    for (std::size_t j = 0; j < d; ++j) points[i * d + j] = row[j];
+  }
+
+  // ---- Initialize singleton clusters.
+  std::vector<Working> clusters(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    clusters[i].members = {i};
+    clusters[i].centroid.assign(points.begin() + static_cast<std::ptrdiff_t>(i * d),
+                                points.begin() + static_cast<std::ptrdiff_t>((i + 1) * d));
+    clusters[i].reps = clusters[i].centroid;
+  }
+
+  const auto rebuild = [&](Working& c) {
+    // Centroid.
+    c.centroid.assign(d, 0.0);
+    for (const std::size_t m : c.members) {
+      for (std::size_t j = 0; j < d; ++j) c.centroid[j] += points[m * d + j];
+    }
+    for (double& v : c.centroid) v /= static_cast<double>(c.members.size());
+    // Well-scattered representatives: farthest-first from the centroid.
+    const std::size_t reps =
+        std::min<std::size_t>(options.representatives, c.members.size());
+    std::vector<std::size_t> chosen;
+    std::vector<double> dist(c.members.size(),
+                             std::numeric_limits<double>::max());
+    for (std::size_t r = 0; r < reps; ++r) {
+      std::size_t pick = 0;
+      double best = -1.0;
+      for (std::size_t i = 0; i < c.members.size(); ++i) {
+        const double reference =
+            chosen.empty()
+                ? distance2(points.data() + c.members[i] * d, c.centroid.data(), d)
+                : dist[i];
+        if (reference > best) {
+          best = reference;
+          pick = i;
+        }
+      }
+      chosen.push_back(c.members[pick]);
+      dist[pick] = -1.0;
+      for (std::size_t i = 0; i < c.members.size(); ++i) {
+        dist[i] = std::min(dist[i],
+                           distance2(points.data() + c.members[i] * d,
+                                     points.data() + c.members[pick] * d, d));
+      }
+    }
+    // Shrink toward the centroid.
+    c.reps.assign(reps * d, 0.0);
+    for (std::size_t r = 0; r < reps; ++r) {
+      for (std::size_t j = 0; j < d; ++j) {
+        const double p = points[chosen[r] * d + j];
+        c.reps[r * d + j] = p + options.shrink * (c.centroid[j] - p);
+      }
+    }
+  };
+
+  // ---- Agglomerate: merge the pair with the smallest min-rep distance.
+  const auto cluster_distance2 = [&](const Working& a, const Working& b) {
+    double best = std::numeric_limits<double>::max();
+    const std::size_t ra = a.reps.size() / d;
+    const std::size_t rb = b.reps.size() / d;
+    for (std::size_t i = 0; i < ra; ++i) {
+      for (std::size_t j = 0; j < rb; ++j) {
+        best = std::min(best, distance2(a.reps.data() + i * d,
+                                        b.reps.data() + j * d, d));
+      }
+    }
+    return best;
+  };
+
+  // Nearest-neighbor cache: nn[i] is i's closest other cluster.  A merge
+  // only invalidates entries that pointed at the merged pair (plus the
+  // merged cluster itself), so the loop is ~O(n^2) instead of O(n^3).
+  std::vector<std::size_t> nn(clusters.size());
+  std::vector<double> nn_dist(clusters.size());
+  const auto recompute_nn = [&](std::size_t i) {
+    nn_dist[i] = std::numeric_limits<double>::max();
+    nn[i] = i;
+    for (std::size_t j = 0; j < clusters.size(); ++j) {
+      if (j == i) continue;
+      const double dd = cluster_distance2(clusters[i], clusters[j]);
+      if (dd < nn_dist[i]) {
+        nn_dist[i] = dd;
+        nn[i] = j;
+      }
+    }
+  };
+  for (std::size_t i = 0; i < clusters.size(); ++i) recompute_nn(i);
+
+  while (clusters.size() > options.num_clusters) {
+    std::size_t merge_a = 0;
+    for (std::size_t i = 1; i < clusters.size(); ++i) {
+      if (nn_dist[i] < nn_dist[merge_a]) merge_a = i;
+    }
+    std::size_t merge_b = nn[merge_a];
+    if (merge_b < merge_a) std::swap(merge_a, merge_b);
+
+    clusters[merge_a].members.insert(clusters[merge_a].members.end(),
+                                     clusters[merge_b].members.begin(),
+                                     clusters[merge_b].members.end());
+    clusters.erase(clusters.begin() + static_cast<std::ptrdiff_t>(merge_b));
+    nn.erase(nn.begin() + static_cast<std::ptrdiff_t>(merge_b));
+    nn_dist.erase(nn_dist.begin() + static_cast<std::ptrdiff_t>(merge_b));
+    rebuild(clusters[merge_a]);
+
+    // Reindex cached neighbors past the erased slot; flag stale entries.
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+      if (i == merge_a || nn[i] == merge_a || nn[i] == merge_b) {
+        recompute_nn(i);  // handles reindexing implicitly
+      } else {
+        if (nn[i] > merge_b) --nn[i];
+        // Check whether the grown cluster became i's new nearest.
+        const double dd = cluster_distance2(clusters[i], clusters[merge_a]);
+        if (dd < nn_dist[i]) {
+          nn_dist[i] = dd;
+          nn[i] = merge_a;
+        }
+      }
+    }
+  }
+
+  // ---- Label every record by the nearest representative.
+  CureResult result;
+  result.num_dims = d;
+  result.clusters.resize(clusters.size());
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    result.clusters[c].representatives = clusters[c].reps;
+    result.clusters[c].centroid = clusters[c].centroid;
+  }
+  result.labels.resize(static_cast<std::size_t>(data.num_records()));
+  std::vector<double> row(d);
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    const auto r = data.row(i);
+    for (std::size_t j = 0; j < d; ++j) row[j] = r[j];
+    double best = std::numeric_limits<double>::max();
+    std::int32_t arg = 0;
+    for (std::size_t c = 0; c < result.clusters.size(); ++c) {
+      const auto& reps = result.clusters[c].representatives;
+      for (std::size_t rr = 0; rr < reps.size() / d; ++rr) {
+        const double dd = distance2(row.data(), reps.data() + rr * d, d);
+        if (dd < best) {
+          best = dd;
+          arg = static_cast<std::int32_t>(c);
+        }
+      }
+    }
+    result.labels[static_cast<std::size_t>(i)] = arg;
+    ++result.clusters[static_cast<std::size_t>(arg)].size;
+  }
+  return result;
+}
+
+}  // namespace mafia

@@ -1,0 +1,54 @@
+// CURE (Guha, Rastogi, Shim — SIGMOD 1998): the paper's reference [9],
+// another Section 2 full-space method.
+//
+// CURE is hierarchical agglomerative clustering where each cluster is
+// summarized by `c` well-scattered representative points shrunk toward the
+// centroid by a factor alpha; inter-cluster distance is the minimum over
+// representative pairs, which lets CURE find non-spherical full-space
+// shapes.  It runs on a random sample for scalability; remaining points are
+// assigned to the cluster with the nearest representative.
+//
+// Needs k (and alpha and c); full-space distances — the same two
+// criticisms the paper levels at this family.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "io/dataset.hpp"
+
+namespace mafia {
+
+struct CureOptions {
+  std::size_t num_clusters = 2;      ///< k, user supplied
+  std::size_t representatives = 6;   ///< c points per cluster
+  double shrink = 0.3;               ///< alpha, toward the centroid
+  std::size_t sample_size = 2000;    ///< hierarchical phase sample cap
+  std::uint64_t seed = 1;
+
+  void validate() const {
+    require(num_clusters >= 1, "CureOptions: need at least one cluster");
+    require(representatives >= 1, "CureOptions: need representatives");
+    require(shrink >= 0.0 && shrink < 1.0, "CureOptions: shrink in [0,1)");
+    require(sample_size >= num_clusters, "CureOptions: sample too small");
+  }
+};
+
+struct CureCluster {
+  /// Shrunk representative points, row-major (reps x d).
+  std::vector<double> representatives;
+  std::vector<double> centroid;
+  Count size = 0;  ///< records assigned in the final labeling pass
+};
+
+struct CureResult {
+  std::vector<CureCluster> clusters;
+  std::size_t num_dims = 0;
+  /// Per-record cluster index (never -1; CURE has no noise concept).
+  std::vector<std::int32_t> labels;
+};
+
+[[nodiscard]] CureResult run_cure(const Dataset& data, const CureOptions& options);
+
+}  // namespace mafia

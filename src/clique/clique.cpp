@@ -1,0 +1,32 @@
+#include "clique/clique.hpp"
+
+namespace mafia {
+
+MafiaOptions to_mafia_options(const CliqueOptions& options) {
+  require(options.xi >= 1 && options.xi <= kMaxBinsPerDim, "CliqueOptions: bad xi");
+  require(options.tau_fraction > 0.0 && options.tau_fraction < 1.0,
+          "CliqueOptions: tau must be a fraction in (0,1)");
+
+  MafiaOptions mo;
+  MafiaOptions::UniformGridOverride grid;
+  grid.xi = options.xi;
+  grid.tau_fraction = options.tau_fraction;
+  grid.bins_per_dim = options.bins_per_dim;
+  mo.uniform_grid = std::move(grid);
+  // With a single global threshold, AllBins/AnyBin coincide; AllBins keeps
+  // the code path shared with MAFIA.
+  mo.density = DensityPolicy::AllBins;
+  mo.join_rule = options.modified_join ? JoinRule::MafiaAnyShared
+                                       : JoinRule::CliquePrefix;
+  mo.mdl_pruning = options.mdl_pruning;
+  mo.chunk_records = options.chunk_records;
+  mo.fixed_domain = options.fixed_domain;
+  return mo;
+}
+
+MafiaResult run_clique(const DataSource& data, const CliqueOptions& options,
+                       int p) {
+  return run_pmafia(data, to_mafia_options(options), p);
+}
+
+}  // namespace mafia

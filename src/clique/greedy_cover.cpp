@@ -1,0 +1,137 @@
+#include "clique/greedy_cover.hpp"
+
+#include <set>
+#include <string>
+#include <unordered_set>
+
+namespace mafia {
+
+namespace {
+
+/// Set-of-cells view over a cluster's dense units, keyed by the bin tuple.
+class CellSet {
+ public:
+  explicit CellSet(const Cluster& cluster) : k_(cluster.dims.size()) {
+    for (std::size_t u = 0; u < cluster.units.size(); ++u) {
+      const auto bins = cluster.units.bins(u);
+      cells_.insert(std::string(bins.begin(), bins.end()));
+    }
+  }
+
+  [[nodiscard]] bool contains(const std::vector<BinId>& bins) const {
+    return cells_.count(std::string(bins.begin(), bins.end())) > 0;
+  }
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  std::unordered_set<std::string> cells_;
+};
+
+/// True when every cell of `rect` is a dense cell.
+bool rect_all_dense(const CellSet& cells, const BinRect& rect) {
+  std::vector<BinId> cursor = rect.lo;
+  while (true) {
+    if (!cells.contains(cursor)) return false;
+    std::size_t d = 0;
+    for (; d < cursor.size(); ++d) {
+      if (cursor[d] < rect.hi[d]) {
+        ++cursor[d];
+        break;
+      }
+      cursor[d] = rect.lo[d];
+    }
+    if (d == cursor.size()) return true;  // wrapped: enumerated all cells
+  }
+}
+
+/// Enumerates the cells of `rect`, applying `fn` to each bin tuple.
+template <typename Fn>
+void for_each_cell(const BinRect& rect, Fn&& fn) {
+  std::vector<BinId> cursor = rect.lo;
+  while (true) {
+    fn(cursor);
+    std::size_t d = 0;
+    for (; d < cursor.size(); ++d) {
+      if (cursor[d] < rect.hi[d]) {
+        ++cursor[d];
+        break;
+      }
+      cursor[d] = rect.lo[d];
+    }
+    if (d == cursor.size()) return;
+  }
+}
+
+}  // namespace
+
+std::vector<BinRect> greedy_cover(const Cluster& cluster) {
+  const std::size_t k = cluster.dims.size();
+  const CellSet cells(cluster);
+
+  // Uncovered dense cells, in unit order for determinism.
+  std::set<std::string> uncovered;
+  for (std::size_t u = 0; u < cluster.units.size(); ++u) {
+    const auto bins = cluster.units.bins(u);
+    uncovered.insert(std::string(bins.begin(), bins.end()));
+  }
+
+  std::vector<BinRect> cover;
+  while (!uncovered.empty()) {
+    const std::string seed = *uncovered.begin();
+    BinRect rect;
+    rect.lo.assign(seed.begin(), seed.end());
+    rect.hi = rect.lo;
+
+    // Grow greedily, one dimension at a time, alternating directions.
+    for (std::size_t d = 0; d < k; ++d) {
+      // Extend upward while the slab of new cells stays dense.
+      while (rect.hi[d] < static_cast<BinId>(kMaxBinsPerDim - 1)) {
+        BinRect extended = rect;
+        extended.lo[d] = static_cast<BinId>(rect.hi[d] + 1);
+        extended.hi[d] = extended.lo[d];
+        if (!rect_all_dense(cells, extended)) break;
+        rect.hi[d] = extended.hi[d];
+      }
+      // Extend downward likewise.
+      while (rect.lo[d] > 0) {
+        BinRect extended = rect;
+        extended.hi[d] = static_cast<BinId>(rect.lo[d] - 1);
+        extended.lo[d] = extended.hi[d];
+        if (!rect_all_dense(cells, extended)) break;
+        rect.lo[d] = extended.lo[d];
+      }
+    }
+
+    for_each_cell(rect, [&uncovered](const std::vector<BinId>& bins) {
+      uncovered.erase(std::string(bins.begin(), bins.end()));
+    });
+    cover.push_back(std::move(rect));
+  }
+
+  // Redundancy removal: drop any rectangle whose every cell also lies in
+  // another rectangle of the cover.
+  const auto in_rect = [](const BinRect& r, const std::vector<BinId>& bins) {
+    for (std::size_t d = 0; d < bins.size(); ++d) {
+      if (bins[d] < r.lo[d] || bins[d] > r.hi[d]) return false;
+    }
+    return true;
+  };
+  std::vector<BinRect> pruned;
+  for (std::size_t i = 0; i < cover.size(); ++i) {
+    bool redundant = true;
+    for_each_cell(cover[i], [&](const std::vector<BinId>& bins) {
+      if (!redundant) return;
+      bool elsewhere = false;
+      for (std::size_t j = 0; j < cover.size() && !elsewhere; ++j) {
+        if (j != i && in_rect(cover[j], bins)) elsewhere = true;
+      }
+      if (!elsewhere) redundant = false;
+    });
+    if (!redundant) pruned.push_back(cover[i]);
+  }
+  return pruned.empty() ? cover : pruned;
+}
+
+}  // namespace mafia

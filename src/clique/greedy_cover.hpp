@@ -1,0 +1,29 @@
+// CLIQUE's greedy maximal-rectangle cluster cover.
+//
+// Our paper, Section 3.2: "CLIQUE also uses a greedy algorithm as a
+// post-processing phase to generate the minimal description length of the
+// clusters ... It covers the found grids in clusters by maximal rectangles
+// that provide coverage.  Since this is an approximation of the cluster, it
+// further adds to the complexity and reduces the correctness of the
+// reported clusters."  Implemented so bench_fig1_grid_quality can measure
+// that correctness gap against pMAFIA's exact minimal-DNF output.
+//
+// Algorithm (from the CLIQUE paper): repeatedly pick an uncovered dense
+// unit, grow a maximal rectangle around it greedily one dimension at a time
+// (extending while every cell in the extension is dense), add the rectangle
+// to the cover, and mark its cells covered; finally drop rectangles whose
+// cells are all covered by other rectangles (redundancy removal).
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster_model.hpp"
+
+namespace mafia {
+
+/// Computes the greedy rectangle cover of `cluster`'s dense units.  The
+/// returned rectangles may overlap (unlike Cluster::dnf) and, because
+/// growth is greedy per dimension, need not be minimal in number.
+[[nodiscard]] std::vector<BinRect> greedy_cover(const Cluster& cluster);
+
+}  // namespace mafia

@@ -1,0 +1,201 @@
+#include "cluster/assembly.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "cluster/union_find.hpp"
+#include "common/error.hpp"
+
+namespace mafia {
+
+bool face_adjacent(const UnitStore& units, std::size_t a, std::size_t b) {
+  const std::size_t k = units.k();
+  if (std::memcmp(units.dims(a).data(), units.dims(b).data(), k) != 0) return false;
+  const auto ba = units.bins(a);
+  const auto bb = units.bins(b);
+  std::size_t diffs = 0;
+  bool adjacent = true;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (ba[i] != bb[i]) {
+      ++diffs;
+      const int delta = static_cast<int>(ba[i]) - static_cast<int>(bb[i]);
+      if (delta != 1 && delta != -1) adjacent = false;
+    }
+  }
+  return diffs == 1 && adjacent;
+}
+
+std::vector<Cluster> connect_units(const UnitStore& units) {
+  const std::size_t n = units.size();
+  const std::size_t k = units.k();
+
+  // Partition unit indices by subspace first so the quadratic connectivity
+  // scan only runs within a subspace.
+  std::map<std::vector<DimId>, std::vector<std::size_t>> by_subspace;
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto d = units.dims(u);
+    by_subspace[std::vector<DimId>(d.begin(), d.end())].push_back(u);
+  }
+
+  std::vector<Cluster> clusters;
+  for (const auto& [dims, members] : by_subspace) {
+    UnionFind uf(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (face_adjacent(units, members[i], members[j])) uf.unite(i, j);
+      }
+    }
+    // Emit one cluster per connected component, preserving unit order.
+    std::map<std::size_t, std::size_t> root_to_cluster;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const std::size_t root = uf.find(i);
+      auto it = root_to_cluster.find(root);
+      if (it == root_to_cluster.end()) {
+        Cluster c;
+        c.dims = dims;
+        c.units = UnitStore(k);
+        it = root_to_cluster.emplace(root, clusters.size()).first;
+        clusters.push_back(std::move(c));
+      }
+      clusters[it->second].units.push_unchecked(units.dims(members[i]).data(),
+                                                units.bins(members[i]).data());
+    }
+  }
+  return clusters;
+}
+
+namespace {
+
+/// Hashable key for a unit projected onto a dim subset.
+std::string projection_key(const UnitStore& units, std::size_t u,
+                           const std::vector<std::size_t>& positions) {
+  std::string key;
+  key.reserve(positions.size());
+  const auto bins = units.bins(u);
+  for (const std::size_t pos : positions) key.push_back(static_cast<char>(bins[pos]));
+  return key;
+}
+
+}  // namespace
+
+void eliminate_subset_clusters(std::vector<Cluster>& clusters) {
+  std::vector<bool> dead(clusters.size(), false);
+  for (std::size_t a = 0; a < clusters.size(); ++a) {
+    if (dead[a]) continue;
+    for (std::size_t b = 0; b < clusters.size(); ++b) {
+      if (a == b || dead[a] || dead[b]) continue;
+      const Cluster& small = clusters[a];
+      const Cluster& big = clusters[b];
+      if (small.dims.size() >= big.dims.size()) continue;
+      // small.dims must be a subset of big.dims.
+      if (!std::includes(big.dims.begin(), big.dims.end(), small.dims.begin(),
+                         small.dims.end())) {
+        continue;
+      }
+      // Positions of small's dims within big's dim list.
+      std::vector<std::size_t> positions;
+      positions.reserve(small.dims.size());
+      for (const DimId d : small.dims) {
+        const auto it = std::find(big.dims.begin(), big.dims.end(), d);
+        positions.push_back(static_cast<std::size_t>(it - big.dims.begin()));
+      }
+      // Project big's units onto small's subspace.
+      std::unordered_set<std::string> projected;
+      projected.reserve(big.units.size());
+      for (std::size_t u = 0; u < big.units.size(); ++u) {
+        projected.insert(projection_key(big.units, u, positions));
+      }
+      // Identity positions for small (its own bins, in order).
+      std::vector<std::size_t> identity(small.dims.size());
+      for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+      bool contained = true;
+      for (std::size_t u = 0; u < small.units.size() && contained; ++u) {
+        contained = projected.count(projection_key(small.units, u, identity)) > 0;
+      }
+      if (contained) dead[a] = true;
+    }
+  }
+  std::vector<Cluster> kept;
+  kept.reserve(clusters.size());
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(clusters[i]));
+  }
+  clusters = std::move(kept);
+}
+
+void build_dnf(Cluster& cluster) {
+  const std::size_t k = cluster.dims.size();
+  // Start with one degenerate rectangle per dense unit.
+  std::vector<BinRect> rects;
+  rects.reserve(cluster.units.size());
+  for (std::size_t u = 0; u < cluster.units.size(); ++u) {
+    const auto bins = cluster.units.bins(u);
+    BinRect r;
+    r.lo.assign(bins.begin(), bins.end());
+    r.hi.assign(bins.begin(), bins.end());
+    rects.push_back(std::move(r));
+  }
+
+  // Greedy pairwise merge to fixpoint: two rectangles merge when they are
+  // identical in all dimensions except one, where their bin intervals are
+  // adjacent or overlapping.  The result covers exactly the same cells, and
+  // every surviving rectangle is maximal under this merge relation —
+  // yielding the paper's "minimal DNF expression" behaviour on the
+  // rectangular-wave grids adaptive binning produces.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < rects.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < rects.size() && !changed; ++j) {
+        std::size_t diff_dim = k;  // sentinel: none yet
+        bool mergeable = true;
+        for (std::size_t dpos = 0; dpos < k && mergeable; ++dpos) {
+          const bool same = rects[i].lo[dpos] == rects[j].lo[dpos] &&
+                            rects[i].hi[dpos] == rects[j].hi[dpos];
+          if (same) continue;
+          if (diff_dim != k) {
+            mergeable = false;  // differs in more than one dim
+            break;
+          }
+          diff_dim = dpos;
+          // Intervals must touch or overlap: [lo_i, hi_i] and [lo_j, hi_j]
+          // with max(lo) <= min(hi) + 1.
+          const int lo = std::max<int>(rects[i].lo[dpos], rects[j].lo[dpos]);
+          const int hi = std::min<int>(rects[i].hi[dpos], rects[j].hi[dpos]);
+          if (lo > hi + 1) mergeable = false;
+        }
+        if (mergeable && diff_dim != k) {
+          rects[i].lo[diff_dim] =
+              std::min(rects[i].lo[diff_dim], rects[j].lo[diff_dim]);
+          rects[i].hi[diff_dim] =
+              std::max(rects[i].hi[diff_dim], rects[j].hi[diff_dim]);
+          rects.erase(rects.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+        }
+      }
+    }
+  }
+  cluster.dnf = std::move(rects);
+}
+
+std::vector<Cluster> assemble_clusters(const std::vector<UnitStore>& registered_levels) {
+  std::vector<Cluster> clusters;
+  for (const UnitStore& level : registered_levels) {
+    if (level.empty()) continue;
+    auto level_clusters = connect_units(level);
+    for (auto& c : level_clusters) clusters.push_back(std::move(c));
+  }
+  eliminate_subset_clusters(clusters);
+  for (Cluster& c : clusters) build_dnf(c);
+  // Present highest-dimensional clusters first, then by subspace.
+  std::sort(clusters.begin(), clusters.end(), [](const Cluster& a, const Cluster& b) {
+    if (a.dims.size() != b.dims.size()) return a.dims.size() > b.dims.size();
+    return a.dims < b.dims;
+  });
+  return clusters;
+}
+
+}  // namespace mafia

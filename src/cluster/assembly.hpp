@@ -1,0 +1,38 @@
+// Cluster assembly: group registered dense units by subspace, merge
+// connected units with union-find, eliminate clusters that are proper
+// subsets of higher-dimensional clusters, and build minimal DNF expressions
+// (Sections 3.2 and 4.4: "Clusters which are a proper subset of a higher
+// dimension cluster are eliminated and only unique clusters of the highest
+// dimensionality are presented to the end user").
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster_model.hpp"
+
+namespace mafia {
+
+/// Splits the units of one store (all the same dimensionality, possibly
+/// spanning several subspaces) into clusters of face-connected units.
+[[nodiscard]] std::vector<Cluster> connect_units(const UnitStore& units);
+
+/// Full assembly over dense units registered at every level of the
+/// bottom-up search.  Performs: per-subspace connectivity, subset
+/// elimination across levels, and DNF construction.
+[[nodiscard]] std::vector<Cluster> assemble_clusters(
+    const std::vector<UnitStore>& registered_levels);
+
+/// Removes clusters whose subspace is a strict subset of another cluster's
+/// subspace AND whose units are all projections of that cluster's units.
+void eliminate_subset_clusters(std::vector<Cluster>& clusters);
+
+/// Fills `cluster.dnf` with a union of maximal rectangles covering the
+/// cluster's units exactly (greedy pairwise merge to fixpoint).
+void build_dnf(Cluster& cluster);
+
+/// True iff units a (k-dim) and b share a common face: bins equal in all
+/// dims but one, adjacent (difference 1) in that one.  Exposed for tests.
+[[nodiscard]] bool face_adjacent(const UnitStore& units, std::size_t a,
+                                 std::size_t b);
+
+}  // namespace mafia

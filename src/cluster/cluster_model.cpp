@@ -1,0 +1,57 @@
+#include "cluster/cluster_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mafia {
+
+std::vector<std::pair<Value, Value>> Cluster::bounding_box(const GridSet& grids) const {
+  std::vector<std::pair<Value, Value>> box(dims.size());
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    box[i] = {grids[dims[i]].domain_hi, grids[dims[i]].domain_lo};  // inverted init
+  }
+  const auto widen = [&](const std::vector<BinId>& lo, const std::vector<BinId>& hi) {
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      const DimensionGrid& g = grids[dims[i]];
+      box[i].first = std::min(box[i].first, g.bin_lo(lo[i]));
+      box[i].second = std::max(box[i].second, g.bin_hi(hi[i]));
+    }
+  };
+  if (!dnf.empty()) {
+    for (const BinRect& r : dnf) widen(r.lo, r.hi);
+  } else {
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const auto bins = units.bins(u);
+      std::vector<BinId> b(bins.begin(), bins.end());
+      widen(b, b);
+    }
+  }
+  return box;
+}
+
+std::string Cluster::to_string(const GridSet& grids) const {
+  std::ostringstream os;
+  os << "subspace {";
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i) os << ",";
+    os << static_cast<int>(dims[i]);
+  }
+  os << "}: ";
+  if (dnf.empty()) {
+    os << units.size() << " dense units";
+    return os.str();
+  }
+  for (std::size_t r = 0; r < dnf.size(); ++r) {
+    if (r) os << " v ";
+    os << "(";
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      if (i) os << " ^ ";
+      const auto [lo, hi] = rect_interval(grids, dnf[r], i);
+      os << lo << "<=d" << static_cast<int>(dims[i]) << "<" << hi;
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace mafia

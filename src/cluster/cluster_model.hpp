@@ -1,0 +1,54 @@
+// The cluster model: connected dense units in one subspace, reported to the
+// user as a minimal DNF expression over grid-bin intervals.
+//
+// "Clusters are unions of connected high density cells.  Two k-dimensional
+// cells are connected if they have a common face in the k-dimensional space
+// or if they are connected by a common cell." (Section 3)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "grid/grid_types.hpp"
+#include "units/unit_store.hpp"
+
+namespace mafia {
+
+/// Axis-aligned hyper-rectangle in bin-index space, aligned with a cluster's
+/// subspace dimensions: covers bins [lo[i], hi[i]] (inclusive) in dims[i].
+struct BinRect {
+  std::vector<BinId> lo;
+  std::vector<BinId> hi;
+};
+
+/// One discovered cluster.
+struct Cluster {
+  /// The subspace (ascending dimension ids).
+  std::vector<DimId> dims;
+  /// The connected dense units composing the cluster (k == dims.size()).
+  UnitStore units{1};
+  /// Minimal DNF: a union of maximal rectangles covering exactly `units`.
+  /// Filled by build_dnf().
+  std::vector<BinRect> dnf;
+
+  [[nodiscard]] std::size_t dimensionality() const { return dims.size(); }
+
+  /// Value-space interval of `rect` in subspace position `i` under `grids`.
+  [[nodiscard]] std::pair<Value, Value> rect_interval(const GridSet& grids,
+                                                      const BinRect& rect,
+                                                      std::size_t i) const {
+    const DimensionGrid& g = grids[dims[i]];
+    return {g.bin_lo(rect.lo[i]), g.bin_hi(rect.hi[i])};
+  }
+
+  /// Bounding box of the whole cluster in value space (per subspace dim).
+  [[nodiscard]] std::vector<std::pair<Value, Value>> bounding_box(
+      const GridSet& grids) const;
+
+  /// Renders the DNF like "(10.0<=d1<25.5 ^ 0.0<=d7<3.2) v (...)".
+  [[nodiscard]] std::string to_string(const GridSet& grids) const;
+};
+
+}  // namespace mafia

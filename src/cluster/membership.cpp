@@ -1,0 +1,66 @@
+#include "cluster/membership.hpp"
+
+namespace mafia {
+
+bool contains_record(const Cluster& cluster, const GridSet& grids,
+                     const Value* row) {
+  for (const BinRect& rect : cluster.dnf) {
+    bool inside = true;
+    for (std::size_t i = 0; i < cluster.dims.size() && inside; ++i) {
+      const DimensionGrid& g = grids[cluster.dims[i]];
+      const BinId b = g.bin_of(row[cluster.dims[i]]);
+      inside = b >= rect.lo[i] && b <= rect.hi[i];
+    }
+    if (inside) return true;
+  }
+  return false;
+}
+
+std::vector<std::int32_t> assign_members(const DataSource& data,
+                                         const std::vector<Cluster>& clusters,
+                                         const GridSet& grids,
+                                         std::size_t chunk_records) {
+  std::vector<std::int32_t> labels;
+  labels.reserve(static_cast<std::size_t>(data.num_records()));
+  const std::size_t d = data.num_dims();
+  data.scan(0, data.num_records(), chunk_records,
+            [&](const Value* rows, std::size_t nrows) {
+              for (std::size_t r = 0; r < nrows; ++r) {
+                const Value* row = rows + r * d;
+                std::int32_t label = -1;
+                for (std::size_t c = 0; c < clusters.size(); ++c) {
+                  if (contains_record(clusters[c], grids, row)) {
+                    label = static_cast<std::int32_t>(c);
+                    break;
+                  }
+                }
+                labels.push_back(label);
+              }
+            });
+  return labels;
+}
+
+MembershipCounts count_members(const DataSource& data,
+                               const std::vector<Cluster>& clusters,
+                               const GridSet& grids, std::size_t chunk_records) {
+  MembershipCounts counts;
+  counts.per_cluster.assign(clusters.size(), 0);
+  const std::size_t d = data.num_dims();
+  data.scan(0, data.num_records(), chunk_records,
+            [&](const Value* rows, std::size_t nrows) {
+              for (std::size_t r = 0; r < nrows; ++r) {
+                const Value* row = rows + r * d;
+                bool matched = false;
+                for (std::size_t c = 0; c < clusters.size() && !matched; ++c) {
+                  if (contains_record(clusters[c], grids, row)) {
+                    ++counts.per_cluster[c];
+                    matched = true;
+                  }
+                }
+                if (!matched) ++counts.noise;
+              }
+            });
+  return counts;
+}
+
+}  // namespace mafia

@@ -1,0 +1,51 @@
+// Record-to-cluster membership assignment.
+//
+// The paper motivates subspace clustering with end-user tasks (customer
+// segmentation, GIS cluster detection) where the deliverable is not just
+// the cluster DESCRIPTIONS but the partition of records.  This module scans
+// the data once (chunked, so it works out-of-core) and labels every record
+// with the first discovered cluster whose DNF it satisfies, or noise.
+//
+// A record matches a cluster when, for some DNF rectangle, its value in
+// every subspace dimension falls inside the rectangle's bin interval.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_model.hpp"
+#include "io/data_source.hpp"
+
+namespace mafia {
+
+/// Per-cluster membership statistics.
+struct MembershipCounts {
+  std::vector<Count> per_cluster;  ///< records matched per cluster (first match wins)
+  Count noise = 0;                 ///< records matching no cluster
+
+  [[nodiscard]] Count total() const {
+    Count t = noise;
+    for (const Count c : per_cluster) t += c;
+    return t;
+  }
+};
+
+/// Labels every record: result[i] = index into `clusters` or -1 for noise.
+/// Clusters are tested in order; the first match wins (clusters of higher
+/// dimensionality first matches the driver's reporting order).
+[[nodiscard]] std::vector<std::int32_t> assign_members(
+    const DataSource& data, const std::vector<Cluster>& clusters,
+    const GridSet& grids, std::size_t chunk_records = 1 << 16);
+
+/// Counts memberships without materializing the per-record labels
+/// (out-of-core friendly).
+[[nodiscard]] MembershipCounts count_members(const DataSource& data,
+                                             const std::vector<Cluster>& clusters,
+                                             const GridSet& grids,
+                                             std::size_t chunk_records = 1 << 16);
+
+/// True iff `row` (width = grids.num_dims()) lies inside `cluster`.
+[[nodiscard]] bool contains_record(const Cluster& cluster, const GridSet& grids,
+                                   const Value* row);
+
+}  // namespace mafia

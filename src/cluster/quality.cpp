@@ -1,0 +1,123 @@
+#include "cluster/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mafia {
+
+namespace {
+
+/// Overlap length of [a1,a2) and [b1,b2).
+double overlap(double a1, double a2, double b1, double b2) {
+  return std::max(0.0, std::min(a2, b2) - std::max(a1, b1));
+}
+
+/// Fraction of `box`'s volume covered by the cluster's dense units
+/// (units are disjoint cells, so summing per-unit overlaps is exact).
+double coverage_of(const Cluster& c, const GridSet& grids, const TrueBox& box) {
+  double true_volume = 1.0;
+  for (std::size_t i = 0; i < box.dims.size(); ++i) {
+    true_volume *= static_cast<double>(box.hi[i]) - box.lo[i];
+  }
+  if (true_volume <= 0) return 0.0;
+
+  double covered = 0.0;
+  for (std::size_t u = 0; u < c.units.size(); ++u) {
+    const auto bins = c.units.bins(u);
+    double cell = 1.0;
+    for (std::size_t i = 0; i < c.dims.size() && cell > 0; ++i) {
+      const DimensionGrid& g = grids[c.dims[i]];
+      cell *= overlap(g.bin_lo(bins[i]), g.bin_hi(bins[i]), box.lo[i], box.hi[i]);
+    }
+    covered += cell;
+  }
+  return covered / true_volume;
+}
+
+/// Mean per-edge distance between the cluster bounding box and the true
+/// box, normalized by each dimension's domain width.
+double boundary_error_of(const Cluster& c, const GridSet& grids, const TrueBox& box) {
+  const auto bbox = c.bounding_box(grids);
+  double total = 0.0;
+  for (std::size_t i = 0; i < box.dims.size(); ++i) {
+    const DimensionGrid& g = grids[box.dims[i]];
+    const double domain = static_cast<double>(g.domain_hi) - g.domain_lo;
+    if (domain <= 0) continue;
+    total += std::fabs(static_cast<double>(bbox[i].first) - box.lo[i]) / domain;
+    total += std::fabs(static_cast<double>(bbox[i].second) - box.hi[i]) / domain;
+  }
+  return total / (2.0 * static_cast<double>(box.dims.size()));
+}
+
+}  // namespace
+
+QualityReport evaluate_quality(const std::vector<Cluster>& clusters,
+                               const GridSet& grids,
+                               const std::vector<TrueBox>& truth) {
+  QualityReport report;
+  report.discovered_clusters = clusters.size();
+  report.per_box.resize(truth.size());
+
+  std::vector<bool> cluster_matched(clusters.size(), false);
+
+  for (std::size_t t = 0; t < truth.size(); ++t) {
+    const TrueBox& box = truth[t];
+    BoxMatch& match = report.per_box[t];
+    // Best-matching discovered cluster with the exact subspace.
+    for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+      const Cluster& c = clusters[ci];
+      if (c.dims != box.dims) continue;
+      const double cov = coverage_of(c, grids, box);
+      if (!match.subspace_found || cov > match.volume_coverage) {
+        match.subspace_found = true;
+        match.volume_coverage = cov;
+        match.boundary_error = boundary_error_of(c, grids, box);
+      }
+      if (cov > 0) cluster_matched[ci] = true;
+    }
+  }
+
+  for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+    if (!cluster_matched[ci]) ++report.spurious_clusters;
+  }
+
+  double cov_sum = 0.0;
+  double err_sum = 0.0;
+  for (const BoxMatch& m : report.per_box) {
+    if (m.subspace_found) ++report.subspaces_matched;
+    cov_sum += m.volume_coverage;
+    err_sum += m.boundary_error;
+  }
+  if (!truth.empty()) {
+    report.mean_coverage = cov_sum / static_cast<double>(truth.size());
+    report.mean_boundary_error = err_sum / static_cast<double>(truth.size());
+  }
+  return report;
+}
+
+PointScores point_level_scores(const std::vector<std::int32_t>& discovered,
+                               const std::vector<std::int32_t>& truth) {
+  require(discovered.size() == truth.size(),
+          "point_level_scores: label vector size mismatch");
+  std::size_t in_discovered = 0;
+  std::size_t in_truth = 0;
+  std::size_t in_both = 0;
+  for (std::size_t i = 0; i < discovered.size(); ++i) {
+    const bool d = discovered[i] >= 0;
+    const bool t = truth[i] >= 0;
+    in_discovered += d;
+    in_truth += t;
+    in_both += (d && t);
+  }
+  PointScores scores;
+  if (in_discovered > 0) {
+    scores.precision =
+        static_cast<double>(in_both) / static_cast<double>(in_discovered);
+  }
+  if (in_truth > 0) {
+    scores.recall = static_cast<double>(in_both) / static_cast<double>(in_truth);
+  }
+  return scores;
+}
+
+}  // namespace mafia

@@ -1,0 +1,74 @@
+// Clustering quality metrics against planted ground truth.
+//
+// Section 5.8 compares MAFIA and CLIQUE qualitatively: CLIQUE "detected the
+// 2 clusters only partially and large parts of the clusters were thrown
+// away as outliers" while pMAFIA recovered "both the clusters and the
+// cluster boundaries in each dimension ... accurately".  These metrics make
+// that comparison quantitative:
+//   * subspace recall/precision — did we find exactly the planted subspaces;
+//   * volume coverage — what fraction of a planted box's volume the
+//     discovered units cover (CLIQUE's partial detection shows up here);
+//   * boundary error — how far the discovered bounding box sits from the
+//     planted box edges, normalized by the domain (adaptive grids should
+//     make this near zero, fixed grids ~half a bin width per edge).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_model.hpp"
+
+namespace mafia {
+
+/// One planted cluster: an axis-aligned box over a subspace, in value space.
+struct TrueBox {
+  std::vector<DimId> dims;  ///< ascending subspace dims
+  std::vector<Value> lo;    ///< per-dim lower bound (aligned with dims)
+  std::vector<Value> hi;    ///< per-dim upper bound
+};
+
+/// Per-planted-cluster evaluation.
+struct BoxMatch {
+  bool subspace_found = false;   ///< some discovered cluster has exactly these dims
+  double volume_coverage = 0.0;  ///< fraction of the true box volume covered
+  double boundary_error = 0.0;   ///< mean per-edge |error| / domain width
+};
+
+/// Aggregate report.
+struct QualityReport {
+  std::vector<BoxMatch> per_box;
+  std::size_t discovered_clusters = 0;
+  std::size_t subspaces_matched = 0;   ///< true boxes whose subspace was found
+  std::size_t spurious_clusters = 0;   ///< discovered clusters matching no true subspace
+  double mean_coverage = 0.0;
+  double mean_boundary_error = 0.0;
+};
+
+/// Scores `clusters` (with DNF built) against the planted `truth` under the
+/// grid geometry used for discovery.
+[[nodiscard]] QualityReport evaluate_quality(const std::vector<Cluster>& clusters,
+                                             const GridSet& grids,
+                                             const std::vector<TrueBox>& truth);
+
+/// Record-level scores: given per-record discovered labels (cluster index
+/// or -1) and ground-truth labels (planted cluster id or -1 for noise),
+/// computes precision (discovered-cluster records that are true cluster
+/// records), recall (true cluster records captured by some discovered
+/// cluster), and their harmonic mean.  Cluster identity is not matched —
+/// this scores the cluster/noise separation, the paper's "thrown away as
+/// outliers" axis.
+struct PointScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  [[nodiscard]] double f1() const {
+    const double s = precision + recall;
+    return s > 0 ? 2.0 * precision * recall / s : 0.0;
+  }
+};
+
+[[nodiscard]] PointScores point_level_scores(
+    const std::vector<std::int32_t>& discovered,
+    const std::vector<std::int32_t>& truth);
+
+}  // namespace mafia

@@ -1,0 +1,26 @@
+// Error handling for the pMAFIA library.
+//
+// The library throws mafia::Error for unrecoverable misuse (bad options,
+// malformed files, dimension overflow).  Hot paths never throw; argument
+// validation happens once at API boundaries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mafia {
+
+/// Exception type thrown by all pMAFIA public entry points on invalid
+/// arguments or corrupt inputs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws mafia::Error with `message` when `condition` is false.
+/// Used for API-boundary validation only, never in inner loops.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace mafia

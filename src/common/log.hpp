@@ -1,0 +1,53 @@
+// Minimal thread-safe logging.
+//
+// pMAFIA's parallel drivers run SPMD workers on std::thread; interleaved
+// iostream writes would shred diagnostics, so all logging funnels through a
+// single mutex.  Logging is off by default (level Silent): the library is
+// quiet unless the caller opts in, as benches own their stdout format.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mafia {
+
+enum class LogLevel : int { Silent = 0, Info = 1, Debug = 2 };
+
+namespace detail {
+inline LogLevel& log_level_ref() {
+  static LogLevel level = LogLevel::Silent;
+  return level;
+}
+inline std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace detail
+
+/// Sets the global log level.  Not thread-safe; call before spawning workers.
+inline void set_log_level(LogLevel level) { detail::log_level_ref() = level; }
+
+[[nodiscard]] inline LogLevel log_level() { return detail::log_level_ref(); }
+
+/// Writes one line to stderr if `level` is enabled.  Builds the whole line
+/// first so concurrent ranks never interleave within a line.
+inline void log_line(LogLevel level, const std::string& line) {
+  if (static_cast<int>(level) > static_cast<int>(detail::log_level_ref())) return;
+  std::lock_guard<std::mutex> lock(detail::log_mutex());
+  std::cerr << line << '\n';
+}
+
+/// Convenience: stream-compose a log line lazily.
+#define MAFIA_LOG(level, expr)                                   \
+  do {                                                           \
+    if (static_cast<int>(level) <=                               \
+        static_cast<int>(::mafia::detail::log_level_ref())) {    \
+      std::ostringstream mafia_log_os_;                          \
+      mafia_log_os_ << expr;                                     \
+      ::mafia::log_line(level, mafia_log_os_.str());             \
+    }                                                            \
+  } while (0)
+
+}  // namespace mafia

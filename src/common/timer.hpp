@@ -1,0 +1,91 @@
+// Wall-clock timing utilities used by the drivers and the bench harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mafia {
+
+/// Simple monotonic wall-clock timer.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations (histogram pass, CDU build, populate,
+/// identify, communication, ...).  The pMAFIA drivers fill one of these so
+/// benches can print the per-phase breakdown the paper discusses in
+/// Section 5.3 ("bulk of the time is taken in populating the candidate
+/// dense units").
+class PhaseTimer {
+ public:
+  /// Adds `seconds` to the named phase.
+  void add(const std::string& phase, double seconds) { phases_[phase] += seconds; }
+
+  /// Seconds accumulated for `phase` (0 if never recorded).
+  [[nodiscard]] double get(const std::string& phase) const {
+    auto it = phases_.find(phase);
+    return it == phases_.end() ? 0.0 : it->second;
+  }
+
+  /// Sum over all phases.
+  [[nodiscard]] double total() const {
+    double t = 0.0;
+    for (const auto& [name, secs] : phases_) t += secs;
+    return t;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& phases() const { return phases_; }
+
+  /// Merges another PhaseTimer into this one (phase-wise sum).
+  void merge(const PhaseTimer& other) {
+    for (const auto& [name, secs] : other.phases_) phases_[name] += secs;
+  }
+
+  /// Phase-wise maximum — the parallel drivers combine per-rank timers with
+  /// max, since the slowest rank determines wall-clock time.
+  void merge_max(const PhaseTimer& other) {
+    for (const auto& [name, secs] : other.phases_) {
+      double& mine = phases_[name];
+      if (secs > mine) mine = secs;
+    }
+  }
+
+ private:
+  std::map<std::string, double> phases_;
+};
+
+/// RAII guard that adds the scope's duration to a PhaseTimer on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimer& timer, std::string phase)
+      : timer_(timer), phase_(std::move(phase)) {}
+  ~ScopedPhase() { timer_.add(phase_, clock_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer& timer_;
+  std::string phase_;
+  Timer clock_;
+};
+
+}  // namespace mafia

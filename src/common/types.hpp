@@ -1,0 +1,45 @@
+// Fundamental type aliases shared across the pMAFIA library.
+//
+// The paper stores candidate-dense-unit and dense-unit descriptors as
+// linear byte arrays ("an array of bytes, one array for the bin indices of
+// all the CDUs and one for the CDU dimensions", Section 4.2).  DimId and
+// BinId are therefore single bytes throughout; this caps the library at 256
+// dimensions and 256 bins per dimension, both comfortably above anything the
+// paper's evaluation exercises (100 dimensions, <=200 adaptive bins).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace mafia {
+
+/// Attribute (dimension) identifier.  One byte, matching the paper's
+/// byte-array unit representation.
+using DimId = std::uint8_t;
+
+/// Bin index within one dimension's grid.  One byte, see DimId.
+using BinId = std::uint8_t;
+
+/// Record (data point) index within a data set.
+using RecordIndex = std::uint64_t;
+
+/// Count of records falling into a histogram cell / bin / unit.
+using Count = std::uint64_t;
+
+/// Attribute value.  The paper's data sets are dense numeric tables; float
+/// halves memory traffic versus double on the I/O-bound population passes
+/// and loses nothing for grid-based clustering (bins are far coarser than
+/// float resolution).
+using Value = float;
+
+/// Maximum number of dimensions representable (DimId is one byte).
+inline constexpr std::size_t kMaxDims = 256;
+
+/// Maximum number of bins per dimension (BinId is one byte).
+inline constexpr std::size_t kMaxBinsPerDim = 256;
+
+/// Sentinel for "no rank" / "no index".
+inline constexpr std::size_t kInvalidIndex = std::numeric_limits<std::size_t>::max();
+
+}  // namespace mafia

@@ -1,0 +1,395 @@
+#include "core/mafia.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "cluster/assembly.hpp"
+#include "core/mdl.hpp"
+#include "common/math_util.hpp"
+#include "grid/uniform_grid.hpp"
+#include "mp/comm.hpp"
+#include "taskpart/taskpart.hpp"
+#include "units/populate.hpp"
+
+namespace mafia {
+
+namespace {
+
+/// One SPMD rank executing Algorithm 2.  All ranks run identical code; the
+/// only rank-dependent state is the data partition and the task-partition
+/// index ranges.  Everything globalized by a collective is bit-identical on
+/// every rank, so the final cluster assembly is redundantly computed and
+/// rank 0's copy is returned.
+class MafiaWorker {
+ public:
+  MafiaWorker(const DataSource& data, const MafiaOptions& opt, mp::Comm& comm)
+      : data_(data), opt_(opt), comm_(comm) {}
+
+  void run() {
+    const int p = comm_.size();
+    const int rank = comm_.rank();
+    const RecordIndex n = data_.num_records();
+    my_records_ = block_partition(static_cast<std::size_t>(n),
+                                  static_cast<std::size_t>(p),
+                                  static_cast<std::size_t>(rank));
+
+    build_grids();
+    level_loop();
+    {
+      ScopedPhase sp(phases_, "assemble");
+      clusters_ = assemble_clusters(registered_);
+      std::erase_if(clusters_, [this](const Cluster& c) {
+        return c.dims.size() < opt_.min_cluster_dims;
+      });
+    }
+  }
+
+  // Outputs (read after run()).
+  GridSet grids_;
+  std::vector<LevelTrace> trace_;
+  std::vector<Cluster> clusters_;
+  PhaseTimer phases_;
+
+ private:
+  // ----------------------------------------------------------- grid phase
+
+  void build_grids() {
+    const std::size_t d = data_.num_dims();
+    const auto n = static_cast<Count>(data_.num_records());
+
+    // Attribute domains: fixed, or learned with a min/max pass + Reduce.
+    std::vector<Value> lo(d);
+    std::vector<Value> hi(d);
+    if (opt_.fixed_domain) {
+      std::fill(lo.begin(), lo.end(), opt_.fixed_domain->first);
+      std::fill(hi.begin(), hi.end(), opt_.fixed_domain->second);
+    } else {
+      ScopedPhase sp(phases_, "histogram");
+      MinMaxAccumulator mm(d);
+      scan_local([&](const Value* rows, std::size_t nrows) {
+        mm.accumulate(rows, nrows);
+      });
+      comm_.allreduce_min(mm.mins());
+      comm_.allreduce_max(mm.maxs());
+      lo = mm.mins();
+      hi = mm.maxs();
+    }
+
+    if (opt_.uniform_grid) {
+      // CLIQUE-style grid: no histogram needed.
+      ScopedPhase sp(phases_, "grid");
+      const auto& ug = *opt_.uniform_grid;
+      if (!ug.bins_per_dim.empty()) {
+        require(ug.bins_per_dim.size() == d,
+                "MafiaOptions: bins_per_dim size mismatch");
+        grids_ = compute_uniform_grids(lo, hi, ug.bins_per_dim, ug.tau_fraction, n);
+      } else {
+        grids_ = compute_uniform_grids(lo, hi, ug.xi, ug.tau_fraction, n);
+      }
+      return;
+    }
+
+    // Algorithm 2: "build a histogram in each dimension; Reduce
+    // communication to get the global histogram; determine adaptive
+    // intervals ... and also fix the threshold level."
+    HistogramBuilder hist(lo, hi, opt_.grid.fine_bins);
+    {
+      ScopedPhase sp(phases_, "histogram");
+      scan_local([&](const Value* rows, std::size_t nrows) {
+        hist.accumulate(rows, nrows);
+      });
+    }
+    comm_.allreduce_sum(hist.counts());
+    {
+      ScopedPhase sp(phases_, "grid");
+      grids_ = compute_adaptive_grids(lo, hi, hist, n, opt_.grid);
+    }
+  }
+
+  // ----------------------------------------------------------- level loop
+
+  void level_loop() {
+    const int p = comm_.size();
+    const int rank = comm_.rank();
+    const auto n = static_cast<Count>(data_.num_records());
+    const DensityContext dctx{opt_.grid.alpha, n};
+
+    // "Set candidate dense units to the bins found in each dimension."
+    UnitStore cdus(1);
+    for (std::size_t j = 0; j < grids_.num_dims(); ++j) {
+      for (std::size_t b = 0; b < grids_[j].num_bins(); ++b) {
+        const auto dj = static_cast<DimId>(j);
+        const auto bb = static_cast<BinId>(b);
+        cdus.push_unchecked(&dj, &bb);
+      }
+    }
+    std::size_t pending_raw_count = cdus.size();
+
+    UnitStore prev_dense(1);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> parents;
+    std::vector<std::uint32_t> raw_to_unique;
+    std::size_t level = 1;
+
+    while (true) {
+      // ---- Populate candidates (data parallel): each rank scans its N/p
+      // records in B-record chunks, then Reduce globalizes the counts.
+      UnitPopulator populator(grids_, cdus);
+      {
+        ScopedPhase sp(phases_, "populate");
+        scan_local([&](const Value* rows, std::size_t nrows) {
+          populator.accumulate(rows, nrows);
+        });
+      }
+      comm_.allreduce_sum(populator.counts());
+
+      // ---- Identify dense units (task parallel, Algorithm 5).
+      std::vector<std::uint8_t> flags(cdus.size(), 0);
+      {
+        ScopedPhase sp(phases_, "identify");
+        if (cdus.size() > opt_.tau && p > 1) {
+          const BlockRange r = block_partition(cdus.size(),
+                                               static_cast<std::size_t>(p),
+                                               static_cast<std::size_t>(rank));
+          identify_dense_units(cdus, populator.counts(), grids_, opt_.density,
+                               dctx, r.begin, r.end, flags);
+          comm_.allreduce_or(flags);
+        } else {
+          identify_dense_units(cdus, populator.counts(), grids_, opt_.density,
+                               dctx, 0, cdus.size(), flags);
+        }
+      }
+      if (opt_.mdl_pruning) apply_mdl_pruning(cdus, populator.counts(), flags);
+
+      std::size_t ndu = 0;
+      for (const std::uint8_t f : flags) ndu += (f != 0);
+
+      trace_.push_back(LevelTrace{level, pending_raw_count, cdus.size(), ndu});
+
+      // ---- Register maximal units of the previous level: a (k−1)-dim
+      // dense unit whose every candidate child failed the density test (or
+      // that produced no candidates) is a maximal dense region.
+      if (level > 1) {
+        std::vector<std::uint8_t> marked(prev_dense.size(), 0);
+        for (std::size_t r = 0; r < parents.size(); ++r) {
+          if (flags[raw_to_unique[r]]) {
+            marked[parents[r].first] = 1;
+            marked[parents[r].second] = 1;
+          }
+        }
+        register_unmarked(prev_dense, marked);
+      }
+
+      if (ndu == 0) break;  // "while (no more dense units are found)"
+
+      // ---- Build dense-unit data structures (task parallel, Algorithm 6).
+      UnitStore dense(cdus.k());
+      {
+        ScopedPhase sp(phases_, "identify");
+        if (ndu > opt_.tau && p > 1) {
+          // "A linear search over the dense unit array is required to
+          // determine the start and end indices ... for equal task
+          // distribution" — then ranks' pieces concatenate in rank order.
+          const auto bounds = flag_balanced_partition(flags,
+                                                      static_cast<std::size_t>(p));
+          const UnitStore local = build_dense_store(
+              cdus, flags, bounds[static_cast<std::size_t>(rank)],
+              bounds[static_cast<std::size_t>(rank) + 1]);
+          auto dim_bytes = comm_.gatherv(local.dim_bytes());
+          auto bin_bytes = comm_.gatherv(local.bin_bytes());
+          comm_.bcast(dim_bytes);
+          comm_.bcast(bin_bytes);
+          dense = UnitStore::from_bytes(cdus.k(), std::move(dim_bytes),
+                                        std::move(bin_bytes));
+        } else {
+          dense = build_dense_store(cdus, flags);
+        }
+      }
+
+      if (level >= opt_.max_level) {
+        register_all(dense);
+        break;
+      }
+
+      // ---- Find candidate dense units for the next level (Algorithm 3).
+      prev_dense = std::move(dense);
+      ++level;
+      UnitStore raw(level);
+      {
+        ScopedPhase sp(phases_, "join");
+        if (prev_dense.size() > opt_.tau && p > 1) {
+          const auto bounds =
+              opt_.optimal_task_partition
+                  ? triangular_partition(prev_dense.size(),
+                                         static_cast<std::size_t>(p))
+                  : block_bounds(prev_dense.size(), p);
+          JoinResult jr = join_dense_units(
+              prev_dense, opt_.join_rule, bounds[static_cast<std::size_t>(rank)],
+              bounds[static_cast<std::size_t>(rank) + 1]);
+          // "CDUs generated by the processors are communicated to the
+          // parent processor which concatenates the CDU dimension and bin
+          // arrays in the rank order ... This information is broadcast."
+          auto dim_bytes = comm_.gatherv(jr.cdus.dim_bytes());
+          auto bin_bytes = comm_.gatherv(jr.cdus.bin_bytes());
+          std::vector<std::uint64_t> packed(jr.parents.size());
+          for (std::size_t i = 0; i < jr.parents.size(); ++i) {
+            packed[i] = (static_cast<std::uint64_t>(jr.parents[i].first) << 32) |
+                        jr.parents[i].second;
+          }
+          auto parent_bytes = comm_.gatherv(packed);
+          comm_.bcast(dim_bytes);
+          comm_.bcast(bin_bytes);
+          comm_.bcast(parent_bytes);
+          raw = UnitStore::from_bytes(level, std::move(dim_bytes),
+                                      std::move(bin_bytes));
+          parents.resize(parent_bytes.size());
+          for (std::size_t i = 0; i < parent_bytes.size(); ++i) {
+            parents[i] = {static_cast<std::uint32_t>(parent_bytes[i] >> 32),
+                          static_cast<std::uint32_t>(parent_bytes[i])};
+          }
+        } else {
+          JoinResult jr = join_dense_units(prev_dense, opt_.join_rule);
+          raw = std::move(jr.cdus);
+          parents = std::move(jr.parents);
+        }
+      }
+
+      if (raw.empty()) {
+        // No unit could combine: every previous dense unit is maximal.
+        register_all(prev_dense);
+        break;
+      }
+      pending_raw_count = raw.size();
+
+      // ---- Eliminate repeated CDUs (Algorithm 4).
+      {
+        ScopedPhase sp(phases_, "dedup");
+        DedupResult dd;
+        if (opt_.dedup == DedupPolicy::Hash) {
+          dd = dedup_hash(raw);
+        } else if (raw.size() > opt_.tau && p > 1) {
+          const auto bounds =
+              opt_.optimal_task_partition
+                  ? triangular_partition(raw.size(), static_cast<std::size_t>(p))
+                  : block_bounds(raw.size(), p);
+          auto repeat = pairwise_repeat_flags(
+              raw, bounds[static_cast<std::size_t>(rank)],
+              bounds[static_cast<std::size_t>(rank) + 1]);
+          comm_.allreduce_or(repeat);
+          dd = dedup_from_flags(raw, repeat);
+        } else {
+          dd = dedup_from_flags(raw,
+                                pairwise_repeat_flags(raw, 0, raw.size()));
+        }
+        cdus = std::move(dd.unique);
+        raw_to_unique = std::move(dd.raw_to_unique);
+      }
+    }
+  }
+
+  // -------------------------------------------------------------- helpers
+
+  /// CLIQUE-style MDL pruning: groups the level's dense units by subspace,
+  /// scores subspaces by coverage (records inside their dense units), and
+  /// clears the dense flags of units in the MDL low-coverage group.
+  /// Deterministic given global flags/counts, so every rank prunes alike.
+  void apply_mdl_pruning(const UnitStore& cdus, const std::vector<Count>& counts,
+                         std::vector<std::uint8_t>& flags) {
+    std::map<std::vector<DimId>, std::uint64_t> coverage;
+    for (std::size_t u = 0; u < cdus.size(); ++u) {
+      if (!flags[u]) continue;
+      const auto d = cdus.dims(u);
+      coverage[std::vector<DimId>(d.begin(), d.end())] += counts[u];
+    }
+    if (coverage.size() < 2) return;
+
+    std::vector<std::uint64_t> values;
+    values.reserve(coverage.size());
+    for (const auto& [dims, cov] : coverage) values.push_back(cov);
+    const auto keep_mask = mdl_select_subspaces(values);
+
+    std::map<std::vector<DimId>, bool> keep;
+    std::size_t i = 0;
+    for (const auto& [dims, cov] : coverage) keep[dims] = keep_mask[i++] != 0;
+    for (std::size_t u = 0; u < cdus.size(); ++u) {
+      if (!flags[u]) continue;
+      const auto d = cdus.dims(u);
+      if (!keep[std::vector<DimId>(d.begin(), d.end())]) flags[u] = 0;
+    }
+  }
+
+  /// Chunked scan of this rank's record partition.
+  void scan_local(const ChunkFn& fn) {
+    data_.scan(my_records_.begin, my_records_.end, opt_.chunk_records, fn);
+  }
+
+  /// Naive block boundaries (ablation alternative to Eq. 1).
+  static std::vector<std::size_t> block_bounds(std::size_t total, int p) {
+    std::vector<std::size_t> bounds(static_cast<std::size_t>(p) + 1);
+    for (int r = 0; r <= p; ++r) {
+      bounds[static_cast<std::size_t>(r)] =
+          block_partition(total, static_cast<std::size_t>(p),
+                          static_cast<std::size_t>(std::min(r, p - 1)))
+              .begin;
+    }
+    bounds[static_cast<std::size_t>(p)] = total;
+    return bounds;
+  }
+
+  void register_unmarked(const UnitStore& dense,
+                         const std::vector<std::uint8_t>& marked) {
+    UnitStore reg(dense.k());
+    for (std::size_t u = 0; u < dense.size(); ++u) {
+      if (!marked[u]) reg.push_unchecked(dense.dims(u).data(), dense.bins(u).data());
+    }
+    if (!reg.empty()) registered_.push_back(std::move(reg));
+  }
+
+  void register_all(const UnitStore& dense) {
+    if (!dense.empty()) registered_.push_back(dense);
+  }
+
+  const DataSource& data_;
+  const MafiaOptions& opt_;
+  mp::Comm& comm_;
+  BlockRange my_records_;
+  std::vector<UnitStore> registered_;
+};
+
+}  // namespace
+
+MafiaResult run_pmafia(const DataSource& data, const MafiaOptions& options,
+                       int p) {
+  options.validate();
+  require(p >= 1, "run_pmafia: need at least one rank");
+  require(data.num_records() > 0, "run_pmafia: empty data set");
+  require(data.num_dims() >= 1, "run_pmafia: data has no dimensions");
+
+  Timer total;
+  MafiaResult result;
+  std::vector<PhaseTimer> rank_phases(static_cast<std::size_t>(p));
+
+  const mp::NetworkSimulation network =
+      options.simulate_network.value_or(mp::NetworkSimulation{});
+  const mp::JobStats job = mp::run(p, [&](mp::Comm& comm) {
+    MafiaWorker worker(data, options, comm);
+    worker.run();
+    rank_phases[static_cast<std::size_t>(comm.rank())] = worker.phases_;
+    if (comm.is_parent()) {
+      // Rank 0 is the paper's parent processor: it owns the printable
+      // result.  Sibling ranks computed identical clusters redundantly.
+      result.grids = std::move(worker.grids_);
+      result.levels = std::move(worker.trace_);
+      result.clusters = std::move(worker.clusters_);
+    }
+  }, network);
+
+  for (const PhaseTimer& t : rank_phases) result.phases.merge_max(t);
+  result.comm = job.total();
+  result.total_seconds = total.seconds();
+  result.num_records = static_cast<std::size_t>(data.num_records());
+  result.num_dims = data.num_dims();
+  result.num_ranks = p;
+  return result;
+}
+
+}  // namespace mafia

@@ -1,0 +1,39 @@
+// pMAFIA: the parallel subspace clustering driver (Algorithm 2).
+//
+// One SPMD worker implements the whole algorithm; "the algorithm can also
+// run on a single processor in which the communication steps will be
+// ignored" (Section 4), so the serial entry point simply runs the worker
+// with p = 1 — guaranteeing serial and parallel runs share every line of
+// algorithm code (and therefore produce identical clusters, which the test
+// suite asserts across rank counts).
+//
+// Phase structure per Algorithm 2:
+//   1. (optional) min/max pass to learn attribute domains;
+//   2. chunked histogram pass, Reduce to globalize, adaptive grids
+//      (Algorithm 1) computed redundantly on every rank;
+//   3. level loop: populate candidates over local data (data parallel) ->
+//      Reduce counts -> identify dense units (task parallel) -> register
+//      maximal units -> join into next level's candidates (task parallel,
+//      Eq. 1 partitioning) -> eliminate repeats (task parallel);
+//   4. parent rank assembles clusters (connectivity, subset elimination,
+//      DNF) from the registered units.
+#pragma once
+
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "io/data_source.hpp"
+
+namespace mafia {
+
+/// Runs pMAFIA on `p` SPMD ranks.  Thread-based ranks model the paper's
+/// MPI processes; see mp/comm.hpp.  Throws mafia::Error on bad options.
+[[nodiscard]] MafiaResult run_pmafia(const DataSource& data,
+                                     const MafiaOptions& options, int p);
+
+/// Serial MAFIA (p = 1, communication degenerate).
+[[nodiscard]] inline MafiaResult run_mafia(const DataSource& data,
+                                           const MafiaOptions& options = {}) {
+  return run_pmafia(data, options, 1);
+}
+
+}  // namespace mafia

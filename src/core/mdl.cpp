@@ -1,0 +1,57 @@
+#include "core/mdl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace mafia {
+
+std::vector<std::uint8_t> mdl_select_subspaces(
+    const std::vector<std::uint64_t>& coverages) {
+  const std::size_t n = coverages.size();
+  std::vector<std::uint8_t> keep(n, 1);
+  if (n < 2) return keep;
+
+  // Sort indices by coverage, descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return coverages[a] > coverages[b];
+  });
+
+  // Prefix sums over the sorted coverages for O(1) group means.
+  std::vector<double> sorted(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted[i] = static_cast<double>(coverages[order[i]]);
+  }
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + sorted[i];
+
+  const auto bits = [](double x) { return std::log2(std::fabs(x) + 1.0); };
+
+  // Baseline: no pruning (one group).  A cut must beat describing all
+  // coverages against a single mean, or everything is kept.
+  std::size_t best_cut = n;
+  const double mu_all = prefix[n] / static_cast<double>(n);
+  double best_cost = bits(mu_all);
+  for (std::size_t i = 0; i < n; ++i) best_cost += bits(sorted[i] - mu_all);
+
+  for (std::size_t cut = 1; cut < n; ++cut) {
+    const double mu_keep = prefix[cut] / static_cast<double>(cut);
+    const double mu_prune =
+        (prefix[n] - prefix[cut]) / static_cast<double>(n - cut);
+    double cost = bits(mu_keep) + bits(mu_prune);
+    for (std::size_t i = 0; i < cut; ++i) cost += bits(sorted[i] - mu_keep);
+    for (std::size_t i = cut; i < n; ++i) cost += bits(sorted[i] - mu_prune);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_cut = cut;
+    }
+  }
+
+  for (std::size_t i = best_cut; i < n; ++i) keep[order[i]] = 0;
+  return keep;
+}
+
+}  // namespace mafia

@@ -1,0 +1,168 @@
+#include "core/model_io.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mafia {
+
+namespace {
+
+constexpr const char* kMagic = "MAFIA-MODEL";
+constexpr int kVersion = 1;
+
+void expect_token(std::istream& in, const std::string& expected,
+                  const std::string& path) {
+  std::string token;
+  in >> token;
+  require(in.good() && token == expected,
+          "load_model: expected '" + expected + "' in " + path +
+              (token.empty() ? "" : " (got '" + token + "')"));
+}
+
+template <typename T>
+T read_value(std::istream& in, const std::string& path, const char* what) {
+  T value{};
+  in >> value;
+  require(!in.fail(), std::string("load_model: bad ") + what + " in " + path);
+  return value;
+}
+
+// istream extraction cannot parse hexfloats portably; go through strtod.
+double read_double(std::istream& in, const std::string& path, const char* what) {
+  std::string token;
+  in >> token;
+  require(!in.fail() && !token.empty(),
+          std::string("load_model: bad ") + what + " in " + path);
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  require(end == token.c_str() + token.size(),
+          std::string("load_model: bad ") + what + " in " + path);
+  return value;
+}
+
+}  // namespace
+
+void save_model(const std::string& path, const GridSet& grids,
+                const std::vector<Cluster>& clusters) {
+  std::ofstream out(path, std::ios::trunc);
+  require(out.good(), "save_model: cannot open " + path);
+  out << std::hexfloat;
+
+  out << kMagic << " " << kVersion << "\n";
+  out << "dims " << grids.num_dims() << "\n";
+  for (const DimensionGrid& g : grids.dims) {
+    out << "grid " << static_cast<int>(g.dim) << " "
+        << (g.uniform_fallback ? 1 : 0) << " " << g.num_bins() << "\n";
+    out << "  domain " << g.domain_lo << " " << g.domain_hi << "\n";
+    out << "  edges";
+    for (const Value e : g.edges) out << " " << e;
+    out << "\n  thresholds";
+    for (const double t : g.thresholds) out << " " << t;
+    out << "\n";
+  }
+
+  out << "clusters " << clusters.size() << "\n";
+  for (const Cluster& c : clusters) {
+    out << "cluster " << c.dims.size() << "\n";
+    out << "  dims";
+    for (const DimId d : c.dims) out << " " << static_cast<int>(d);
+    out << "\n  units " << c.units.size() << "\n";
+    for (std::size_t u = 0; u < c.units.size(); ++u) {
+      out << "   ";
+      for (const BinId b : c.units.bins(u)) out << " " << static_cast<int>(b);
+      out << "\n";
+    }
+    out << "  dnf " << c.dnf.size() << "\n";
+    for (const BinRect& r : c.dnf) {
+      out << "   ";
+      for (const BinId b : r.lo) out << " " << static_cast<int>(b);
+      for (const BinId b : r.hi) out << " " << static_cast<int>(b);
+      out << "\n";
+    }
+  }
+  require(out.good(), "save_model: write failed for " + path);
+}
+
+Model load_model(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "load_model: cannot open " + path);
+  in >> std::hexfloat;
+
+  expect_token(in, kMagic, path);
+  const int version = read_value<int>(in, path, "version");
+  require(version == kVersion, "load_model: unsupported version in " + path);
+
+  Model model;
+  expect_token(in, "dims", path);
+  const auto d = read_value<std::size_t>(in, path, "dimension count");
+  require(d >= 1 && d <= kMaxDims, "load_model: bad dimension count in " + path);
+
+  model.grids.dims.reserve(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    expect_token(in, "grid", path);
+    DimensionGrid g;
+    g.dim = static_cast<DimId>(read_value<int>(in, path, "grid dim"));
+    g.uniform_fallback = read_value<int>(in, path, "fallback flag") != 0;
+    const auto nbins = read_value<std::size_t>(in, path, "bin count");
+    require(nbins >= 1 && nbins <= kMaxBinsPerDim,
+            "load_model: bad bin count in " + path);
+    expect_token(in, "domain", path);
+    g.domain_lo = static_cast<Value>(read_double(in, path, "domain lo"));
+    g.domain_hi = static_cast<Value>(read_double(in, path, "domain hi"));
+    expect_token(in, "edges", path);
+    g.edges.resize(nbins + 1);
+    for (Value& e : g.edges) e = static_cast<Value>(read_double(in, path, "edge"));
+    expect_token(in, "thresholds", path);
+    g.thresholds.resize(nbins);
+    for (double& t : g.thresholds) t = read_double(in, path, "threshold");
+    g.validate();
+    model.grids.dims.push_back(std::move(g));
+  }
+
+  expect_token(in, "clusters", path);
+  const auto nclusters = read_value<std::size_t>(in, path, "cluster count");
+  model.clusters.reserve(nclusters);
+  for (std::size_t ci = 0; ci < nclusters; ++ci) {
+    expect_token(in, "cluster", path);
+    const auto k = read_value<std::size_t>(in, path, "cluster dimensionality");
+    require(k >= 1 && k <= kMaxDims, "load_model: bad cluster dims in " + path);
+    Cluster c;
+    expect_token(in, "dims", path);
+    c.dims.resize(k);
+    for (DimId& dim : c.dims) {
+      dim = static_cast<DimId>(read_value<int>(in, path, "cluster dim"));
+      require(dim < d, "load_model: cluster dim out of range in " + path);
+    }
+    expect_token(in, "units", path);
+    const auto nunits = read_value<std::size_t>(in, path, "unit count");
+    c.units = UnitStore(k);
+    std::vector<BinId> bins(k);
+    for (std::size_t u = 0; u < nunits; ++u) {
+      for (BinId& b : bins) {
+        b = static_cast<BinId>(read_value<int>(in, path, "unit bin"));
+      }
+      c.units.push_unchecked(c.dims.data(), bins.data());
+    }
+    expect_token(in, "dnf", path);
+    const auto nrects = read_value<std::size_t>(in, path, "rect count");
+    c.dnf.resize(nrects);
+    for (BinRect& r : c.dnf) {
+      r.lo.resize(k);
+      r.hi.resize(k);
+      for (BinId& b : r.lo) {
+        b = static_cast<BinId>(read_value<int>(in, path, "rect lo"));
+      }
+      for (BinId& b : r.hi) {
+        b = static_cast<BinId>(read_value<int>(in, path, "rect hi"));
+      }
+    }
+    model.clusters.push_back(std::move(c));
+  }
+  return model;
+}
+
+}  // namespace mafia

@@ -1,0 +1,31 @@
+// Model persistence: save the discovered clusters together with the grid
+// geometry that makes their bin indices meaningful, and load them back for
+// later record assignment (cluster/membership.hpp) — so a data set can be
+// clustered once and applied many times (the CLI's `cluster --save` /
+// `assign --model` flow).
+//
+// The format is a line-oriented text file; floating-point values are
+// written as hexfloats so save->load round-trips bit-exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_model.hpp"
+#include "grid/grid_types.hpp"
+
+namespace mafia {
+
+struct Model {
+  GridSet grids;
+  std::vector<Cluster> clusters;
+};
+
+/// Writes grids + clusters to `path`.  Throws mafia::Error on I/O failure.
+void save_model(const std::string& path, const GridSet& grids,
+                const std::vector<Cluster>& clusters);
+
+/// Reads a model back.  Throws mafia::Error on malformed input.
+[[nodiscard]] Model load_model(const std::string& path);
+
+}  // namespace mafia

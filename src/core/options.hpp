@@ -1,0 +1,105 @@
+// Public options for the pMAFIA driver.
+//
+// The paper's headline claim is that pMAFIA is "a truly un-supervised
+// clustering algorithm requiring no user inputs": everything here defaults
+// to the paper's recommendations (alpha = 1.5, beta in the working range,
+// automatic per-bin thresholds) and the algorithm is normally run with
+// MafiaOptions{}.  The knobs exist for the ablation benches and for the
+// CLIQUE baseline comparison.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "grid/adaptive_grid.hpp"
+#include "mp/stats.hpp"
+#include "units/dedup.hpp"
+#include "units/identify.hpp"
+#include "units/join.hpp"
+
+namespace mafia {
+
+struct MafiaOptions {
+  /// Algorithm 1 parameters (alpha, beta, window geometry).
+  AdaptiveGridOptions grid;
+
+  /// Density test for k-dim candidates (default: the paper's every-bin rule).
+  DensityPolicy density = DensityPolicy::AllBins;
+
+  /// Candidate generation rule (default: MAFIA's any-(k-2)-shared join;
+  /// CliquePrefix reproduces the baseline's incomplete candidate set).
+  JoinRule join_rule = JoinRule::MafiaAnyShared;
+
+  /// Repeat-elimination strategy.  Hash is the engineering default;
+  /// Pairwise is the paper's O(Ncdu^2) kernel, task-partitioned in
+  /// parallel runs (kept for fidelity and the dedup ablation bench).
+  DedupPolicy dedup = DedupPolicy::Hash;
+
+  /// B: records per chunk of the out-of-core scans (Algorithm 2's memory
+  /// buffer).
+  std::size_t chunk_records = 1 << 16;
+
+  /// tau: below this many units, task-parallel phases degenerate to every
+  /// rank processing everything locally ("Candidate dense units are
+  /// generated in parallel only when each processor is guaranteed to have a
+  /// minimal amount of work", Section 4.3).
+  std::size_t tau = 32;
+
+  /// Eq. 1 optimal triangular partitioning for the join / pairwise-dedup
+  /// workloads; false falls back to naive block partitioning (ablation).
+  bool optimal_task_partition = true;
+
+  /// Safety cap on the level loop (the genuine termination condition is
+  /// "no more candidate dense units").
+  std::size_t max_level = 64;
+
+  /// When set, every dimension's domain is taken as [first, second] and the
+  /// min/max pre-pass is skipped (one fewer scan; useful when the data
+  /// generator's domain is known).
+  std::optional<std::pair<Value, Value>> fixed_domain;
+
+  /// When set, Algorithm 1 is bypassed and a CLIQUE-style uniform grid is
+  /// used instead: `xi` equal bins per dimension (or `bins_per_dim` when
+  /// non-empty) with a single global density threshold `tau_fraction`·N.
+  /// The clique module sets this; combining it with JoinRule::MafiaAnyShared
+  /// gives the paper's "modified CLIQUE" of Section 5.5.
+  struct UniformGridOverride {
+    std::size_t xi = 10;
+    double tau_fraction = 0.01;
+    std::vector<std::size_t> bins_per_dim;  ///< optional per-dim bin counts
+  };
+  std::optional<UniformGridOverride> uniform_grid;
+
+  /// When set, every collective/message stalls the participating rank by
+  /// the emulated interconnect delay (mp::NetworkSimulation::sp2() for the
+  /// paper's switch constants) — lets benches measure communication
+  /// overhead under the paper's network instead of thread-speed exchanges.
+  std::optional<mp::NetworkSimulation> simulate_network;
+
+  /// Minimum subspace dimensionality of reported clusters.  A single dense
+  /// bin that never combined upward is a maximal dense region but rarely a
+  /// meaningful "cluster"; the paper's real-data tables (e.g. Table 4)
+  /// report clusters of dimensionality >= 3 only.  Default 2.  Set to 1 to
+  /// see every registered maximal unit.
+  std::size_t min_cluster_dims = 2;
+
+  /// CLIQUE's MDL subspace pruning, applied to the dense units of every
+  /// level: subspaces in the low-coverage MDL group lose their dense units
+  /// before the next join.  pMAFIA keeps this off ("In order to maintain
+  /// the high quality of clustering we do not use this pruning technique").
+  bool mdl_pruning = false;
+
+  void validate() const {
+    grid.validate();
+    require(chunk_records >= 1, "MafiaOptions: chunk_records must be positive");
+    require(max_level >= 1, "MafiaOptions: max_level must be positive");
+    if (fixed_domain) {
+      require(fixed_domain->second > fixed_domain->first,
+              "MafiaOptions: empty fixed domain");
+    }
+  }
+};
+
+}  // namespace mafia

@@ -1,0 +1,45 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace mafia {
+
+std::string render_clusters(const MafiaResult& result) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+    os << "cluster " << i << ": " << result.clusters[i].to_string(result.grids)
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string render_report(const MafiaResult& result) {
+  std::ostringstream os;
+  os << "pMAFIA run: " << result.num_records << " records x "
+     << result.num_dims << " dims on " << result.num_ranks << " rank(s), "
+     << result.total_seconds << " s\n";
+
+  os << "\nclusters (" << result.clusters.size() << ", maximal subspaces):\n";
+  os << render_clusters(result);
+
+  os << "\nlevel trace:\n";
+  os << "  k     raw CDUs   unique CDUs   dense units\n";
+  for (const LevelTrace& t : result.levels) {
+    os << "  " << t.level << "     " << t.ncdu_raw << "   " << t.ncdu << "   "
+       << t.ndu << "\n";
+  }
+
+  os << "\nphases (max across ranks, seconds):\n";
+  for (const auto& [name, secs] : result.phases.phases()) {
+    os << "  " << name << ": " << secs << "\n";
+  }
+
+  os << "\ncommunication (all ranks):\n";
+  os << "  reduces " << result.comm.reduces << ", bcasts " << result.comm.bcasts
+     << ", gathers " << result.comm.gathers << ", p2p "
+     << result.comm.p2p_messages << "\n";
+  os << "  payload bytes " << result.comm.total_bytes() << "\n";
+  return os.str();
+}
+
+}  // namespace mafia

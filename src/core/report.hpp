@@ -1,0 +1,18 @@
+// Human-readable run reports — the library's equivalent of the parent
+// processor's print-clusters() step in Algorithm 2.
+#pragma once
+
+#include <string>
+
+#include "core/result.hpp"
+
+namespace mafia {
+
+/// Renders the full result: cluster list with DNF expressions, the
+/// per-level Ncdu/Ndu trace, phase timings and communication totals.
+[[nodiscard]] std::string render_report(const MafiaResult& result);
+
+/// Renders just the cluster list (one DNF expression per line).
+[[nodiscard]] std::string render_clusters(const MafiaResult& result);
+
+}  // namespace mafia

@@ -1,0 +1,68 @@
+// Result of a pMAFIA run: the clusters plus everything the evaluation
+// section reports — per-level CDU/dense-unit counts (Table 2), per-phase
+// timing breakdown (Section 5.3's discussion), and communication volume
+// (Section 4.5's cost model inputs).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster_model.hpp"
+#include "common/timer.hpp"
+#include "grid/grid_types.hpp"
+#include "mp/stats.hpp"
+
+namespace mafia {
+
+/// One level of the bottom-up search.
+struct LevelTrace {
+  std::size_t level = 0;     ///< k (unit dimensionality)
+  std::size_t ncdu_raw = 0;  ///< CDUs generated before repeat elimination
+  std::size_t ncdu = 0;      ///< unique CDUs populated (the paper's Ncdu)
+  std::size_t ndu = 0;       ///< dense units identified (the paper's Ndu)
+};
+
+struct MafiaResult {
+  /// Maximal-dimensionality clusters (subset clusters eliminated), highest
+  /// dimensionality first, DNF expressions built.
+  std::vector<Cluster> clusters;
+
+  /// The grids the run used (needed to interpret bin indices / DNF).
+  GridSet grids;
+
+  /// Per-level Ncdu/Ndu trace.
+  std::vector<LevelTrace> levels;
+
+  /// Wall-clock per phase, max across ranks (the slowest rank bounds the
+  /// job): "histogram", "grid", "populate", "identify", "join", "dedup",
+  /// "assemble", "io+scan" is folded into populate/histogram.
+  PhaseTimer phases;
+
+  /// Aggregate communication over all ranks.
+  mp::CommStats comm;
+
+  /// End-to-end wall-clock seconds (includes rank spawn/join).
+  double total_seconds = 0.0;
+
+  std::size_t num_records = 0;
+  std::size_t num_dims = 0;
+  int num_ranks = 1;
+
+  /// Highest dimensionality at which a dense unit was found.
+  [[nodiscard]] std::size_t max_dense_level() const {
+    std::size_t k = 0;
+    for (const LevelTrace& t : levels) {
+      if (t.ndu > 0) k = t.level;
+    }
+    return k;
+  }
+
+  /// Number of discovered clusters of dimensionality k.
+  [[nodiscard]] std::size_t clusters_of_dim(std::size_t k) const {
+    std::size_t n = 0;
+    for (const Cluster& c : clusters) n += (c.dims.size() == k);
+    return n;
+  }
+};
+
+}  // namespace mafia

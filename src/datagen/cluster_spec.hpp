@@ -1,0 +1,65 @@
+// Cluster specifications for the synthetic data generator (Section 5.1).
+//
+// "The data generator takes from the user the extents of the cluster in
+// every dimension of the subspace in which it is embedded.  Data can vary
+// between any user specified maximum and minimum values for all attributes
+// and clusters can have arbitrary shapes instead of just hyper-rectangular
+// regions."  Arbitrary shapes are expressed as unions of boxes over the
+// same subspace (e.g. an L-shape is two overlapping boxes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mafia {
+
+/// One axis-aligned box over a cluster's subspace (aligned with the
+/// ClusterSpec's dims).
+struct ClusterBox {
+  std::vector<Value> lo;
+  std::vector<Value> hi;
+};
+
+/// A planted cluster: a union of boxes over one subspace.
+struct ClusterSpec {
+  std::vector<DimId> dims;        ///< ascending subspace dimension ids
+  std::vector<ClusterBox> boxes;  ///< >= 1 box; union defines the shape
+  double weight = 1.0;            ///< relative share of cluster records
+
+  /// Convenience: single-box cluster.
+  static ClusterSpec box(std::vector<DimId> dims, std::vector<Value> lo,
+                         std::vector<Value> hi, double weight = 1.0) {
+    ClusterSpec spec;
+    spec.dims = std::move(dims);
+    ClusterBox b;
+    b.lo = std::move(lo);
+    b.hi = std::move(hi);
+    spec.boxes.push_back(std::move(b));
+    spec.weight = weight;
+    return spec;
+  }
+
+  void validate(std::size_t num_dims, Value domain_lo, Value domain_hi) const {
+    require(!dims.empty(), "ClusterSpec: empty subspace");
+    require(!boxes.empty(), "ClusterSpec: no boxes");
+    require(weight > 0.0, "ClusterSpec: non-positive weight");
+    for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+      require(dims[i] < dims[i + 1], "ClusterSpec: dims must be ascending");
+    }
+    require(dims.back() < num_dims, "ClusterSpec: dim out of range");
+    for (const ClusterBox& b : boxes) {
+      require(b.lo.size() == dims.size() && b.hi.size() == dims.size(),
+              "ClusterSpec: box arity mismatch");
+      for (std::size_t i = 0; i < dims.size(); ++i) {
+        require(b.lo[i] < b.hi[i], "ClusterSpec: empty box extent");
+        require(b.lo[i] >= domain_lo && b.hi[i] <= domain_hi,
+                "ClusterSpec: box outside domain");
+      }
+    }
+  }
+};
+
+}  // namespace mafia

@@ -1,0 +1,223 @@
+#include "datagen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rng/distributions.hpp"
+#include "rng/icg.hpp"
+#include "rng/lcg.hpp"
+
+namespace mafia {
+
+void GeneratorConfig::validate() const {
+  require(num_dims >= 1 && num_dims <= kMaxDims, "GeneratorConfig: bad num_dims");
+  require(num_records >= 1, "GeneratorConfig: need at least one record");
+  require(domain_hi > domain_lo, "GeneratorConfig: empty domain");
+  require(noise_fraction >= 0.0, "GeneratorConfig: negative noise fraction");
+  for (const ClusterSpec& c : clusters) c.validate(num_dims, domain_lo, domain_hi);
+}
+
+namespace {
+
+/// Engine-polymorphic generation core.  Templated (not virtual) so the hot
+/// per-value loop inlines the generator step.
+template <typename Engine>
+class GeneratorImpl {
+ public:
+  explicit GeneratorImpl(const GeneratorConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  Dataset run() {
+    const auto n_cluster = static_cast<std::size_t>(config_.num_records);
+    const auto n_noise = static_cast<std::size_t>(
+        std::llround(config_.noise_fraction * static_cast<double>(n_cluster)));
+
+    Dataset data(config_.num_dims);
+    data.reserve(n_cluster + n_noise);
+
+    // --- Cluster records, split across clusters by weight.
+    if (!config_.clusters.empty()) {
+      double weight_sum = 0.0;
+      for (const ClusterSpec& c : config_.clusters) weight_sum += c.weight;
+      std::size_t emitted = 0;
+      for (std::size_t ci = 0; ci < config_.clusters.size(); ++ci) {
+        const bool last = ci + 1 == config_.clusters.size();
+        const std::size_t quota =
+            last ? n_cluster - emitted
+                 : static_cast<std::size_t>(std::llround(
+                       static_cast<double>(n_cluster) *
+                       config_.clusters[ci].weight / weight_sum));
+        emit_cluster(data, config_.clusters[ci], static_cast<std::int32_t>(ci),
+                     std::min(quota, n_cluster - emitted));
+        emitted += std::min(quota, n_cluster - emitted);
+      }
+      // Rounding shortfall: top up from the first cluster.
+      while (emitted < n_cluster) {
+        emit_cluster(data, config_.clusters[0], 0, 1);
+        ++emitted;
+      }
+    } else {
+      // No clusters: the whole "cluster" share is uniform background.
+      for (std::size_t i = 0; i < n_cluster; ++i) emit_noise(data);
+    }
+
+    // --- "An additional 10% noise records is added ... independently drawn
+    // at random over the entire range of the attribute."
+    for (std::size_t i = 0; i < n_noise; ++i) emit_noise(data);
+
+    // --- Permute record order.
+    if (config_.permute_records) {
+      std::vector<RecordIndex> perm(data.num_records());
+      std::iota(perm.begin(), perm.end(), RecordIndex{0});
+      shuffle(rng_, perm.begin(), perm.end());
+      data.permute(perm);
+    }
+    return data;
+  }
+
+ private:
+  /// Emits `quota` records for one cluster, distributing points across its
+  /// boxes proportional to box volume, with unit-cube coverage per box.
+  void emit_cluster(Dataset& data, const ClusterSpec& spec, std::int32_t label,
+                    std::size_t quota) {
+    if (quota == 0) return;
+    std::vector<double> volumes(spec.boxes.size());
+    double vol_sum = 0.0;
+    for (std::size_t b = 0; b < spec.boxes.size(); ++b) {
+      volumes[b] = scaled_volume(spec, spec.boxes[b]);
+      vol_sum += volumes[b];
+    }
+    std::size_t emitted = 0;
+    for (std::size_t b = 0; b < spec.boxes.size(); ++b) {
+      const bool last = b + 1 == spec.boxes.size();
+      const std::size_t share =
+          last ? quota - emitted
+               : std::min(quota - emitted,
+                          static_cast<std::size_t>(std::llround(
+                              static_cast<double>(quota) * volumes[b] / vol_sum)));
+      emit_box(data, spec, spec.boxes[b], label, share);
+      emitted += share;
+    }
+  }
+
+  /// Volume of a box in the paper's scaled [0,100] space.
+  double scaled_volume(const ClusterSpec& spec, const ClusterBox& box) const {
+    double v = 1.0;
+    for (std::size_t i = 0; i < spec.dims.size(); ++i) {
+      v *= scale_extent(box.hi[i] - box.lo[i]);
+    }
+    return std::max(v, 1e-12);
+  }
+
+  /// Extent mapped to the [0,100] scale.
+  double scale_extent(double extent) const {
+    const double domain =
+        static_cast<double>(config_.domain_hi) - config_.domain_lo;
+    return extent / domain * 100.0;
+  }
+
+  /// Emits `quota` records inside one box: first one point per unit cube of
+  /// the scaled region (coverage guarantee), then uniform fill.
+  void emit_box(Dataset& data, const ClusterSpec& spec, const ClusterBox& box,
+                std::int32_t label, std::size_t quota) {
+    const std::size_t k = spec.dims.size();
+
+    // Unit-cube lattice in scaled space: m_i cells along subspace dim i.
+    std::vector<std::size_t> cells(k);
+    std::size_t total_cells = 1;
+    bool overflow = false;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double extent = scale_extent(box.hi[i] - box.lo[i]);
+      cells[i] = std::max<std::size_t>(1, static_cast<std::size_t>(extent));
+      if (total_cells > config_.max_cover_cells / cells[i]) overflow = true;
+      total_cells *= cells[i];
+    }
+
+    std::vector<Value> row(config_.num_dims);
+    std::size_t emitted = 0;
+
+    if (!overflow && total_cells <= quota) {
+      // One point per unit cube, mixed-radix walk over the lattice.
+      std::vector<std::size_t> idx(k, 0);
+      for (std::size_t cell = 0; cell < total_cells; ++cell) {
+        fill_background(row);
+        for (std::size_t i = 0; i < k; ++i) {
+          const double cell_lo =
+              static_cast<double>(box.lo[i]) +
+              (static_cast<double>(box.hi[i]) - box.lo[i]) *
+                  (static_cast<double>(idx[i]) / static_cast<double>(cells[i]));
+          const double cell_hi =
+              static_cast<double>(box.lo[i]) +
+              (static_cast<double>(box.hi[i]) - box.lo[i]) *
+                  (static_cast<double>(idx[i] + 1) / static_cast<double>(cells[i]));
+          row[spec.dims[i]] = static_cast<Value>(uniform_real(rng_, cell_lo, cell_hi));
+        }
+        data.append(row, label);
+        ++emitted;
+        // Increment mixed-radix index.
+        for (std::size_t i = 0; i < k; ++i) {
+          if (++idx[i] < cells[i]) break;
+          idx[i] = 0;
+        }
+      }
+    }
+
+    // Uniform fill of the remaining quota (or all of it, if the lattice was
+    // larger than the quota / overflowed).
+    for (; emitted < quota; ++emitted) {
+      fill_background(row);
+      for (std::size_t i = 0; i < k; ++i) {
+        row[spec.dims[i]] = static_cast<Value>(
+            uniform_real(rng_, box.lo[i], box.hi[i]));
+      }
+      data.append(row, label);
+    }
+  }
+
+  /// Fills every attribute uniformly over the full domain ("For the
+  /// remaining attributes we select a value at random from a uniform
+  /// distribution over the entire range").
+  void fill_background(std::vector<Value>& row) {
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = static_cast<Value>(
+          uniform_real(rng_, config_.domain_lo, config_.domain_hi));
+    }
+  }
+
+  void emit_noise(Dataset& data) {
+    if (noise_row_.size() != config_.num_dims) noise_row_.resize(config_.num_dims);
+    fill_background(noise_row_);
+    data.append(noise_row_, -1);
+  }
+
+  const GeneratorConfig& config_;
+  Engine rng_;
+  std::vector<Value> noise_row_;
+};
+
+}  // namespace
+
+Dataset generate(const GeneratorConfig& config) {
+  config.validate();
+  if (config.engine == GeneratorConfig::Engine::Lcg) {
+    return GeneratorImpl<LcgRandom>(config).run();
+  }
+  return GeneratorImpl<IcgRandom>(config).run();
+}
+
+std::vector<TrueBox> ground_truth(const GeneratorConfig& config) {
+  std::vector<TrueBox> truth;
+  for (const ClusterSpec& spec : config.clusters) {
+    for (const ClusterBox& box : spec.boxes) {
+      TrueBox t;
+      t.dims = spec.dims;
+      t.lo = box.lo;
+      t.hi = box.hi;
+      truth.push_back(std::move(t));
+    }
+  }
+  return truth;
+}
+
+}  // namespace mafia

@@ -1,0 +1,244 @@
+#include "datagen/workloads.hpp"
+
+namespace mafia::workloads {
+
+namespace {
+
+/// Shorthand: single-box cluster with the same extent [lo, hi] in every
+/// subspace dimension.
+ClusterSpec cube(std::vector<DimId> dims, Value lo, Value hi, double weight = 1.0) {
+  const std::size_t k = dims.size();
+  return ClusterSpec::box(std::move(dims), std::vector<Value>(k, lo),
+                          std::vector<Value>(k, hi), weight);
+}
+
+}  // namespace
+
+GeneratorConfig fig3_parallel(RecordIndex records, std::uint64_t seed) {
+  // 30 dims; 5 clusters, each in its own disjoint 6-d subspace, each taking
+  // a 1/5 share.  Extent 8% of the domain: a cluster bin needs
+  // alpha*N*0.08 = 0.12N records and holds ~0.20N + background, so all five
+  // survive at alpha = 1.5 while no spurious unit can.
+  GeneratorConfig cfg;
+  cfg.num_dims = 30;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  for (int c = 0; c < 5; ++c) {
+    std::vector<DimId> dims(6);
+    for (int i = 0; i < 6; ++i) dims[static_cast<std::size_t>(i)] =
+        static_cast<DimId>(c * 6 + i);
+    const Value lo = static_cast<Value>(10 + 12 * c);  // staggered regions
+    cfg.clusters.push_back(cube(std::move(dims), lo, lo + 8, 1.0));
+  }
+  return cfg;
+}
+
+GeneratorConfig tab1_vs_clique(RecordIndex records, std::uint64_t seed) {
+  // 15 dims, one 5-d cluster spanning [30, 60] — 30% of the domain, fine
+  // for a single cluster holding ~91% of the records (threshold 0.45N).
+  // The extent aligns with CLIQUE's 10-bin grid on purpose: Table 1 is a
+  // timing comparison, and aligned boundaries avoid penalizing CLIQUE's
+  // quality where the paper doesn't.
+  GeneratorConfig cfg;
+  cfg.num_dims = 15;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  cfg.clusters.push_back(cube({2, 5, 8, 11, 14}, 30, 60));
+  return cfg;
+}
+
+GeneratorConfig tab2_cdu_counts(RecordIndex records, std::uint64_t seed) {
+  // 10 dims, a single 7-d cluster.  Each cluster dimension must produce
+  // exactly one dense adaptive bin so pMAFIA's CDU trace is the binomial
+  // C(7,k): 21, 35, 35, 21, 7, 1 — Table 2's left column.
+  GeneratorConfig cfg;
+  cfg.num_dims = 10;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  cfg.clusters.push_back(cube({0, 2, 3, 5, 6, 8, 9}, 40, 48));
+  return cfg;
+}
+
+GeneratorConfig fig5_dbsize(RecordIndex records, std::uint64_t seed) {
+  // 20 dims, 5 clusters in 5 different 5-d subspaces (disjoint here),
+  // extent 8% each, equal shares.
+  GeneratorConfig cfg;
+  cfg.num_dims = 20;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  for (int c = 0; c < 4; ++c) {
+    std::vector<DimId> dims(5);
+    for (int i = 0; i < 5; ++i) dims[static_cast<std::size_t>(i)] =
+        static_cast<DimId>(c * 5 + i);
+    const Value lo = static_cast<Value>(15 + 14 * c);
+    cfg.clusters.push_back(cube(std::move(dims), lo, lo + 8, 1.0));
+  }
+  // Fifth cluster strides across the four blocks (distinct region).
+  cfg.clusters.push_back(cube({2, 7, 12, 17, 19}, 80, 88, 1.0));
+  return cfg;
+}
+
+GeneratorConfig fig6_datadim(RecordIndex records, std::size_t data_dims,
+                             std::uint64_t seed) {
+  // 3 clusters, each 5-d, 9 distinct cluster dimensions in total
+  // (subspaces {0..4}, {2..6}, {4..8} share dims pairwise).  All the added
+  // dimensions beyond 9 are pure background — the point of Figure 6 is
+  // that pMAFIA's cost depends on cluster dimensions, not data dimensions.
+  require(data_dims >= 9, "fig6_datadim: need at least 9 dims");
+  GeneratorConfig cfg;
+  cfg.num_dims = data_dims;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  cfg.clusters.push_back(cube({0, 1, 2, 3, 4}, 10, 18, 1.0));
+  cfg.clusters.push_back(cube({2, 3, 4, 5, 6}, 40, 48, 1.0));
+  cfg.clusters.push_back(cube({4, 5, 6, 7, 8}, 70, 78, 1.0));
+  return cfg;
+}
+
+GeneratorConfig fig7_clusterdim(RecordIndex records, std::size_t cluster_dims,
+                                std::uint64_t seed) {
+  // 50 dims, one cluster of the requested dimensionality (spread over the
+  // attribute space), extent 30% — the single cluster holds ~91% of the
+  // records so wide extents are safely dense, keeping the data set
+  // identical in everything but cluster dimensionality.
+  require(cluster_dims >= 1 && cluster_dims <= 50, "fig7: bad cluster dims");
+  GeneratorConfig cfg;
+  cfg.num_dims = 50;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  std::vector<DimId> dims(cluster_dims);
+  for (std::size_t i = 0; i < cluster_dims; ++i) {
+    dims[i] = static_cast<DimId>(i * (50 / cluster_dims));
+  }
+  cfg.clusters.push_back(cube(std::move(dims), 35, 65));
+  return cfg;
+}
+
+GeneratorConfig tab3_quality(RecordIndex records, std::uint64_t seed) {
+  // 10 dims, 2 clusters each in a different 4-d subspace — the paper's
+  // Table 3 names them {1,7,8,9} and {2,3,4,5}.  Extents [23,47] and
+  // [61,83] deliberately misalign with a 10-bin uniform grid so CLIQUE's
+  // edge cells fall below its threshold ("large parts of the clusters were
+  // thrown away as outliers") while adaptive boundaries land within one
+  // fine window of the truth.
+  GeneratorConfig cfg;
+  cfg.num_dims = 10;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  cfg.clusters.push_back(cube({1, 7, 8, 9}, 23, 47, 1.0));
+  cfg.clusters.push_back(cube({2, 3, 4, 5}, 61, 83, 1.0));
+  return cfg;
+}
+
+GeneratorConfig dax_like(std::uint64_t seed) {
+  // 22 dims, 2757 records (matching the DAX panel's shape).  Layered dense
+  // regions at subspace dimensionalities 3-6, more clusters at lower
+  // dimensionality (Table 4's distribution shape).  Shares and extents are
+  // sized so every planted bin clears alpha = 2 (the paper's choice for
+  // this data set): share_per_cluster / extent_fraction > 2.
+  GeneratorConfig cfg;
+  cfg.num_dims = 22;
+  cfg.num_records = 2757;
+  cfg.seed = seed;
+  // 8 clusters, equal weight => share 1/8 = 12.5% of cluster records;
+  // extent 4 units = 4% of the domain => dominance ~ 2.8 > alpha = 2.
+  // Extents start at even offsets so they align with the 2-unit windows
+  // the example/bench configures (fine_bins = 100, window_cells = 2) —
+  // misaligned extents smear across a window and double the effective bin
+  // width (and threshold).
+  const Value extent = 4;
+  std::size_t cursor = 0;
+  const auto add = [&](std::size_t k, Value lo) {
+    std::vector<DimId> dims(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      dims[i] = static_cast<DimId>((cursor + i * 5) % 22);
+    }
+    std::sort(dims.begin(), dims.end());
+    dims.erase(std::unique(dims.begin(), dims.end()), dims.end());
+    while (dims.size() < k) {  // collision fallback: append next free dim
+      DimId d = 0;
+      while (std::find(dims.begin(), dims.end(), d) != dims.end()) ++d;
+      dims.push_back(d);
+      std::sort(dims.begin(), dims.end());
+    }
+    cfg.clusters.push_back(cube(std::move(dims), lo, lo + extent, 1.0));
+    cursor += 3;
+  };
+  // 3 three-dim, 3 four-dim, 1 five-dim, 1 six-dim clusters at staggered
+  // even locations (distinct value regions avoid cross-cluster joins).
+  Value lo = 6;
+  for (int i = 0; i < 3; ++i, lo += 8) add(3, lo);
+  for (int i = 0; i < 3; ++i, lo += 8) add(4, lo);
+  add(5, lo);
+  lo += 8;
+  add(6, lo);
+  return cfg;
+}
+
+GeneratorConfig ionosphere_like(std::uint64_t seed) {
+  // 34 dims, 351 records.  One strong 3-d cluster (share 30%, extent 5% =>
+  // dominance 6) plus seven moderate clusters (share 10%, extent 4% =>
+  // dominance 2.5): alpha = 2 admits all eight, alpha = 3 keeps only the
+  // strong one — Section 5.9(2)'s collapse.
+  // Extents are 4 units wide and start at multiples of 4 so they align with
+  // the coarse rectangular wave used for this tiny data set (fine_bins = 50
+  // => 2-unit cells, window_cells = 2 => 4-unit windows).
+  GeneratorConfig cfg;
+  cfg.num_dims = 34;
+  cfg.num_records = 351;
+  cfg.seed = seed;
+  cfg.clusters.push_back(cube({3, 11, 21}, 48, 52, 3.0));  // the survivor
+  const DimId bases[7] = {0, 5, 9, 14, 18, 24, 28};
+  for (int c = 0; c < 7; ++c) {
+    const DimId b = bases[c];
+    std::vector<DimId> dims = c % 2 == 0
+        ? std::vector<DimId>{b, static_cast<DimId>(b + 2),
+                             static_cast<DimId>(b + 4)}
+        : std::vector<DimId>{b, static_cast<DimId>(b + 1),
+                             static_cast<DimId>(b + 3),
+                             static_cast<DimId>(b + 5)};
+    const Value lo = static_cast<Value>(12 + 8 * c);
+    cfg.clusters.push_back(cube(std::move(dims), lo, lo + 4, 1.0));
+  }
+  return cfg;
+}
+
+GeneratorConfig eachmovie_like(RecordIndex records, std::uint64_t seed) {
+  // 4 dims (user-id, movie-id, score, weight — all normalized to [0,100]).
+  // Seven disjoint user-community x movie-group blocks, dense in the 2-d
+  // {0,1} subspace; score and weight stay uniform, so pMAFIA should report
+  // exactly 7 clusters, all of dimensionality 2 (Section 5.9(3)).
+  GeneratorConfig cfg;
+  cfg.num_dims = 4;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  for (int c = 0; c < 7; ++c) {
+    const Value ulo = static_cast<Value>(2 + 14 * c);
+    const Value mlo = static_cast<Value>(86 - 12 * c);
+    cfg.clusters.push_back(ClusterSpec::box({0, 1}, {ulo, mlo},
+                                            {ulo + 6, mlo + 6}, 1.0));
+  }
+  return cfg;
+}
+
+GeneratorConfig l_shape_demo(RecordIndex records, std::uint64_t seed) {
+  // An L-shaped cluster in dims {1, 4} of a 6-d space: the union of a
+  // vertical and a horizontal bar sharing a corner.  Exercises the
+  // arbitrary-shape generator path and multi-rectangle DNF reporting.
+  GeneratorConfig cfg;
+  cfg.num_dims = 6;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  // Arm geometry matters: a bin of width a needs share >= alpha*a/100 to be
+  // dense, so arms are kept short (15 units past the corner) and the boxes
+  // overlap at the corner so the corner cell collects both boxes' mass.
+  ClusterSpec spec;
+  spec.dims = {1, 4};
+  spec.boxes.push_back(ClusterBox{{20, 20}, {30, 45}});  // vertical bar
+  spec.boxes.push_back(ClusterBox{{20, 20}, {45, 30}});  // horizontal bar
+  spec.weight = 1.0;
+  cfg.clusters.push_back(std::move(spec));
+  return cfg;
+}
+
+}  // namespace mafia::workloads

@@ -1,0 +1,80 @@
+#include "dbscan/dbscan.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "common/timer.hpp"
+
+namespace mafia {
+
+namespace {
+
+/// Squared full-space Euclidean distance.
+double distance2(const Dataset& data, RecordIndex a, RecordIndex b) {
+  const auto ra = data.row(a);
+  const auto rb = data.row(b);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < ra.size(); ++j) {
+    const double diff = static_cast<double>(ra[j]) - rb[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+DbscanResult run_dbscan(const Dataset& data, const DbscanOptions& options) {
+  options.validate();
+  require(data.num_records() > 0, "run_dbscan: empty data set");
+  Timer timer;
+
+  const auto n = static_cast<std::size_t>(data.num_records());
+  const double eps2 = options.eps * options.eps;
+
+  // Neighbor lists (O(N^2) scan; symmetric, so fill both sides at once).
+  std::vector<std::vector<std::uint32_t>> neighbors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (distance2(data, i, j) <= eps2) {
+        neighbors[i].push_back(static_cast<std::uint32_t>(j));
+        neighbors[j].push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+
+  std::vector<bool> core(n, false);
+  std::size_t num_core = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    core[i] = neighbors[i].size() + 1 >= options.min_pts;  // +1: the point itself
+    num_core += core[i];
+  }
+
+  // Expand clusters by BFS from unvisited core points: core neighbors
+  // continue the expansion; border points join but do not expand.
+  DbscanResult result;
+  result.labels.assign(n, -1);
+  std::int32_t next_cluster = 0;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (!core[seed] || result.labels[seed] != -1) continue;
+    const std::int32_t id = next_cluster++;
+    std::deque<std::uint32_t> frontier{static_cast<std::uint32_t>(seed)};
+    result.labels[seed] = id;
+    while (!frontier.empty()) {
+      const std::uint32_t at = frontier.front();
+      frontier.pop_front();
+      for (const std::uint32_t nb : neighbors[at]) {
+        if (result.labels[nb] != -1) continue;
+        result.labels[nb] = id;
+        if (core[nb]) frontier.push_back(nb);
+      }
+    }
+  }
+
+  result.num_clusters = static_cast<std::size_t>(next_cluster);
+  result.num_core = num_core;
+  for (const std::int32_t l : result.labels) result.num_noise += (l == -1);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace mafia

@@ -1,0 +1,52 @@
+// DBSCAN (Ester, Kriegel, Sander, Xu — KDD 1996): the paper's reference
+// [7], cited as the archetypal full-space density method ("Most of the
+// earlier works in statistics and data mining operate and find clusters in
+// the whole data space").
+//
+// DBSCAN finds maximal sets of density-connected points: a point is a CORE
+// point when at least `min_pts` points (itself included) lie within `eps`
+// (Euclidean, full-space); clusters are the connected components of core
+// points plus the border points they reach; everything else is noise.
+//
+// Included to complete the related-work contrast: in high-dimensional data
+// whose clusters live in subspaces, the full-space metric concentrates —
+// every eps either labels (almost) everything noise or glues (almost)
+// everything into one cluster, with no good value in between
+// (bench_dbscan_comparison sweeps eps to show exactly that).  Neighbor
+// search is the straightforward O(N^2) scan of the original paper's
+// no-index fallback; this baseline is for comparison on demo-sized data,
+// not production use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "io/dataset.hpp"
+
+namespace mafia {
+
+struct DbscanOptions {
+  double eps = 1.0;        ///< neighborhood radius (full-space Euclidean)
+  std::size_t min_pts = 5; ///< density threshold (neighbors incl. self)
+
+  void validate() const {
+    require(eps > 0.0, "DbscanOptions: eps must be positive");
+    require(min_pts >= 1, "DbscanOptions: min_pts must be positive");
+  }
+};
+
+struct DbscanResult {
+  /// Per-record cluster id (0-based) or -1 for noise.
+  std::vector<std::int32_t> labels;
+  std::size_t num_clusters = 0;
+  std::size_t num_core = 0;
+  std::size_t num_noise = 0;
+  double seconds = 0.0;
+};
+
+/// Runs DBSCAN over an in-memory data set.
+[[nodiscard]] DbscanResult run_dbscan(const Dataset& data,
+                                      const DbscanOptions& options);
+
+}  // namespace mafia

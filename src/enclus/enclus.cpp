@@ -1,0 +1,200 @@
+#include "enclus/enclus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/timer.hpp"
+#include "grid/histogram.hpp"
+
+namespace mafia {
+
+double max_entropy(std::size_t xi, std::size_t k) {
+  return static_cast<double>(k) * std::log(static_cast<double>(xi));
+}
+
+namespace {
+
+/// Entropy (nats) from a cell-count table.
+double entropy_of(const std::unordered_map<std::uint64_t, Count>& cells,
+                  Count total) {
+  double h = 0.0;
+  const double n = static_cast<double>(total);
+  for (const auto& [cell, count] : cells) {
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+/// Packs up to 8 bin indices into one uint64 cell key (ξ <= 256 so one
+/// byte per dimension; ENCLUS mining depth is capped well below 8 by
+/// options.max_dims in practice, and we enforce it).
+std::uint64_t pack_cell(const std::vector<BinId>& bins) {
+  std::uint64_t key = 0;
+  for (const BinId b : bins) key = (key << 8) | b;
+  return key;
+}
+
+}  // namespace
+
+EnclusResult run_enclus(const DataSource& data, const EnclusOptions& options) {
+  options.validate();
+  require(options.max_dims <= 8, "run_enclus: max_dims > 8 unsupported (cell key)");
+  require(data.num_records() > 0, "run_enclus: empty data set");
+  Timer timer;
+
+  const std::size_t d = data.num_dims();
+  const auto n = static_cast<Count>(data.num_records());
+
+  // Attribute domains.
+  std::vector<Value> lo(d);
+  std::vector<Value> hi(d);
+  if (options.fixed_domain) {
+    std::fill(lo.begin(), lo.end(), options.fixed_domain->first);
+    std::fill(hi.begin(), hi.end(), options.fixed_domain->second);
+  } else {
+    MinMaxAccumulator mm(d);
+    data.scan(0, data.num_records(), options.chunk_records,
+              [&](const Value* rows, std::size_t nrows) {
+                mm.accumulate(rows, nrows);
+              });
+    lo = mm.mins();
+    hi = mm.maxs();
+  }
+  std::vector<double> inv_width(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double width = static_cast<double>(hi[j]) - lo[j];
+    inv_width[j] = width > 0 ? static_cast<double>(options.xi) / width : 0.0;
+  }
+  const auto bin_of = [&](Value v, std::size_t j) {
+    auto b = static_cast<std::ptrdiff_t>((static_cast<double>(v) - lo[j]) *
+                                         inv_width[j]);
+    if (b < 0) b = 0;
+    if (b >= static_cast<std::ptrdiff_t>(options.xi)) {
+      b = static_cast<std::ptrdiff_t>(options.xi) - 1;
+    }
+    return static_cast<BinId>(b);
+  };
+
+  EnclusResult result;
+
+  // Evaluates the entropies of a batch of candidate subspaces in ONE pass
+  // over the data (cell tables built side by side).
+  const auto evaluate =
+      [&](const std::vector<std::vector<DimId>>& candidates) {
+        std::vector<std::unordered_map<std::uint64_t, Count>> cells(
+            candidates.size());
+        std::vector<BinId> key;
+        data.scan(0, data.num_records(), options.chunk_records,
+                  [&](const Value* rows, std::size_t nrows) {
+                    for (std::size_t r = 0; r < nrows; ++r) {
+                      const Value* row = rows + r * d;
+                      for (std::size_t c = 0; c < candidates.size(); ++c) {
+                        key.clear();
+                        for (const DimId j : candidates[c]) {
+                          key.push_back(bin_of(row[j], j));
+                        }
+                        ++cells[c][pack_cell(key)];
+                      }
+                    }
+                  });
+        ++result.passes;
+        result.subspaces_evaluated += candidates.size();
+        std::vector<double> entropies(candidates.size());
+        for (std::size_t c = 0; c < candidates.size(); ++c) {
+          entropies[c] = entropy_of(cells[c], n);
+        }
+        return entropies;
+      };
+
+  // ---- Level 1: every dimension.
+  std::vector<std::vector<DimId>> candidates;
+  candidates.reserve(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    candidates.push_back({static_cast<DimId>(j)});
+  }
+  std::vector<double> h1_all(d, 0.0);  // H({d}) for the interest formula
+  std::map<std::vector<DimId>, double> significant_entropy;
+
+  std::vector<std::vector<DimId>> level = {};
+  {
+    const auto entropies = evaluate(candidates);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      h1_all[candidates[c][0]] = entropies[c];
+      if (entropies[c] < options.omega) {
+        result.significant.push_back(
+            SubspaceInfo{candidates[c], entropies[c], 0.0});
+        significant_entropy[candidates[c]] = entropies[c];
+        level.push_back(candidates[c]);
+      }
+    }
+  }
+
+  // ---- Levels 2..max_dims: Apriori join + subset pruning + entropy test.
+  for (std::size_t k = 2; k <= options.max_dims && level.size() >= 2; ++k) {
+    // Join pairs sharing the first k-2 dims (level is lexicographically
+    // sorted because it is built in order from sorted candidates).
+    std::vector<std::vector<DimId>> next_candidates;
+    for (std::size_t a = 0; a < level.size(); ++a) {
+      for (std::size_t b = a + 1; b < level.size(); ++b) {
+        if (!std::equal(level[a].begin(), level[a].end() - 1,
+                        level[b].begin())) {
+          continue;
+        }
+        std::vector<DimId> joined = level[a];
+        joined.push_back(level[b].back());
+        // Downward closure: every (k-1)-subset must be significant.
+        bool closed = true;
+        for (std::size_t skip = 0; skip + 2 < joined.size() && closed; ++skip) {
+          std::vector<DimId> subset;
+          for (std::size_t i = 0; i < joined.size(); ++i) {
+            if (i != skip) subset.push_back(joined[i]);
+          }
+          closed = significant_entropy.count(subset) > 0;
+        }
+        if (closed) next_candidates.push_back(std::move(joined));
+      }
+    }
+    if (next_candidates.empty()) break;
+
+    const auto entropies = evaluate(next_candidates);
+    level.clear();
+    for (std::size_t c = 0; c < next_candidates.size(); ++c) {
+      if (entropies[c] >= options.omega) continue;
+      double h1_sum = 0.0;
+      for (const DimId j : next_candidates[c]) h1_sum += h1_all[j];
+      const double interest = h1_sum - entropies[c];
+      result.significant.push_back(
+          SubspaceInfo{next_candidates[c], entropies[c], interest});
+      significant_entropy[next_candidates[c]] = entropies[c];
+      level.push_back(next_candidates[c]);
+    }
+  }
+
+  // ---- Interesting output: maximal significant subspaces (no significant
+  // strict superset) with interest >= epsilon.
+  std::set<std::vector<DimId>> all_significant;
+  for (const SubspaceInfo& s : result.significant) all_significant.insert(s.dims);
+  for (const SubspaceInfo& s : result.significant) {
+    if (s.dims.size() < 2 || s.interest < options.epsilon) continue;
+    bool maximal = true;
+    for (const auto& other : all_significant) {
+      if (other.size() <= s.dims.size()) continue;
+      if (std::includes(other.begin(), other.end(), s.dims.begin(),
+                        s.dims.end())) {
+        maximal = false;
+        break;
+      }
+    }
+    if (maximal) result.interesting.push_back(s);
+  }
+
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace mafia

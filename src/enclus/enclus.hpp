@@ -1,0 +1,88 @@
+// ENCLUS (Cheng, Fu, Zhang — KDD 1999): entropy-based significant-subspace
+// mining, the third related method the paper positions against (Section 2):
+// "ENCLUS, an entropy based subspace clustering algorithm requires a
+// prohibitive amount of time to just discover interesting subspaces in
+// which clusters are embedded.  It also requires input of entropy
+// thresholds which is not intuitive for the user."
+//
+// ENCLUS does not produce clusters itself — it mines the subspaces where
+// clustering is worthwhile:
+//   * discretize each dimension into ξ equal bins; for a subspace S the
+//     entropy H(S) = −Σ_cell p(cell)·ln p(cell) over the ξ^|S| grid;
+//   * S has "good clustering" when H(S) < ω (low entropy = skewed density);
+//   * S is *interesting* when its dimensions are mutually dependent:
+//     interest(S) = Σ_{d∈S} H({d}) − H(S) ≥ ε;
+//   * entropy is monotone non-decreasing under adding dimensions, so
+//     significance (H < ω) is downward-closed and Apriori-style bottom-up
+//     mining applies: level-k candidates join significant (k−1)-subspaces
+//     sharing a (k−2)-prefix, pruned unless every (k−1)-subset is
+//     significant.
+//
+// bench_enclus_comparison measures both criticisms: the cost of mining
+// subspaces alone versus pMAFIA's complete clustering, and the sensitivity
+// of the output to the ω/ε thresholds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "io/data_source.hpp"
+
+namespace mafia {
+
+struct EnclusOptions {
+  /// ξ: bins per dimension for the entropy grid.
+  std::size_t xi = 10;
+  /// ω: entropy threshold (nats).  A subspace is significant iff
+  /// H(S) < omega.  NOT intuitive — which is the paper's point; see
+  /// max_entropy() for calibration help.
+  double omega = 6.0;
+  /// ε: minimum interest (total correlation) for a significant subspace to
+  /// be reported as interesting.
+  double epsilon = 0.05;
+  /// Mining stops at this subspace dimensionality.
+  std::size_t max_dims = 6;
+  /// B: records per chunk of the data scans.
+  std::size_t chunk_records = 1 << 16;
+  /// Known attribute domain (skips the min/max pass when set).
+  std::optional<std::pair<Value, Value>> fixed_domain;
+
+  void validate() const {
+    require(xi >= 2 && xi <= kMaxBinsPerDim, "EnclusOptions: bad xi");
+    require(omega > 0.0, "EnclusOptions: omega must be positive");
+    require(epsilon >= 0.0, "EnclusOptions: epsilon must be non-negative");
+    require(max_dims >= 1, "EnclusOptions: max_dims must be positive");
+  }
+};
+
+/// Entropy of the uniform distribution over a k-dim ξ-bin grid — the
+/// maximum possible H(S), useful for picking ω.
+[[nodiscard]] double max_entropy(std::size_t xi, std::size_t k);
+
+struct SubspaceInfo {
+  std::vector<DimId> dims;
+  double entropy = 0.0;
+  double interest = 0.0;
+};
+
+struct EnclusResult {
+  /// All significant subspaces (H < ω), every mined level.
+  std::vector<SubspaceInfo> significant;
+  /// Maximal significant subspaces with interest >= ε — ENCLUS's output.
+  std::vector<SubspaceInfo> interesting;
+  /// Candidate subspaces whose entropy was evaluated (the cost driver).
+  std::size_t subspaces_evaluated = 0;
+  /// Data passes made (one per mined level).
+  std::size_t passes = 0;
+  double seconds = 0.0;
+};
+
+/// Mines significant/interesting subspaces bottom-up.
+[[nodiscard]] EnclusResult run_enclus(const DataSource& data,
+                                      const EnclusOptions& options);
+
+}  // namespace mafia

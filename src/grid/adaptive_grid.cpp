@@ -1,0 +1,172 @@
+#include "grid/adaptive_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mafia {
+
+namespace {
+
+/// One merged window: fine-cell range [cell_begin, cell_end) and the
+/// rectangular-wave value (max fine-cell count inside).
+struct MergedWindow {
+  std::size_t cell_begin = 0;
+  std::size_t cell_end = 0;
+  Count value = 0;
+};
+
+/// True when two window values are "within the threshold percentage β":
+/// |a - b| <= β * max(a, b), plus a Poisson slack of `sigmas` standard
+/// deviations (sqrt of the larger count).  The slack is an engineering
+/// refinement for small samples: with the paper's multi-million-record data
+/// sets sqrt(c)/c vanishes and the rule reduces to the pure β test, but at
+/// a few thousand records sparse background windows fluctuate by more than
+/// β of their tiny means and would otherwise shatter into meaningless bins.
+bool within_beta(Count a, Count b, double beta, double sigmas) {
+  const Count hi = std::max(a, b);
+  if (hi == 0) return true;
+  const Count lo = std::min(a, b);
+  // Slack from the SMALLER count's Poisson deviation: conservative — a
+  // genuine density step (hi >> lo) gains little slack, while two sparse
+  // noise windows (both small) merge freely.
+  const double slack = beta * static_cast<double>(hi) +
+                       sigmas * std::sqrt(static_cast<double>(lo) + 1.0);
+  return static_cast<double>(hi - lo) <= slack;
+}
+
+}  // namespace
+
+DimensionGrid compute_adaptive_grid(DimId dim, Value domain_lo, Value domain_hi,
+                                    std::span<const Count> fine_counts,
+                                    Count total_records,
+                                    const AdaptiveGridOptions& options) {
+  options.validate();
+  require(fine_counts.size() == options.fine_bins,
+          "compute_adaptive_grid: histogram resolution mismatch");
+  require(domain_hi >= domain_lo, "compute_adaptive_grid: inverted domain");
+
+  DimensionGrid grid;
+  grid.dim = dim;
+  grid.domain_lo = domain_lo;
+  grid.domain_hi = domain_hi;
+
+  // Degenerate dimension (all values equal): one bin spanning a token width
+  // so downstream code sees a valid grid; it can never join a cluster
+  // meaningfully (every record shares the bin, threshold == alpha * N).
+  if (!(domain_hi > domain_lo)) {
+    grid.edges = {domain_lo, domain_lo + Value(1)};
+    grid.thresholds = {options.alpha * static_cast<double>(total_records)};
+    grid.uniform_fallback = true;
+    grid.validate();
+    return grid;
+  }
+
+  const double domain_size = static_cast<double>(domain_hi) - domain_lo;
+
+  // --- Step 1: windows of `window_cells` fine cells; value = max inside.
+  std::vector<MergedWindow> windows;
+  const std::size_t w = options.window_cells;
+  windows.reserve(options.fine_bins / w + 1);
+  for (std::size_t begin = 0; begin < options.fine_bins; begin += w) {
+    const std::size_t end = std::min(begin + w, options.fine_bins);
+    Count value = 0;
+    for (std::size_t c = begin; c < end; ++c) value = std::max(value, fine_counts[c]);
+    windows.push_back(MergedWindow{begin, end, value});
+  }
+
+  // --- Step 2: "From left to right merge two adjacent units if they are
+  // within a threshold β".  The merged window keeps the rectangular-wave
+  // value (max), so a run of near-equal windows collapses to one bin.
+  std::vector<MergedWindow> merged;
+  merged.reserve(windows.size());
+  for (const MergedWindow& win : windows) {
+    if (!merged.empty() && within_beta(merged.back().value, win.value,
+                                       options.beta, options.merge_noise_sigmas)) {
+      merged.back().cell_end = win.cell_end;
+      merged.back().value = std::max(merged.back().value, win.value);
+    } else {
+      merged.push_back(win);
+    }
+  }
+
+  // Cap the bin count (BinId is one byte).  If the β merge produced more
+  // bins than representable, repeatedly merge the pair of adjacent bins
+  // with the closest values until under the cap.
+  while (merged.size() > options.max_bins) {
+    std::size_t best = 0;
+    double best_gap = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i + 1 < merged.size(); ++i) {
+      const double gap = std::fabs(static_cast<double>(merged[i].value) -
+                                   static_cast<double>(merged[i + 1].value));
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    merged[best].cell_end = merged[best + 1].cell_end;
+    merged[best].value = std::max(merged[best].value, merged[best + 1].value);
+    merged.erase(merged.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+  }
+
+  const double cell_width = domain_size / static_cast<double>(options.fine_bins);
+
+  if (merged.size() == 1) {
+    // --- Uniform-dimension fallback: "Divide the dimension into a fixed
+    // number of equal partitions" and set a high threshold.
+    grid.uniform_fallback = true;
+    const std::size_t parts = options.uniform_dim_partitions;
+    grid.edges.resize(parts + 1);
+    for (std::size_t i = 0; i <= parts; ++i) {
+      grid.edges[i] = static_cast<Value>(
+          domain_lo + domain_size * static_cast<double>(i) / static_cast<double>(parts));
+    }
+    grid.edges.back() = domain_hi;
+    const double alpha = options.alpha * options.uniform_dim_alpha_boost;
+    grid.thresholds.resize(parts);
+    for (std::size_t b = 0; b < parts; ++b) {
+      const double a = static_cast<double>(grid.edges[b + 1]) - grid.edges[b];
+      grid.thresholds[b] = alpha * static_cast<double>(total_records) * a / domain_size;
+    }
+  } else {
+    // --- Variable-width bins at the merged-window boundaries; per-bin
+    // threshold α·N·a/Dᵢ.
+    grid.uniform_fallback = false;
+    grid.edges.reserve(merged.size() + 1);
+    grid.edges.push_back(domain_lo);
+    for (std::size_t i = 0; i + 1 < merged.size(); ++i) {
+      grid.edges.push_back(static_cast<Value>(
+          domain_lo + cell_width * static_cast<double>(merged[i].cell_end)));
+    }
+    grid.edges.push_back(domain_hi);
+    grid.thresholds.resize(merged.size());
+    for (std::size_t b = 0; b < merged.size(); ++b) {
+      const double a = static_cast<double>(grid.edges[b + 1]) - grid.edges[b];
+      grid.thresholds[b] =
+          options.alpha * static_cast<double>(total_records) * a / domain_size;
+    }
+  }
+
+  grid.validate();
+  return grid;
+}
+
+GridSet compute_adaptive_grids(std::span<const Value> domain_lo,
+                               std::span<const Value> domain_hi,
+                               const HistogramBuilder& histogram,
+                               Count total_records,
+                               const AdaptiveGridOptions& options) {
+  require(domain_lo.size() == histogram.num_dims() &&
+              domain_hi.size() == histogram.num_dims(),
+          "compute_adaptive_grids: domain/histogram mismatch");
+  GridSet grids;
+  grids.dims.reserve(histogram.num_dims());
+  for (std::size_t j = 0; j < histogram.num_dims(); ++j) {
+    grids.dims.push_back(compute_adaptive_grid(
+        static_cast<DimId>(j), domain_lo[j], domain_hi[j],
+        histogram.dim_counts(j), total_records, options));
+  }
+  return grids;
+}
+
+}  // namespace mafia

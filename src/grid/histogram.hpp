@@ -1,0 +1,106 @@
+// Fine-grained per-dimension histograms and domain (min/max) accumulation.
+//
+// Algorithm 2's first data pass builds "a histogram in each dimension"
+// locally on each processor, then a Reduce-with-sum gathers the global
+// histogram.  The accumulators here are plain flat vectors precisely so the
+// mp::Comm::allreduce_sum primitive applies directly.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mafia {
+
+/// Tracks per-dimension minima and maxima over chunked record scans.
+/// Combine across ranks with allreduce_min / allreduce_max on the vectors.
+class MinMaxAccumulator {
+ public:
+  explicit MinMaxAccumulator(std::size_t dims)
+      : mins_(dims, std::numeric_limits<Value>::max()),
+        maxs_(dims, std::numeric_limits<Value>::lowest()) {}
+
+  /// Folds `nrows` row-major records into the running extrema.
+  void accumulate(const Value* rows, std::size_t nrows) {
+    const std::size_t d = mins_.size();
+    for (std::size_t r = 0; r < nrows; ++r) {
+      const Value* row = rows + r * d;
+      for (std::size_t j = 0; j < d; ++j) {
+        if (row[j] < mins_[j]) mins_[j] = row[j];
+        if (row[j] > maxs_[j]) maxs_[j] = row[j];
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<Value>& mins() { return mins_; }
+  [[nodiscard]] std::vector<Value>& maxs() { return maxs_; }
+  [[nodiscard]] const std::vector<Value>& mins() const { return mins_; }
+  [[nodiscard]] const std::vector<Value>& maxs() const { return maxs_; }
+
+ private:
+  std::vector<Value> mins_;
+  std::vector<Value> maxs_;
+};
+
+/// Builds the fine histogram Algorithm 1 consumes: every dimension's domain
+/// divided into `fine_bins` equal cells, counts accumulated over chunked
+/// scans.  Counts are stored flattened (dim-major) so one allreduce_sum
+/// globalizes all dimensions at once.
+class HistogramBuilder {
+ public:
+  HistogramBuilder(std::span<const Value> domain_lo, std::span<const Value> domain_hi,
+                   std::size_t fine_bins)
+      : fine_bins_(fine_bins),
+        lo_(domain_lo.begin(), domain_lo.end()),
+        inv_width_(domain_lo.size()),
+        counts_(domain_lo.size() * fine_bins, 0) {
+    require(fine_bins >= 1, "HistogramBuilder: fine_bins must be positive");
+    require(domain_lo.size() == domain_hi.size(), "HistogramBuilder: lo/hi mismatch");
+    for (std::size_t j = 0; j < lo_.size(); ++j) {
+      const double width = static_cast<double>(domain_hi[j]) - lo_[j];
+      // Degenerate (constant) dimensions map everything to cell 0.
+      inv_width_[j] = width > 0 ? static_cast<double>(fine_bins) / width : 0.0;
+    }
+  }
+
+  /// Folds `nrows` row-major records into the counts.
+  void accumulate(const Value* rows, std::size_t nrows) {
+    const std::size_t d = lo_.size();
+    for (std::size_t r = 0; r < nrows; ++r) {
+      const Value* row = rows + r * d;
+      for (std::size_t j = 0; j < d; ++j) {
+        double cell = (static_cast<double>(row[j]) - lo_[j]) * inv_width_[j];
+        auto c = static_cast<std::ptrdiff_t>(cell);
+        if (c < 0) c = 0;
+        if (c >= static_cast<std::ptrdiff_t>(fine_bins_)) {
+          c = static_cast<std::ptrdiff_t>(fine_bins_) - 1;
+        }
+        ++counts_[j * fine_bins_ + static_cast<std::size_t>(c)];
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t fine_bins() const { return fine_bins_; }
+  [[nodiscard]] std::size_t num_dims() const { return lo_.size(); }
+
+  /// Flattened counts (dim-major), mutable so callers can allreduce in place.
+  [[nodiscard]] std::vector<Count>& counts() { return counts_; }
+  [[nodiscard]] const std::vector<Count>& counts() const { return counts_; }
+
+  /// The fine-cell counts of one dimension.
+  [[nodiscard]] std::span<const Count> dim_counts(std::size_t j) const {
+    return {counts_.data() + j * fine_bins_, fine_bins_};
+  }
+
+ private:
+  std::size_t fine_bins_;
+  std::vector<double> lo_;
+  std::vector<double> inv_width_;
+  std::vector<Count> counts_;
+};
+
+}  // namespace mafia

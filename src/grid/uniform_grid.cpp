@@ -1,0 +1,69 @@
+#include "grid/uniform_grid.hpp"
+
+namespace mafia {
+
+DimensionGrid compute_uniform_grid(DimId dim, Value domain_lo, Value domain_hi,
+                                   std::size_t xi, double tau_fraction,
+                                   Count total_records) {
+  require(xi >= 1 && xi <= kMaxBinsPerDim, "compute_uniform_grid: bad xi");
+  require(tau_fraction > 0.0 && tau_fraction < 1.0,
+          "compute_uniform_grid: tau must be a fraction in (0,1)");
+  require(domain_hi >= domain_lo, "compute_uniform_grid: inverted domain");
+
+  DimensionGrid grid;
+  grid.dim = dim;
+  grid.domain_lo = domain_lo;
+  grid.domain_hi = domain_hi;
+  grid.uniform_fallback = false;
+
+  if (!(domain_hi > domain_lo)) {
+    grid.edges = {domain_lo, domain_lo + Value(1)};
+    grid.thresholds = {tau_fraction * static_cast<double>(total_records)};
+    grid.validate();
+    return grid;
+  }
+
+  const double width = static_cast<double>(domain_hi) - domain_lo;
+  grid.edges.resize(xi + 1);
+  for (std::size_t i = 0; i <= xi; ++i) {
+    grid.edges[i] = static_cast<Value>(
+        domain_lo + width * static_cast<double>(i) / static_cast<double>(xi));
+  }
+  grid.edges.back() = domain_hi;
+  grid.thresholds.assign(xi, tau_fraction * static_cast<double>(total_records));
+  grid.validate();
+  return grid;
+}
+
+GridSet compute_uniform_grids(std::span<const Value> domain_lo,
+                              std::span<const Value> domain_hi, std::size_t xi,
+                              double tau_fraction, Count total_records) {
+  require(domain_lo.size() == domain_hi.size(), "compute_uniform_grids: size mismatch");
+  GridSet grids;
+  grids.dims.reserve(domain_lo.size());
+  for (std::size_t j = 0; j < domain_lo.size(); ++j) {
+    grids.dims.push_back(compute_uniform_grid(static_cast<DimId>(j), domain_lo[j],
+                                              domain_hi[j], xi, tau_fraction,
+                                              total_records));
+  }
+  return grids;
+}
+
+GridSet compute_uniform_grids(std::span<const Value> domain_lo,
+                              std::span<const Value> domain_hi,
+                              std::span<const std::size_t> xi_per_dim,
+                              double tau_fraction, Count total_records) {
+  require(domain_lo.size() == domain_hi.size() &&
+              domain_lo.size() == xi_per_dim.size(),
+          "compute_uniform_grids: size mismatch");
+  GridSet grids;
+  grids.dims.reserve(domain_lo.size());
+  for (std::size_t j = 0; j < domain_lo.size(); ++j) {
+    grids.dims.push_back(compute_uniform_grid(static_cast<DimId>(j), domain_lo[j],
+                                              domain_hi[j], xi_per_dim[j],
+                                              tau_fraction, total_records));
+  }
+  return grids;
+}
+
+}  // namespace mafia

@@ -1,0 +1,36 @@
+// CLIQUE-style uniform grids: ξ equal-width bins per dimension, one global
+// density threshold τ (a fraction of N) applied to every bin (Section 3:
+// "each dimension is divided into ξ equal intervals ... It takes the size
+// of the grid and a global density threshold for clusters as input
+// parameters").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "grid/grid_types.hpp"
+
+namespace mafia {
+
+/// Builds a ξ-equal-bin grid for one dimension with threshold τ·N per bin.
+[[nodiscard]] DimensionGrid compute_uniform_grid(DimId dim, Value domain_lo,
+                                                 Value domain_hi, std::size_t xi,
+                                                 double tau_fraction,
+                                                 Count total_records);
+
+/// Builds the uniform grid for all dimensions with a common ξ.
+[[nodiscard]] GridSet compute_uniform_grids(std::span<const Value> domain_lo,
+                                            std::span<const Value> domain_hi,
+                                            std::size_t xi, double tau_fraction,
+                                            Count total_records);
+
+/// Builds uniform grids with a per-dimension bin count (the "variable bins"
+/// CLIQUE configuration of Table 3's second row).
+[[nodiscard]] GridSet compute_uniform_grids(std::span<const Value> domain_lo,
+                                            std::span<const Value> domain_hi,
+                                            std::span<const std::size_t> xi_per_dim,
+                                            double tau_fraction,
+                                            Count total_records);
+
+}  // namespace mafia

@@ -1,0 +1,90 @@
+// In-memory data set representation.
+//
+// A data set is a dense N x d table of float attribute values (row-major),
+// optionally carrying per-record ground-truth labels from the synthetic
+// generator (cluster id, or -1 for noise).  Labels are never visible to the
+// clustering algorithms — they exist only so the quality benches (Table 3,
+// Fig 1.2) can score discovered clusters against the planted truth.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mafia {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Creates an empty data set with `dims` attributes.
+  explicit Dataset(std::size_t dims) : dims_(dims) {
+    require(dims >= 1 && dims <= kMaxDims, "Dataset: bad dimension count");
+  }
+
+  [[nodiscard]] RecordIndex num_records() const {
+    return dims_ == 0 ? 0 : values_.size() / dims_;
+  }
+  [[nodiscard]] std::size_t num_dims() const { return dims_; }
+
+  /// Appends one record; `row.size()` must equal num_dims().
+  void append(std::span<const Value> row, std::int32_t label = -1) {
+    require(row.size() == dims_, "Dataset::append: wrong row width");
+    values_.insert(values_.end(), row.begin(), row.end());
+    labels_.push_back(label);
+  }
+
+  /// Reserves capacity for `n` records.
+  void reserve(RecordIndex n) {
+    values_.reserve(static_cast<std::size_t>(n) * dims_);
+    labels_.reserve(static_cast<std::size_t>(n));
+  }
+
+  [[nodiscard]] std::span<const Value> row(RecordIndex i) const {
+    return {values_.data() + static_cast<std::size_t>(i) * dims_, dims_};
+  }
+  [[nodiscard]] std::span<Value> mutable_row(RecordIndex i) {
+    return {values_.data() + static_cast<std::size_t>(i) * dims_, dims_};
+  }
+
+  [[nodiscard]] Value at(RecordIndex i, std::size_t dim) const {
+    return values_[static_cast<std::size_t>(i) * dims_ + dim];
+  }
+
+  [[nodiscard]] std::int32_t label(RecordIndex i) const {
+    return labels_[static_cast<std::size_t>(i)];
+  }
+  void set_label(RecordIndex i, std::int32_t label) {
+    labels_[static_cast<std::size_t>(i)] = label;
+  }
+
+  [[nodiscard]] const std::vector<Value>& values() const { return values_; }
+  [[nodiscard]] const std::vector<std::int32_t>& labels() const { return labels_; }
+
+  /// Reorders records by the given permutation (new[i] = old[perm[i]]).
+  /// Used by the generator's record-order permutation step (Section 5.1).
+  void permute(const std::vector<RecordIndex>& perm) {
+    require(perm.size() == num_records(), "Dataset::permute: bad permutation size");
+    std::vector<Value> new_values(values_.size());
+    std::vector<std::int32_t> new_labels(labels_.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      const auto src = static_cast<std::size_t>(perm[i]);
+      for (std::size_t d = 0; d < dims_; ++d) {
+        new_values[i * dims_ + d] = values_[src * dims_ + d];
+      }
+      new_labels[i] = labels_[src];
+    }
+    values_ = std::move(new_values);
+    labels_ = std::move(new_labels);
+  }
+
+ private:
+  std::size_t dims_ = 0;
+  std::vector<Value> values_;
+  std::vector<std::int32_t> labels_;
+};
+
+}  // namespace mafia

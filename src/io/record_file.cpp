@@ -1,0 +1,98 @@
+#include "io/record_file.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace mafia {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+void write_record_file(const std::string& path, const Dataset& data,
+                       bool with_labels) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  require(out.good(), "write_record_file: cannot open " + path);
+
+  out.write(kRecordFileMagic, sizeof(kRecordFileMagic));
+  write_pod(out, kRecordFileVersion);
+  write_pod(out, static_cast<std::uint64_t>(data.num_records()));
+  write_pod(out, static_cast<std::uint32_t>(data.num_dims()));
+  write_pod(out, static_cast<std::uint32_t>(with_labels ? 1u : 0u));
+
+  const auto& values = data.values();
+  if (!values.empty()) {
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(Value)));
+  }
+  if (with_labels) {
+    const auto& labels = data.labels();
+    if (!labels.empty()) {
+      out.write(reinterpret_cast<const char*>(labels.data()),
+                static_cast<std::streamsize>(labels.size() * sizeof(std::int32_t)));
+    }
+  }
+  require(out.good(), "write_record_file: write failed for " + path);
+}
+
+RecordFileHeader read_record_file_header(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "read_record_file_header: cannot open " + path);
+
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  require(in.good() && std::memcmp(magic, kRecordFileMagic, 8) == 0,
+          "read_record_file_header: bad magic in " + path);
+  const auto version = read_pod<std::uint32_t>(in);
+  require(version == kRecordFileVersion,
+          "read_record_file_header: unsupported version in " + path);
+
+  RecordFileHeader header;
+  header.num_records = read_pod<std::uint64_t>(in);
+  header.num_dims = read_pod<std::uint32_t>(in);
+  header.has_labels = (read_pod<std::uint32_t>(in) & 1u) != 0;
+  require(in.good(), "read_record_file_header: truncated header in " + path);
+  require(header.num_dims >= 1 && header.num_dims <= kMaxDims,
+          "read_record_file_header: bad dimension count in " + path);
+  return header;
+}
+
+Dataset read_record_file(const std::string& path) {
+  const RecordFileHeader header = read_record_file_header(path);
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "read_record_file: cannot open " + path);
+  in.seekg(static_cast<std::streamoff>(kRecordFileHeaderBytes));
+
+  Dataset data(header.num_dims);
+  data.reserve(header.num_records);
+  std::vector<Value> row(header.num_dims);
+  for (std::uint64_t i = 0; i < header.num_records; ++i) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size() * sizeof(Value)));
+    require(in.good(), "read_record_file: truncated values in " + path);
+    data.append(row);
+  }
+  if (header.has_labels) {
+    for (std::uint64_t i = 0; i < header.num_records; ++i) {
+      data.set_label(i, read_pod<std::int32_t>(in));
+    }
+    require(in.good(), "read_record_file: truncated labels in " + path);
+  }
+  return data;
+}
+
+}  // namespace mafia

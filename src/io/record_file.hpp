@@ -1,0 +1,49 @@
+// Binary record file format for out-of-core data sets.
+//
+// pMAFIA is "a disk-based parallel and scalable algorithm which can handle
+// massive data sets" (Section 4): each processor reads N/p records from its
+// local disk in chunks of B records.  This module defines the on-disk
+// format and sequential writer; chunk_reader.hpp provides the B-record
+// chunked scan.
+//
+// Layout (little-endian, packed):
+//   [0..7]   magic "MAFIAREC"
+//   [8..11]  uint32 version (currently 1)
+//   [12..19] uint64 record count N
+//   [20..23] uint32 dimension count d
+//   [24..27] uint32 flags (bit 0: labels present after the value block)
+//   [28.. ]  N*d float32 values, row-major
+//   [... ]   N int32 labels (iff flag bit 0)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "io/dataset.hpp"
+
+namespace mafia {
+
+struct RecordFileHeader {
+  std::uint64_t num_records = 0;
+  std::uint32_t num_dims = 0;
+  bool has_labels = false;
+};
+
+inline constexpr char kRecordFileMagic[8] = {'M', 'A', 'F', 'I', 'A', 'R', 'E', 'C'};
+inline constexpr std::uint32_t kRecordFileVersion = 1;
+/// Byte offset of the first value row.
+inline constexpr std::size_t kRecordFileHeaderBytes = 28;
+
+/// Writes `data` to `path` in the record file format.  Labels are stored iff
+/// `with_labels` (ground truth travels with synthetic sets for the quality
+/// benches but is stripped for the timing benches).
+void write_record_file(const std::string& path, const Dataset& data,
+                       bool with_labels = true);
+
+/// Reads just the header of a record file.
+[[nodiscard]] RecordFileHeader read_record_file_header(const std::string& path);
+
+/// Reads an entire record file into memory (tests and small data sets).
+[[nodiscard]] Dataset read_record_file(const std::string& path);
+
+}  // namespace mafia

@@ -1,0 +1,92 @@
+#include "io/staging.hpp"
+
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "io/record_file.hpp"
+
+namespace mafia {
+
+StagedPartitions stage_partitions(const std::string& shared_path,
+                                  const std::string& local_prefix, int ranks,
+                                  std::size_t chunk_records) {
+  require(ranks >= 1, "stage_partitions: need at least one rank");
+  Timer timer;
+
+  const FileSource shared(shared_path);
+  const RecordIndex n = shared.num_records();
+  const std::size_t d = shared.num_dims();
+
+  StagedPartitions staged;
+  staged.num_records = n;
+  staged.num_dims = d;
+  staged.paths.reserve(static_cast<std::size_t>(ranks));
+
+  for (int r = 0; r < ranks; ++r) {
+    const BlockRange range =
+        block_partition(static_cast<std::size_t>(n),
+                        static_cast<std::size_t>(ranks),
+                        static_cast<std::size_t>(r));
+    Dataset part(d);
+    part.reserve(range.size());
+    std::vector<Value> row(d);
+    shared.scan(range.begin, range.end, chunk_records,
+                [&](const Value* rows, std::size_t nrows) {
+                  for (std::size_t i = 0; i < nrows; ++i) {
+                    std::copy(rows + i * d, rows + (i + 1) * d, row.begin());
+                    part.append(row);
+                  }
+                });
+    const std::string path = local_prefix + ".rank" + std::to_string(r);
+    write_record_file(path, part, /*with_labels=*/false);
+    staged.paths.push_back(path);
+  }
+  staged.staging_seconds = timer.seconds();
+  return staged;
+}
+
+void remove_staged(const StagedPartitions& staged) {
+  for (const std::string& path : staged.paths) std::remove(path.c_str());
+}
+
+StagedSource::StagedSource(const StagedPartitions& staged)
+    : total_(staged.num_records), dims_(staged.num_dims) {
+  require(!staged.paths.empty(), "StagedSource: no partitions");
+  files_.reserve(staged.paths.size());
+  offsets_.reserve(staged.paths.size() + 1);
+  RecordIndex at = 0;
+  for (const std::string& path : staged.paths) {
+    files_.emplace_back(path);
+    offsets_.push_back(at);
+    at += files_.back().num_records();
+    require(files_.back().num_dims() == dims_,
+            "StagedSource: partition dimensionality mismatch");
+  }
+  offsets_.push_back(at);
+  require(at == total_, "StagedSource: partition sizes do not sum to total");
+}
+
+void StagedSource::scan(RecordIndex begin, RecordIndex end,
+                        std::size_t chunk_records, const ChunkFn& fn) const {
+  require(begin <= end && end <= total_, "StagedSource::scan: bad range");
+  for (std::size_t p = 0; p < files_.size() && begin < end; ++p) {
+    const RecordIndex part_begin = offsets_[p];
+    const RecordIndex part_end = offsets_[p + 1];
+    if (end <= part_begin || begin >= part_end) continue;
+    const RecordIndex lo = std::max(begin, part_begin) - part_begin;
+    const RecordIndex hi = std::min(end, part_end) - part_begin;
+    files_[p].scan(lo, hi, chunk_records, fn);
+  }
+}
+
+std::size_t StagedSource::partitions_touched(RecordIndex begin,
+                                             RecordIndex end) const {
+  std::size_t touched = 0;
+  for (std::size_t p = 0; p < files_.size(); ++p) {
+    const bool overlaps = end > offsets_[p] && begin < offsets_[p + 1];
+    touched += overlaps ? 1 : 0;
+  }
+  return touched;
+}
+
+}  // namespace mafia

@@ -1,0 +1,168 @@
+#include "kmeans/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_util.hpp"
+#include "common/timer.hpp"
+#include "mp/comm.hpp"
+#include "rng/distributions.hpp"
+#include "rng/icg.hpp"
+
+namespace mafia {
+
+namespace {
+
+/// Squared Euclidean distance between a record and a centroid.
+double distance2(const Value* row, const double* centroid, std::size_t d) {
+  double sum = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(row[j]) - centroid[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMeansResult run_kmeans(const DataSource& data, const KMeansOptions& options,
+                        int p) {
+  options.validate();
+  require(p >= 1, "run_kmeans: need at least one rank");
+  require(data.num_records() >= options.k, "run_kmeans: fewer records than k");
+  Timer total;
+
+  const std::size_t d = data.num_dims();
+  const std::size_t k = options.k;
+
+  // Deterministic initialization: k records sampled by index (same on all
+  // ranks, no communication needed).
+  std::vector<double> centroids(k * d);
+  {
+    IcgRandom rng(options.seed);
+    std::vector<RecordIndex> picks;
+    while (picks.size() < k) {
+      const RecordIndex r = uniform_index(rng, data.num_records());
+      if (std::find(picks.begin(), picks.end(), r) == picks.end()) {
+        picks.push_back(r);
+      }
+    }
+    std::sort(picks.begin(), picks.end());
+    // One scan collects the picked rows (works out-of-core too).
+    std::size_t next = 0;
+    RecordIndex at = 0;
+    data.scan(0, data.num_records(), options.chunk_records,
+              [&](const Value* rows, std::size_t nrows) {
+                while (next < k && picks[next] < at + nrows) {
+                  const Value* row = rows + (picks[next] - at) * d;
+                  for (std::size_t j = 0; j < d; ++j) {
+                    centroids[next * d + j] = row[j];
+                  }
+                  ++next;
+                }
+                at += nrows;
+              });
+  }
+
+  KMeansResult result;
+  result.num_dims = d;
+  std::size_t iterations = 0;
+  double inertia = 0.0;
+  std::vector<Count> sizes(k, 0);
+
+  mp::run(p, [&](mp::Comm& comm) {
+    const BlockRange my = block_partition(
+        static_cast<std::size_t>(data.num_records()),
+        static_cast<std::size_t>(comm.size()),
+        static_cast<std::size_t>(comm.rank()));
+    std::vector<double> local_centroids = centroids;
+
+    for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+      // Local pass: accumulate per-cluster sums + counts + inertia.
+      // Layout: [k*d sums][k counts][1 inertia] so ONE Reduce globalizes
+      // everything — the [5] communication pattern.
+      std::vector<double> acc(k * d + k + 1, 0.0);
+      data.scan(my.begin, my.end, options.chunk_records,
+                [&](const Value* rows, std::size_t nrows) {
+                  for (std::size_t r = 0; r < nrows; ++r) {
+                    const Value* row = rows + r * d;
+                    double best = std::numeric_limits<double>::max();
+                    std::size_t arg = 0;
+                    for (std::size_t c = 0; c < k; ++c) {
+                      const double dd =
+                          distance2(row, local_centroids.data() + c * d, d);
+                      if (dd < best) {
+                        best = dd;
+                        arg = c;
+                      }
+                    }
+                    for (std::size_t j = 0; j < d; ++j) {
+                      acc[arg * d + j] += row[j];
+                    }
+                    acc[k * d + arg] += 1.0;
+                    acc[k * d + k] += best;
+                  }
+                });
+      comm.allreduce_sum(acc);
+
+      // New centroids (empty clusters keep their previous position).
+      double moved2 = 0.0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double count = acc[k * d + c];
+        if (count <= 0) continue;
+        for (std::size_t j = 0; j < d; ++j) {
+          const double updated = acc[c * d + j] / count;
+          const double diff = updated - local_centroids[c * d + j];
+          moved2 += diff * diff;
+          local_centroids[c * d + j] = updated;
+        }
+      }
+
+      if (comm.is_parent()) {
+        iterations = iter + 1;
+        inertia = acc[k * d + k];
+        for (std::size_t c = 0; c < k; ++c) {
+          sizes[c] = static_cast<Count>(acc[k * d + c]);
+        }
+      }
+      if (std::sqrt(moved2) < options.tolerance) break;
+    }
+    if (comm.is_parent()) centroids = local_centroids;
+  });
+
+  result.centroids = std::move(centroids);
+  result.sizes = std::move(sizes);
+  result.inertia = inertia;
+  result.iterations = iterations;
+  result.total_seconds = total.seconds();
+  return result;
+}
+
+std::vector<std::int32_t> kmeans_assign(const DataSource& data,
+                                        const KMeansResult& model) {
+  require(model.num_dims == data.num_dims(), "kmeans_assign: dims mismatch");
+  const std::size_t d = model.num_dims;
+  const std::size_t k = model.centroids.size() / d;
+  std::vector<std::int32_t> labels;
+  labels.reserve(static_cast<std::size_t>(data.num_records()));
+  data.scan(0, data.num_records(), 1 << 16,
+            [&](const Value* rows, std::size_t nrows) {
+              for (std::size_t r = 0; r < nrows; ++r) {
+                const Value* row = rows + r * d;
+                double best = std::numeric_limits<double>::max();
+                std::int32_t arg = 0;
+                for (std::size_t c = 0; c < k; ++c) {
+                  const double dd = distance2(row, model.centroid(c), d);
+                  if (dd < best) {
+                    best = dd;
+                    arg = static_cast<std::int32_t>(c);
+                  }
+                }
+                labels.push_back(arg);
+              }
+            });
+  return labels;
+}
+
+}  // namespace mafia

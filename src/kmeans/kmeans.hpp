@@ -1,0 +1,61 @@
+// Parallel k-means (Dhillon & Modha — Large-Scale Parallel KDD Systems,
+// 1999): the paper's reference [5], discussed in Section 2: "Recently,
+// k-means algorithm has been parallelized, but is limited however in its
+// applicability, as it requires the user to specify k, the number of
+// clusters, and also does not find clusters in subspaces."
+//
+// Implemented on the same mp:: SPMD runtime as pMAFIA, with the same
+// structure as [5]: each rank owns N/p records; every Lloyd iteration is a
+// local assignment pass plus one Reduce of the (sum, count) accumulators —
+// which is precisely pMAFIA's data-parallel pattern, so the comparison
+// bench isolates the ALGORITHMIC difference (full-space centroids vs
+// subspace dense regions), not runtime differences.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "io/data_source.hpp"
+
+namespace mafia {
+
+struct KMeansOptions {
+  std::size_t k = 2;              ///< user-supplied cluster count (the point)
+  std::size_t max_iterations = 50;
+  double tolerance = 1e-4;        ///< stop when centroids move less (L2)
+  std::uint64_t seed = 1;
+  std::size_t chunk_records = 1 << 16;
+
+  void validate() const {
+    require(k >= 1, "KMeansOptions: k must be positive");
+    require(max_iterations >= 1, "KMeansOptions: need at least one iteration");
+    require(tolerance >= 0.0, "KMeansOptions: negative tolerance");
+  }
+};
+
+struct KMeansResult {
+  /// k centroids, row-major (k x d).
+  std::vector<double> centroids;
+  std::size_t num_dims = 0;
+  /// Records per cluster.
+  std::vector<Count> sizes;
+  /// Sum of squared distances of records to their centroid.
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+  double total_seconds = 0.0;
+
+  [[nodiscard]] const double* centroid(std::size_t c) const {
+    return centroids.data() + c * num_dims;
+  }
+};
+
+/// Runs parallel k-means on `p` SPMD ranks.
+[[nodiscard]] KMeansResult run_kmeans(const DataSource& data,
+                                      const KMeansOptions& options, int p = 1);
+
+/// Assigns each record to its nearest centroid (full-space Euclidean).
+[[nodiscard]] std::vector<std::int32_t> kmeans_assign(const DataSource& data,
+                                                      const KMeansResult& model);
+
+}  // namespace mafia

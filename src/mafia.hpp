@@ -1,0 +1,21 @@
+// Umbrella header: everything a typical application needs.
+//
+//   #include "mafia.hpp"
+//
+// pulls in the pMAFIA driver, data generation, I/O, membership assignment,
+// reporting, and model persistence.  The baseline algorithms (clique/,
+// proclus/, enclus/, kmeans/, dbscan/, baselines/) are deliberately NOT
+// included — include them explicitly where a comparison is wanted.
+#pragma once
+
+#include "cluster/membership.hpp"
+#include "cluster/quality.hpp"
+#include "core/mafia.hpp"
+#include "core/model_io.hpp"
+#include "core/report.hpp"
+#include "datagen/generator.hpp"
+#include "datagen/workloads.hpp"
+#include "io/csv.hpp"
+#include "io/data_source.hpp"
+#include "io/record_file.hpp"
+#include "io/staging.hpp"

@@ -1,0 +1,67 @@
+// Abortable generation barrier for the SPMD runtime.
+//
+// std::barrier cannot be broken: if one rank throws while siblings wait,
+// the job deadlocks.  This barrier adds an abort flag — when any rank calls
+// abort(), every current and future wait() throws AbortedError, unwinding
+// all ranks so Runtime::run can join them and rethrow the original error.
+// This mirrors how an MPI job dies when one rank calls MPI_Abort.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+
+namespace mafia::mp {
+
+/// Thrown out of barrier/collective waits on sibling-rank failure.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError() : std::runtime_error("mp: job aborted by a sibling rank") {}
+};
+
+/// Reusable counting barrier over `parties` threads, with abort support.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all parties arrive (or the job aborts).
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (aborted_) throw AbortedError();
+    const std::size_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != my_generation || aborted_; });
+    if (aborted_ && generation_ == my_generation) throw AbortedError();
+  }
+
+  /// Marks the job aborted and wakes all waiters.
+  void abort() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool aborted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return aborted_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  const std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace mafia::mp

@@ -1,0 +1,383 @@
+// SPMD message-passing runtime: the repo's stand-in for MPI on the IBM SP2.
+//
+// The paper runs pMAFIA "in the Single Program Multiple Data (SPMD) mode,
+// where the same program runs on multiple processors but uses portions of
+// the data assigned to the processor" and communicates with MPI's Reduce /
+// Broadcast / point-to-point primitives (Section 4).  This runtime provides
+// exactly those semantics over std::thread:
+//
+//   * Runtime::run(p, fn) launches p ranks, each receiving a Comm;
+//   * ranks share NO algorithm state — all exchange goes through the Comm
+//     (collectives or mailboxes), so porting to real MPI is mechanical;
+//   * every collective combines contributions in rank order, making parallel
+//     runs bit-deterministic (tested: serial == parallel cluster sets);
+//   * CommStats counts payload bytes and operations so benches can report
+//     measured communication volume and apply the Section 4.5 cost model.
+//
+// Collective implementation: a shared "exchange board" holds one slot per
+// rank (pointer + length).  Each collective is publish -> barrier ->
+// combine -> barrier -> write-back, which is safe because reads of rank r's
+// slot happen strictly between the two barriers that bracket r's writes.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mp/barrier.hpp"
+#include "mp/mailbox.hpp"
+#include "mp/stats.hpp"
+
+namespace mafia::mp {
+
+class Comm;
+
+namespace detail {
+
+/// State shared by all ranks of one SPMD job.
+struct Context {
+  explicit Context(int p)
+      : size(p), barrier(static_cast<std::size_t>(p)), mailboxes(p),
+        slot_ptr(p, nullptr), slot_len(p, 0), stats(p) {}
+
+  const int size;
+  Barrier barrier;
+  std::vector<Mailbox> mailboxes;
+  // Exchange board for collectives (valid only between the barriers of the
+  // collective currently in flight).
+  std::vector<const void*> slot_ptr;
+  std::vector<std::size_t> slot_len;
+  std::vector<CommStats> stats;
+  NetworkSimulation network;  ///< zero = no emulated delay
+
+  void interrupt_all() {
+    barrier.abort();
+    for (auto& mb : mailboxes) mb.interrupt();
+  }
+};
+
+}  // namespace detail
+
+/// Handle one rank uses to communicate with its siblings.  Move-only view;
+/// lifetime bounded by Runtime::run.
+class Comm {
+ public:
+  Comm(int rank, detail::Context& ctx) : rank_(rank), ctx_(ctx) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return ctx_.size; }
+  [[nodiscard]] bool is_root() const { return rank_ == 0; }
+  /// The paper calls rank 0 the "parent processor".
+  [[nodiscard]] bool is_parent() const { return rank_ == 0; }
+
+  [[nodiscard]] CommStats& stats() { return ctx_.stats[static_cast<std::size_t>(rank_)]; }
+
+  /// Synchronizes all ranks.
+  void barrier() {
+    ++stats().barriers;
+    ctx_.barrier.wait();
+  }
+
+  // ---------------------------------------------------------------- reduce
+
+  /// In-place element-wise all-reduce with a binary op, combining rank
+  /// contributions in rank order (deterministic).  All ranks must pass
+  /// vectors of identical length.
+  template <typename T, typename BinaryOp>
+  void allreduce(std::vector<T>& data, BinaryOp op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++stats().reduces;
+    stats().collective_bytes += data.size() * sizeof(T);
+    publish(data.data(), data.size() * sizeof(T));
+    ctx_.barrier.wait();
+    std::vector<T> combined(peer<T>(0), peer<T>(0) + peer_count<T>(0));
+    require(combined.size() == data.size(),
+            "allreduce: ranks disagree on vector length");
+    for (int r = 1; r < size(); ++r) {
+      const T* src = peer<T>(r);
+      require(peer_count<T>(r) == data.size(),
+              "allreduce: ranks disagree on vector length");
+      for (std::size_t i = 0; i < combined.size(); ++i) {
+        combined[i] = op(combined[i], src[i]);
+      }
+    }
+    ctx_.barrier.wait();
+    data = std::move(combined);
+  }
+
+  /// Element-wise sum all-reduce (the paper's Reduce-with-sum primitive,
+  /// result available on every rank as the paper specifies).
+  template <typename T>
+  void allreduce_sum(std::vector<T>& data) {
+    allreduce(data, [](T a, T b) { return static_cast<T>(a + b); });
+  }
+
+  template <typename T>
+  void allreduce_max(std::vector<T>& data) {
+    allreduce(data, [](T a, T b) { return std::max(a, b); });
+  }
+
+  template <typename T>
+  void allreduce_min(std::vector<T>& data) {
+    allreduce(data, [](T a, T b) { return std::min(a, b); });
+  }
+
+  /// Scalar all-reduce sum convenience.
+  template <typename T>
+  [[nodiscard]] T allreduce_sum_scalar(T value) {
+    std::vector<T> v{value};
+    allreduce_sum(v);
+    return v[0];
+  }
+
+  /// Element-wise logical-OR all-reduce over byte flags.
+  void allreduce_or(std::vector<std::uint8_t>& flags) {
+    allreduce(flags, [](std::uint8_t a, std::uint8_t b) {
+      return static_cast<std::uint8_t>(a | b);
+    });
+  }
+
+  // ------------------------------------------------------------- broadcast
+
+  /// Broadcasts `data` from `root` to all ranks (resizing as needed).
+  template <typename T>
+  void bcast(std::vector<T>& data, int root = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++stats().bcasts;
+    publish(data.data(), data.size() * sizeof(T));
+    ctx_.barrier.wait();
+    const std::size_t n = peer_count<T>(root);
+    if (rank_ != root) {
+      stats().collective_bytes += n * sizeof(T);
+      data.assign(peer<T>(root), peer<T>(root) + n);
+    } else {
+      stats().collective_bytes += n * sizeof(T) * static_cast<std::size_t>(size() - 1);
+    }
+    ctx_.barrier.wait();
+  }
+
+  /// Broadcasts one trivially copyable value from `root`.
+  template <typename T>
+  [[nodiscard]] T bcast_scalar(T value, int root = 0) {
+    std::vector<T> v{value};
+    bcast(v, root);
+    return v[0];
+  }
+
+  // ---------------------------------------------------------------- gather
+
+  /// Gathers variable-length contributions onto `root`, concatenated in
+  /// rank order (the paper: "concatenates the CDU dimension and bin arrays
+  /// in the rank order of the processors").  Non-root ranks get {}.
+  template <typename T>
+  [[nodiscard]] std::vector<T> gatherv(const std::vector<T>& local, int root = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++stats().gathers;
+    stats().collective_bytes += local.size() * sizeof(T);
+    publish(local.data(), local.size() * sizeof(T));
+    ctx_.barrier.wait();
+    std::vector<T> result;
+    if (rank_ == root) {
+      std::size_t total = 0;
+      for (int r = 0; r < size(); ++r) total += peer_count<T>(r);
+      result.reserve(total);
+      for (int r = 0; r < size(); ++r) {
+        result.insert(result.end(), peer<T>(r), peer<T>(r) + peer_count<T>(r));
+      }
+    }
+    ctx_.barrier.wait();
+    return result;
+  }
+
+  /// Gathers variable-length contributions onto every rank, rank-ordered.
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgatherv(const std::vector<T>& local) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++stats().gathers;
+    stats().collective_bytes += local.size() * sizeof(T) * static_cast<std::size_t>(size());
+    publish(local.data(), local.size() * sizeof(T));
+    ctx_.barrier.wait();
+    std::vector<T> result;
+    std::size_t total = 0;
+    for (int r = 0; r < size(); ++r) total += peer_count<T>(r);
+    result.reserve(total);
+    for (int r = 0; r < size(); ++r) {
+      result.insert(result.end(), peer<T>(r), peer<T>(r) + peer_count<T>(r));
+    }
+    ctx_.barrier.wait();
+    return result;
+  }
+
+  /// Per-rank contribution sizes visible to every rank (an allgather of the
+  /// local length) — used by the drivers to rebuild offsets after gatherv.
+  template <typename T>
+  [[nodiscard]] std::vector<std::size_t> allgather_count(const std::vector<T>& local) {
+    std::vector<std::size_t> counts{local.size()};
+    return allgatherv(counts);
+  }
+
+  /// Root-only reduce: like allreduce, but only `root`'s vector is
+  /// replaced with the combined result (others keep their input).  Matches
+  /// MPI_Reduce; pMAFIA itself always wants allreduce semantics ("stores it
+  /// on every processor"), but the primitive completes the collective set.
+  template <typename T, typename BinaryOp>
+  void reduce(std::vector<T>& data, BinaryOp op, int root = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++stats().reduces;
+    stats().collective_bytes += data.size() * sizeof(T);
+    publish(data.data(), data.size() * sizeof(T));
+    ctx_.barrier.wait();
+    std::vector<T> combined;
+    if (rank_ == root) {
+      combined.assign(peer<T>(0), peer<T>(0) + peer_count<T>(0));
+      require(combined.size() == data.size(),
+              "reduce: ranks disagree on vector length");
+      for (int r = 1; r < size(); ++r) {
+        const T* src = peer<T>(r);
+        for (std::size_t i = 0; i < combined.size(); ++i) {
+          combined[i] = op(combined[i], src[i]);
+        }
+      }
+    }
+    ctx_.barrier.wait();
+    if (rank_ == root) data = std::move(combined);
+  }
+
+  /// Scatters rank-indexed variable-length slices from `root`: rank r
+  /// receives `slices[r]` (only root's `slices` is read).  Matches
+  /// MPI_Scatterv.
+  template <typename T>
+  [[nodiscard]] std::vector<T> scatterv(const std::vector<std::vector<T>>& slices,
+                                        int root = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ++stats().gathers;
+    // Root flattens with a length prefix so a single slot publish suffices.
+    std::vector<T> flat;
+    std::vector<std::size_t> lengths;
+    if (rank_ == root) {
+      require(slices.size() == static_cast<std::size_t>(size()),
+              "scatterv: need one slice per rank");
+      for (const auto& s : slices) {
+        lengths.push_back(s.size());
+        flat.insert(flat.end(), s.begin(), s.end());
+      }
+    }
+    bcast(lengths, root);
+    bcast(flat, root);
+    std::size_t offset = 0;
+    for (int r = 0; r < rank_; ++r) offset += lengths[static_cast<std::size_t>(r)];
+    const std::size_t mine = lengths[static_cast<std::size_t>(rank_)];
+    stats().collective_bytes += mine * sizeof(T);
+    return {flat.begin() + static_cast<std::ptrdiff_t>(offset),
+            flat.begin() + static_cast<std::ptrdiff_t>(offset + mine)};
+  }
+
+  /// All-to-all variable-length exchange: `outgoing[r]` goes to rank r;
+  /// returns incoming[s] = what rank s sent here, rank-ordered.  Matches
+  /// MPI_Alltoallv.  Implemented over the mailboxes.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& outgoing, int tag = kAlltoallTag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(outgoing.size() == static_cast<std::size_t>(size()),
+            "alltoallv: need one payload per rank");
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      send(r, tag, outgoing[static_cast<std::size_t>(r)]);
+    }
+    std::vector<std::vector<T>> incoming(static_cast<std::size_t>(size()));
+    incoming[static_cast<std::size_t>(rank_)] =
+        outgoing[static_cast<std::size_t>(rank_)];
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      incoming[static_cast<std::size_t>(r)] = recv<T>(r, tag);
+    }
+    return incoming;
+  }
+
+  static constexpr int kAlltoallTag = 0x7fff0000;
+
+  // ---------------------------------------------------------- point-to-point
+
+  /// Sends a copy of `payload` to `dest` under `tag`.
+  template <typename T>
+  void send(int dest, int tag, const std::vector<T>& payload) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(dest >= 0 && dest < size(), "send: bad destination rank");
+    ++stats().p2p_messages;
+    stats().p2p_bytes += payload.size() * sizeof(T);
+    simulate_delay(payload.size() * sizeof(T));
+    ctx_.mailboxes[static_cast<std::size_t>(dest)].push(
+        rank_, tag, payload.data(), payload.size() * sizeof(T));
+  }
+
+  /// Blocks for a message from `source` with `tag`; returns its payload.
+  template <typename T>
+  [[nodiscard]] std::vector<T> recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(source >= 0 && source < size(), "recv: bad source rank");
+    Message msg = ctx_.mailboxes[static_cast<std::size_t>(rank_)].pop(
+        source, tag, ctx_.barrier);
+    require(msg.payload.size() % sizeof(T) == 0, "recv: payload size mismatch");
+    std::vector<T> out(msg.payload.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    return out;
+  }
+
+ private:
+  void publish(const void* ptr, std::size_t bytes) {
+    ctx_.slot_ptr[static_cast<std::size_t>(rank_)] = ptr;
+    ctx_.slot_len[static_cast<std::size_t>(rank_)] = bytes;
+    simulate_delay(bytes);
+  }
+
+  /// Stalls this rank per the network simulation (no-op by default).
+  void simulate_delay(std::size_t bytes) const {
+    const double s = ctx_.network.delay_for(bytes);
+    if (s > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(s));
+    }
+  }
+
+  template <typename T>
+  [[nodiscard]] const T* peer(int r) const {
+    return static_cast<const T*>(ctx_.slot_ptr[static_cast<std::size_t>(r)]);
+  }
+
+  template <typename T>
+  [[nodiscard]] std::size_t peer_count(int r) const {
+    return ctx_.slot_len[static_cast<std::size_t>(r)] / sizeof(T);
+  }
+
+  const int rank_;
+  detail::Context& ctx_;
+};
+
+/// Result of one SPMD job: per-rank communication stats plus the aggregate.
+struct JobStats {
+  std::vector<CommStats> per_rank;
+
+  [[nodiscard]] CommStats total() const {
+    CommStats t;
+    for (const auto& s : per_rank) t.merge(s);
+    return t;
+  }
+};
+
+/// Launches `p` SPMD ranks running `fn(comm)` and joins them.
+/// If any rank throws, the job is aborted (sibling ranks unwind out of
+/// barriers/recvs with AbortedError) and the first original exception is
+/// rethrown to the caller.  `network` optionally emulates interconnect
+/// delays (NetworkSimulation::sp2() for the paper's switch).
+JobStats run(int p, const std::function<void(Comm&)>& fn,
+             const NetworkSimulation& network = {});
+
+}  // namespace mafia::mp

@@ -1,0 +1,73 @@
+// Point-to-point message queues for the SPMD runtime.
+//
+// Each rank owns one Mailbox.  send() copies the payload into the
+// destination's queue (message-passing semantics: no shared mutable state
+// between ranks); recv() blocks until a message matching (source, tag)
+// arrives.  Matching is MPI-like: within one (source, tag) pair, messages
+// are non-overtaking.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "mp/barrier.hpp"
+
+namespace mafia::mp {
+
+/// One queued point-to-point message.
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Blocking MPSC mailbox with (source, tag) matching and abort support.
+class Mailbox {
+ public:
+  /// Enqueues a copy of [data, data+bytes) from `source` under `tag`.
+  void push(int source, int tag, const void* data, std::size_t bytes) {
+    Message msg;
+    msg.source = source;
+    msg.tag = tag;
+    msg.payload.resize(bytes);
+    if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until a message from `source` with `tag` is available and
+  /// removes it.  Throws AbortedError if `abort_flag` fires while waiting.
+  Message pop(int source, int tag, const Barrier& abort_flag) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->source == source && it->tag == tag) {
+          Message msg = std::move(*it);
+          queue_.erase(it);
+          return msg;
+        }
+      }
+      if (abort_flag.aborted()) throw AbortedError();
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+
+  /// Wakes any blocked pop() so it can observe an abort.
+  void interrupt() { cv_.notify_all(); }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace mafia::mp

@@ -1,0 +1,44 @@
+// SPMD job launcher: spawn p ranks, propagate failures, collect stats.
+#include "mp/comm.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace mafia::mp {
+
+JobStats run(int p, const std::function<void(Comm&)>& fn,
+             const NetworkSimulation& network) {
+  require(p >= 1, "mp::run: need at least one rank");
+  detail::Context ctx(p);
+  ctx.network = network;
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+
+  for (int rank = 0; rank < p; ++rank) {
+    threads.emplace_back([rank, &ctx, &fn, &errors] {
+      try {
+        Comm comm(rank, ctx);
+        fn(comm);
+      } catch (const AbortedError&) {
+        // Unwound because a sibling failed first; the sibling's exception
+        // is the interesting one, so swallow the abort echo.
+      } catch (...) {
+        errors[static_cast<std::size_t>(rank)] = std::current_exception();
+        ctx.interrupt_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  JobStats stats;
+  stats.per_rank = ctx.stats;
+  return stats;
+}
+
+}  // namespace mafia::mp

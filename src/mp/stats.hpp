@@ -1,0 +1,82 @@
+// Communication accounting for the SPMD runtime.
+//
+// The paper's analysis (Section 4.5) models total time as
+// O(c^k + (N/(pB))·k·γ + α·S·p·k) where S is the size of messages exchanged
+// and α the communication constant.  CommStats measures S and the message
+// count exactly, so benches can report the "negligible communication
+// overhead" claim quantitatively instead of hand-waving it.
+#pragma once
+
+#include <cstdint>
+
+namespace mafia::mp {
+
+/// Per-rank communication counters.  All byte counts are payload bytes
+/// (what MPI would put on the wire), excluding any runtime bookkeeping.
+struct CommStats {
+  std::uint64_t p2p_messages = 0;    ///< point-to-point sends issued
+  std::uint64_t p2p_bytes = 0;       ///< payload bytes sent point-to-point
+  std::uint64_t barriers = 0;        ///< barrier operations entered
+  std::uint64_t reduces = 0;         ///< (all)reduce operations entered
+  std::uint64_t bcasts = 0;          ///< broadcast operations entered
+  std::uint64_t gathers = 0;         ///< gather/allgather operations entered
+  std::uint64_t collective_bytes = 0;///< payload bytes this rank contributed
+                                     ///< to or received from collectives
+
+  /// Element-wise sum, used to aggregate per-rank stats into a job total.
+  void merge(const CommStats& other) {
+    p2p_messages += other.p2p_messages;
+    p2p_bytes += other.p2p_bytes;
+    barriers += other.barriers;
+    reduces += other.reduces;
+    bcasts += other.bcasts;
+    gathers += other.gathers;
+    collective_bytes += other.collective_bytes;
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return p2p_bytes + collective_bytes;
+  }
+};
+
+/// Analytic cost model matching Section 4.5: given measured message volume
+/// and counts, predicts communication seconds on a target machine.  The
+/// defaults are the paper's IBM SP2 switch figures (29.3 ms latency,
+/// 102 MB/s uni-directional bandwidth), so benches can report what the
+/// measured communication volume *would have cost* on the paper's hardware.
+struct CostModel {
+  double latency_seconds = 29.3e-3;       ///< per message/collective step
+  double bandwidth_bytes_per_sec = 102e6; ///< uni-directional
+
+  [[nodiscard]] double communication_seconds(const CommStats& s) const {
+    const double ops = static_cast<double>(s.p2p_messages + s.reduces +
+                                           s.bcasts + s.gathers);
+    return ops * latency_seconds +
+           static_cast<double>(s.total_bytes()) / bandwidth_bytes_per_sec;
+  }
+};
+
+/// Optional interconnect emulation: every collective step and point-to-
+/// point message stalls the participating rank by latency + bytes/bandwidth.
+/// With the SP2 constants from the paper this makes thread-backed runs
+/// exhibit the COMMUNICATION cost structure of the paper's machine, so
+/// "communication overhead is negligible" can be tested rather than
+/// asserted.  Zero-initialized = no delay.
+struct NetworkSimulation {
+  double latency_seconds = 0.0;
+  double bytes_per_second = 0.0;  ///< 0 = infinite bandwidth
+
+  [[nodiscard]] double delay_for(std::uint64_t bytes) const {
+    double s = latency_seconds;
+    if (bytes_per_second > 0) {
+      s += static_cast<double>(bytes) / bytes_per_second;
+    }
+    return s;
+  }
+
+  /// The paper's SP2 switch figures (Section 5: 29.3 ms latency as printed,
+  /// 102 MB/s uni-directional).
+  static NetworkSimulation sp2() { return {29.3e-3, 102e6}; }
+};
+
+}  // namespace mafia::mp

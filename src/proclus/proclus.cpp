@@ -1,0 +1,282 @@
+#include "proclus/proclus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "rng/distributions.hpp"
+#include "rng/icg.hpp"
+
+namespace mafia {
+
+namespace {
+
+/// Full-dimensional Manhattan distance between two records.
+double manhattan(const Dataset& data, RecordIndex a, RecordIndex b) {
+  const auto ra = data.row(a);
+  const auto rb = data.row(b);
+  double d = 0.0;
+  for (std::size_t j = 0; j < ra.size(); ++j) {
+    d += std::fabs(static_cast<double>(ra[j]) - rb[j]);
+  }
+  return d;
+}
+
+/// Segmental distance: Manhattan over `dims`, divided by |dims| (the
+/// PROCLUS metric — normalizing by dimension count makes distances over
+/// different dimension sets comparable).
+double segmental(const Dataset& data, RecordIndex a, RecordIndex b,
+                 const std::vector<DimId>& dims) {
+  const auto ra = data.row(a);
+  const auto rb = data.row(b);
+  double d = 0.0;
+  for (const DimId j : dims) {
+    d += std::fabs(static_cast<double>(ra[j]) - rb[j]);
+  }
+  return d / static_cast<double>(dims.size());
+}
+
+/// Greedy piercing-set selection: `count` records, farthest-first, so the
+/// candidates spread across the data (and hence across clusters).
+std::vector<RecordIndex> greedy_candidates(const Dataset& data,
+                                           std::size_t count, IcgRandom& rng) {
+  const RecordIndex n = data.num_records();
+  std::vector<RecordIndex> chosen;
+  chosen.reserve(count);
+  std::vector<double> dist(static_cast<std::size_t>(n),
+                           std::numeric_limits<double>::max());
+
+  RecordIndex current = uniform_index(rng, n);
+  chosen.push_back(current);
+  for (std::size_t i = 1; i < count && i < n; ++i) {
+    double best = -1.0;
+    RecordIndex arg = 0;
+    for (RecordIndex r = 0; r < n; ++r) {
+      const double d = manhattan(data, r, current);
+      auto& slot = dist[static_cast<std::size_t>(r)];
+      slot = std::min(slot, d);
+      if (slot > best) {
+        best = slot;
+        arg = r;
+      }
+    }
+    current = arg;
+    chosen.push_back(current);
+    dist[static_cast<std::size_t>(current)] = -1.0;  // never re-chosen
+  }
+  return chosen;
+}
+
+/// Per-medoid dimension selection: for each medoid, compute the average
+/// per-dimension distance X[i][j] of its locality, standardize within the
+/// medoid (z-score of X[i][j] against the medoid's own mean/sigma), and
+/// greedily pick the k·l most negative z-scores subject to >= 2 dims per
+/// medoid (the PROCLUS FindDimensions step).
+std::vector<std::vector<DimId>> find_dimensions(
+    const Dataset& data, const std::vector<RecordIndex>& medoids,
+    std::size_t total_dims_budget) {
+  const std::size_t k = medoids.size();
+  const std::size_t d = data.num_dims();
+  const RecordIndex n = data.num_records();
+
+  // Locality radius: distance to the nearest other medoid.
+  std::vector<double> radius(k, std::numeric_limits<double>::max());
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      radius[i] = std::min(radius[i], manhattan(data, medoids[i], medoids[j]));
+    }
+    if (k == 1) radius[0] = std::numeric_limits<double>::max();
+  }
+
+  // X[i][j]: mean |r_j - m_i,j| over the locality of medoid i.
+  std::vector<std::vector<double>> x(k, std::vector<double>(d, 0.0));
+  std::vector<std::size_t> locality_size(k, 0);
+  for (RecordIndex r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < k; ++i) {
+      if (manhattan(data, r, medoids[i]) > radius[i]) continue;
+      ++locality_size[i];
+      const auto row = data.row(r);
+      const auto med = data.row(medoids[i]);
+      for (std::size_t j = 0; j < d; ++j) {
+        x[i][j] += std::fabs(static_cast<double>(row[j]) - med[j]);
+      }
+    }
+  }
+  // Z-scores per medoid.
+  struct Entry {
+    double z;
+    std::size_t medoid;
+    DimId dim;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(k * d);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double denom = std::max<std::size_t>(locality_size[i], 1);
+    double mean = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      x[i][j] /= denom;
+      mean += x[i][j];
+    }
+    mean /= static_cast<double>(d);
+    double var = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      var += (x[i][j] - mean) * (x[i][j] - mean);
+    }
+    const double sigma = std::sqrt(var / std::max<std::size_t>(d - 1, 1));
+    for (std::size_t j = 0; j < d; ++j) {
+      const double z = sigma > 0 ? (x[i][j] - mean) / sigma : 0.0;
+      entries.push_back(Entry{z, i, static_cast<DimId>(j)});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.z < b.z; });
+
+  // Greedy pick: two lowest per medoid first, then best remaining overall.
+  std::vector<std::vector<DimId>> dims(k);
+  std::size_t picked = 0;
+  for (const Entry& e : entries) {  // mandatory 2 per medoid
+    if (dims[e.medoid].size() < 2) {
+      dims[e.medoid].push_back(e.dim);
+      ++picked;
+    }
+  }
+  for (const Entry& e : entries) {
+    if (picked >= total_dims_budget) break;
+    auto& mine = dims[e.medoid];
+    if (std::find(mine.begin(), mine.end(), e.dim) != mine.end()) continue;
+    mine.push_back(e.dim);
+    ++picked;
+  }
+  for (auto& v : dims) std::sort(v.begin(), v.end());
+  return dims;
+}
+
+/// Assigns every record to the medoid with the smallest segmental distance.
+std::vector<std::size_t> assign(const Dataset& data,
+                                const std::vector<RecordIndex>& medoids,
+                                const std::vector<std::vector<DimId>>& dims) {
+  const RecordIndex n = data.num_records();
+  std::vector<std::size_t> owner(static_cast<std::size_t>(n), 0);
+  for (RecordIndex r = 0; r < n; ++r) {
+    double best = std::numeric_limits<double>::max();
+    std::size_t arg = 0;
+    for (std::size_t i = 0; i < medoids.size(); ++i) {
+      const double dd = segmental(data, r, medoids[i], dims[i]);
+      if (dd < best) {
+        best = dd;
+        arg = i;
+      }
+    }
+    owner[static_cast<std::size_t>(r)] = arg;
+  }
+  return owner;
+}
+
+/// Objective: mean segmental distance of records to their medoid.
+double evaluate(const Dataset& data, const std::vector<RecordIndex>& medoids,
+                const std::vector<std::vector<DimId>>& dims,
+                const std::vector<std::size_t>& owner) {
+  double total = 0.0;
+  for (RecordIndex r = 0; r < data.num_records(); ++r) {
+    const std::size_t i = owner[static_cast<std::size_t>(r)];
+    total += segmental(data, r, medoids[i], dims[i]);
+  }
+  return total / static_cast<double>(data.num_records());
+}
+
+}  // namespace
+
+ProclusResult run_proclus(const Dataset& data, const ProclusOptions& options) {
+  options.validate();
+  require(data.num_records() > 0, "run_proclus: empty data set");
+  const std::size_t k = options.num_clusters;
+  require(data.num_records() >= k, "run_proclus: fewer records than clusters");
+
+  IcgRandom rng(options.seed);
+  const std::size_t candidate_count =
+      std::min<std::size_t>(options.candidate_factor * k,
+                            static_cast<std::size_t>(data.num_records()));
+  const std::vector<RecordIndex> candidates =
+      greedy_candidates(data, candidate_count, rng);
+
+  const std::size_t dim_budget = std::max(2 * k, k * options.avg_dims);
+
+  // --- Iterative phase: hill-climb over medoid sets from the candidates.
+  std::vector<RecordIndex> medoids(candidates.begin(),
+                                   candidates.begin() + static_cast<std::ptrdiff_t>(k));
+  std::vector<std::vector<DimId>> best_dims;
+  std::vector<std::size_t> best_owner;
+  double best_objective = std::numeric_limits<double>::max();
+  std::vector<RecordIndex> best_medoids = medoids;
+
+  std::size_t stale = 0;
+  std::size_t iterations = 0;
+  while (stale < options.max_stale_iterations) {
+    ++iterations;
+    const auto dims = find_dimensions(data, medoids, dim_budget);
+    const auto owner = assign(data, medoids, dims);
+    const double objective = evaluate(data, medoids, dims, owner);
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_medoids = medoids;
+      best_dims = dims;
+      best_owner = owner;
+      stale = 0;
+    } else {
+      ++stale;
+      medoids = best_medoids;  // climb from the best point
+    }
+    // Replace the medoid of the smallest cluster (the "bad medoid"
+    // heuristic) with a random unused candidate.
+    std::vector<std::size_t> sizes(k, 0);
+    for (const std::size_t o : best_owner) ++sizes[o];
+    const std::size_t worst = static_cast<std::size_t>(
+        std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+    const RecordIndex replacement =
+        candidates[uniform_index(rng, candidates.size())];
+    if (std::find(medoids.begin(), medoids.end(), replacement) == medoids.end()) {
+      medoids[worst] = replacement;
+    }
+  }
+
+  // --- Refinement: recompute dimensions from the final assignment's
+  // clusters (distances measured to each cluster's own points via the
+  // medoid locality of the whole cluster), then reassign once.
+  const auto final_dims = find_dimensions(data, best_medoids, dim_budget);
+  const auto final_owner = assign(data, best_medoids, final_dims);
+
+  // Outliers: farther from their medoid (segmental) than that medoid's
+  // sphere of influence = min over other medoids of segmental distance.
+  std::vector<double> influence(k, std::numeric_limits<double>::max());
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      influence[i] = std::min(
+          influence[i],
+          segmental(data, best_medoids[i], best_medoids[j], final_dims[i]));
+    }
+  }
+
+  ProclusResult result;
+  result.clusters.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    result.clusters[i].medoid = best_medoids[i];
+    result.clusters[i].dims = final_dims[i];
+  }
+  for (RecordIndex r = 0; r < data.num_records(); ++r) {
+    const std::size_t i = final_owner[static_cast<std::size_t>(r)];
+    const double dd = segmental(data, r, best_medoids[i], final_dims[i]);
+    if (k > 1 && dd > influence[i]) {
+      result.outliers.push_back(r);
+    } else {
+      result.clusters[i].members.push_back(r);
+    }
+  }
+  result.objective = evaluate(data, best_medoids, final_dims, final_owner);
+  result.iterations = iterations;
+  return result;
+}
+
+}  // namespace mafia

@@ -1,0 +1,54 @@
+// Distribution helpers over the library's random engines.
+//
+// Implemented by hand (not via <random> distributions) so that generated
+// data sets are bit-identical across standard library implementations —
+// important because EXPERIMENTS.md records exact cluster counts.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mafia {
+
+/// Uniform double in [0, 1) from one 64-bit draw (53-bit mantissa path).
+template <typename Engine>
+[[nodiscard]] double uniform01(Engine& rng) {
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in [lo, hi).
+template <typename Engine>
+[[nodiscard]] double uniform_real(Engine& rng, double lo, double hi) {
+  return lo + (hi - lo) * uniform01(rng);
+}
+
+/// Uniform integer in [0, n) using Lemire's multiply-shift rejection method
+/// (unbiased, at most a handful of retries).
+template <typename Engine>
+[[nodiscard]] std::uint64_t uniform_index(Engine& rng, std::uint64_t n) {
+  require(n > 0, "uniform_index: n must be positive");
+  // 64x64 -> 128 multiply; keep retrying while in the biased low zone.
+  while (true) {
+    const std::uint64_t x = rng();
+    const __uint128_t m = static_cast<__uint128_t>(x) * n;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= n) return static_cast<std::uint64_t>(m >> 64);
+    const std::uint64_t threshold = (0ull - n) % n;
+    if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+/// Fisher-Yates shuffle driven by the given engine.
+template <typename Engine, typename RandomIt>
+void shuffle(Engine& rng, RandomIt first, RandomIt last) {
+  const auto n = static_cast<std::uint64_t>(last - first);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const std::uint64_t j = uniform_index(rng, i);
+    using std::swap;
+    swap(first[i - 1], first[j]);
+  }
+}
+
+}  // namespace mafia

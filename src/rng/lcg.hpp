@@ -1,0 +1,73 @@
+// Classic linear congruential generator.
+//
+// Included as the contrast case the paper motivates: "long sequences of
+// Unix random number generators (LCGs) exhibit regular behavior by falling
+// into specific planes" (Section 5.1).  tests/rng_test.cpp demonstrates the
+// plane structure on this generator and its absence on IcgRandom, and the
+// data generator accepts either engine so the effect on clustering can be
+// reproduced.
+#pragma once
+
+#include <cstdint>
+
+namespace mafia {
+
+/// drand48-style 48-bit LCG (the classic Unix generator the paper calls out).
+class LcgRandom {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit LcgRandom(std::uint64_t seed = 0x330e) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) { state_ = seed & kMask; }
+
+  /// Next raw 48-bit state, widened to 64 bits *without* scrambling — the
+  /// whole point of this class is to expose the lattice structure.
+  std::uint64_t next() {
+    state_ = (kA * state_ + kC) & kMask;
+    return state_ << 16;  // align the 48 significant bits to the top
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+ private:
+  static constexpr std::uint64_t kA = 0x5deece66dull;
+  static constexpr std::uint64_t kC = 0xb;
+  static constexpr std::uint64_t kMask = (1ull << 48) - 1;
+  std::uint64_t state_;
+};
+
+/// The classic IBM RANDU generator (m = 2^31, a = 65539, c = 0): the
+/// canonical "falls into planes" failure.  Successive triples satisfy
+/// 9x_n − 6x_{n+1} + x_{n+2} ≡ 0 (mod 2^31), so in [0,1) space every
+/// triple's dot product with (9, −6, 1) is one of at most 16 integers —
+/// 15 planes.  Used by the plane-diagnostic test to demonstrate the defect
+/// the paper's choice of the ICG avoids.
+class RanduRandom {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit RanduRandom(std::uint64_t seed = 1) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) { state_ = (seed | 1ull) & 0x7fffffffull; }
+
+  /// Next value, widened so the 31 significant bits sit at the top (the
+  /// (x >> 11) * 2^-53 mapping then reproduces x / 2^31 exactly).
+  std::uint64_t next() {
+    state_ = (65539ull * state_) & 0x7fffffffull;
+    return state_ << 33;
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace mafia

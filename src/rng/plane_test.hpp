@@ -1,0 +1,41 @@
+// Lattice-plane diagnostic for pseudorandom generators.
+//
+// The paper rejects Unix LCGs because "long sequences ... exhibit regular
+// behavior by falling into specific planes".  This header provides a cheap
+// quantitative version of that observation: project successive k-tuples of
+// the generator's output onto a direction derived from the LCG multiplier
+// and measure how many distinct quantized plane offsets the tuples occupy.
+// A lattice-structured generator occupies very few offsets; a well-behaved
+// one fills the range.  Used by tests/rng_test.cpp and the datagen docs.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace mafia {
+
+/// Counts distinct quantized offsets of successive `dim`-tuples along the
+/// direction `direction` (unit-less integer combination), using `samples`
+/// tuples from `rng` mapped to [0,1).  Fewer distinct offsets => stronger
+/// plane structure.
+template <typename Engine>
+[[nodiscard]] std::size_t count_plane_offsets(Engine& rng, std::size_t samples,
+                                              const std::vector<double>& direction,
+                                              double quantum) {
+  const std::size_t dim = direction.size();
+  std::vector<double> tuple(dim);
+  std::set<long long> offsets;
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      tuple[j] = static_cast<double>(rng() >> 11) * 0x1.0p-53;
+    }
+    double dot = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) dot += direction[j] * tuple[j];
+    offsets.insert(static_cast<long long>(std::floor(dot / quantum)));
+  }
+  return offsets.size();
+}
+
+}  // namespace mafia

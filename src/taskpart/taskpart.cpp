@@ -1,0 +1,87 @@
+#include "taskpart/taskpart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mafia {
+
+std::uint64_t triangular_work(std::size_t n, std::size_t begin, std::size_t end) {
+  require(begin <= end && end <= n, "triangular_work: bad range");
+  // Σ_{j=begin}^{end-1} (n − j) = n·len − Σ j.
+  const std::uint64_t len = end - begin;
+  if (len == 0) return 0;
+  const std::uint64_t sum_j =
+      (static_cast<std::uint64_t>(begin) + (end - 1)) * len / 2;
+  return static_cast<std::uint64_t>(n) * len - sum_j;
+}
+
+std::uint64_t triangular_total_work(std::size_t n) {
+  return static_cast<std::uint64_t>(n) * (n + 1) / 2;
+}
+
+std::vector<std::size_t> triangular_partition(std::size_t n, std::size_t p) {
+  require(p >= 1, "triangular_partition: need at least one rank");
+  std::vector<std::size_t> bounds(p + 1, 0);
+  bounds[p] = n;
+  if (n == 0 || p == 1) return bounds;
+
+  // Cumulative work of a prefix [0, x): C(x) = n·x − x(x−1)/2.  Boundary
+  // n_i is the real root of C(x) = i·W/p with W = n(n+1)/2, i.e. of
+  //   x² − (2n+1)·x + 2·i·W/p = 0,
+  // taking the smaller root (the one in [0, n]).  This is the iterative
+  // quadratic solve of Eq. 1 done in closed form.
+  const double total = static_cast<double>(triangular_total_work(n));
+  const double b = 2.0 * static_cast<double>(n) + 1.0;
+  for (std::size_t i = 1; i < p; ++i) {
+    const double target = total * static_cast<double>(i) / static_cast<double>(p);
+    const double disc = b * b - 8.0 * target;
+    const double x = disc <= 0 ? static_cast<double>(n)
+                               : (b - std::sqrt(disc)) / 2.0;
+    auto cut = static_cast<std::size_t>(std::llround(x));
+    cut = std::min(cut, n);
+    cut = std::max(cut, bounds[i - 1]);  // keep boundaries monotone
+    bounds[i] = cut;
+  }
+  // Monotonicity against the final boundary.
+  for (std::size_t i = p; i-- > 1;) {
+    bounds[i] = std::min(bounds[i], bounds[i + 1]);
+  }
+  return bounds;
+}
+
+std::vector<std::size_t> flag_balanced_partition(std::span<const std::uint8_t> flags,
+                                                 std::size_t p) {
+  require(p >= 1, "flag_balanced_partition: need at least one rank");
+  const std::size_t n = flags.size();
+  std::vector<std::size_t> bounds(p + 1, 0);
+  bounds[p] = n;
+  if (p == 1 || n == 0) return bounds;
+
+  std::size_t total_set = 0;
+  for (const std::uint8_t f : flags) total_set += (f != 0);
+
+  // Linear scan: advance the cut when the running count reaches the next
+  // rank's quota (ceil-balanced so early ranks take the remainder).
+  std::size_t next_rank = 1;
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < n && next_rank < p; ++i) {
+    seen += (flags[i] != 0);
+    // Quota for the first `next_rank` ranks.
+    const std::size_t quota =
+        (total_set * next_rank + p - 1) / p;  // ceil(total·r/p)
+    if (seen >= quota) {
+      bounds[next_rank] = i + 1;
+      ++next_rank;
+    }
+  }
+  for (; next_rank < p; ++next_rank) bounds[next_rank] = n;
+  // Monotonicity (quotas of zero can leave early bounds at 0 — fine).
+  for (std::size_t i = 1; i <= p; ++i) {
+    bounds[i] = std::max(bounds[i], bounds[i - 1]);
+  }
+  return bounds;
+}
+
+}  // namespace mafia

@@ -1,0 +1,48 @@
+// Optimal task partitioning (Section 4.3, Equation 1).
+//
+// Building CDUs compares dense unit i with every dense unit j > i: unit i
+// costs (Ndu − i) comparisons under the paper's accounting, so total work
+// is Ndu(Ndu+1)/2 and a naive block split of the unit array gives the first
+// processor far more work than the last.  The paper picks boundaries
+// 0 ≤ n₁ ≤ ... ≤ n_{p−1} ≤ Ndu so each processor's range carries work
+// Ndu(Ndu+1)/(2p), solving one quadratic per boundary (Eq. 1):
+//
+//   Ndu·(n_{i+1} − n_i) − Σ_{j=n_i}^{n_{i+1}−1} j = Ndu(Ndu+1)/(2p)
+//
+// This module provides the closed-form solver, exact work accounting (for
+// the tests that prove the split optimal), the same partitioning applied to
+// repeat elimination (Ndu → Ncdu, as the paper prescribes), and the
+// "linear search" equal-count partitioning used when dense units are spread
+// unevenly through the CDU array (Algorithm 6's build step).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mafia {
+
+/// Comparisons charged to index range [begin, end) of a triangular pair
+/// loop over `n` items: Σ_{j=begin}^{end-1} (n − j).
+[[nodiscard]] std::uint64_t triangular_work(std::size_t n, std::size_t begin,
+                                            std::size_t end);
+
+/// Total triangular work n(n+1)/2.
+[[nodiscard]] std::uint64_t triangular_total_work(std::size_t n);
+
+/// Eq. 1 boundaries: returns p+1 ascending cut points with [r] .. [r+1]
+/// being rank r's index range; boundaries[0] == 0, boundaries[p] == n.
+/// Each range's triangular_work differs from the ideal n(n+1)/(2p) by at
+/// most one row's work (integer rounding of the real-valued solution).
+[[nodiscard]] std::vector<std::size_t> triangular_partition(std::size_t n,
+                                                            std::size_t p);
+
+/// Equal-count partitioning by linear search: cut [0, flags.size()) into p
+/// ranges each containing (as nearly as possible) the same number of set
+/// flags.  Used to balance dense-unit data-structure construction when
+/// "the dense units would not be distributed evenly" (Section 4.4).
+[[nodiscard]] std::vector<std::size_t> flag_balanced_partition(
+    std::span<const std::uint8_t> flags, std::size_t p);
+
+}  // namespace mafia

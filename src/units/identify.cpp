@@ -1,0 +1,76 @@
+#include "units/identify.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mafia {
+
+double unit_threshold(const UnitStore& cdus, std::size_t u, const GridSet& grids,
+                      DensityPolicy policy, const DensityContext& ctx) {
+  const auto dims = cdus.dims(u);
+  const auto bins = cdus.bins(u);
+  switch (policy) {
+    case DensityPolicy::AllBins: {
+      double t = 0.0;
+      for (std::size_t i = 0; i < dims.size(); ++i) {
+        t = std::max(t, grids[dims[i]].threshold(bins[i]));
+      }
+      return t;
+    }
+    case DensityPolicy::AnyBin: {
+      double t = std::numeric_limits<double>::max();
+      for (std::size_t i = 0; i < dims.size(); ++i) {
+        t = std::min(t, grids[dims[i]].threshold(bins[i]));
+      }
+      return t;
+    }
+    case DensityPolicy::ScaledProduct: {
+      // alpha * N * prod(a_i / D_i): the expected population under full
+      // independence, scaled by the dominance factor.
+      double fraction = 1.0;
+      for (std::size_t i = 0; i < dims.size(); ++i) {
+        const DimensionGrid& g = grids[dims[i]];
+        const double domain = static_cast<double>(g.domain_hi) - g.domain_lo;
+        const double width = static_cast<double>(g.bin_width(bins[i]));
+        fraction *= domain > 0 ? width / domain : 1.0;
+      }
+      return ctx.alpha * static_cast<double>(ctx.total_records) * fraction;
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+std::size_t identify_dense_units(const UnitStore& cdus,
+                                 const std::vector<Count>& counts,
+                                 const GridSet& grids, DensityPolicy policy,
+                                 const DensityContext& ctx, std::size_t u_begin,
+                                 std::size_t u_end,
+                                 std::vector<std::uint8_t>& flags) {
+  require(counts.size() == cdus.size(), "identify_dense_units: counts mismatch");
+  require(flags.size() == cdus.size(), "identify_dense_units: flags mismatch");
+  require(u_begin <= u_end && u_end <= cdus.size(), "identify_dense_units: bad range");
+
+  std::size_t found = 0;
+  for (std::size_t u = u_begin; u < u_end; ++u) {
+    const double threshold = unit_threshold(cdus, u, grids, policy, ctx);
+    if (static_cast<double>(counts[u]) >= threshold) {
+      flags[u] = 1;
+      ++found;
+    }
+  }
+  return found;
+}
+
+UnitStore build_dense_store(const UnitStore& cdus,
+                            const std::vector<std::uint8_t>& flags,
+                            std::size_t u_begin, std::size_t u_end) {
+  require(flags.size() == cdus.size(), "build_dense_store: flags mismatch");
+  require(u_begin <= u_end && u_end <= cdus.size(), "build_dense_store: bad range");
+  UnitStore dense(cdus.k());
+  for (std::size_t u = u_begin; u < u_end; ++u) {
+    if (flags[u]) dense.push_unchecked(cdus.dims(u).data(), cdus.bins(u).data());
+  }
+  return dense;
+}
+
+}  // namespace mafia

@@ -1,0 +1,66 @@
+// Dense-unit identification (Algorithm 5) and dense-unit data structure
+// construction (Algorithm 6).
+//
+// "The histogram count of each CDU is compared against the threshold of all
+// the bins which form the CDU" (Section 4.4).  The default reading — a CDU
+// is dense iff its population meets the threshold of EVERY constituent bin
+// (equivalently, the max) — is DensityPolicy::AllBins.  Two alternatives
+// are provided for the ablation bench: AnyBin (min threshold) and
+// ScaledProduct (α times the full-independence expectation α·N·Π aᵢ/Dᵢ,
+// which shrinks geometrically with k and admits far more units).
+//
+// Both kernels take explicit unit ranges so the parallel driver can
+// task-partition them (each rank examines Ncdu/p CDUs / builds its share of
+// dense-unit arrays).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "grid/grid_types.hpp"
+#include "units/unit_store.hpp"
+
+namespace mafia {
+
+enum class DensityPolicy {
+  AllBins,        ///< count >= max over constituent bins' thresholds (default)
+  AnyBin,         ///< count >= min over constituent bins' thresholds
+  ScaledProduct,  ///< count >= alpha * N * prod(a_i / D_i)
+};
+
+/// Context the ScaledProduct policy needs (ignored by the others).
+struct DensityContext {
+  double alpha = 1.5;
+  Count total_records = 0;
+};
+
+/// The density threshold `cdus[u]` must meet under `policy`.
+[[nodiscard]] double unit_threshold(const UnitStore& cdus, std::size_t u,
+                                    const GridSet& grids, DensityPolicy policy,
+                                    const DensityContext& ctx);
+
+/// Fills `flags[u]` (1 = dense) for u in [u_begin, u_end); other entries
+/// are left at 0 so per-rank flag vectors OR/sum-reduce to the global set.
+/// Returns the number of dense units found in the range.
+std::size_t identify_dense_units(const UnitStore& cdus,
+                                 const std::vector<Count>& counts,
+                                 const GridSet& grids, DensityPolicy policy,
+                                 const DensityContext& ctx, std::size_t u_begin,
+                                 std::size_t u_end,
+                                 std::vector<std::uint8_t>& flags);
+
+/// Builds the dense-unit store from CDUs whose flag is set, restricted to
+/// units in [u_begin, u_end) (Algorithm 6's parallel construction; ranks'
+/// results concatenate in rank order to the global store).
+[[nodiscard]] UnitStore build_dense_store(const UnitStore& cdus,
+                                          const std::vector<std::uint8_t>& flags,
+                                          std::size_t u_begin, std::size_t u_end);
+
+/// Serial convenience over the full range.
+[[nodiscard]] inline UnitStore build_dense_store(
+    const UnitStore& cdus, const std::vector<std::uint8_t>& flags) {
+  return build_dense_store(cdus, flags, 0, cdus.size());
+}
+
+}  // namespace mafia

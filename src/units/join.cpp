@@ -1,0 +1,133 @@
+#include "units/join.hpp"
+
+#include <array>
+
+namespace mafia {
+
+namespace {
+
+/// Sorted-merge join for the MAFIA rule: units `a`, `b` of dimensionality
+/// km1 = k−1 combine iff they share exactly km1−1 dimensions with equal bins
+/// on every shared dimension (union therefore has km1+1 = k dimensions).
+/// Writes the merged (sorted) dims/bins into the output arrays and returns
+/// true on success.
+bool merge_mafia(std::span<const DimId> da, std::span<const BinId> ba,
+                 std::span<const DimId> db, std::span<const BinId> bb,
+                 DimId* out_dims, BinId* out_bins) {
+  const std::size_t km1 = da.size();
+  const std::size_t k = km1 + 1;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  std::size_t out = 0;
+  std::size_t shared = 0;
+  while (ia < km1 || ib < km1) {
+    if (out >= k) return false;  // union larger than k: too few shared dims
+    if (ib == km1 || (ia < km1 && da[ia] < db[ib])) {
+      out_dims[out] = da[ia];
+      out_bins[out] = ba[ia];
+      ++ia;
+      ++out;
+    } else if (ia == km1 || db[ib] < da[ia]) {
+      out_dims[out] = db[ib];
+      out_bins[out] = bb[ib];
+      ++ib;
+      ++out;
+    } else {
+      // Shared dimension: bins must agree for the units to be compatible.
+      if (ba[ia] != bb[ib]) return false;
+      out_dims[out] = da[ia];
+      out_bins[out] = ba[ia];
+      ++ia;
+      ++ib;
+      ++out;
+      ++shared;
+    }
+  }
+  return out == k && shared == km1 - 1;
+}
+
+/// CLIQUE prefix join: units combine iff their first km1−1 (dim, bin) pairs
+/// are identical and their last dimensions differ.  The result is the
+/// shared prefix plus both last dimensions in ascending order (each unit's
+/// dims are ascending, so both last dims exceed every prefix dim).
+bool merge_clique(std::span<const DimId> da, std::span<const BinId> ba,
+                  std::span<const DimId> db, std::span<const BinId> bb,
+                  DimId* out_dims, BinId* out_bins) {
+  const std::size_t km1 = da.size();
+  for (std::size_t i = 0; i + 1 < km1; ++i) {
+    if (da[i] != db[i] || ba[i] != bb[i]) return false;
+  }
+  const DimId last_a = da[km1 - 1];
+  const DimId last_b = db[km1 - 1];
+  if (last_a == last_b) return false;
+  for (std::size_t i = 0; i + 1 < km1; ++i) {
+    out_dims[i] = da[i];
+    out_bins[i] = ba[i];
+  }
+  if (last_a < last_b) {
+    out_dims[km1 - 1] = last_a;
+    out_bins[km1 - 1] = ba[km1 - 1];
+    out_dims[km1] = last_b;
+    out_bins[km1] = bb[km1 - 1];
+  } else {
+    out_dims[km1 - 1] = last_b;
+    out_bins[km1 - 1] = bb[km1 - 1];
+    out_dims[km1] = last_a;
+    out_bins[km1] = ba[km1 - 1];
+  }
+  return true;
+}
+
+}  // namespace
+
+bool try_join(const UnitStore& dense, std::size_t a, std::size_t b, JoinRule rule,
+              UnitStore& out) {
+  require(out.k() == dense.k() + 1, "try_join: output store has wrong k");
+  std::array<DimId, kMaxDims> dims;
+  std::array<BinId, kMaxDims> bins;
+  const bool ok =
+      rule == JoinRule::MafiaAnyShared
+          ? merge_mafia(dense.dims(a), dense.bins(a), dense.dims(b), dense.bins(b),
+                        dims.data(), bins.data())
+          : merge_clique(dense.dims(a), dense.bins(a), dense.dims(b), dense.bins(b),
+                         dims.data(), bins.data());
+  if (ok) out.push_unchecked(dims.data(), bins.data());
+  return ok;
+}
+
+JoinResult join_dense_units(const UnitStore& dense, JoinRule rule,
+                            std::size_t i_begin, std::size_t i_end) {
+  require(i_begin <= i_end && i_end <= dense.size(), "join_dense_units: bad range");
+  const std::size_t n = dense.size();
+  const std::size_t k = dense.k() + 1;
+
+  JoinResult result;
+  result.cdus = UnitStore(k);
+  result.combined.assign(n, 0);
+
+  std::array<DimId, kMaxDims> dims;
+  std::array<BinId, kMaxDims> bins;
+
+  for (std::size_t i = i_begin; i < i_end; ++i) {
+    const auto da = dense.dims(i);
+    const auto ba = dense.bins(i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool ok =
+          rule == JoinRule::MafiaAnyShared
+              ? merge_mafia(da, ba, dense.dims(j), dense.bins(j), dims.data(),
+                            bins.data())
+              : merge_clique(da, ba, dense.dims(j), dense.bins(j), dims.data(),
+                             bins.data());
+      if (ok) {
+        result.cdus.push_unchecked(dims.data(), bins.data());
+        result.parents.emplace_back(static_cast<std::uint32_t>(i),
+                                    static_cast<std::uint32_t>(j));
+        result.combined[i] = 1;
+        result.combined[j] = 1;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mafia

@@ -1,0 +1,63 @@
+// Candidate-dense-unit generation: the MAFIA join and the CLIQUE join.
+//
+// Section 3: "candidate dense cells in k dimensions are obtained by merging
+// any two dense cells, represented by an ordered set of (k−1) dimensions,
+// such that they share any of the (k−2) dimensions" — versus CLIQUE, which
+// only merges units sharing the *first* (k−2) dimensions and therefore
+// provably misses candidates (the paper's {a₁,b₇,c₈} ⋈ {b₇,c₈,d₉} example;
+// reproduced in tests/join_test.cpp).
+//
+// The triangular pair loop (unit i against every unit j > i) is exactly the
+// workload Eq. 1 partitions across processors, so the kernel takes an
+// explicit i-range: rank r runs join_dense_units(dense, rule, n_r, n_{r+1}).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "units/unit_store.hpp"
+
+namespace mafia {
+
+/// Which pairs of (k−1)-dim dense units may combine into a k-dim CDU.
+enum class JoinRule {
+  /// MAFIA: any two units sharing any (k−2) dims (bins equal on shared dims).
+  MafiaAnyShared,
+  /// CLIQUE: units sharing their first (k−2) dims (ordered-set prefix).
+  CliquePrefix,
+};
+
+/// Output of one join-range execution.
+struct JoinResult {
+  /// Raw k-dim CDUs (duplicates possible; see dedup.hpp).
+  UnitStore cdus{1};
+  /// Per raw CDU: the indices of its two parent dense units, used after
+  /// density identification to mark which parents live on inside a dense
+  /// child (cluster registration needs the complement set).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> parents;
+  /// Per dense unit (size = dense.size()): 1 iff the unit combined with at
+  /// least one other unit in this range's pairs.  OR-reduce across ranks to
+  /// find the paper's "dense units which could not be combined with any
+  /// other dense units" (registered as potential clusters).
+  std::vector<std::uint8_t> combined;
+};
+
+/// Attempts to join dense units `a` and `b` (both of dimensionality k−1)
+/// into a k-dim CDU under `rule`.  On success appends the CDU to `out` and
+/// returns true.  Exposed for tests; the drivers use join_dense_units.
+bool try_join(const UnitStore& dense, std::size_t a, std::size_t b, JoinRule rule,
+              UnitStore& out);
+
+/// Runs the pair loop for i in [i_begin, i_end), j in (i, dense.size()).
+/// `dense` holds (k−1)-dim units; the result holds k-dim raw CDUs.
+[[nodiscard]] JoinResult join_dense_units(const UnitStore& dense, JoinRule rule,
+                                          std::size_t i_begin, std::size_t i_end);
+
+/// Convenience: the full (serial) join over all pairs.
+[[nodiscard]] inline JoinResult join_dense_units(const UnitStore& dense,
+                                                 JoinRule rule) {
+  return join_dense_units(dense, rule, 0, dense.size());
+}
+
+}  // namespace mafia

@@ -1,0 +1,87 @@
+#include "units/populate.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <numeric>
+
+namespace mafia {
+
+UnitPopulator::UnitPopulator(const GridSet& grids, const UnitStore& cdus)
+    : grids_(grids),
+      k_(cdus.k()),
+      counts_(cdus.size(), 0),
+      bin_scratch_(grids.num_dims(), 0),
+      dim_used_(grids.num_dims(), 0) {
+  // Group CDU indices by dimension set.
+  std::map<std::vector<DimId>, std::vector<std::uint32_t>> by_subspace;
+  for (std::size_t u = 0; u < cdus.size(); ++u) {
+    const auto d = cdus.dims(u);
+    std::vector<DimId> key(d.begin(), d.end());
+    by_subspace[std::move(key)].push_back(static_cast<std::uint32_t>(u));
+  }
+
+  subspaces_.reserve(by_subspace.size());
+  for (auto& [dims, members] : by_subspace) {
+    Subspace sub;
+    sub.dims = dims;
+    for (const DimId d : dims) dim_used_[d] = 1;
+
+    // Lex-sort the member CDUs by their bin rows so record lookup is a
+    // binary search over contiguous k-byte rows.
+    std::sort(members.begin(), members.end(),
+              [&cdus, this](std::uint32_t a, std::uint32_t b) {
+                return std::memcmp(cdus.bins(a).data(), cdus.bins(b).data(), k_) < 0;
+              });
+    sub.sorted_bins.reserve(members.size() * k_);
+    sub.cdu_index = members;
+    for (const std::uint32_t u : members) {
+      const auto b = cdus.bins(u);
+      sub.sorted_bins.insert(sub.sorted_bins.end(), b.begin(), b.end());
+    }
+    subspaces_.push_back(std::move(sub));
+  }
+}
+
+void UnitPopulator::accumulate(const Value* rows, std::size_t nrows) {
+  const std::size_t d = grids_.num_dims();
+  std::vector<BinId> key(k_);
+
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const Value* row = rows + r * d;
+
+    // Bin the record once in every dimension that participates anywhere.
+    for (std::size_t j = 0; j < d; ++j) {
+      if (dim_used_[j]) bin_scratch_[j] = grids_[j].bin_of(row[j]);
+    }
+
+    for (const Subspace& sub : subspaces_) {
+      // Project the record onto the subspace's dimensions.
+      for (std::size_t i = 0; i < k_; ++i) key[i] = bin_scratch_[sub.dims[i]];
+
+      // Binary search the projected bin tuple among the sorted CDU rows.
+      std::size_t lo = 0;
+      std::size_t hi = sub.cdu_index.size();
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        const int cmp =
+            std::memcmp(sub.sorted_bins.data() + mid * k_, key.data(), k_);
+        if (cmp < 0) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      // Increment every matching row (duplicate CDUs are normally removed
+      // by dedup before populating, but the counting contract holds either
+      // way: identical candidates sort adjacently).
+      while (lo < sub.cdu_index.size() &&
+             std::memcmp(sub.sorted_bins.data() + lo * k_, key.data(), k_) == 0) {
+        ++counts_[sub.cdu_index[lo]];
+        ++lo;
+      }
+    }
+  }
+}
+
+}  // namespace mafia

@@ -1,0 +1,207 @@
+// Tests for the BIRCH / CURE / CLARANS baselines: blob recovery, model
+// invariants, and option validation.  (Their subspace-blindness contrast is
+// demonstrated in bench_baseline_zoo; DBSCAN and k-means carry the test
+// assertions for that property.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baselines/birch.hpp"
+#include "baselines/clarans.hpp"
+#include "baselines/cure.hpp"
+#include "datagen/generator.hpp"
+
+namespace mafia {
+namespace {
+
+Dataset blobs(RecordIndex records = 2000, std::uint64_t seed = 5) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 4;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  cfg.noise_fraction = 0.0;
+  cfg.clusters.push_back(
+      ClusterSpec::box({0, 1, 2, 3}, {10, 10, 10, 10}, {25, 25, 25, 25}, 1.0));
+  cfg.clusters.push_back(
+      ClusterSpec::box({0, 1, 2, 3}, {70, 70, 70, 70}, {85, 85, 85, 85}, 1.0));
+  return generate(cfg);
+}
+
+/// Consistency of a 2-way labeling with the planted blob labels.
+double purity(const Dataset& data, const std::vector<std::int32_t>& labels) {
+  std::int32_t label_of[2] = {-9, -9};
+  std::size_t wrong = 0;
+  std::size_t total = 0;
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    const std::int32_t t = data.label(i);
+    if (t < 0) continue;
+    ++total;
+    const std::int32_t got = labels[static_cast<std::size_t>(i)];
+    if (label_of[t] == -9) label_of[t] = got;
+    wrong += (got != label_of[t]);
+  }
+  if (label_of[0] == label_of[1]) return 0.0;  // degenerate one-cluster split
+  return 1.0 - static_cast<double>(wrong) / static_cast<double>(total);
+}
+
+// ------------------------------------------------------------------- BIRCH
+
+TEST(Birch, SeparatesBlobs) {
+  const Dataset data = blobs();
+  BirchOptions o;
+  o.threshold = 6.0;
+  o.num_clusters = 2;
+  const BirchResult r = run_birch(data, o);
+  ASSERT_EQ(r.num_clusters(), 2u);
+  EXPECT_GT(purity(data, birch_assign(data, r)), 0.98);
+  // The CF-tree actually compressed: far fewer leaf entries than records.
+  EXPECT_LT(r.leaf_entries, data.num_records() / 4);
+  EXPECT_GE(r.tree_height, 1u);
+}
+
+TEST(Birch, SizesSumToRecordCount) {
+  const Dataset data = blobs(1000);
+  BirchOptions o;
+  o.threshold = 6.0;
+  o.num_clusters = 3;
+  const BirchResult r = run_birch(data, o);
+  Count total = 0;
+  for (const Count s : r.sizes) total += s;
+  EXPECT_EQ(total, data.num_records());
+}
+
+TEST(Birch, TighterThresholdMeansMoreLeafEntries) {
+  const Dataset data = blobs(1500);
+  BirchOptions tight;
+  tight.threshold = 2.0;
+  BirchOptions loose;
+  loose.threshold = 10.0;
+  EXPECT_GT(run_birch(data, tight).leaf_entries,
+            run_birch(data, loose).leaf_entries);
+}
+
+TEST(Birch, ValidatesOptions) {
+  const Dataset data = blobs(100);
+  BirchOptions bad;
+  bad.threshold = 0.0;
+  EXPECT_THROW((void)run_birch(data, bad), Error);
+  bad = BirchOptions{};
+  bad.branching = 1;
+  EXPECT_THROW((void)run_birch(data, bad), Error);
+}
+
+// -------------------------------------------------------------------- CURE
+
+TEST(Cure, SeparatesBlobs) {
+  const Dataset data = blobs(1200);
+  CureOptions o;
+  o.num_clusters = 2;
+  o.sample_size = 400;
+  o.seed = 7;
+  const CureResult r = run_cure(data, o);
+  ASSERT_EQ(r.clusters.size(), 2u);
+  EXPECT_GT(purity(data, r.labels), 0.98);
+  Count total = 0;
+  for (const auto& c : r.clusters) total += c.size;
+  EXPECT_EQ(total, data.num_records());
+}
+
+TEST(Cure, RepresentativesShrinkTowardCentroid) {
+  const Dataset data = blobs(800);
+  CureOptions o;
+  o.num_clusters = 2;
+  o.sample_size = 300;
+  o.shrink = 0.5;
+  const CureResult r = run_cure(data, o);
+  for (const CureCluster& c : r.clusters) {
+    const std::size_t reps = c.representatives.size() / r.num_dims;
+    ASSERT_GE(reps, 1u);
+    // Every representative lies strictly inside the members' bounding box
+    // because it was pulled halfway to the centroid; weaker check: its
+    // distance to the centroid is at most the cluster's radius.
+    for (std::size_t rr = 0; rr < reps; ++rr) {
+      double dist2 = 0.0;
+      for (std::size_t j = 0; j < r.num_dims; ++j) {
+        const double diff =
+            c.representatives[rr * r.num_dims + j] - c.centroid[j];
+        dist2 += diff * diff;
+      }
+      EXPECT_LT(std::sqrt(dist2), 30.0);
+    }
+  }
+}
+
+TEST(Cure, ValidatesOptions) {
+  const Dataset data = blobs(100);
+  CureOptions bad;
+  bad.shrink = 1.0;
+  EXPECT_THROW((void)run_cure(data, bad), Error);
+  bad = CureOptions{};
+  bad.num_clusters = 0;
+  EXPECT_THROW((void)run_cure(data, bad), Error);
+}
+
+// ----------------------------------------------------------------- CLARANS
+
+TEST(Clarans, SeparatesBlobs) {
+  const Dataset data = blobs(1000);
+  ClaransOptions o;
+  o.num_clusters = 2;
+  o.seed = 11;
+  const ClaransResult r = run_clarans(data, o);
+  ASSERT_EQ(r.medoids.size(), 2u);
+  EXPECT_GT(purity(data, r.labels), 0.98);
+  EXPECT_GT(r.swaps_examined, 0u);
+  // Medoids are actual records from different blobs.
+  const std::set<std::int32_t> blob_ids{data.label(r.medoids[0]),
+                                        data.label(r.medoids[1])};
+  EXPECT_EQ(blob_ids.size(), 2u);
+}
+
+TEST(Clarans, CostIsSumOfAssignedDistances) {
+  const Dataset data = blobs(400);
+  ClaransOptions o;
+  o.num_clusters = 2;
+  const ClaransResult r = run_clarans(data, o);
+  // Recompute the cost from labels.
+  double cost = 0.0;
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    const RecordIndex m =
+        r.medoids[static_cast<std::size_t>(r.labels[static_cast<std::size_t>(i)])];
+    double sum = 0.0;
+    for (std::size_t j = 0; j < data.num_dims(); ++j) {
+      const double diff =
+          static_cast<double>(data.at(i, j)) - data.at(m, j);
+      sum += diff * diff;
+    }
+    cost += std::sqrt(sum);
+  }
+  EXPECT_NEAR(r.cost, cost, 1e-6);
+}
+
+TEST(Clarans, MoreRestartsNeverWorse) {
+  const Dataset data = blobs(500, 13);
+  ClaransOptions one;
+  one.num_clusters = 3;
+  one.num_local = 1;
+  one.seed = 3;
+  ClaransOptions many = one;
+  many.num_local = 6;
+  // Same seed: the first restart is identical, so more restarts can only
+  // find an equal or better optimum.
+  EXPECT_LE(run_clarans(data, many).cost, run_clarans(data, one).cost + 1e-9);
+}
+
+TEST(Clarans, ValidatesOptions) {
+  const Dataset data = blobs(100);
+  ClaransOptions bad;
+  bad.num_clusters = 0;
+  EXPECT_THROW((void)run_clarans(data, bad), Error);
+  bad = ClaransOptions{};
+  bad.max_neighbors = 0;
+  EXPECT_THROW((void)run_clarans(data, bad), Error);
+}
+
+}  // namespace
+}  // namespace mafia

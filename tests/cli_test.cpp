@@ -1,0 +1,129 @@
+// Integration tests for the pmafia CLI binary: the generate -> cluster ->
+// save -> assign pipeline, the stage subcommand, and error handling.
+// The binary path is injected by CMake as PMAFIA_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef PMAFIA_CLI_PATH
+#error "PMAFIA_CLI_PATH must be defined by the build"
+#endif
+
+namespace {
+
+std::string temp(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Runs the CLI with `args`, captures stdout, returns {exit, output}.
+std::pair<int, std::string> run_cli(const std::string& args) {
+  const std::string out_file = temp("mafia_cli_test_stdout.txt");
+  const std::string command =
+      std::string(PMAFIA_CLI_PATH) + " " + args + " > " + out_file + " 2>&1";
+  const int status = std::system(command.c_str());
+  std::ifstream in(out_file);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(out_file.c_str());
+  return {status, buffer.str()};
+}
+
+class CliPipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = temp("mafia_cli_data.bin");
+    model_ = temp("mafia_cli_model.txt");
+    labels_ = temp("mafia_cli_labels.csv");
+  }
+  void TearDown() override {
+    std::remove(data_.c_str());
+    std::remove(model_.c_str());
+    std::remove(labels_.c_str());
+  }
+  std::string data_;
+  std::string model_;
+  std::string labels_;
+};
+
+TEST_F(CliPipeline, GenerateClusterSaveAssign) {
+  auto [gen_status, gen_out] = run_cli(
+      "generate --out " + data_ +
+      " --dims 8 --records 20000 --seed 7 --cluster 1,4,6:30:45");
+  ASSERT_EQ(gen_status, 0) << gen_out;
+  EXPECT_NE(gen_out.find("22000 records"), std::string::npos) << gen_out;
+
+  auto [cl_status, cl_out] = run_cli("cluster --data " + data_ +
+                                     " --ranks 2 --domain-lo 0 --domain-hi 100"
+                                     " --save " + model_);
+  ASSERT_EQ(cl_status, 0) << cl_out;
+  EXPECT_NE(cl_out.find("subspace {1,4,6}"), std::string::npos) << cl_out;
+  EXPECT_NE(cl_out.find("model saved"), std::string::npos);
+
+  auto [as_status, as_out] = run_cli("assign --data " + data_ + " --model " +
+                                     model_ + " --out " + labels_);
+  ASSERT_EQ(as_status, 0) << as_out;
+  EXPECT_NE(as_out.find("1 clusters"), std::string::npos) << as_out;
+
+  // The labels file has a header plus one row per record.
+  std::ifstream in(labels_);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 22001u);
+}
+
+TEST_F(CliPipeline, StageSplitsIntoRankFiles) {
+  ASSERT_EQ(run_cli("generate --out " + data_ +
+                    " --dims 4 --records 5000 --seed 3")
+                .first,
+            0);
+  auto [status, out] = run_cli("stage --data " + data_ + " --ranks 3");
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_NE(out.find("3 local partitions"), std::string::npos);
+  for (int r = 0; r < 3; ++r) {
+    const std::string part = data_ + ".local.rank" + std::to_string(r);
+    EXPECT_TRUE(std::filesystem::exists(part)) << part;
+    std::remove(part.c_str());
+  }
+}
+
+TEST_F(CliPipeline, CsvRoundTripThroughCli) {
+  const std::string csv = temp("mafia_cli_data.csv");
+  ASSERT_EQ(run_cli("generate --out " + csv +
+                    " --dims 5 --records 8000 --seed 9 --cluster 0,2:20:35")
+                .first,
+            0);
+  auto [status, out] =
+      run_cli("cluster --data " + csv + " --domain-lo 0 --domain-hi 100");
+  EXPECT_EQ(status, 0) << out;
+  EXPECT_NE(out.find("subspace {0,2}"), std::string::npos) << out;
+  std::remove(csv.c_str());
+}
+
+TEST(CliErrors, UnknownSubcommandFails) {
+  EXPECT_NE(run_cli("frobnicate").first, 0);
+}
+
+TEST(CliErrors, MissingDataFlagFails) {
+  auto [status, out] = run_cli("cluster");
+  EXPECT_NE(status, 0);
+  EXPECT_NE(out.find("--data is required"), std::string::npos) << out;
+}
+
+TEST(CliErrors, NonexistentFileFails) {
+  EXPECT_NE(run_cli("cluster --data /nonexistent/never.bin").first, 0);
+}
+
+TEST(CliErrors, MalformedClusterSpecFails) {
+  auto [status, out] =
+      run_cli("generate --out /tmp/x.bin --cluster not-a-spec");
+  EXPECT_NE(status, 0);
+  EXPECT_NE(out.find("dims:lo:hi"), std::string::npos) << out;
+}
+
+}  // namespace

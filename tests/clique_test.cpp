@@ -1,0 +1,254 @@
+// Tests for the CLIQUE baseline: option mapping, the prefix join's missed
+// candidates versus the modified join, MDL subspace selection, the greedy
+// rectangle cover, and the Table 3 quality ordering (MAFIA's boundaries
+// beat CLIQUE's fixed grid).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "clique/clique.hpp"
+#include "clique/greedy_cover.hpp"
+#include "cluster/quality.hpp"
+#include "core/mdl.hpp"
+#include "datagen/generator.hpp"
+#include "datagen/workloads.hpp"
+#include "io/data_source.hpp"
+
+namespace mafia {
+namespace {
+
+CliqueOptions default_clique() {
+  CliqueOptions o;
+  o.fixed_domain = {{0.0f, 100.0f}};
+  return o;
+}
+
+// --------------------------------------------------------- option mapping
+
+TEST(CliqueOptions, MapsOntoDriverOptions) {
+  CliqueOptions o = default_clique();
+  o.xi = 12;
+  o.tau_fraction = 0.05;
+  const MafiaOptions mo = to_mafia_options(o);
+  ASSERT_TRUE(mo.uniform_grid.has_value());
+  EXPECT_EQ(mo.uniform_grid->xi, 12u);
+  EXPECT_DOUBLE_EQ(mo.uniform_grid->tau_fraction, 0.05);
+  EXPECT_EQ(mo.join_rule, JoinRule::CliquePrefix);
+
+  o.modified_join = true;
+  EXPECT_EQ(to_mafia_options(o).join_rule, JoinRule::MafiaAnyShared);
+}
+
+TEST(CliqueOptions, RejectsBadParameters) {
+  CliqueOptions o = default_clique();
+  o.tau_fraction = 0.0;
+  EXPECT_THROW((void)to_mafia_options(o), Error);
+  o = default_clique();
+  o.xi = 0;
+  EXPECT_THROW((void)to_mafia_options(o), Error);
+}
+
+// ------------------------------------------------------------ end-to-end
+
+TEST(Clique, FindsAlignedClusterSubspace) {
+  // Cluster aligned to the 10-bin grid: CLIQUE finds the right subspace.
+  GeneratorConfig cfg;
+  cfg.num_dims = 8;
+  cfg.num_records = 30000;
+  cfg.seed = 51;
+  cfg.clusters.push_back(ClusterSpec::box({1, 4, 6}, {30, 30, 30}, {40, 40, 40}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  CliqueOptions o = default_clique();
+  o.tau_fraction = 0.15;  // above the 10% background-per-bin level
+  const MafiaResult r = run_clique(source, o);
+  bool found = false;
+  for (const Cluster& c : r.clusters) {
+    found = found || c.dims == std::vector<DimId>{1, 4, 6};
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Clique, MisalignedBoundariesLoseCoverageVersusMafia) {
+  // The Table 3 experiment in miniature: cluster edges misaligned with the
+  // fixed grid => CLIQUE's edge cells fall below threshold and coverage
+  // drops, while MAFIA's adaptive bins track the true boundary.
+  const GeneratorConfig cfg = workloads::tab3_quality(40000, 53);
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+  const auto truth = ground_truth(cfg);
+
+  CliqueOptions co = default_clique();
+  co.tau_fraction = 0.01;
+  const MafiaResult clique = run_clique(source, co);
+  const QualityReport clique_q = evaluate_quality(clique.clusters, clique.grids, truth);
+
+  MafiaOptions mo;
+  mo.fixed_domain = {{0.0f, 100.0f}};
+  const MafiaResult mafia = run_mafia(source, mo);
+  const QualityReport mafia_q = evaluate_quality(mafia.clusters, mafia.grids, truth);
+
+  EXPECT_EQ(mafia_q.subspaces_matched, truth.size());
+  EXPECT_GT(mafia_q.mean_coverage, 0.95);
+  EXPECT_LT(mafia_q.mean_boundary_error, 0.01);
+  // CLIQUE: strictly worse on both quality axes.
+  EXPECT_LT(clique_q.mean_coverage, mafia_q.mean_coverage);
+  EXPECT_GT(clique_q.mean_boundary_error, mafia_q.mean_boundary_error);
+}
+
+TEST(Clique, ModifiedJoinNeverProducesFewerCandidates) {
+  // Section 5.5: the any-(k-2) join "drastically increases the search
+  // space" on a uniform grid.
+  GeneratorConfig cfg;
+  cfg.num_dims = 8;
+  cfg.num_records = 20000;
+  cfg.seed = 57;
+  cfg.clusters.push_back(
+      ClusterSpec::box({0, 2, 4, 6}, {30, 30, 30, 30}, {50, 50, 50, 50}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  CliqueOptions plain = default_clique();
+  plain.tau_fraction = 0.02;
+  CliqueOptions modified = plain;
+  modified.modified_join = true;
+
+  const MafiaResult rp = run_clique(source, plain);
+  const MafiaResult rm = run_clique(source, modified);
+  ASSERT_EQ(rp.levels.size(), rm.levels.size());
+  for (std::size_t i = 0; i < rp.levels.size(); ++i) {
+    EXPECT_GE(rm.levels[i].ncdu, rp.levels[i].ncdu) << "level " << i + 1;
+  }
+}
+
+TEST(Clique, ParallelCliqueMatchesSerial) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 6;
+  cfg.num_records = 15000;
+  cfg.seed = 59;
+  cfg.clusters.push_back(ClusterSpec::box({0, 3}, {20, 20}, {40, 40}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  CliqueOptions o = default_clique();
+  o.tau_fraction = 0.05;
+  const MafiaResult serial = run_clique(source, o, 1);
+  const MafiaResult parallel = run_clique(source, o, 4);
+  ASSERT_EQ(serial.clusters.size(), parallel.clusters.size());
+  for (std::size_t i = 0; i < serial.clusters.size(); ++i) {
+    EXPECT_EQ(serial.clusters[i].dims, parallel.clusters[i].dims);
+    EXPECT_EQ(serial.clusters[i].units.size(), parallel.clusters[i].units.size());
+  }
+}
+
+// -------------------------------------------------------------------- MDL
+
+TEST(Mdl, KeepsHighCoverageGroup) {
+  const std::vector<std::uint64_t> coverages{10000, 9500, 9800, 50, 40, 30};
+  const auto keep = mdl_select_subspaces(coverages);
+  EXPECT_EQ(keep, (std::vector<std::uint8_t>{1, 1, 1, 0, 0, 0}));
+}
+
+TEST(Mdl, SingleSubspaceAlwaysKept) {
+  EXPECT_EQ(mdl_select_subspaces({42}), (std::vector<std::uint8_t>{1}));
+  EXPECT_TRUE(mdl_select_subspaces({}).empty());
+}
+
+TEST(Mdl, NearUniformCoveragesKeepMost) {
+  const std::vector<std::uint64_t> coverages{1000, 1001, 999, 998, 1002};
+  const auto keep = mdl_select_subspaces(coverages);
+  std::size_t kept = 0;
+  for (const auto k : keep) kept += k;
+  EXPECT_GE(kept, coverages.size() - 1);
+}
+
+TEST(Mdl, PruningReducesDenseUnitsEndToEnd) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 8;
+  cfg.num_records = 20000;
+  cfg.seed = 61;
+  // One strong cluster and one weak, shallow one.
+  cfg.clusters.push_back(ClusterSpec::box({0, 2}, {20, 20}, {30, 30}, 5.0));
+  cfg.clusters.push_back(ClusterSpec::box({5, 7}, {70, 70}, {74, 74}, 1.0));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  CliqueOptions plain = default_clique();
+  plain.tau_fraction = 0.01;
+  CliqueOptions pruned = plain;
+  pruned.mdl_pruning = true;
+
+  const MafiaResult rp = run_clique(source, plain);
+  const MafiaResult rm = run_clique(source, pruned);
+  std::size_t plain_ndu = 0;
+  std::size_t pruned_ndu = 0;
+  for (const auto& l : rp.levels) plain_ndu += l.ndu;
+  for (const auto& l : rm.levels) pruned_ndu += l.ndu;
+  EXPECT_LE(pruned_ndu, plain_ndu);
+}
+
+// ----------------------------------------------------------- greedy cover
+
+TEST(GreedyCover, CoversEveryDenseUnit) {
+  Cluster c;
+  c.dims = {0, 1};
+  c.units = UnitStore(2);
+  const auto add = [&c](BinId a, BinId b) {
+    const DimId dims[2] = {0, 1};
+    const BinId bins[2] = {a, b};
+    c.units.push_unchecked(dims, bins);
+  };
+  // Plus-sign shape.
+  add(1, 0);
+  add(0, 1);
+  add(1, 1);
+  add(2, 1);
+  add(1, 2);
+
+  const auto cover = greedy_cover(c);
+  ASSERT_FALSE(cover.empty());
+  // Every unit inside some rectangle.
+  for (std::size_t u = 0; u < c.units.size(); ++u) {
+    const auto bins = c.units.bins(u);
+    bool covered = false;
+    for (const BinRect& r : cover) {
+      covered = covered || (bins[0] >= r.lo[0] && bins[0] <= r.hi[0] &&
+                            bins[1] >= r.lo[1] && bins[1] <= r.hi[1]);
+    }
+    EXPECT_TRUE(covered) << "unit " << c.units.to_string(u);
+  }
+  // Every rectangle contains only dense cells (no over-coverage).
+  for (const BinRect& r : cover) {
+    for (BinId a = r.lo[0]; a <= r.hi[0]; ++a) {
+      for (BinId b = r.lo[1]; b <= r.hi[1]; ++b) {
+        bool is_unit = false;
+        for (std::size_t u = 0; u < c.units.size(); ++u) {
+          is_unit = is_unit ||
+                    (c.units.bins(u)[0] == a && c.units.bins(u)[1] == b);
+        }
+        EXPECT_TRUE(is_unit) << "cover includes non-dense cell";
+      }
+    }
+  }
+}
+
+TEST(GreedyCover, SolidRectangleIsOneRect) {
+  Cluster c;
+  c.dims = {0, 1};
+  c.units = UnitStore(2);
+  for (BinId a = 3; a <= 5; ++a) {
+    for (BinId b = 2; b <= 6; ++b) {
+      const DimId dims[2] = {0, 1};
+      const BinId bins[2] = {a, b};
+      c.units.push_unchecked(dims, bins);
+    }
+  }
+  const auto cover = greedy_cover(c);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].lo, (std::vector<BinId>{3, 2}));
+  EXPECT_EQ(cover[0].hi, (std::vector<BinId>{5, 6}));
+}
+
+}  // namespace
+}  // namespace mafia

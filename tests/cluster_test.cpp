@@ -1,0 +1,392 @@
+// Tests for cluster assembly: face connectivity, union-find grouping,
+// subset-cluster elimination, minimal-DNF construction, and quality
+// scoring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "cluster/assembly.hpp"
+#include "cluster/quality.hpp"
+#include "cluster/union_find.hpp"
+#include "grid/uniform_grid.hpp"
+
+namespace mafia {
+namespace {
+
+UnitStore units2d(const std::vector<std::pair<BinId, BinId>>& cells,
+                  DimId d0 = 0, DimId d1 = 1) {
+  UnitStore s(2);
+  for (const auto& [a, b] : cells) {
+    const DimId dims[2] = {d0, d1};
+    const BinId bins[2] = {a, b};
+    s.push_unchecked(dims, bins);
+  }
+  return s;
+}
+
+// -------------------------------------------------------------- UnionFind
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(3, 4));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_NE(uf.find(0), uf.find(3));
+  uf.unite(1, 3);
+  EXPECT_EQ(uf.find(0), uf.find(4));
+}
+
+// ---------------------------------------------------------- face adjacency
+
+TEST(FaceAdjacent, RequiresExactlyOneAdjacentDifference) {
+  const UnitStore s = units2d({{2, 2}, {2, 3}, {3, 3}, {2, 4}, {4, 4}});
+  EXPECT_TRUE(face_adjacent(s, 0, 1));   // (2,2)-(2,3)
+  EXPECT_TRUE(face_adjacent(s, 1, 2));   // (2,3)-(3,3)
+  EXPECT_FALSE(face_adjacent(s, 0, 2));  // diagonal
+  EXPECT_FALSE(face_adjacent(s, 0, 3));  // distance 2 in one dim
+  EXPECT_FALSE(face_adjacent(s, 0, 0));  // identical: zero differences
+}
+
+TEST(FaceAdjacent, DifferentSubspacesNeverAdjacent) {
+  UnitStore s(2);
+  const DimId da[2] = {0, 1};
+  const DimId db[2] = {0, 2};
+  const BinId bins[2] = {1, 1};
+  s.push_unchecked(da, bins);
+  s.push_unchecked(db, bins);
+  EXPECT_FALSE(face_adjacent(s, 0, 1));
+}
+
+// ---------------------------------------------------------- connect_units
+
+TEST(ConnectUnits, SplitsDisconnectedComponents) {
+  // Two 2x1 bars separated by a gap.
+  const UnitStore s = units2d({{0, 0}, {0, 1}, {5, 5}, {5, 6}});
+  const auto clusters = connect_units(s);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].units.size(), 2u);
+  EXPECT_EQ(clusters[1].units.size(), 2u);
+}
+
+TEST(ConnectUnits, ChainsThroughCommonCells) {
+  // L-shaped chain: all connected through shared faces.
+  const UnitStore s = units2d({{0, 0}, {1, 0}, {2, 0}, {2, 1}, {2, 2}});
+  const auto clusters = connect_units(s);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].units.size(), 5u);
+}
+
+TEST(ConnectUnits, GroupsBySubspaceFirst) {
+  UnitStore s(1);
+  for (DimId d = 0; d < 3; ++d) {
+    const BinId b = 2;
+    s.push_unchecked(&d, &b);
+  }
+  const auto clusters = connect_units(s);
+  EXPECT_EQ(clusters.size(), 3u);  // one per dimension
+}
+
+// ------------------------------------------------- subset elimination
+
+TEST(SubsetElimination, DropsProjectedLowerDimCluster) {
+  // 2-d cluster at {0,1} bins (3,4); its 1-d projection in dim 0 bin 3.
+  std::vector<Cluster> clusters;
+  {
+    Cluster big;
+    big.dims = {0, 1};
+    big.units = units2d({{3, 4}});
+    clusters.push_back(std::move(big));
+  }
+  {
+    Cluster small;
+    small.dims = {0};
+    small.units = UnitStore(1);
+    const DimId d = 0;
+    const BinId b = 3;
+    small.units.push_unchecked(&d, &b);
+    clusters.push_back(std::move(small));
+  }
+  eliminate_subset_clusters(clusters);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].dims, (std::vector<DimId>{0, 1}));
+}
+
+TEST(SubsetElimination, KeepsNonProjectedCluster) {
+  std::vector<Cluster> clusters;
+  {
+    Cluster big;
+    big.dims = {0, 1};
+    big.units = units2d({{3, 4}});
+    clusters.push_back(std::move(big));
+  }
+  {
+    Cluster other;
+    other.dims = {0};
+    other.units = UnitStore(1);
+    const DimId d = 0;
+    const BinId b = 9;  // NOT the projection of (3,4)
+    other.units.push_unchecked(&d, &b);
+    clusters.push_back(std::move(other));
+  }
+  eliminate_subset_clusters(clusters);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(SubsetElimination, KeepsDisjointSubspaces) {
+  std::vector<Cluster> clusters;
+  Cluster a;
+  a.dims = {0, 1};
+  a.units = units2d({{1, 1}});
+  Cluster b;
+  b.dims = {2, 3};
+  b.units = units2d({{1, 1}}, 2, 3);
+  clusters.push_back(std::move(a));
+  clusters.push_back(std::move(b));
+  eliminate_subset_clusters(clusters);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+// -------------------------------------------------------------------- DNF
+
+/// Cells covered by a rect list.
+std::set<std::string> covered_cells(const std::vector<BinRect>& rects) {
+  std::set<std::string> cells;
+  for (const BinRect& r : rects) {
+    // 2-d only in these tests.
+    for (int a = r.lo[0]; a <= r.hi[0]; ++a) {
+      for (int b = r.lo[1]; b <= r.hi[1]; ++b) {
+        cells.insert(std::to_string(a) + "," + std::to_string(b));
+      }
+    }
+  }
+  return cells;
+}
+
+std::set<std::string> unit_cells(const Cluster& c) {
+  std::set<std::string> cells;
+  for (std::size_t u = 0; u < c.units.size(); ++u) {
+    const auto bins = c.units.bins(u);
+    cells.insert(std::to_string(bins[0]) + "," + std::to_string(bins[1]));
+  }
+  return cells;
+}
+
+TEST(Dnf, SolidRectangleCollapsesToOneConjunct) {
+  Cluster c;
+  c.dims = {0, 1};
+  std::vector<std::pair<BinId, BinId>> cells;
+  for (BinId a = 2; a <= 4; ++a) {
+    for (BinId b = 1; b <= 3; ++b) cells.emplace_back(a, b);
+  }
+  c.units = units2d(cells);
+  build_dnf(c);
+  ASSERT_EQ(c.dnf.size(), 1u);
+  EXPECT_EQ(c.dnf[0].lo, (std::vector<BinId>{2, 1}));
+  EXPECT_EQ(c.dnf[0].hi, (std::vector<BinId>{4, 3}));
+}
+
+TEST(Dnf, LShapeNeedsTwoRectanglesAndCoversExactly) {
+  Cluster c;
+  c.dims = {0, 1};
+  // Vertical bar (0,0)-(0,3) plus horizontal bar (1,0)-(3,0).
+  c.units = units2d({{0, 0}, {0, 1}, {0, 2}, {0, 3}, {1, 0}, {2, 0}, {3, 0}});
+  build_dnf(c);
+  EXPECT_EQ(c.dnf.size(), 2u);
+  EXPECT_EQ(covered_cells(c.dnf), unit_cells(c));
+}
+
+TEST(Dnf, CoverageIsExactOnIrregularShapes) {
+  Cluster c;
+  c.dims = {0, 1};
+  c.units = units2d({{0, 0}, {1, 0}, {1, 1}, {2, 1}, {2, 2}, {0, 2}});
+  build_dnf(c);
+  EXPECT_EQ(covered_cells(c.dnf), unit_cells(c));
+}
+
+TEST(Dnf, SingleUnitSingleRect) {
+  Cluster c;
+  c.dims = {0, 1};
+  c.units = units2d({{7, 7}});
+  build_dnf(c);
+  ASSERT_EQ(c.dnf.size(), 1u);
+  EXPECT_EQ(c.dnf[0].lo, c.dnf[0].hi);
+}
+
+// ------------------------------------------------------- assemble pipeline
+
+TEST(Assemble, MultiLevelRegistrationEliminatesSubsets) {
+  // Level-1 store: dim 0 bin 3 (projection of the 2-d cluster).
+  UnitStore level1(1);
+  const DimId d0 = 0;
+  const BinId b3 = 3;
+  level1.push_unchecked(&d0, &b3);
+  // Level-2 store: the real cluster.
+  const UnitStore level2 = units2d({{3, 4}, {3, 5}});
+  const auto clusters = assemble_clusters({level1, level2});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].dims, (std::vector<DimId>{0, 1}));
+  EXPECT_FALSE(clusters[0].dnf.empty());
+}
+
+TEST(Assemble, SortsByDimensionalityDescending) {
+  UnitStore level1(1);
+  const DimId d5 = 5;
+  const BinId b0 = 0;
+  level1.push_unchecked(&d5, &b0);
+  const UnitStore level2 = units2d({{1, 1}});
+  const auto clusters = assemble_clusters({level1, level2});
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_GT(clusters[0].dims.size(), clusters[1].dims.size());
+}
+
+// ------------------------------------------------------------ to_string
+
+TEST(ClusterModel, ToStringRendersDnfIntervals) {
+  const std::vector<Value> lo(2, 0.0f);
+  const std::vector<Value> hi(2, 100.0f);
+  const GridSet grids = compute_uniform_grids(lo, hi, 10, 0.01, 100);
+  Cluster c;
+  c.dims = {0, 1};
+  c.units = units2d({{2, 3}});
+  build_dnf(c);
+  const std::string s = c.to_string(grids);
+  EXPECT_NE(s.find("subspace {0,1}"), std::string::npos);
+  EXPECT_NE(s.find("20<=d0<30"), std::string::npos);
+  EXPECT_NE(s.find("30<=d1<40"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- quality
+
+TEST(Quality, PerfectRecoveryScoresFullCoverage) {
+  const std::vector<Value> lo(2, 0.0f);
+  const std::vector<Value> hi(2, 100.0f);
+  const GridSet grids = compute_uniform_grids(lo, hi, 10, 0.01, 100);
+
+  Cluster c;
+  c.dims = {0, 1};
+  std::vector<std::pair<BinId, BinId>> cells;
+  for (BinId a = 2; a <= 4; ++a) {
+    for (BinId b = 2; b <= 4; ++b) cells.emplace_back(a, b);
+  }
+  c.units = units2d(cells);
+  build_dnf(c);
+
+  TrueBox box;
+  box.dims = {0, 1};
+  box.lo = {20, 20};
+  box.hi = {50, 50};
+  const QualityReport report = evaluate_quality({c}, grids, {box});
+  ASSERT_EQ(report.per_box.size(), 1u);
+  EXPECT_TRUE(report.per_box[0].subspace_found);
+  EXPECT_NEAR(report.per_box[0].volume_coverage, 1.0, 1e-6);
+  EXPECT_NEAR(report.per_box[0].boundary_error, 0.0, 1e-6);
+  EXPECT_EQ(report.subspaces_matched, 1u);
+  EXPECT_EQ(report.spurious_clusters, 0u);
+}
+
+TEST(Quality, PartialDetectionScoresPartialCoverage) {
+  const std::vector<Value> lo(2, 0.0f);
+  const std::vector<Value> hi(2, 100.0f);
+  const GridSet grids = compute_uniform_grids(lo, hi, 10, 0.01, 100);
+
+  // Truth spans bins 2..4 but only the middle bin was detected (CLIQUE's
+  // edge-loss failure mode).
+  Cluster c;
+  c.dims = {0, 1};
+  c.units = units2d({{3, 3}});
+  build_dnf(c);
+
+  TrueBox box;
+  box.dims = {0, 1};
+  box.lo = {20, 20};
+  box.hi = {50, 50};
+  const QualityReport report = evaluate_quality({c}, grids, {box});
+  EXPECT_TRUE(report.per_box[0].subspace_found);
+  EXPECT_NEAR(report.per_box[0].volume_coverage, 1.0 / 9.0, 1e-6);
+  EXPECT_GT(report.per_box[0].boundary_error, 0.05);
+}
+
+TEST(Quality, PointLevelScores) {
+  // discovered: records 0,1,2 clustered; truth: 1,2,3 clustered.
+  const std::vector<std::int32_t> discovered{0, 0, 1, -1, -1};
+  const std::vector<std::int32_t> truth{-1, 0, 0, 1, -1};
+  const PointScores s = point_level_scores(discovered, truth);
+  EXPECT_NEAR(s.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Quality, PointLevelScoresDegenerateCases) {
+  const std::vector<std::int32_t> none{-1, -1};
+  const std::vector<std::int32_t> all{0, 0};
+  EXPECT_EQ(point_level_scores(none, all).precision, 0.0);
+  EXPECT_EQ(point_level_scores(none, all).recall, 0.0);
+  EXPECT_EQ(point_level_scores(all, none).f1(), 0.0);
+  EXPECT_THROW((void)point_level_scores(none, {0}), Error);
+}
+
+TEST(Dnf, ResultIsIrreducible) {
+  // Property: after build_dnf, no two rectangles can still merge (identical
+  // in all dims but one, adjacent/overlapping there) — the greedy loop must
+  // reach a true fixpoint.
+  std::uint64_t state = 2024;
+  for (int instance = 0; instance < 20; ++instance) {
+    Cluster c;
+    c.dims = {0, 1};
+    std::set<std::pair<BinId, BinId>> cells;
+    for (int i = 0; i < 12; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      cells.insert({static_cast<BinId>((state >> 20) % 5),
+                    static_cast<BinId>((state >> 40) % 5)});
+    }
+    c.units = units2d({cells.begin(), cells.end()});
+    build_dnf(c);
+    for (std::size_t i = 0; i < c.dnf.size(); ++i) {
+      for (std::size_t j = i + 1; j < c.dnf.size(); ++j) {
+        std::size_t diff = 0;
+        bool adjacent = true;
+        for (std::size_t d = 0; d < 2; ++d) {
+          if (c.dnf[i].lo[d] == c.dnf[j].lo[d] &&
+              c.dnf[i].hi[d] == c.dnf[j].hi[d]) {
+            continue;
+          }
+          ++diff;
+          const int lo = std::max<int>(c.dnf[i].lo[d], c.dnf[j].lo[d]);
+          const int hi = std::min<int>(c.dnf[i].hi[d], c.dnf[j].hi[d]);
+          adjacent = lo <= hi + 1;
+        }
+        EXPECT_FALSE(diff == 1 && adjacent)
+            << "rects " << i << "," << j << " still mergeable";
+      }
+    }
+  }
+}
+
+TEST(Quality, MissedSubspaceAndSpuriousCluster) {
+  const std::vector<Value> lo(2, 0.0f);
+  const std::vector<Value> hi(2, 100.0f);
+  const GridSet grids = compute_uniform_grids(lo, hi, 10, 0.01, 100);
+
+  Cluster wrong;
+  wrong.dims = {0};
+  wrong.units = UnitStore(1);
+  const DimId d = 0;
+  const BinId b = 1;
+  wrong.units.push_unchecked(&d, &b);
+  build_dnf(wrong);
+
+  TrueBox box;
+  box.dims = {0, 1};
+  box.lo = {20, 20};
+  box.hi = {50, 50};
+  const QualityReport report = evaluate_quality({wrong}, grids, {box});
+  EXPECT_FALSE(report.per_box[0].subspace_found);
+  EXPECT_EQ(report.subspaces_matched, 0u);
+  EXPECT_EQ(report.spurious_clusters, 1u);
+}
+
+}  // namespace
+}  // namespace mafia

@@ -1,0 +1,382 @@
+// Integration tests for the pMAFIA driver: planted-cluster recovery,
+// serial/parallel equivalence, the Table 2 binomial CDU trace, out-of-core
+// equivalence, registration of maximal units, and option handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "core/mafia.hpp"
+#include "datagen/generator.hpp"
+#include "datagen/workloads.hpp"
+#include "io/data_source.hpp"
+#include "io/record_file.hpp"
+
+namespace mafia {
+namespace {
+
+MafiaOptions default_options() {
+  MafiaOptions o;
+  o.fixed_domain = {{0.0f, 100.0f}};
+  return o;
+}
+
+/// Canonical signature of a cluster set for equality comparisons.
+std::multiset<std::string> cluster_signature(const MafiaResult& r) {
+  std::multiset<std::string> sig;
+  for (const Cluster& c : r.clusters) {
+    std::string s;
+    for (const DimId d : c.dims) s += "d" + std::to_string(d);
+    // Units sorted for canonical form.
+    std::multiset<std::string> units;
+    for (std::size_t u = 0; u < c.units.size(); ++u) {
+      units.insert(c.units.to_string(u));
+    }
+    for (const auto& u : units) s += u;
+    sig.insert(std::move(s));
+  }
+  return sig;
+}
+
+// ----------------------------------------------------------- basic runs
+
+TEST(Core, SingleClusterRecoveredWithBoundaries) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 10;
+  cfg.num_records = 30000;
+  cfg.seed = 11;
+  cfg.clusters.push_back(
+      ClusterSpec::box({2, 5, 7}, {25, 25, 25}, {45, 45, 45}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  const MafiaResult result = run_mafia(source, default_options());
+  ASSERT_EQ(result.clusters.size(), 1u);
+  const Cluster& c = result.clusters[0];
+  EXPECT_EQ(c.dims, (std::vector<DimId>{2, 5, 7}));
+
+  // Adaptive boundaries should land within one window (0.5 units) of truth.
+  const auto box = c.bounding_box(result.grids);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(box[i].first, 25.0, 0.75) << "dim " << i;
+    EXPECT_NEAR(box[i].second, 45.0, 0.75) << "dim " << i;
+  }
+}
+
+TEST(Core, MultipleClustersInDistinctSubspaces) {
+  GeneratorConfig cfg = workloads::tab3_quality(40000, 17);
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+  const MafiaResult result = run_mafia(source, default_options());
+
+  std::set<std::vector<DimId>> found;
+  for (const Cluster& c : result.clusters) found.insert(c.dims);
+  EXPECT_TRUE(found.count({1, 7, 8, 9})) << "cluster A missing";
+  EXPECT_TRUE(found.count({2, 3, 4, 5})) << "cluster B missing";
+}
+
+TEST(Core, Tab2TraceIsBinomialInClusterDims) {
+  // One 7-d cluster: every level's unique CDU and dense-unit counts must
+  // equal C(7,k) — the paper's Table 2 row for pMAFIA.
+  const GeneratorConfig cfg = workloads::tab2_cdu_counts(40000);
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+  const MafiaResult result = run_mafia(source, default_options());
+
+  const std::size_t binom[] = {0, 7, 21, 35, 35, 21, 7, 1};
+  ASSERT_GE(result.levels.size(), 7u);
+  // Level 1's candidates are ALL bins of all dimensions; only its dense
+  // count is constrained (one bin per cluster dimension).  Table 2 starts
+  // at dimension 2, where Ncdu == Ndu == C(7,k) for pMAFIA.
+  EXPECT_EQ(result.levels[0].ndu, 7u);
+  for (std::size_t k = 2; k <= 7; ++k) {
+    EXPECT_EQ(result.levels[k - 1].ncdu, binom[k]) << "level " << k;
+    EXPECT_EQ(result.levels[k - 1].ndu, binom[k]) << "level " << k;
+  }
+  EXPECT_EQ(result.max_dense_level(), 7u);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_EQ(result.clusters[0].dims.size(), 7u);
+}
+
+TEST(Core, EachMovieShapeSevenTwoDimensionalClusters) {
+  const GeneratorConfig cfg = workloads::eachmovie_like(40000);
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+  const MafiaResult result = run_mafia(source, default_options());
+  EXPECT_EQ(result.clusters.size(), 7u);
+  for (const Cluster& c : result.clusters) {
+    EXPECT_EQ(c.dims, (std::vector<DimId>{0, 1}));
+  }
+}
+
+TEST(Core, LShapedClusterReportedAsMultiRectangleDnf) {
+  const GeneratorConfig cfg = workloads::l_shape_demo(30000);
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+  const MafiaResult result = run_mafia(source, default_options());
+  ASSERT_EQ(result.clusters.size(), 1u);
+  const Cluster& c = result.clusters[0];
+  EXPECT_EQ(c.dims, (std::vector<DimId>{1, 4}));
+  // An L cannot be covered exactly by one rectangle.
+  EXPECT_GE(c.dnf.size(), 2u);
+}
+
+TEST(Core, PureNoiseYieldsNoClusters) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 6;
+  cfg.num_records = 20000;
+  cfg.seed = 13;  // no clusters: everything uniform
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+  const MafiaResult result = run_mafia(source, default_options());
+  EXPECT_TRUE(result.clusters.empty())
+      << result.clusters.size() << " spurious clusters";
+}
+
+// ------------------------------------------------- serial/parallel equality
+
+class ParallelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelEquivalence, ClustersIdenticalToSerialRun) {
+  const int p = GetParam();
+  GeneratorConfig cfg;
+  cfg.num_dims = 12;
+  cfg.num_records = 25000;
+  cfg.seed = 21;
+  cfg.clusters.push_back(ClusterSpec::box({1, 4, 8}, {10, 10, 10}, {20, 20, 20}, 1.0));
+  cfg.clusters.push_back(ClusterSpec::box({2, 6, 9, 11}, {70, 70, 70, 70},
+                                          {80, 80, 80, 80}, 1.0));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  MafiaOptions options = default_options();
+  options.tau = 4;  // force the task-parallel paths to engage
+  const MafiaResult serial = run_pmafia(source, options, 1);
+  const MafiaResult parallel = run_pmafia(source, options, p);
+
+  EXPECT_EQ(cluster_signature(serial), cluster_signature(parallel));
+  ASSERT_EQ(serial.levels.size(), parallel.levels.size());
+  for (std::size_t i = 0; i < serial.levels.size(); ++i) {
+    EXPECT_EQ(serial.levels[i].ncdu, parallel.levels[i].ncdu) << "level " << i;
+    EXPECT_EQ(serial.levels[i].ndu, parallel.levels[i].ndu) << "level " << i;
+  }
+}
+
+TEST_P(ParallelEquivalence, PairwiseDedupAlsoIdentical) {
+  const int p = GetParam();
+  GeneratorConfig cfg;
+  cfg.num_dims = 9;
+  cfg.num_records = 15000;
+  cfg.seed = 23;
+  cfg.clusters.push_back(
+      ClusterSpec::box({0, 3, 5, 7}, {50, 50, 50, 50}, {60, 60, 60, 60}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  MafiaOptions options = default_options();
+  options.tau = 4;
+  options.dedup = DedupPolicy::Pairwise;
+  const MafiaResult serial = run_pmafia(source, options, 1);
+  const MafiaResult parallel = run_pmafia(source, options, p);
+  EXPECT_EQ(cluster_signature(serial), cluster_signature(parallel));
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelEquivalence,
+                         ::testing::Values(2, 3, 4, 8));
+
+TEST(Core, BlockTaskPartitionGivesSameAnswer) {
+  // The Eq. 1 ablation must change performance, never results.
+  GeneratorConfig cfg;
+  cfg.num_dims = 8;
+  cfg.num_records = 15000;
+  cfg.seed = 29;
+  cfg.clusters.push_back(
+      ClusterSpec::box({0, 2, 4, 6}, {30, 30, 30, 30}, {40, 40, 40, 40}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  MafiaOptions optimal = default_options();
+  optimal.tau = 4;
+  MafiaOptions block = optimal;
+  block.optimal_task_partition = false;
+  EXPECT_EQ(cluster_signature(run_pmafia(source, optimal, 4)),
+            cluster_signature(run_pmafia(source, block, 4)));
+}
+
+// ------------------------------------------------------------ out of core
+
+TEST(Core, FileSourceMatchesInMemory) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 7;
+  cfg.num_records = 12000;
+  cfg.seed = 31;
+  cfg.clusters.push_back(ClusterSpec::box({1, 3, 5}, {60, 60, 60}, {75, 75, 75}));
+  const Dataset data = generate(cfg);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mafia_core_ooc.bin").string();
+  write_record_file(path, data, false);
+
+  InMemorySource mem(data);
+  FileSource file(path);
+  MafiaOptions options = default_options();
+  options.chunk_records = 1000;  // force many chunked reads
+
+  const MafiaResult a = run_mafia(mem, options);
+  const MafiaResult b = run_mafia(file, options);
+  EXPECT_EQ(cluster_signature(a), cluster_signature(b));
+
+  // Parallel out-of-core too (concurrent FileSource scans).
+  const MafiaResult c = run_pmafia(file, options, 3);
+  EXPECT_EQ(cluster_signature(a), cluster_signature(c));
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- option paths
+
+TEST(Core, LearnedDomainMatchesFixedDomain) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 6;
+  cfg.num_records = 20000;
+  cfg.seed = 37;
+  cfg.clusters.push_back(ClusterSpec::box({0, 2}, {40, 40}, {55, 55}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  MafiaOptions fixed = default_options();
+  MafiaOptions learned;
+  // (learned domain differs slightly from [0,100] — min/max of the sample —
+  // so clusters can differ at the margin; subspaces must still agree.)
+  const MafiaResult rf = run_mafia(source, fixed);
+  const MafiaResult rl = run_mafia(source, learned);
+  ASSERT_FALSE(rf.clusters.empty());
+  ASSERT_FALSE(rl.clusters.empty());
+  EXPECT_EQ(rf.clusters[0].dims, rl.clusters[0].dims);
+}
+
+TEST(Core, MaxLevelCapRegistersCurrentDense) {
+  const GeneratorConfig cfg = workloads::tab2_cdu_counts(30000);
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+  MafiaOptions options = default_options();
+  options.max_level = 3;  // stop before the 7-d cluster fully forms
+  const MafiaResult result = run_mafia(source, options);
+  EXPECT_EQ(result.max_dense_level(), 3u);
+  ASSERT_FALSE(result.clusters.empty());
+  for (const Cluster& c : result.clusters) EXPECT_LE(c.dims.size(), 3u);
+}
+
+TEST(Core, ScaledProductPolicyAdmitsMoreUnits) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 8;
+  cfg.num_records = 20000;
+  cfg.seed = 41;
+  cfg.clusters.push_back(ClusterSpec::box({1, 4, 6}, {20, 20, 20}, {30, 30, 30}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  MafiaOptions all_bins = default_options();
+  MafiaOptions product = default_options();
+  product.density = DensityPolicy::ScaledProduct;
+  const MafiaResult ra = run_mafia(source, all_bins);
+  const MafiaResult rp = run_mafia(source, product);
+  // The independence expectation shrinks geometrically with k, so the
+  // product policy can only admit more dense units at high levels.
+  std::size_t all_total = 0;
+  std::size_t prod_total = 0;
+  for (const auto& l : ra.levels) all_total += l.ndu;
+  for (const auto& l : rp.levels) prod_total += l.ndu;
+  EXPECT_GE(prod_total, all_total);
+}
+
+TEST(Core, RejectsInvalidInputs) {
+  Dataset empty(3);
+  InMemorySource source(empty);
+  EXPECT_THROW((void)run_mafia(source, MafiaOptions{}), Error);
+
+  GeneratorConfig cfg;
+  cfg.num_dims = 3;
+  cfg.num_records = 100;
+  const Dataset data = generate(cfg);
+  InMemorySource ok(data);
+  EXPECT_THROW((void)run_pmafia(ok, MafiaOptions{}, 0), Error);
+
+  MafiaOptions bad;
+  bad.grid.beta = 2.0;
+  EXPECT_THROW((void)run_mafia(ok, bad), Error);
+}
+
+TEST(Core, ResultMetadataFilled) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 5;
+  cfg.num_records = 5000;
+  cfg.seed = 43;
+  cfg.clusters.push_back(ClusterSpec::box({0, 1}, {10, 10}, {20, 20}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+  const MafiaResult r = run_pmafia(source, default_options(), 2);
+  EXPECT_EQ(r.num_records, data.num_records());
+  EXPECT_EQ(r.num_dims, 5u);
+  EXPECT_EQ(r.num_ranks, 2);
+  EXPECT_GT(r.total_seconds, 0.0);
+  EXPECT_GT(r.phases.get("populate"), 0.0);
+  EXPECT_GT(r.comm.reduces, 0u);
+  EXPECT_EQ(r.grids.num_dims(), 5u);
+  EXPECT_FALSE(r.levels.empty());
+}
+
+TEST(Core, SimulatedNetworkChangesTimingNotResults) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 6;
+  cfg.num_records = 8000;
+  cfg.seed = 53;
+  cfg.clusters.push_back(ClusterSpec::box({1, 3}, {40, 40}, {55, 55}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  MafiaOptions plain = default_options();
+  MafiaOptions simulated = plain;
+  simulated.simulate_network = mp::NetworkSimulation{0.002, 1e9};
+  const MafiaResult a = run_pmafia(source, plain, 2);
+  const MafiaResult b = run_pmafia(source, simulated, 2);
+  EXPECT_EQ(cluster_signature(a), cluster_signature(b));
+  // The delay must actually have been applied (several collectives x 2ms).
+  EXPECT_GT(b.total_seconds, a.total_seconds);
+}
+
+TEST(Core, MinClusterDimsFilter) {
+  // A 1-d-only structure: one dense bin that never combines upward.
+  GeneratorConfig cfg;
+  cfg.num_dims = 5;
+  cfg.num_records = 10000;
+  cfg.seed = 59;
+  cfg.clusters.push_back(ClusterSpec::box({2}, {30}, {40}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  MafiaOptions hide = default_options();  // min_cluster_dims = 2 default
+  EXPECT_TRUE(run_mafia(source, hide).clusters.empty());
+
+  MafiaOptions show = hide;
+  show.min_cluster_dims = 1;
+  const MafiaResult r = run_mafia(source, show);
+  ASSERT_EQ(r.clusters.size(), 1u);
+  EXPECT_EQ(r.clusters[0].dims, (std::vector<DimId>{2}));
+}
+
+TEST(Core, SerialRunHasOnlyDegenerateCommunication) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 5;
+  cfg.num_records = 5000;
+  cfg.seed = 47;
+  cfg.clusters.push_back(ClusterSpec::box({0, 1}, {10, 10}, {20, 20}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+  const MafiaResult r = run_mafia(source, default_options());
+  // p = 1: no point-to-point traffic at all.
+  EXPECT_EQ(r.comm.p2p_messages, 0u);
+}
+
+}  // namespace
+}  // namespace mafia

@@ -1,0 +1,272 @@
+// Tests for the Section 5.1 synthetic data generator: record accounting,
+// noise fraction, label fidelity, the unit-cube coverage guarantee, record
+// permutation, engine selection, and the canned workload configurations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "datagen/generator.hpp"
+#include "datagen/workloads.hpp"
+
+namespace mafia {
+namespace {
+
+GeneratorConfig small_config() {
+  GeneratorConfig cfg;
+  cfg.num_dims = 6;
+  cfg.num_records = 5000;
+  cfg.seed = 3;
+  cfg.clusters.push_back(ClusterSpec::box({1, 3}, {20, 40}, {40, 60}));
+  return cfg;
+}
+
+TEST(Generator, RecordCountIncludesAdditionalNoise) {
+  const GeneratorConfig cfg = small_config();
+  const Dataset data = generate(cfg);
+  // "An additional 10% noise records is added".
+  EXPECT_EQ(data.num_records(), 5500u);
+  EXPECT_EQ(data.num_dims(), 6u);
+}
+
+TEST(Generator, NoiseFractionIsRespected) {
+  GeneratorConfig cfg = small_config();
+  cfg.noise_fraction = 0.25;
+  const Dataset data = generate(cfg);
+  std::size_t noise = 0;
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    noise += (data.label(i) == -1);
+  }
+  EXPECT_EQ(noise, 1250u);
+  EXPECT_EQ(data.num_records(), 6250u);
+}
+
+TEST(Generator, ClusterRecordsLieInsideTheirBoxes) {
+  const GeneratorConfig cfg = small_config();
+  const Dataset data = generate(cfg);
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    if (data.label(i) != 0) continue;
+    EXPECT_GE(data.at(i, 1), 20.0f);
+    EXPECT_LE(data.at(i, 1), 40.0f);
+    EXPECT_GE(data.at(i, 3), 40.0f);
+    EXPECT_LE(data.at(i, 3), 60.0f);
+  }
+}
+
+TEST(Generator, NonSubspaceDimsSpanTheDomain) {
+  const GeneratorConfig cfg = small_config();
+  const Dataset data = generate(cfg);
+  Value lo = 100.0f;
+  Value hi = 0.0f;
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    if (data.label(i) != 0) continue;
+    lo = std::min(lo, data.at(i, 0));
+    hi = std::max(hi, data.at(i, 0));
+  }
+  EXPECT_LT(lo, 5.0f);
+  EXPECT_GT(hi, 95.0f);
+}
+
+TEST(Generator, UnitCubeCoverageGuarantee) {
+  // "Data points are generated such that each unit cube, part of the user
+  // defined cluster, in this scaled space contains at least one point."
+  // Cluster 20x20 in scaled units => 400 unit cubes, 4545 cluster records.
+  const GeneratorConfig cfg = small_config();
+  const Dataset data = generate(cfg);
+  std::set<std::pair<int, int>> cubes;
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    if (data.label(i) != 0) continue;
+    const int a = std::min(19, static_cast<int>((data.at(i, 1) - 20.0f)));
+    const int b = std::min(19, static_cast<int>((data.at(i, 3) - 40.0f)));
+    cubes.insert({a, b});
+  }
+  EXPECT_EQ(cubes.size(), 400u) << "some unit cube of the cluster is empty";
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const GeneratorConfig cfg = small_config();
+  const Dataset a = generate(cfg);
+  const Dataset b = generate(cfg);
+  EXPECT_EQ(a.values(), b.values());
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig cfg = small_config();
+  const Dataset a = generate(cfg);
+  cfg.seed = 4;
+  const Dataset b = generate(cfg);
+  EXPECT_NE(a.values(), b.values());
+}
+
+TEST(Generator, PermutationShufflesLabels) {
+  // With permutation on, cluster and noise records interleave; a long
+  // prefix of only-cluster labels would betray ordering.
+  const GeneratorConfig cfg = small_config();
+  const Dataset data = generate(cfg);
+  bool noise_in_first_quarter = false;
+  for (RecordIndex i = 0; i < data.num_records() / 4; ++i) {
+    noise_in_first_quarter = noise_in_first_quarter || data.label(i) == -1;
+  }
+  EXPECT_TRUE(noise_in_first_quarter);
+}
+
+TEST(Generator, NoPermutationKeepsGenerationOrder) {
+  GeneratorConfig cfg = small_config();
+  cfg.permute_records = false;
+  const Dataset data = generate(cfg);
+  // All noise records sit at the tail.
+  for (RecordIndex i = 0; i < 5000; ++i) EXPECT_EQ(data.label(i), 0);
+  for (RecordIndex i = 5000; i < data.num_records(); ++i) {
+    EXPECT_EQ(data.label(i), -1);
+  }
+}
+
+TEST(Generator, LcgEngineProducesDifferentData) {
+  GeneratorConfig cfg = small_config();
+  const Dataset icg = generate(cfg);
+  cfg.engine = GeneratorConfig::Engine::Lcg;
+  const Dataset lcg = generate(cfg);
+  EXPECT_NE(icg.values(), lcg.values());
+  EXPECT_EQ(lcg.num_records(), icg.num_records());
+}
+
+TEST(Generator, MultiBoxClusterSplitsByVolume) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 4;
+  cfg.num_records = 4000;
+  cfg.seed = 5;
+  ClusterSpec spec;
+  spec.dims = {0, 2};
+  spec.boxes.push_back(ClusterBox{{10, 10}, {30, 30}});  // area 400
+  spec.boxes.push_back(ClusterBox{{60, 60}, {70, 70}});  // area 100
+  cfg.clusters.push_back(std::move(spec));
+  const Dataset data = generate(cfg);
+  std::size_t in_big = 0;
+  std::size_t in_small = 0;
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    if (data.label(i) != 0) continue;
+    const Value a = data.at(i, 0);
+    const Value c = data.at(i, 2);
+    if (a >= 10 && a <= 30 && c >= 10 && c <= 30) ++in_big;
+    if (a >= 60 && a <= 70 && c >= 60 && c <= 70) ++in_small;
+  }
+  EXPECT_EQ(in_big + in_small, 4000u);
+  // 4:1 volume ratio within 15% relative tolerance.
+  EXPECT_NEAR(static_cast<double>(in_big) / in_small, 4.0, 0.6);
+}
+
+TEST(Generator, WeightsSplitRecordsAcrossClusters) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 4;
+  cfg.num_records = 3000;
+  cfg.seed = 6;
+  cfg.clusters.push_back(ClusterSpec::box({0}, {10}, {20}, 2.0));
+  cfg.clusters.push_back(ClusterSpec::box({1}, {10}, {20}, 1.0));
+  const Dataset data = generate(cfg);
+  std::size_t c0 = 0;
+  std::size_t c1 = 0;
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    c0 += (data.label(i) == 0);
+    c1 += (data.label(i) == 1);
+  }
+  EXPECT_EQ(c0 + c1, 3000u);
+  EXPECT_NEAR(static_cast<double>(c0) / c1, 2.0, 0.05);
+}
+
+TEST(Generator, ValidationCatchesBadSpecs) {
+  GeneratorConfig cfg = small_config();
+  cfg.clusters[0].dims = {3, 1};  // not ascending
+  EXPECT_THROW((void)generate(cfg), Error);
+
+  cfg = small_config();
+  cfg.clusters[0].boxes[0].hi[0] = 10;  // hi < lo
+  EXPECT_THROW((void)generate(cfg), Error);
+
+  cfg = small_config();
+  cfg.clusters[0].dims = {1, 9};  // out of range for 6 dims
+  EXPECT_THROW((void)generate(cfg), Error);
+
+  cfg = small_config();
+  cfg.num_records = 0;
+  EXPECT_THROW((void)generate(cfg), Error);
+}
+
+TEST(Generator, GroundTruthMirrorsSpecs) {
+  GeneratorConfig cfg = small_config();
+  ClusterSpec two_box;
+  two_box.dims = {0, 5};
+  two_box.boxes.push_back(ClusterBox{{1, 1}, {2, 2}});
+  two_box.boxes.push_back(ClusterBox{{3, 3}, {4, 4}});
+  cfg.clusters.push_back(std::move(two_box));
+  const auto truth = ground_truth(cfg);
+  ASSERT_EQ(truth.size(), 3u);  // 1 + 2 boxes
+  EXPECT_EQ(truth[0].dims, (std::vector<DimId>{1, 3}));
+  EXPECT_EQ(truth[1].dims, (std::vector<DimId>{0, 5}));
+  EXPECT_EQ(truth[2].lo, (std::vector<Value>{3, 3}));
+}
+
+// ------------------------------------------------------- canned workloads
+
+TEST(Workloads, AllConfigsValidate) {
+  workloads::fig3_parallel(1000).validate();
+  workloads::tab1_vs_clique(1000).validate();
+  workloads::tab2_cdu_counts(1000).validate();
+  workloads::fig5_dbsize(1000).validate();
+  workloads::fig6_datadim(1000, 10).validate();
+  workloads::fig6_datadim(1000, 100).validate();
+  workloads::fig7_clusterdim(1000, 3).validate();
+  workloads::fig7_clusterdim(1000, 10).validate();
+  workloads::tab3_quality(1000).validate();
+  workloads::dax_like().validate();
+  workloads::ionosphere_like().validate();
+  workloads::eachmovie_like(1000).validate();
+  workloads::l_shape_demo(1000).validate();
+}
+
+TEST(Workloads, StructuralShapesMatchThePaper) {
+  EXPECT_EQ(workloads::fig3_parallel(1000).num_dims, 30u);
+  EXPECT_EQ(workloads::fig3_parallel(1000).clusters.size(), 5u);
+  for (const auto& c : workloads::fig3_parallel(1000).clusters) {
+    EXPECT_EQ(c.dims.size(), 6u);
+  }
+
+  EXPECT_EQ(workloads::tab1_vs_clique(1000).num_dims, 15u);
+  EXPECT_EQ(workloads::tab1_vs_clique(1000).clusters.size(), 1u);
+  EXPECT_EQ(workloads::tab1_vs_clique(1000).clusters[0].dims.size(), 5u);
+
+  EXPECT_EQ(workloads::tab2_cdu_counts(1000).clusters[0].dims.size(), 7u);
+
+  // Fig 6: exactly 9 distinct cluster dims regardless of data dims.
+  for (const std::size_t d : {10u, 40u, 100u}) {
+    const auto cfg = workloads::fig6_datadim(1000, d);
+    std::set<DimId> distinct;
+    for (const auto& c : cfg.clusters) {
+      distinct.insert(c.dims.begin(), c.dims.end());
+    }
+    EXPECT_EQ(distinct.size(), 9u) << "data dims " << d;
+    EXPECT_EQ(cfg.num_dims, d);
+  }
+
+  EXPECT_EQ(workloads::dax_like().num_records, 2757u);
+  EXPECT_EQ(workloads::dax_like().num_dims, 22u);
+  EXPECT_EQ(workloads::ionosphere_like().num_records, 351u);
+  EXPECT_EQ(workloads::ionosphere_like().num_dims, 34u);
+  EXPECT_EQ(workloads::eachmovie_like(1000).num_dims, 4u);
+  EXPECT_EQ(workloads::eachmovie_like(1000).clusters.size(), 7u);
+}
+
+TEST(Workloads, Fig7ClusterDimsAreDistinct) {
+  for (std::size_t k = 3; k <= 10; ++k) {
+    const auto cfg = workloads::fig7_clusterdim(1000, k);
+    const auto& dims = cfg.clusters[0].dims;
+    EXPECT_EQ(dims.size(), k);
+    EXPECT_TRUE(std::is_sorted(dims.begin(), dims.end()));
+    EXPECT_EQ(std::set<DimId>(dims.begin(), dims.end()).size(), k);
+  }
+}
+
+}  // namespace
+}  // namespace mafia

@@ -1,0 +1,162 @@
+// Tests for the DBSCAN baseline: blob recovery, noise handling, parameter
+// sensitivity, and the distance-concentration failure on subspace data.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/generator.hpp"
+#include "dbscan/dbscan.hpp"
+
+namespace mafia {
+namespace {
+
+Dataset blobs(RecordIndex records = 1500, double noise = 0.1,
+              std::uint64_t seed = 5) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 3;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  cfg.noise_fraction = noise;
+  cfg.clusters.push_back(
+      ClusterSpec::box({0, 1, 2}, {10, 10, 10}, {22, 22, 22}, 1.0));
+  cfg.clusters.push_back(
+      ClusterSpec::box({0, 1, 2}, {70, 70, 70}, {82, 82, 82}, 1.0));
+  return generate(cfg);
+}
+
+TEST(Dbscan, RecoversSeparatedBlobs) {
+  const Dataset data = blobs();
+  DbscanOptions o;
+  o.eps = 4.0;
+  o.min_pts = 8;
+  const DbscanResult r = run_dbscan(data, o);
+  EXPECT_EQ(r.num_clusters, 2u);
+
+  // Purity: blob members land in consistent clusters.
+  std::int32_t label_of[2] = {-9, -9};
+  std::size_t wrong = 0;
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    const std::int32_t t = data.label(i);
+    if (t < 0) continue;
+    const std::int32_t got = r.labels[static_cast<std::size_t>(i)];
+    if (got == -1) {
+      ++wrong;  // blob member called noise
+      continue;
+    }
+    if (label_of[t] == -9) label_of[t] = got;
+    wrong += (got != label_of[t]);
+  }
+  EXPECT_LT(wrong, data.num_records() / 50);
+  EXPECT_NE(label_of[0], label_of[1]);
+}
+
+TEST(Dbscan, UniformNoiseMostlyLabeledNoise) {
+  const Dataset data = blobs(1500, 0.3);
+  DbscanOptions o;
+  o.eps = 4.0;
+  o.min_pts = 8;
+  const DbscanResult r = run_dbscan(data, o);
+  std::size_t noise_total = 0;
+  std::size_t noise_caught = 0;
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    if (data.label(i) != -1) continue;
+    ++noise_total;
+    noise_caught += (r.labels[static_cast<std::size_t>(i)] == -1);
+  }
+  EXPECT_GT(noise_caught * 10, noise_total * 7)
+      << "less than 70% of noise identified";
+}
+
+TEST(Dbscan, TinyEpsMakesEverythingNoise) {
+  const Dataset data = blobs(800);
+  DbscanOptions o;
+  o.eps = 0.01;
+  o.min_pts = 5;
+  const DbscanResult r = run_dbscan(data, o);
+  EXPECT_EQ(r.num_clusters, 0u);
+  EXPECT_EQ(r.num_noise, data.num_records());
+}
+
+TEST(Dbscan, HugeEpsGluesEverythingTogether) {
+  const Dataset data = blobs(800);
+  DbscanOptions o;
+  o.eps = 500.0;
+  o.min_pts = 5;
+  const DbscanResult r = run_dbscan(data, o);
+  EXPECT_EQ(r.num_clusters, 1u);
+  EXPECT_EQ(r.num_noise, 0u);
+}
+
+TEST(Dbscan, LabelsArePartition) {
+  const Dataset data = blobs(600);
+  DbscanOptions o;
+  o.eps = 4.0;
+  o.min_pts = 8;
+  const DbscanResult r = run_dbscan(data, o);
+  ASSERT_EQ(r.labels.size(), data.num_records());
+  std::set<std::int32_t> ids;
+  std::size_t noise = 0;
+  for (const std::int32_t l : r.labels) {
+    if (l == -1) {
+      ++noise;
+    } else {
+      ASSERT_GE(l, 0);
+      ASSERT_LT(l, static_cast<std::int32_t>(r.num_clusters));
+      ids.insert(l);
+    }
+  }
+  EXPECT_EQ(noise, r.num_noise);
+  EXPECT_EQ(ids.size(), r.num_clusters) << "empty cluster id emitted";
+}
+
+TEST(Dbscan, SubspaceDataHasNoWorkableEps) {
+  // Clusters in 2-d subspaces of 20-d data: the 18 uniform dims give every
+  // pair of records an expected full-space distance of ~70 units while the
+  // subspace structure contributes at most ~8 — there is no eps that both
+  // separates the clusters and keeps their members together.
+  GeneratorConfig cfg;
+  cfg.num_dims = 20;
+  cfg.num_records = 1200;
+  cfg.seed = 13;
+  cfg.clusters.push_back(ClusterSpec::box({1, 7}, {20, 20}, {28, 28}, 1.0));
+  cfg.clusters.push_back(ClusterSpec::box({3, 9}, {70, 70}, {78, 78}, 1.0));
+  const Dataset data = generate(cfg);
+
+  bool some_eps_works = false;
+  for (const double eps : {5.0, 15.0, 30.0, 50.0, 70.0, 90.0}) {
+    DbscanOptions o;
+    o.eps = eps;
+    o.min_pts = 8;
+    const DbscanResult r = run_dbscan(data, o);
+    if (r.num_clusters != 2) continue;
+    // Two clusters found: are they the planted ones?
+    std::size_t agree = 0;
+    std::size_t total = 0;
+    for (RecordIndex i = 0; i < data.num_records(); ++i) {
+      if (data.label(i) < 0) continue;
+      if (r.labels[static_cast<std::size_t>(i)] == -1) continue;
+      ++total;
+      agree += (r.labels[static_cast<std::size_t>(i)] == data.label(i) ||
+                r.labels[static_cast<std::size_t>(i)] == 1 - data.label(i));
+    }
+    // Demand a meaningful, consistent 2-way split covering most points.
+    if (total > data.num_records() / 2 && agree > total * 9 / 10) {
+      some_eps_works = true;
+    }
+  }
+  EXPECT_FALSE(some_eps_works)
+      << "full-space DBSCAN should not recover subspace clusters";
+}
+
+TEST(Dbscan, ValidatesOptions) {
+  const Dataset data = blobs(100);
+  DbscanOptions bad;
+  bad.eps = 0.0;
+  EXPECT_THROW((void)run_dbscan(data, bad), Error);
+  bad = DbscanOptions{};
+  bad.min_pts = 0;
+  EXPECT_THROW((void)run_dbscan(data, bad), Error);
+}
+
+}  // namespace
+}  // namespace mafia

@@ -1,0 +1,165 @@
+// Failure injection: the library must fail loudly and cleanly — no hangs,
+// no partial results — when a data source throws mid-pass, a file is
+// corrupt, or a rank dies inside the SPMD job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/mafia.hpp"
+#include "datagen/generator.hpp"
+#include "io/data_source.hpp"
+#include "io/record_file.hpp"
+#include "io/staging.hpp"
+#include "mp/comm.hpp"
+
+namespace mafia {
+namespace {
+
+Dataset small_planted(std::uint64_t seed = 3) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 6;
+  cfg.num_records = 8000;
+  cfg.seed = seed;
+  cfg.clusters.push_back(ClusterSpec::box({1, 4}, {20, 20}, {35, 35}));
+  return generate(cfg);
+}
+
+/// DataSource that throws once a cumulative number of records has been
+/// scanned — simulates an I/O error mid-pass on one rank.
+class FaultySource final : public DataSource {
+ public:
+  FaultySource(const Dataset& data, RecordIndex fail_after)
+      : inner_(data), fail_after_(fail_after) {}
+
+  [[nodiscard]] RecordIndex num_records() const override {
+    return inner_.num_records();
+  }
+  [[nodiscard]] std::size_t num_dims() const override { return inner_.num_dims(); }
+
+  void scan(RecordIndex begin, RecordIndex end, std::size_t chunk_records,
+            const ChunkFn& fn) const override {
+    inner_.scan(begin, end, chunk_records,
+                [&](const Value* rows, std::size_t nrows) {
+                  const auto seen =
+                      scanned_.fetch_add(nrows, std::memory_order_relaxed) + nrows;
+                  if (seen > fail_after_) {
+                    throw Error("injected I/O failure");
+                  }
+                  fn(rows, nrows);
+                });
+  }
+
+ private:
+  InMemorySource inner_;
+  RecordIndex fail_after_;
+  mutable std::atomic<RecordIndex> scanned_{0};
+};
+
+TEST(FailureInjection, IoErrorDuringSerialRunPropagates) {
+  const Dataset data = small_planted();
+  FaultySource source(data, 1000);
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+  options.chunk_records = 256;
+  EXPECT_THROW((void)run_mafia(source, options), Error);
+}
+
+TEST(FailureInjection, IoErrorDuringParallelRunUnwindsAllRanks) {
+  // The failing rank aborts the job; sibling ranks waiting in Reduce must
+  // unwind (no deadlock) and the caller sees the original error.
+  const Dataset data = small_planted();
+  for (const RecordIndex fail_after : {RecordIndex{0}, RecordIndex{3000},
+                                       RecordIndex{8000}}) {
+    FaultySource source(data, fail_after);
+    MafiaOptions options;
+    options.fixed_domain = {{0.0f, 100.0f}};
+    options.chunk_records = 128;
+    EXPECT_THROW((void)run_pmafia(source, options, 4), Error)
+        << "fail_after=" << fail_after;
+  }
+}
+
+TEST(FailureInjection, FailureLateEnoughDoesNotTrigger) {
+  // Sanity check on the injector: a threshold beyond all passes never fires.
+  const Dataset data = small_planted();
+  FaultySource source(data, RecordIndex{1} << 40);
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+  const MafiaResult r = run_mafia(source, options);
+  EXPECT_FALSE(r.clusters.empty());
+}
+
+TEST(FailureInjection, RuntimeSurvivesRepeatedFailedJobs) {
+  // Abort/unwind must not poison process-wide state: run fail, then
+  // succeed, repeatedly.
+  const Dataset data = small_planted();
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+  for (int i = 0; i < 3; ++i) {
+    FaultySource bad(data, 100);
+    EXPECT_THROW((void)run_pmafia(bad, options, 3), Error);
+    InMemorySource good(data);
+    const MafiaResult r = run_pmafia(good, options, 3);
+    EXPECT_EQ(r.clusters.size(), 1u);
+  }
+}
+
+TEST(FailureInjection, CorruptRecordFileFailsCleanly) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mafia_failure_corrupt.bin").string();
+  const Dataset data = small_planted();
+  write_record_file(path, data, false);
+  // Truncate into the middle of the value block.
+  std::filesystem::resize_file(path, kRecordFileHeaderBytes + 1234);
+
+  FileSource source(path);  // header is intact, so construction succeeds
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+  EXPECT_THROW((void)run_pmafia(source, options, 2), Error);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, StagingRejectsMissingShared) {
+  EXPECT_THROW((void)stage_partitions("/nonexistent/shared.bin", "/tmp/x", 2),
+               Error);
+}
+
+TEST(FailureInjection, StagedSourceRejectsInconsistentPartitions) {
+  // Partitions with mismatching dimensionality must be refused.
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string p0 = (dir / "mafia_failure_part0.bin").string();
+  const std::string p1 = (dir / "mafia_failure_part1.bin").string();
+  Dataset a(3);
+  a.append(std::vector<Value>{1, 2, 3});
+  Dataset b(4);
+  b.append(std::vector<Value>{1, 2, 3, 4});
+  write_record_file(p0, a, false);
+  write_record_file(p1, b, false);
+  StagedPartitions staged;
+  staged.paths = {p0, p1};
+  staged.num_records = 2;
+  staged.num_dims = 3;
+  EXPECT_THROW((void)StagedSource(staged), Error);
+  std::remove(p0.c_str());
+  std::remove(p1.c_str());
+}
+
+TEST(FailureInjection, MpNestedErrorTypePropagatesFaithfully) {
+  // The FIRST failing rank's exception type/message must be what the
+  // caller sees, not the AbortedError echoes from siblings.
+  try {
+    mp::run(4, [&](mp::Comm& comm) {
+      if (comm.rank() == 3) throw Error("original failure from rank 3");
+      comm.barrier();
+    });
+    FAIL() << "expected an exception";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "original failure from rank 3");
+  }
+}
+
+}  // namespace
+}  // namespace mafia

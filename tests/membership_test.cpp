@@ -1,0 +1,133 @@
+// Tests for record-to-cluster membership assignment and the run report.
+#include <gtest/gtest.h>
+
+#include "cluster/membership.hpp"
+#include "core/mafia.hpp"
+#include "core/report.hpp"
+#include "datagen/generator.hpp"
+#include "io/data_source.hpp"
+
+namespace mafia {
+namespace {
+
+struct EndToEnd {
+  Dataset data;
+  MafiaResult result;
+};
+
+EndToEnd run_planted() {
+  GeneratorConfig cfg;
+  cfg.num_dims = 8;
+  cfg.num_records = 20000;
+  cfg.seed = 23;
+  cfg.clusters.push_back(ClusterSpec::box({1, 4}, {20, 20}, {35, 35}, 1.0));
+  cfg.clusters.push_back(ClusterSpec::box({2, 5, 7}, {60, 60, 60}, {72, 72, 72}, 1.0));
+  EndToEnd e{generate(cfg), {}};
+  InMemorySource source(e.data);
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+  e.result = run_mafia(source, options);
+  return e;
+}
+
+TEST(Membership, LabelsMatchGroundTruthForClusterRecords) {
+  const EndToEnd e = run_planted();
+  ASSERT_EQ(e.result.clusters.size(), 2u);
+  InMemorySource source(e.data);
+  const auto labels = assign_members(source, e.result.clusters, e.result.grids);
+  ASSERT_EQ(labels.size(), e.data.num_records());
+
+  // Every ground-truth cluster record must be assigned to SOME cluster
+  // (adaptive boundaries cover the planted box), and consistently: all
+  // records of one planted cluster get the same discovered label.
+  std::int32_t label_of_truth[2] = {-2, -2};
+  std::size_t mismatches = 0;
+  for (RecordIndex i = 0; i < e.data.num_records(); ++i) {
+    const std::int32_t t = e.data.label(i);
+    if (t < 0) continue;
+    if (labels[i] < 0) {
+      ++mismatches;
+      continue;
+    }
+    if (label_of_truth[t] == -2) label_of_truth[t] = labels[i];
+    mismatches += (labels[i] != label_of_truth[t]);
+  }
+  EXPECT_LT(static_cast<double>(mismatches),
+            0.01 * static_cast<double>(e.data.num_records()));
+  EXPECT_NE(label_of_truth[0], label_of_truth[1]);
+}
+
+TEST(Membership, NoiseMostlyUnassigned) {
+  const EndToEnd e = run_planted();
+  InMemorySource source(e.data);
+  const auto labels = assign_members(source, e.result.clusters, e.result.grids);
+  std::size_t noise_total = 0;
+  std::size_t noise_assigned = 0;
+  for (RecordIndex i = 0; i < e.data.num_records(); ++i) {
+    if (e.data.label(i) != -1) continue;
+    ++noise_total;
+    noise_assigned += (labels[i] >= 0);
+  }
+  // A noise record is only captured when it happens to fall inside a
+  // cluster's region: 2-d cluster of ~2% volume + 3-d ~0.2%.
+  EXPECT_LT(static_cast<double>(noise_assigned),
+            0.10 * static_cast<double>(noise_total));
+}
+
+TEST(Membership, CountsAgreeWithLabels) {
+  const EndToEnd e = run_planted();
+  InMemorySource source(e.data);
+  const auto labels = assign_members(source, e.result.clusters, e.result.grids);
+  const MembershipCounts counts =
+      count_members(source, e.result.clusters, e.result.grids);
+  ASSERT_EQ(counts.per_cluster.size(), e.result.clusters.size());
+  std::vector<Count> expected(e.result.clusters.size(), 0);
+  Count noise = 0;
+  for (const std::int32_t l : labels) {
+    if (l < 0) {
+      ++noise;
+    } else {
+      ++expected[static_cast<std::size_t>(l)];
+    }
+  }
+  EXPECT_EQ(counts.per_cluster, expected);
+  EXPECT_EQ(counts.noise, noise);
+  EXPECT_EQ(counts.total(), e.data.num_records());
+}
+
+TEST(Membership, ContainsRecordRespectsDnfRectangles) {
+  const EndToEnd e = run_planted();
+  const Cluster* c2d = nullptr;
+  for (const Cluster& c : e.result.clusters) {
+    if (c.dims == std::vector<DimId>{1, 4}) c2d = &c;
+  }
+  ASSERT_NE(c2d, nullptr);
+  std::vector<Value> inside(8, 50.0f);
+  inside[1] = 25.0f;
+  inside[4] = 25.0f;
+  EXPECT_TRUE(contains_record(*c2d, e.result.grids, inside.data()));
+  std::vector<Value> outside(8, 50.0f);
+  outside[1] = 90.0f;
+  outside[4] = 25.0f;
+  EXPECT_FALSE(contains_record(*c2d, e.result.grids, outside.data()));
+}
+
+// ------------------------------------------------------------------ report
+
+TEST(Report, RendersClustersTraceAndComm) {
+  const EndToEnd e = run_planted();
+  const std::string report = render_report(e.result);
+  EXPECT_NE(report.find("clusters (2"), std::string::npos);
+  EXPECT_NE(report.find("subspace {2,5,7}"), std::string::npos);
+  EXPECT_NE(report.find("subspace {1,4}"), std::string::npos);
+  EXPECT_NE(report.find("level trace"), std::string::npos);
+  EXPECT_NE(report.find("populate"), std::string::npos);
+  EXPECT_NE(report.find("communication"), std::string::npos);
+
+  const std::string clusters_only = render_clusters(e.result);
+  EXPECT_NE(clusters_only.find("cluster 0:"), std::string::npos);
+  EXPECT_NE(clusters_only.find("cluster 1:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mafia

@@ -1,0 +1,138 @@
+// Tests for model persistence: exact round-trips, assignment equivalence
+// after reload, and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "cluster/membership.hpp"
+#include "core/mafia.hpp"
+#include "core/model_io.hpp"
+#include "datagen/generator.hpp"
+#include "io/data_source.hpp"
+
+namespace mafia {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct Fixture {
+  Dataset data;
+  MafiaResult result;
+};
+
+Fixture make_fixture() {
+  GeneratorConfig cfg;
+  cfg.num_dims = 8;
+  cfg.num_records = 15000;
+  cfg.seed = 31;
+  cfg.clusters.push_back(ClusterSpec::box({1, 4}, {20, 20}, {33, 33}, 1.0));
+  cfg.clusters.push_back(ClusterSpec::box({2, 5, 7}, {60, 60, 60}, {70, 70, 70}, 1.0));
+  Fixture f{generate(cfg), {}};
+  InMemorySource source(f.data);
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+  f.result = run_mafia(source, options);
+  return f;
+}
+
+TEST(ModelIo, RoundTripPreservesEverything) {
+  const Fixture f = make_fixture();
+  const std::string path = temp_path("mafia_model_roundtrip.txt");
+  save_model(path, f.result.grids, f.result.clusters);
+  const Model model = load_model(path);
+
+  ASSERT_EQ(model.grids.num_dims(), f.result.grids.num_dims());
+  for (std::size_t j = 0; j < model.grids.num_dims(); ++j) {
+    const DimensionGrid& a = f.result.grids[j];
+    const DimensionGrid& b = model.grids[j];
+    EXPECT_EQ(a.edges, b.edges) << "dim " << j;
+    EXPECT_EQ(a.thresholds, b.thresholds) << "dim " << j;
+    EXPECT_EQ(a.uniform_fallback, b.uniform_fallback);
+    EXPECT_EQ(a.domain_lo, b.domain_lo);
+    EXPECT_EQ(a.domain_hi, b.domain_hi);
+  }
+  ASSERT_EQ(model.clusters.size(), f.result.clusters.size());
+  for (std::size_t c = 0; c < model.clusters.size(); ++c) {
+    const Cluster& a = f.result.clusters[c];
+    const Cluster& b = model.clusters[c];
+    EXPECT_EQ(a.dims, b.dims);
+    ASSERT_EQ(a.units.size(), b.units.size());
+    for (std::size_t u = 0; u < a.units.size(); ++u) {
+      EXPECT_TRUE(a.units.equal(u, b.units, u));
+    }
+    ASSERT_EQ(a.dnf.size(), b.dnf.size());
+    for (std::size_t r = 0; r < a.dnf.size(); ++r) {
+      EXPECT_EQ(a.dnf[r].lo, b.dnf[r].lo);
+      EXPECT_EQ(a.dnf[r].hi, b.dnf[r].hi);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, AssignmentIdenticalAfterReload) {
+  const Fixture f = make_fixture();
+  const std::string path = temp_path("mafia_model_assign.txt");
+  save_model(path, f.result.grids, f.result.clusters);
+  const Model model = load_model(path);
+
+  InMemorySource source(f.data);
+  const auto before = assign_members(source, f.result.clusters, f.result.grids);
+  const auto after = assign_members(source, model.clusters, model.grids);
+  EXPECT_EQ(before, after);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, EmptyClusterListRoundTrips) {
+  const Fixture f = make_fixture();
+  const std::string path = temp_path("mafia_model_empty.txt");
+  save_model(path, f.result.grids, {});
+  const Model model = load_model(path);
+  EXPECT_TRUE(model.clusters.empty());
+  EXPECT_EQ(model.grids.num_dims(), f.result.grids.num_dims());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsMissingFile) {
+  EXPECT_THROW((void)load_model("/nonexistent/model.txt"), Error);
+}
+
+TEST(ModelIo, RejectsBadMagic) {
+  const std::string path = temp_path("mafia_model_badmagic.txt");
+  {
+    std::ofstream out(path);
+    out << "NOT-A-MODEL 1\n";
+  }
+  EXPECT_THROW((void)load_model(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsTruncatedFile) {
+  const Fixture f = make_fixture();
+  const std::string path = temp_path("mafia_model_trunc.txt");
+  save_model(path, f.result.grids, f.result.clusters);
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) / 2);
+  EXPECT_THROW((void)load_model(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsOutOfRangeClusterDim) {
+  const std::string path = temp_path("mafia_model_badd.txt");
+  {
+    std::ofstream out(path);
+    out << "MAFIA-MODEL 1\n"
+        << "dims 2\n"
+        << "grid 0 0 1\n  domain 0 1\n  edges 0 1\n  thresholds 1\n"
+        << "grid 1 0 1\n  domain 0 1\n  edges 0 1\n  thresholds 1\n"
+        << "clusters 1\ncluster 1\n  dims 7\n  units 0\n  dnf 0\n";
+  }
+  EXPECT_THROW((void)load_model(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mafia

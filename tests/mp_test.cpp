@@ -1,0 +1,381 @@
+// Tests for the SPMD message-passing runtime (the MPI substitute).
+// Collectives are checked against serial references across rank counts —
+// including oversubscribed counts, since correctness must not depend on
+// physical cores.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "mp/comm.hpp"
+
+namespace mafia::mp {
+namespace {
+
+class CollectivesAcrossRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesAcrossRanks, AllreduceSumMatchesSerial) {
+  const int p = GetParam();
+  std::vector<std::vector<std::uint64_t>> results(static_cast<std::size_t>(p));
+  run(p, [&](Comm& comm) {
+    std::vector<std::uint64_t> v(16);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = static_cast<std::uint64_t>(comm.rank() + 1) * (i + 1);
+    }
+    comm.allreduce_sum(v);
+    results[static_cast<std::size_t>(comm.rank())] = v;
+  });
+  // Serial reference: sum over ranks of (r+1)*(i+1) = (i+1) * p(p+1)/2.
+  const std::uint64_t rank_sum =
+      static_cast<std::uint64_t>(p) * static_cast<std::uint64_t>(p + 1) / 2;
+  for (int r = 0; r < p; ++r) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(results[static_cast<std::size_t>(r)][i], (i + 1) * rank_sum)
+          << "rank " << r << " elem " << i;
+    }
+  }
+}
+
+TEST_P(CollectivesAcrossRanks, AllreduceMinMax) {
+  const int p = GetParam();
+  std::vector<int> mins(static_cast<std::size_t>(p));
+  std::vector<int> maxs(static_cast<std::size_t>(p));
+  run(p, [&](Comm& comm) {
+    std::vector<int> lo{comm.rank() * 10};
+    std::vector<int> hi{comm.rank() * 10};
+    comm.allreduce_min(lo);
+    comm.allreduce_max(hi);
+    mins[static_cast<std::size_t>(comm.rank())] = lo[0];
+    maxs[static_cast<std::size_t>(comm.rank())] = hi[0];
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(mins[static_cast<std::size_t>(r)], 0);
+    EXPECT_EQ(maxs[static_cast<std::size_t>(r)], (p - 1) * 10);
+  }
+}
+
+TEST_P(CollectivesAcrossRanks, AllreduceOrCombinesFlags) {
+  const int p = GetParam();
+  std::vector<std::vector<std::uint8_t>> results(static_cast<std::size_t>(p));
+  run(p, [&](Comm& comm) {
+    // Rank r sets flag r only; OR over ranks sets flags 0..p-1.
+    std::vector<std::uint8_t> flags(static_cast<std::size_t>(p) + 3, 0);
+    flags[static_cast<std::size_t>(comm.rank())] = 1;
+    comm.allreduce_or(flags);
+    results[static_cast<std::size_t>(comm.rank())] = flags;
+  });
+  for (int r = 0; r < p; ++r) {
+    const auto& flags = results[static_cast<std::size_t>(r)];
+    for (int i = 0; i < p; ++i) EXPECT_EQ(flags[static_cast<std::size_t>(i)], 1);
+    for (std::size_t i = static_cast<std::size_t>(p); i < flags.size(); ++i) {
+      EXPECT_EQ(flags[i], 0);
+    }
+  }
+}
+
+TEST_P(CollectivesAcrossRanks, BcastDistributesRootPayload) {
+  const int p = GetParam();
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(p));
+  run(p, [&](Comm& comm) {
+    std::vector<double> payload;
+    if (comm.rank() == 0) payload = {1.5, 2.5, 3.5};
+    comm.bcast(payload, 0);
+    results[static_cast<std::size_t>(comm.rank())] = payload;
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)],
+              (std::vector<double>{1.5, 2.5, 3.5}));
+  }
+}
+
+TEST_P(CollectivesAcrossRanks, GathervConcatenatesInRankOrder) {
+  const int p = GetParam();
+  std::vector<int> at_root;
+  run(p, [&](Comm& comm) {
+    // Rank r contributes r+1 copies of r.
+    std::vector<int> local(static_cast<std::size_t>(comm.rank()) + 1, comm.rank());
+    auto gathered = comm.gatherv(local, 0);
+    if (comm.rank() == 0) at_root = gathered;
+    // Non-roots receive nothing.
+    if (comm.rank() != 0) EXPECT_TRUE(gathered.empty());
+  });
+  std::vector<int> expected;
+  for (int r = 0; r < p; ++r) {
+    for (int i = 0; i <= r; ++i) expected.push_back(r);
+  }
+  EXPECT_EQ(at_root, expected);
+}
+
+TEST_P(CollectivesAcrossRanks, AllgathervGivesEveryRankTheConcatenation) {
+  const int p = GetParam();
+  std::vector<std::vector<int>> results(static_cast<std::size_t>(p));
+  run(p, [&](Comm& comm) {
+    std::vector<int> local{comm.rank() * 2, comm.rank() * 2 + 1};
+    results[static_cast<std::size_t>(comm.rank())] = comm.allgatherv(local);
+  });
+  std::vector<int> expected(static_cast<std::size_t>(2 * p));
+  std::iota(expected.begin(), expected.end(), 0);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)], expected) << "rank " << r;
+  }
+}
+
+TEST_P(CollectivesAcrossRanks, ScalarHelpers) {
+  const int p = GetParam();
+  std::vector<std::uint64_t> sums(static_cast<std::size_t>(p));
+  std::vector<int> bcasts(static_cast<std::size_t>(p));
+  run(p, [&](Comm& comm) {
+    sums[static_cast<std::size_t>(comm.rank())] =
+        comm.allreduce_sum_scalar<std::uint64_t>(1);
+    bcasts[static_cast<std::size_t>(comm.rank())] =
+        comm.bcast_scalar(comm.rank() == 0 ? 77 : -1, 0);
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(r)], static_cast<std::uint64_t>(p));
+    EXPECT_EQ(bcasts[static_cast<std::size_t>(r)], 77);
+  }
+}
+
+TEST_P(CollectivesAcrossRanks, RepeatedCollectivesDoNotInterfere) {
+  const int p = GetParam();
+  run(p, [&](Comm& comm) {
+    for (int iter = 0; iter < 50; ++iter) {
+      std::vector<int> v{comm.rank() + iter};
+      comm.allreduce_sum(v);
+      const int expected = p * iter + p * (p - 1) / 2;
+      ASSERT_EQ(v[0], expected) << "iter " << iter;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectivesAcrossRanks,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+// -------------------------------------------------------- point-to-point
+
+TEST(PointToPoint, RingPassesToken) {
+  constexpr int kRanks = 4;
+  std::vector<int> received(kRanks, -1);
+  run(kRanks, [&](Comm& comm) {
+    const int next = (comm.rank() + 1) % kRanks;
+    const int prev = (comm.rank() + kRanks - 1) % kRanks;
+    comm.send(next, /*tag=*/7, std::vector<int>{comm.rank() * 100});
+    const auto msg = comm.recv<int>(prev, /*tag=*/7);
+    received[static_cast<std::size_t>(comm.rank())] = msg.at(0);
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(received[static_cast<std::size_t>(r)],
+              ((r + kRanks - 1) % kRanks) * 100);
+  }
+}
+
+TEST(PointToPoint, TagMatchingSelectsCorrectMessage) {
+  run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, /*tag=*/1, std::vector<int>{111});
+      comm.send(1, /*tag=*/2, std::vector<int>{222});
+    } else {
+      // Receive out of send order: tag 2 first.
+      EXPECT_EQ(comm.recv<int>(0, 2).at(0), 222);
+      EXPECT_EQ(comm.recv<int>(0, 1).at(0), 111);
+    }
+  });
+}
+
+TEST(PointToPoint, NonOvertakingWithinTag) {
+  run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 20; ++i) comm.send(1, 5, std::vector<int>{i});
+    } else {
+      for (int i = 0; i < 20; ++i) EXPECT_EQ(comm.recv<int>(0, 5).at(0), i);
+    }
+  });
+}
+
+TEST(PointToPoint, EmptyPayload) {
+  run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 3, std::vector<int>{});
+    } else {
+      EXPECT_TRUE(comm.recv<int>(0, 3).empty());
+    }
+  });
+}
+
+// --------------------------------------------------- extended collectives
+
+TEST_P(CollectivesAcrossRanks, RootReduceOnlyChangesRoot) {
+  const int p = GetParam();
+  std::vector<std::vector<int>> results(static_cast<std::size_t>(p));
+  run(p, [&](Comm& comm) {
+    std::vector<int> v{comm.rank() + 1};
+    comm.reduce(v, [](int a, int b) { return a + b; }, 0);
+    results[static_cast<std::size_t>(comm.rank())] = v;
+  });
+  EXPECT_EQ(results[0][0], p * (p + 1) / 2);
+  for (int r = 1; r < p; ++r) {
+    EXPECT_EQ(results[static_cast<std::size_t>(r)][0], r + 1)
+        << "non-root rank " << r << " was modified";
+  }
+}
+
+TEST_P(CollectivesAcrossRanks, ScattervDeliversPerRankSlices) {
+  const int p = GetParam();
+  std::vector<std::vector<int>> received(static_cast<std::size_t>(p));
+  run(p, [&](Comm& comm) {
+    std::vector<std::vector<int>> slices;
+    if (comm.rank() == 0) {
+      slices.resize(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        // Rank r gets r+1 values, all equal to r*10.
+        slices[static_cast<std::size_t>(r)].assign(
+            static_cast<std::size_t>(r) + 1, r * 10);
+      }
+    }
+    received[static_cast<std::size_t>(comm.rank())] = comm.scatterv(slices, 0);
+  });
+  for (int r = 0; r < p; ++r) {
+    const auto& got = received[static_cast<std::size_t>(r)];
+    ASSERT_EQ(got.size(), static_cast<std::size_t>(r) + 1);
+    for (const int v : got) EXPECT_EQ(v, r * 10);
+  }
+}
+
+TEST_P(CollectivesAcrossRanks, AlltoallvExchangesEveryPair) {
+  const int p = GetParam();
+  std::vector<std::vector<std::vector<int>>> results(static_cast<std::size_t>(p));
+  run(p, [&](Comm& comm) {
+    std::vector<std::vector<int>> outgoing(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      // Payload encodes (sender, receiver).
+      outgoing[static_cast<std::size_t>(r)] = {comm.rank() * 100 + r};
+    }
+    results[static_cast<std::size_t>(comm.rank())] = comm.alltoallv(outgoing);
+  });
+  for (int me = 0; me < p; ++me) {
+    const auto& incoming = results[static_cast<std::size_t>(me)];
+    ASSERT_EQ(incoming.size(), static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      ASSERT_EQ(incoming[static_cast<std::size_t>(s)].size(), 1u);
+      EXPECT_EQ(incoming[static_cast<std::size_t>(s)][0], s * 100 + me);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ abort
+
+TEST(Abort, ExceptionInOneRankUnwindsSiblingsAndRethrows) {
+  EXPECT_THROW(
+      run(4,
+          [&](Comm& comm) {
+            if (comm.rank() == 2) throw Error("rank 2 failed");
+            // Siblings park in a barrier; the abort must wake them.
+            comm.barrier();
+            comm.barrier();
+          }),
+      Error);
+}
+
+TEST(Abort, ExceptionWhileSiblingWaitsInRecv) {
+  EXPECT_THROW(run(2,
+                   [&](Comm& comm) {
+                     if (comm.rank() == 0) throw Error("boom");
+                     (void)comm.recv<int>(0, 9);  // would block forever
+                   }),
+               Error);
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(Stats, CountsMessagesAndBytes) {
+  const JobStats job = run(2, [&](Comm& comm) {
+    if (comm.rank() == 0) comm.send(1, 1, std::vector<std::uint64_t>(10));
+    if (comm.rank() == 1) (void)comm.recv<std::uint64_t>(0, 1);
+    std::vector<std::uint32_t> v(8, 1);
+    comm.allreduce_sum(v);
+  });
+  const CommStats total = job.total();
+  EXPECT_EQ(total.p2p_messages, 1u);
+  EXPECT_EQ(total.p2p_bytes, 80u);
+  EXPECT_EQ(total.reduces, 2u);  // one allreduce entered on each rank
+  EXPECT_EQ(total.collective_bytes, 2u * 8u * sizeof(std::uint32_t));
+}
+
+TEST(Stats, CostModelScalesWithVolume) {
+  CommStats small;
+  small.p2p_messages = 1;
+  small.p2p_bytes = 100;
+  CommStats big = small;
+  big.p2p_bytes = 100000000;
+  const CostModel model;
+  EXPECT_LT(model.communication_seconds(small), model.communication_seconds(big));
+  // Latency floor: even one tiny message costs at least the latency.
+  EXPECT_GE(model.communication_seconds(small), model.latency_seconds);
+}
+
+// ------------------------------------------------------ network simulation
+
+TEST(NetworkSimulation, DelayFormula) {
+  const NetworkSimulation net{0.010, 1000.0};
+  EXPECT_NEAR(net.delay_for(0), 0.010, 1e-12);
+  EXPECT_NEAR(net.delay_for(500), 0.510, 1e-12);
+  const NetworkSimulation zero;
+  EXPECT_EQ(zero.delay_for(1 << 20), 0.0);
+  EXPECT_GT(NetworkSimulation::sp2().latency_seconds, 0.0);
+}
+
+TEST(NetworkSimulation, SimulatedLatencyStallsCollectives) {
+  // 5 allreduces at 20 ms emulated latency must take >= 100 ms; the same
+  // job without simulation finishes in a few ms.
+  const auto job = [](mp::Comm& comm) {
+    for (int i = 0; i < 5; ++i) {
+      std::vector<int> v{comm.rank()};
+      comm.allreduce_sum(v);
+    }
+  };
+  const auto timed = [&](const NetworkSimulation& net) {
+    const auto start = std::chrono::steady_clock::now();
+    run(2, job, net);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  EXPECT_GE(timed(NetworkSimulation{0.020, 0.0}), 0.100);
+  EXPECT_LT(timed(NetworkSimulation{}), 0.050);
+}
+
+TEST(NetworkSimulation, ResultsUnaffectedByDelays) {
+  std::vector<int> with_sim(4);
+  std::vector<int> without(4);
+  const auto job = [](std::vector<int>& out) {
+    return [&out](Comm& comm) {
+      std::vector<int> v{comm.rank() * 3 + 1};
+      comm.allreduce_sum(v);
+      out[static_cast<std::size_t>(comm.rank())] = v[0];
+    };
+  };
+  run(4, job(without));
+  run(4, job(with_sim), NetworkSimulation{0.002, 1e6});
+  EXPECT_EQ(with_sim, without);
+}
+
+TEST(Runtime, RejectsZeroRanks) {
+  EXPECT_THROW(run(0, [](Comm&) {}), Error);
+}
+
+TEST(Runtime, SingleRankDegeneratesGracefully) {
+  run(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    EXPECT_TRUE(comm.is_parent());
+    std::vector<int> v{41};
+    comm.allreduce_sum(v);
+    EXPECT_EQ(v[0], 41);
+    auto g = comm.allgatherv(std::vector<int>{1, 2});
+    EXPECT_EQ(g, (std::vector<int>{1, 2}));
+  });
+}
+
+}  // namespace
+}  // namespace mafia::mp

@@ -1,0 +1,148 @@
+// Fuzz tests for CDU population: the subspace-grouped binary-search
+// populator against a brute-force membership reference, over randomized
+// grids, candidates, and records.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "grid/adaptive_grid.hpp"
+#include "grid/histogram.hpp"
+#include "grid/uniform_grid.hpp"
+#include "rng/distributions.hpp"
+#include "rng/icg.hpp"
+#include "units/populate.hpp"
+
+namespace mafia {
+namespace {
+
+/// Brute-force reference: for every record and CDU, test bin membership by
+/// definition (value inside every (dim, bin) interval, upper-clamped).
+std::vector<Count> brute_force_counts(const GridSet& grids, const UnitStore& cdus,
+                                      const std::vector<Value>& rows,
+                                      std::size_t nrows) {
+  const std::size_t d = grids.num_dims();
+  std::vector<Count> counts(cdus.size(), 0);
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const Value* row = rows.data() + r * d;
+    for (std::size_t u = 0; u < cdus.size(); ++u) {
+      const auto dims = cdus.dims(u);
+      const auto bins = cdus.bins(u);
+      bool inside = true;
+      for (std::size_t i = 0; i < dims.size() && inside; ++i) {
+        inside = grids[dims[i]].bin_of(row[dims[i]]) == bins[i];
+      }
+      counts[u] += inside ? 1 : 0;
+    }
+  }
+  return counts;
+}
+
+/// Randomized grid per dimension: either uniform (random xi) or adaptive
+/// from a random histogram.
+GridSet random_grids(IcgRandom& rng, std::size_t d) {
+  GridSet grids;
+  for (std::size_t j = 0; j < d; ++j) {
+    if (rng() % 2 == 0) {
+      const std::size_t xi = 2 + uniform_index(rng, 18);
+      grids.dims.push_back(compute_uniform_grid(static_cast<DimId>(j), 0.0f,
+                                                100.0f, xi, 0.01, 1000));
+    } else {
+      AdaptiveGridOptions o;
+      o.fine_bins = 50;
+      o.window_cells = 2;
+      std::vector<Count> counts(50);
+      for (auto& c : counts) c = uniform_index(rng, 100);
+      // Plant a step so there is usually more than one bin.
+      const std::size_t lo = uniform_index(rng, 30);
+      for (std::size_t c = lo; c < lo + 10; ++c) counts[c] += 5000;
+      grids.dims.push_back(compute_adaptive_grid(static_cast<DimId>(j), 0.0f,
+                                                 100.0f, counts, 100000, o));
+    }
+  }
+  return grids;
+}
+
+/// Random CDU store of dimensionality k over d dims (valid bins).
+UnitStore random_cdus(IcgRandom& rng, const GridSet& grids, std::size_t k,
+                      std::size_t count) {
+  UnitStore cdus(k);
+  const std::size_t d = grids.num_dims();
+  std::vector<DimId> all_dims(d);
+  std::iota(all_dims.begin(), all_dims.end(), DimId{0});
+  std::vector<DimId> dims(k);
+  std::vector<BinId> bins(k);
+  for (std::size_t u = 0; u < count; ++u) {
+    shuffle(rng, all_dims.begin(), all_dims.end());
+    std::copy(all_dims.begin(), all_dims.begin() + static_cast<std::ptrdiff_t>(k),
+              dims.begin());
+    std::sort(dims.begin(), dims.end());
+    for (std::size_t i = 0; i < k; ++i) {
+      bins[i] = static_cast<BinId>(
+          uniform_index(rng, grids[dims[i]].num_bins()));
+    }
+    cdus.push_unchecked(dims.data(), bins.data());
+  }
+  return cdus;
+}
+
+class PopulateFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PopulateFuzz, MatchesBruteForceOnRandomInstances) {
+  IcgRandom rng(GetParam());
+  const std::size_t d = 3 + uniform_index(rng, 8);       // 3..10 dims
+  const std::size_t k = 1 + uniform_index(rng, std::min<std::size_t>(d, 4));
+  const std::size_t ncdu = 1 + uniform_index(rng, 60);
+  const std::size_t nrows = 200 + uniform_index(rng, 800);
+
+  const GridSet grids = random_grids(rng, d);
+  const UnitStore cdus = random_cdus(rng, grids, k, ncdu);
+
+  std::vector<Value> rows(nrows * d);
+  for (auto& v : rows) {
+    // Mostly in-domain, some outside to exercise clamping.
+    v = static_cast<Value>(uniform_real(rng, -10.0, 110.0));
+  }
+
+  UnitPopulator pop(grids, cdus);
+  pop.accumulate(rows.data(), nrows);
+  const auto expected = brute_force_counts(grids, cdus, rows, nrows);
+  ASSERT_EQ(pop.counts().size(), expected.size());
+  for (std::size_t u = 0; u < expected.size(); ++u) {
+    EXPECT_EQ(pop.counts()[u], expected[u]) << "cdu " << cdus.to_string(u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PopulateFuzz,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(PopulateInvariant, LevelOneCountsPartitionTheRecords) {
+  // The level-1 candidate set is every bin of every dimension; since bins
+  // tile each dimension, the counts of one dimension's bins must sum to N.
+  IcgRandom rng(4242);
+  const std::size_t d = 5;
+  const GridSet grids = random_grids(rng, d);
+  UnitStore cdus(1);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t b = 0; b < grids[j].num_bins(); ++b) {
+      const auto dj = static_cast<DimId>(j);
+      const auto bb = static_cast<BinId>(b);
+      cdus.push_unchecked(&dj, &bb);
+    }
+  }
+  constexpr std::size_t kRows = 5000;
+  std::vector<Value> rows(kRows * d);
+  for (auto& v : rows) v = static_cast<Value>(uniform_real(rng, 0.0, 100.0));
+
+  UnitPopulator pop(grids, cdus);
+  pop.accumulate(rows.data(), kRows);
+  std::size_t at = 0;
+  for (std::size_t j = 0; j < d; ++j) {
+    Count sum = 0;
+    for (std::size_t b = 0; b < grids[j].num_bins(); ++b) sum += pop.counts()[at++];
+    EXPECT_EQ(sum, kRows) << "dimension " << j << " bins do not tile";
+  }
+}
+
+}  // namespace
+}  // namespace mafia

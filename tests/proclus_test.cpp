@@ -1,0 +1,150 @@
+// Tests for the PROCLUS baseline: recovery of planted projected clusters
+// when k and l are right, and the failure modes the paper criticizes when
+// they are wrong (Sections 2 and 5.9(2)).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "datagen/generator.hpp"
+#include "proclus/proclus.hpp"
+
+namespace mafia {
+namespace {
+
+/// Two well-separated projected clusters in known subspaces.
+Dataset two_cluster_data(RecordIndex records = 1200, std::uint64_t seed = 5) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 12;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  cfg.noise_fraction = 0.05;
+  cfg.clusters.push_back(
+      ClusterSpec::box({1, 4, 7}, {10, 10, 10}, {16, 16, 16}, 1.0));
+  cfg.clusters.push_back(
+      ClusterSpec::box({2, 5, 9}, {80, 80, 80}, {86, 86, 86}, 1.0));
+  return generate(cfg);
+}
+
+/// Fraction of a PROCLUS cluster's members carrying ground-truth label `t`.
+double purity(const Dataset& data, const ProclusCluster& c, std::int32_t t) {
+  if (c.members.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const RecordIndex r : c.members) hits += (data.label(r) == t);
+  return static_cast<double>(hits) / static_cast<double>(c.members.size());
+}
+
+TEST(Proclus, RecoversPlantedClustersWithCorrectParameters) {
+  const Dataset data = two_cluster_data();
+  ProclusOptions options;
+  options.num_clusters = 2;
+  options.avg_dims = 3;
+  options.seed = 3;
+  const ProclusResult r = run_proclus(data, options);
+
+  ASSERT_EQ(r.clusters.size(), 2u);
+  // Each cluster should be dominated by one planted label, and the two
+  // clusters by different labels.
+  const double p00 = purity(data, r.clusters[0], 0);
+  const double p01 = purity(data, r.clusters[0], 1);
+  const double p10 = purity(data, r.clusters[1], 0);
+  const double p11 = purity(data, r.clusters[1], 1);
+  const double split_a = std::min(p00, p11);
+  const double split_b = std::min(p01, p10);
+  EXPECT_GT(std::max(split_a, split_b), 0.85)
+      << "clusters do not separate the planted labels";
+}
+
+TEST(Proclus, LearnedDimensionsOverlapPlantedSubspaces) {
+  const Dataset data = two_cluster_data();
+  ProclusOptions options;
+  options.num_clusters = 2;
+  options.avg_dims = 3;
+  options.seed = 11;
+  const ProclusResult r = run_proclus(data, options);
+
+  // The union of learned dims should hit most of {1,4,7} u {2,5,9}.
+  std::set<DimId> learned;
+  for (const auto& c : r.clusters) learned.insert(c.dims.begin(), c.dims.end());
+  const std::set<DimId> planted{1, 4, 7, 2, 5, 9};
+  std::size_t overlap = 0;
+  for (const DimId d : planted) overlap += learned.count(d);
+  EXPECT_GE(overlap, 4u) << "learned dims mostly miss the planted subspaces";
+}
+
+TEST(Proclus, DimensionBudgetFollowsUserL) {
+  // The paper's criticism in action: PROCLUS's reported dimensionality is
+  // whatever l the user asked for, not what the data contains.
+  const Dataset data = two_cluster_data();
+  ProclusOptions options;
+  options.num_clusters = 2;
+  options.seed = 7;
+
+  options.avg_dims = 3;
+  const double mean3 = run_proclus(data, options).mean_dimensionality();
+  options.avg_dims = 9;
+  const double mean9 = run_proclus(data, options).mean_dimensionality();
+  EXPECT_NEAR(mean3, 3.0, 1.01);
+  EXPECT_GT(mean9, 6.0);  // inflated clusters, as on Ionosphere (31-d/33-d)
+}
+
+TEST(Proclus, EveryRecordAssignedOrOutlier) {
+  const Dataset data = two_cluster_data(600);
+  ProclusOptions options;
+  options.num_clusters = 2;
+  options.avg_dims = 3;
+  const ProclusResult r = run_proclus(data, options);
+  std::size_t total = r.outliers.size();
+  for (const auto& c : r.clusters) total += c.members.size();
+  EXPECT_EQ(total, data.num_records());
+  // No duplicates across clusters/outliers.
+  std::set<RecordIndex> seen(r.outliers.begin(), r.outliers.end());
+  for (const auto& c : r.clusters) {
+    for (const RecordIndex m : c.members) {
+      EXPECT_TRUE(seen.insert(m).second) << "record assigned twice";
+    }
+  }
+}
+
+TEST(Proclus, EachClusterHasAtLeastTwoDims) {
+  const Dataset data = two_cluster_data(600);
+  ProclusOptions options;
+  options.num_clusters = 3;  // even with a wrong k
+  options.avg_dims = 2;
+  const ProclusResult r = run_proclus(data, options);
+  for (const auto& c : r.clusters) EXPECT_GE(c.dims.size(), 2u);
+}
+
+TEST(Proclus, DeterministicPerSeed) {
+  const Dataset data = two_cluster_data(500);
+  ProclusOptions options;
+  options.num_clusters = 2;
+  options.avg_dims = 3;
+  options.seed = 99;
+  const ProclusResult a = run_proclus(data, options);
+  const ProclusResult b = run_proclus(data, options);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].medoid, b.clusters[i].medoid);
+    EXPECT_EQ(a.clusters[i].dims, b.clusters[i].dims);
+    EXPECT_EQ(a.clusters[i].members, b.clusters[i].members);
+  }
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
+TEST(Proclus, ValidatesOptions) {
+  const Dataset data = two_cluster_data(100);
+  ProclusOptions bad;
+  bad.avg_dims = 1;
+  EXPECT_THROW((void)run_proclus(data, bad), Error);
+  bad = ProclusOptions{};
+  bad.num_clusters = 0;
+  EXPECT_THROW((void)run_proclus(data, bad), Error);
+  bad = ProclusOptions{};
+  bad.sample_factor = 10;
+  bad.candidate_factor = 2;
+  EXPECT_THROW((void)run_proclus(data, bad), Error);
+}
+
+}  // namespace
+}  // namespace mafia

@@ -1,0 +1,188 @@
+// Tests for the random number substrate: the Inversive Congruential
+// Generator (paper ref [6]), the LCG contrast case, and the distribution
+// helpers the data generator relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/icg.hpp"
+#include "rng/lcg.hpp"
+#include "rng/plane_test.hpp"
+
+namespace mafia {
+namespace {
+
+// ------------------------------------------------------------ inverse_pow2
+
+TEST(InversePow2, InvertsSmallOddValues) {
+  for (std::uint64_t x = 1; x < 2000; x += 2) {
+    EXPECT_EQ(x * inverse_pow2(x), 1ull) << "x=" << x;
+  }
+}
+
+class InversePow2Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InversePow2Sweep, InverseTimesValueIsOne) {
+  const std::uint64_t x = GetParam() | 1ull;  // force odd
+  EXPECT_EQ(x * inverse_pow2(x), 1ull);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OddResidues, InversePow2Sweep,
+    ::testing::Values(1ull, 3ull, 0xdeadbeefull, 0x123456789abcdefull,
+                      0xffffffffffffffffull, 0x8000000000000001ull,
+                      0x5deece66dull, 0x2545f4914f6cdd1dull));
+
+TEST(InversePow2, InverseIsInvolutionUnderInverse) {
+  // inv(inv(x)) == x for odd x.
+  for (std::uint64_t x : {3ull, 17ull, 0xabcdefull, 0x13579bdf02468aceull | 1ull}) {
+    EXPECT_EQ(inverse_pow2(inverse_pow2(x)), x);
+  }
+}
+
+// -------------------------------------------------------------------- ICG
+
+TEST(Icg, StateStaysOdd) {
+  IcgRandom rng(12345);
+  for (int i = 0; i < 1000; ++i) {
+    rng.next();
+    EXPECT_EQ(rng.state() & 1ull, 1ull);
+  }
+}
+
+TEST(Icg, DifferentSeedsDiverge) {
+  IcgRandom a(1);
+  IcgRandom b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Icg, Deterministic) {
+  IcgRandom a(99);
+  IcgRandom b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Icg, NoShortCycle) {
+  // The orbit has period 2^63; any repeat within a small window would be a
+  // construction bug.
+  IcgRandom rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_TRUE(seen.insert(rng.state()).second) << "cycle at step " << i;
+    rng.next();
+  }
+}
+
+TEST(Icg, RoughlyUniformInBuckets) {
+  IcgRandom rng(2024);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<std::size_t>(uniform01(rng) * kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, 5 * std::sqrt(expected)) << "bucket " << b;
+  }
+}
+
+// ---------------------------------------------------- LCG plane structure
+
+TEST(PlaneDiagnostic, RanduConcentratesOnFewPlanesIcgDoesNot) {
+  // Successive RANDU triples satisfy 9x − 6y + z ≡ 0 (mod 2^31): projected
+  // onto (9, −6, 1), every triple lands on one of ~15 integer offsets.
+  // The ICG fills the projection continuously — the "falling into specific
+  // planes" defect the paper's Section 5.1 avoids by using the ICG.
+  const std::vector<double> direction{9.0, -6.0, 1.0};
+  constexpr std::size_t kSamples = 30000;
+  constexpr double kQuantum = 1e-4;
+
+  RanduRandom randu(42);
+  IcgRandom icg(42);
+  const std::size_t randu_planes =
+      count_plane_offsets(randu, kSamples, direction, kQuantum);
+  const std::size_t icg_planes =
+      count_plane_offsets(icg, kSamples, direction, kQuantum);
+  EXPECT_LE(randu_planes, 16u) << "RANDU should sit on <= 15 planes";
+  EXPECT_GT(icg_planes, 1000u * randu_planes / 16u)
+      << "randu=" << randu_planes << " icg=" << icg_planes;
+}
+
+// ---------------------------------------------------------- distributions
+
+TEST(Distributions, Uniform01InRange) {
+  IcgRandom rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = uniform01(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Distributions, UniformRealRespectsBounds) {
+  IcgRandom rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = uniform_real(rng, -3.5, 12.25);
+    EXPECT_GE(v, -3.5);
+    EXPECT_LT(v, 12.25);
+  }
+}
+
+TEST(Distributions, UniformIndexCoversRangeWithoutBias) {
+  IcgRandom rng(7);
+  constexpr std::uint64_t kN = 7;
+  constexpr int kSamples = 70000;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[uniform_index(rng, kN)];
+  const double expected = static_cast<double>(kSamples) / kN;
+  for (std::uint64_t v = 0; v < kN; ++v) {
+    EXPECT_NEAR(counts[v], expected, 5 * std::sqrt(expected)) << "value " << v;
+  }
+}
+
+TEST(Distributions, UniformIndexOneIsAlwaysZero) {
+  IcgRandom rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(uniform_index(rng, 1), 0ull);
+}
+
+TEST(Distributions, UniformIndexRejectsZero) {
+  IcgRandom rng(9);
+  EXPECT_THROW((void)uniform_index(rng, 0), Error);
+}
+
+TEST(Distributions, ShuffleIsAPermutation) {
+  IcgRandom rng(10);
+  std::vector<int> v(500);
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(rng, v.begin(), v.end());
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  // And it actually moved things.
+  int displaced = 0;
+  for (int i = 0; i < 500; ++i) displaced += (v[static_cast<std::size_t>(i)] != i);
+  EXPECT_GT(displaced, 400);
+}
+
+TEST(Distributions, ShuffleDeterministicPerSeed) {
+  std::vector<int> a(100);
+  std::vector<int> b(100);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  IcgRandom ra(11);
+  IcgRandom rb(11);
+  shuffle(ra, a.begin(), a.end());
+  shuffle(rb, b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace mafia

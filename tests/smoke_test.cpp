@@ -1,0 +1,34 @@
+// End-to-end smoke test: generate a small planted data set, run serial
+// MAFIA, and check the planted subspace comes back.
+#include <gtest/gtest.h>
+
+#include "core/mafia.hpp"
+#include "datagen/generator.hpp"
+#include "io/data_source.hpp"
+
+namespace mafia {
+namespace {
+
+TEST(Smoke, RecoversPlantedSubspace) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 8;
+  cfg.num_records = 20000;
+  cfg.seed = 7;
+  cfg.clusters.push_back(ClusterSpec::box({1, 3, 6}, {30, 30, 30}, {45, 45, 45}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+  const MafiaResult result = run_mafia(source, options);
+
+  ASSERT_FALSE(result.clusters.empty());
+  const std::vector<DimId> expected{1, 3, 6};
+  bool found = false;
+  for (const Cluster& c : result.clusters) found = found || c.dims == expected;
+  EXPECT_TRUE(found) << "planted subspace {1,3,6} not discovered";
+  EXPECT_EQ(result.max_dense_level(), 3u);
+}
+
+}  // namespace
+}  // namespace mafia

@@ -1,0 +1,170 @@
+// Tests for the Eq. 1 optimal task partitioning of the triangular pairwise
+// workload, plus the flag-balanced linear-search partitioning (Algorithm 6).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "common/error.hpp"
+#include "taskpart/taskpart.hpp"
+
+namespace mafia {
+namespace {
+
+// --------------------------------------------------------- work accounting
+
+TEST(TriangularWork, MatchesBruteForceSum) {
+  // Work(j) = n - j; check several ranges against explicit summation.
+  constexpr std::size_t n = 57;
+  for (std::size_t begin = 0; begin <= n; begin += 7) {
+    for (std::size_t end = begin; end <= n; end += 11) {
+      std::uint64_t expected = 0;
+      for (std::size_t j = begin; j < end; ++j) expected += n - j;
+      EXPECT_EQ(triangular_work(n, begin, end), expected)
+          << "[" << begin << "," << end << ")";
+    }
+  }
+}
+
+TEST(TriangularWork, EmptyRangeIsZero) {
+  EXPECT_EQ(triangular_work(100, 0, 0), 0u);
+  EXPECT_EQ(triangular_work(100, 100, 100), 0u);
+  EXPECT_EQ(triangular_work(0, 0, 0), 0u);
+}
+
+TEST(TriangularWork, TotalIsClosedForm) {
+  for (std::size_t n : {0u, 1u, 2u, 10u, 1000u, 65536u}) {
+    EXPECT_EQ(triangular_total_work(n),
+              static_cast<std::uint64_t>(n) * (n + 1) / 2);
+    EXPECT_EQ(triangular_work(n, 0, n), triangular_total_work(n));
+  }
+}
+
+// ------------------------------------------------------- Eq. 1 partition
+
+class TriangularPartitionSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(TriangularPartitionSweep, BoundariesAreValidAndCoverEverything) {
+  const auto [n, p] = GetParam();
+  const auto bounds = triangular_partition(n, p);
+  ASSERT_EQ(bounds.size(), p + 1);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), n);
+  for (std::size_t i = 0; i < p; ++i) EXPECT_LE(bounds[i], bounds[i + 1]);
+  // The union of ranges carries exactly the total work.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    total += triangular_work(n, bounds[i], bounds[i + 1]);
+  }
+  EXPECT_EQ(total, triangular_total_work(n));
+}
+
+TEST_P(TriangularPartitionSweep, EachRankNearIdealWork) {
+  const auto [n, p] = GetParam();
+  if (n < p * 4) return;  // tiny problems: the tau cutoff handles these
+  const auto bounds = triangular_partition(n, p);
+  const double ideal =
+      static_cast<double>(triangular_total_work(n)) / static_cast<double>(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    const double work =
+        static_cast<double>(triangular_work(n, bounds[i], bounds[i + 1]));
+    // Integer rounding moves at most ~one row of work (<= n) between ranks.
+    EXPECT_NEAR(work, ideal, static_cast<double>(n) + 1.0)
+        << "rank " << i << " of " << p << ", n=" << n;
+  }
+}
+
+TEST_P(TriangularPartitionSweep, BeatsBlockPartitionImbalance) {
+  const auto [n, p] = GetParam();
+  if (p == 1 || n < p * 8) return;
+  const auto bounds = triangular_partition(n, p);
+  // Naive block split: rank 0 gets indices [0, n/p) — the most expensive
+  // rows.  Its work exceeds the optimal split's maximum rank work.
+  const std::size_t block = n / p;
+  const std::uint64_t block_rank0 = triangular_work(n, 0, block);
+  std::uint64_t optimal_max = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    optimal_max =
+        std::max(optimal_max, triangular_work(n, bounds[i], bounds[i + 1]));
+  }
+  EXPECT_LE(optimal_max, block_rank0 + n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TriangularPartitionSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 5, 16, 100, 1000,
+                                                      4096, 30000),
+                       ::testing::Values<std::size_t>(1, 2, 3, 4, 8, 16)));
+
+TEST(TriangularPartition, FirstRankGetsFewerRowsThanLast) {
+  // Early rows are the most expensive (n - j comparisons), so the optimal
+  // split gives rank 0 the fewest rows and the last rank the most.
+  const auto bounds = triangular_partition(1000, 4);
+  const std::size_t rows0 = bounds[1] - bounds[0];
+  const std::size_t rows3 = bounds[4] - bounds[3];
+  EXPECT_LT(rows0, rows3);
+}
+
+TEST(TriangularPartition, RejectsZeroRanks) {
+  EXPECT_THROW((void)triangular_partition(10, 0), Error);
+}
+
+// ------------------------------------------------- flag-balanced partition
+
+TEST(FlagBalanced, SplitsUniformFlagsEvenly) {
+  std::vector<std::uint8_t> flags(100, 1);
+  const auto bounds = flag_balanced_partition(flags, 4);
+  ASSERT_EQ(bounds.size(), 5u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::size_t set = 0;
+    for (std::size_t i = bounds[r]; i < bounds[r + 1]; ++i) set += flags[i];
+    EXPECT_EQ(set, 25u) << "rank " << r;
+  }
+}
+
+TEST(FlagBalanced, BalancesSkewedFlags) {
+  // All the dense units at the end of the CDU array — exactly the uneven
+  // distribution Algorithm 6's linear search exists for.
+  std::vector<std::uint8_t> flags(1000, 0);
+  for (std::size_t i = 900; i < 1000; ++i) flags[i] = 1;
+  const auto bounds = flag_balanced_partition(flags, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::size_t set = 0;
+    for (std::size_t i = bounds[r]; i < bounds[r + 1]; ++i) set += flags[i];
+    EXPECT_EQ(set, 25u) << "rank " << r;
+  }
+}
+
+TEST(FlagBalanced, CoversWholeArray) {
+  std::vector<std::uint8_t> flags{1, 0, 1, 1, 0, 0, 1, 0};
+  const auto bounds = flag_balanced_partition(flags, 3);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), flags.size());
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    EXPECT_LE(bounds[i], bounds[i + 1]);
+  }
+}
+
+TEST(FlagBalanced, NoFlagsSet) {
+  std::vector<std::uint8_t> flags(10, 0);
+  const auto bounds = flag_balanced_partition(flags, 4);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 10u);
+}
+
+TEST(FlagBalanced, MoreRanksThanFlags) {
+  std::vector<std::uint8_t> flags{1, 1};
+  const auto bounds = flag_balanced_partition(flags, 8);
+  EXPECT_EQ(bounds.back(), 2u);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t i = bounds[r]; i < bounds[r + 1]; ++i) total += flags[i];
+  }
+  EXPECT_EQ(total, 2u);
+}
+
+}  // namespace
+}  // namespace mafia

@@ -1,0 +1,36 @@
+// Compiles the umbrella header and exercises the typical application flow
+// through it alone — guards against the public surface drifting apart.
+#include <gtest/gtest.h>
+
+#include "mafia.hpp"
+
+namespace mafia {
+namespace {
+
+TEST(Umbrella, TypicalApplicationFlowCompilesAndRuns) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 6;
+  cfg.num_records = 8000;
+  cfg.seed = 99;
+  cfg.clusters.push_back(ClusterSpec::box({1, 4}, {30, 30}, {45, 45}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+  const MafiaResult result = run_pmafia(source, options, 2);
+  ASSERT_EQ(result.clusters.size(), 1u);
+
+  const auto labels = assign_members(source, result.clusters, result.grids);
+  EXPECT_EQ(labels.size(), data.num_records());
+
+  const std::string report = render_report(result);
+  EXPECT_NE(report.find("subspace {1,4}"), std::string::npos);
+
+  const auto truth = ground_truth(cfg);
+  const QualityReport q = evaluate_quality(result.clusters, result.grids, truth);
+  EXPECT_EQ(q.subspaces_matched, 1u);
+}
+
+}  // namespace
+}  // namespace mafia

@@ -1,0 +1,291 @@
+// pmafia — command-line driver for the library.
+//
+// Subcommands:
+//   generate   build a synthetic data set (Section 5.1 generator)
+//   cluster    run pMAFIA (or CLIQUE) on a record/CSV file and report
+//   assign     label every record with its discovered cluster
+//   stage      split a shared record file into per-rank local partitions
+//
+// Examples:
+//   pmafia generate --out data.bin --dims 10 --records 100000 \
+//          --cluster "1,4,7:30:45" --cluster "2,5:70:82" --seed 42
+//   pmafia cluster --data data.bin --ranks 4
+//   pmafia cluster --data table.csv --algorithm clique --xi 10 --tau 0.01
+//   pmafia assign --data data.bin --out labels.csv
+//   pmafia stage --data data.bin --ranks 8 --prefix /scratch/local
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "clique/clique.hpp"
+#include "cluster/membership.hpp"
+#include "core/mafia.hpp"
+#include "core/model_io.hpp"
+#include "core/report.hpp"
+#include "datagen/generator.hpp"
+#include "io/csv.hpp"
+#include "io/record_file.hpp"
+#include "io/staging.hpp"
+
+namespace {
+
+using namespace mafia;
+
+/// Minimal --flag value parser: flags() holds every "--name value" pair;
+/// repeated flags accumulate.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      require(key.rfind("--", 0) == 0, "expected --flag, got '" + key + "'");
+      key = key.substr(2);
+      require(i + 1 < argc, "flag --" + key + " needs a value");
+      values_[key].push_back(argv[++i]);
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second.back();
+  }
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtol(it->second.back().c_str(), nullptr, 10);
+  }
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.back().c_str(), nullptr);
+  }
+  [[nodiscard]] std::vector<std::string> all(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::vector<std::string>{} : it->second;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> values_;
+};
+
+/// Parses "1,4,7:30:45" (dims:lo:hi) into a ClusterSpec cube.
+ClusterSpec parse_cluster(const std::string& text) {
+  const auto colon1 = text.find(':');
+  const auto colon2 = text.find(':', colon1 + 1);
+  require(colon1 != std::string::npos && colon2 != std::string::npos,
+          "cluster spec must be dims:lo:hi, e.g. 1,4,7:30:45");
+  std::vector<DimId> dims;
+  std::string dims_text = text.substr(0, colon1);
+  std::size_t at = 0;
+  while (at < dims_text.size()) {
+    const auto comma = dims_text.find(',', at);
+    const std::string tok = dims_text.substr(
+        at, comma == std::string::npos ? std::string::npos : comma - at);
+    dims.push_back(static_cast<DimId>(std::strtoul(tok.c_str(), nullptr, 10)));
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  const auto lo = static_cast<Value>(
+      std::strtod(text.substr(colon1 + 1, colon2 - colon1 - 1).c_str(), nullptr));
+  const auto hi = static_cast<Value>(
+      std::strtod(text.substr(colon2 + 1).c_str(), nullptr));
+  const std::size_t k = dims.size();
+  return ClusterSpec::box(std::move(dims), std::vector<Value>(k, lo),
+                          std::vector<Value>(k, hi));
+}
+
+/// Loads a data set by extension (.csv or record file).  A CSV whose header
+/// ends in a "label" column (as `pmafia generate` writes) has that column
+/// read as the ground-truth label, not as a data dimension.
+Dataset load_data(const std::string& path) {
+  if (path.size() > 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    CsvOptions options;
+    std::ifstream probe(path);
+    std::string header;
+    if (std::getline(probe, header)) {
+      while (!header.empty() && (header.back() == '\r' || header.back() == '\n')) {
+        header.pop_back();
+      }
+      const std::string suffix = ",label";
+      options.last_column_is_label =
+          header.size() > suffix.size() &&
+          header.compare(header.size() - suffix.size(), suffix.size(), suffix) == 0;
+    }
+    return read_csv(path, options);
+  }
+  return read_record_file(path);
+}
+
+MafiaOptions options_from_args(const Args& args) {
+  MafiaOptions o;
+  o.grid.alpha = args.get_double("alpha", o.grid.alpha);
+  o.grid.beta = args.get_double("beta", o.grid.beta);
+  o.grid.fine_bins = static_cast<std::size_t>(
+      args.get_int("fine-bins", static_cast<long>(o.grid.fine_bins)));
+  o.grid.window_cells = static_cast<std::size_t>(
+      args.get_int("window-cells", static_cast<long>(o.grid.window_cells)));
+  o.grid.merge_noise_sigmas =
+      args.get_double("noise-sigmas", o.grid.merge_noise_sigmas);
+  o.chunk_records = static_cast<std::size_t>(
+      args.get_int("chunk", static_cast<long>(o.chunk_records)));
+  o.min_cluster_dims = static_cast<std::size_t>(
+      args.get_int("min-dims", static_cast<long>(o.min_cluster_dims)));
+  if (args.has("domain-lo") || args.has("domain-hi")) {
+    o.fixed_domain = {{static_cast<Value>(args.get_double("domain-lo", 0.0)),
+                       static_cast<Value>(args.get_double("domain-hi", 100.0))}};
+  }
+  return o;
+}
+
+int cmd_generate(const Args& args) {
+  GeneratorConfig cfg;
+  cfg.num_dims = static_cast<std::size_t>(args.get_int("dims", 10));
+  cfg.num_records = static_cast<RecordIndex>(args.get_int("records", 100000));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.noise_fraction = args.get_double("noise", 0.10);
+  for (const std::string& spec : args.all("cluster")) {
+    cfg.clusters.push_back(parse_cluster(spec));
+  }
+  const Dataset data = generate(cfg);
+  const std::string out = args.get("out", "data.bin");
+  if (out.size() > 4 && out.compare(out.size() - 4, 4, ".csv") == 0) {
+    CsvOptions co;
+    co.last_column_is_label = true;
+    write_csv(out, data, co);
+  } else {
+    write_record_file(out, data, /*with_labels=*/true);
+  }
+  std::printf("wrote %llu records x %zu dims to %s (%zu planted clusters)\n",
+              static_cast<unsigned long long>(data.num_records()),
+              data.num_dims(), out.c_str(), cfg.clusters.size());
+  return 0;
+}
+
+int cmd_cluster(const Args& args) {
+  const std::string path = args.get("data");
+  require(!path.empty(), "cluster: --data is required");
+  const Dataset data = load_data(path);
+  InMemorySource source(data);
+  const int ranks = static_cast<int>(args.get_int("ranks", 1));
+
+  MafiaResult result;
+  if (args.get("algorithm", "mafia") == "clique") {
+    CliqueOptions co;
+    co.xi = static_cast<std::size_t>(args.get_int("xi", 10));
+    co.tau_fraction = args.get_double("tau", 0.01);
+    if (args.has("domain-lo") || args.has("domain-hi")) {
+      co.fixed_domain = {{static_cast<Value>(args.get_double("domain-lo", 0.0)),
+                          static_cast<Value>(args.get_double("domain-hi", 100.0))}};
+    }
+    result = run_clique(source, co, ranks);
+  } else {
+    result = run_pmafia(source, options_from_args(args), ranks);
+  }
+  std::fputs(render_report(result).c_str(), stdout);
+  if (args.has("save")) {
+    save_model(args.get("save"), result.grids, result.clusters);
+    std::printf("model saved to %s\n", args.get("save").c_str());
+  }
+  return 0;
+}
+
+int cmd_assign(const Args& args) {
+  const std::string path = args.get("data");
+  require(!path.empty(), "assign: --data is required");
+  const Dataset data = load_data(path);
+  InMemorySource source(data);
+
+  // Either reuse a saved model (no re-clustering) or cluster now.
+  GridSet grids;
+  std::vector<Cluster> clusters;
+  if (args.has("model")) {
+    Model model = load_model(args.get("model"));
+    grids = std::move(model.grids);
+    clusters = std::move(model.clusters);
+    require(grids.num_dims() == data.num_dims(),
+            "assign: model dimensionality does not match the data");
+  } else {
+    MafiaResult result = run_pmafia(source, options_from_args(args),
+                                    static_cast<int>(args.get_int("ranks", 1)));
+    grids = std::move(result.grids);
+    clusters = std::move(result.clusters);
+  }
+
+  const auto labels = assign_members(source, clusters, grids);
+  const std::string out = args.get("out", "labels.csv");
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  require(f != nullptr, "assign: cannot open " + out);
+  std::fprintf(f, "record,cluster\n");
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::fprintf(f, "%zu,%d\n", i, labels[i]);
+  }
+  std::fclose(f);
+
+  const MembershipCounts counts = count_members(source, clusters, grids);
+  std::printf("%zu clusters; wrote %zu labels to %s\n", clusters.size(),
+              labels.size(), out.c_str());
+  for (std::size_t c = 0; c < counts.per_cluster.size(); ++c) {
+    std::printf("  cluster %zu: %llu records  %s\n", c,
+                static_cast<unsigned long long>(counts.per_cluster[c]),
+                clusters[c].to_string(grids).c_str());
+  }
+  std::printf("  noise: %llu records\n",
+              static_cast<unsigned long long>(counts.noise));
+  return 0;
+}
+
+int cmd_stage(const Args& args) {
+  const std::string path = args.get("data");
+  require(!path.empty(), "stage: --data is required");
+  const int ranks = static_cast<int>(args.get_int("ranks", 4));
+  const std::string prefix = args.get("prefix", path + ".local");
+  const StagedPartitions staged = stage_partitions(path, prefix, ranks);
+  std::printf("staged %llu records into %d local partitions (%.3f s):\n",
+              static_cast<unsigned long long>(staged.num_records), ranks,
+              staged.staging_seconds);
+  for (const std::string& p : staged.paths) std::printf("  %s\n", p.c_str());
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: pmafia <generate|cluster|assign|stage> [--flag value]...\n"
+      "  generate --out F [--dims D] [--records N] [--seed S] [--noise F]\n"
+      "           [--cluster dims:lo:hi]...          (repeatable)\n"
+      "  cluster  --data F [--ranks P] [--algorithm mafia|clique]\n"
+      "           [--alpha A] [--beta B] [--fine-bins N] [--window-cells W]\n"
+      "           [--noise-sigmas S] [--min-dims K] [--chunk B]\n"
+      "           [--domain-lo L --domain-hi H] [--xi N --tau F]\n"
+      "           [--save model.txt]\n"
+      "  assign   --data F [--out labels.csv] [--model model.txt |\n"
+      "           --ranks P + grid flags]\n"
+      "  stage    --data F [--ranks P] [--prefix PFX]\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  try {
+    const Args args(argc, argv, 2);
+    const std::string cmd = argv[1];
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "cluster") return cmd_cluster(args);
+    if (cmd == "assign") return cmd_assign(args);
+    if (cmd == "stage") return cmd_stage(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pmafia: %s\n", e.what());
+    return 1;
+  }
+}
