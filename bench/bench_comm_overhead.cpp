@@ -44,13 +44,16 @@ int main() {
     sim.simulate_network = mp::NetworkSimulation::sp2();
     const MafiaResult b = run_pmafia(source, sim, p);
 
-    const auto ops = a.comm.reduces + a.comm.bcasts + a.comm.gathers;
+    const auto ops = a.comm.collective_ops();
     const double comm_seconds = b.total_seconds - a.total_seconds;
     const double projected_total = a.total_seconds * scale_up + comm_seconds;
     std::printf("%-6d %-12.3f %-12.3f %-14.3f %-12llu %.2f%% of %.0f s\n", p,
                 a.total_seconds, b.total_seconds, comm_seconds,
                 static_cast<unsigned long long>(ops),
                 100.0 * comm_seconds / projected_total, projected_total);
+    bench::append_bench_json("comm_overhead", a, "p=" + std::to_string(p));
+    bench::append_bench_json("comm_overhead", b,
+                             "p=" + std::to_string(p) + ",sp2");
   }
   std::printf("\nreading the table: the measured SP2-latency communication "
               "cost is a fixed ~1-2 s regardless of data size (it depends "

@@ -15,11 +15,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/types.hpp"
+#include "core/report.hpp"
+#include "core/result.hpp"
 
 namespace mafia::bench {
 
@@ -70,6 +74,32 @@ inline std::string format_seconds(double s) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", s);
   return buf;
+}
+
+/// Appends one structured run record to BENCH_<name>.json (JSON Lines —
+/// one "pmafia-bench-v1" object per line, so repeated runs accumulate a
+/// perf trajectory).  Each line wraps the standard "pmafia-report-v1"
+/// document (the same schema `pmafia cluster --report-json` writes) with
+/// the bench id, an optional free-form tag (e.g. "p=4"), and the active
+/// MAFIA_BENCH_SCALE, so a line is interpretable on its own.
+inline void append_bench_json(const std::string& name,
+                              const MafiaResult& result,
+                              const std::string& tag = "") {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pmafia-bench-v1");
+  w.key("bench").value(name);
+  if (!tag.empty()) w.key("tag").value(tag);
+  w.key("bench_scale").value(scale());
+  w.key("report");
+  // Splice the report document in verbatim: it is a complete JSON object,
+  // and the writer treats it as the pending key's value.
+  w.raw(render_report_json(result));
+  w.end_object();
+
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream f(path, std::ios::app);
+  if (f.good()) f << w.str() << "\n";
 }
 
 }  // namespace mafia::bench

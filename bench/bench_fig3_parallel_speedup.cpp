@@ -32,12 +32,14 @@ int main() {
   for (const int p : bench::rank_counts()) {
     const MafiaResult r = run_pmafia(source, options, p);
     if (p == 1) t1 = r.total_seconds;
-    const auto ops = r.comm.reduces + r.comm.bcasts + r.comm.gathers;
+    const auto ops = r.comm.collective_ops();
     std::printf("%-6d %-10.3f %-9.2f %-11.3f %-12llu %-14llu %zu\n", p,
                 r.total_seconds, t1 / r.total_seconds,
                 r.phases.get("populate"),
                 static_cast<unsigned long long>(r.comm.total_bytes()),
                 static_cast<unsigned long long>(ops), r.clusters.size());
+    bench::append_bench_json("fig3_parallel_speedup", r,
+                             "p=" + std::to_string(p));
   }
 
   // The Section 4.5 cost model on the paper's SP2 switch: what the measured

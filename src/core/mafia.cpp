@@ -5,6 +5,7 @@
 
 #include "cluster/assembly.hpp"
 #include "core/mdl.hpp"
+#include "core/trace.hpp"
 #include "common/math_util.hpp"
 #include "grid/uniform_grid.hpp"
 #include "mp/comm.hpp"
@@ -23,7 +24,7 @@ namespace {
 class MafiaWorker {
  public:
   MafiaWorker(const DataSource& data, const MafiaOptions& opt, mp::Comm& comm)
-      : data_(data), opt_(opt), comm_(comm) {}
+      : data_(data), opt_(opt), comm_(comm), tracer_(&comm.stats()) {}
 
   void run() {
     const int p = comm_.size();
@@ -36,19 +37,24 @@ class MafiaWorker {
     build_grids();
     level_loop();
     {
-      ScopedPhase sp(phases_, "assemble");
+      PhaseTracer::Scope sp(tracer_, "assemble");
       clusters_ = assemble_clusters(registered_);
       std::erase_if(clusters_, [this](const Cluster& c) {
         return c.dims.size() < opt_.min_cluster_dims;
       });
     }
+    // Globalize the per-rank trace: cross-rank phase maxima on every rank,
+    // the full per-rank breakdown on the parent.  Every collective before
+    // this point sits inside a phase scope, so the per-phase comm deltas
+    // sum exactly to the totals snapshotted here.
+    run_trace_ = exchange_trace(tracer_, comm_);
   }
 
   // Outputs (read after run()).
   GridSet grids_;
   std::vector<LevelTrace> trace_;
   std::vector<Cluster> clusters_;
-  PhaseTimer phases_;
+  RunTrace run_trace_;
 
  private:
   // ----------------------------------------------------------- grid phase
@@ -64,7 +70,7 @@ class MafiaWorker {
       std::fill(lo.begin(), lo.end(), opt_.fixed_domain->first);
       std::fill(hi.begin(), hi.end(), opt_.fixed_domain->second);
     } else {
-      ScopedPhase sp(phases_, "histogram");
+      PhaseTracer::Scope sp(tracer_, "histogram");
       MinMaxAccumulator mm(d);
       scan_local([&](const Value* rows, std::size_t nrows) {
         mm.accumulate(rows, nrows);
@@ -77,7 +83,7 @@ class MafiaWorker {
 
     if (opt_.uniform_grid) {
       // CLIQUE-style grid: no histogram needed.
-      ScopedPhase sp(phases_, "grid");
+      PhaseTracer::Scope sp(tracer_, "grid");
       const auto& ug = *opt_.uniform_grid;
       if (!ug.bins_per_dim.empty()) {
         require(ug.bins_per_dim.size() == d,
@@ -94,14 +100,14 @@ class MafiaWorker {
     // intervals ... and also fix the threshold level."
     HistogramBuilder hist(lo, hi, opt_.grid.fine_bins);
     {
-      ScopedPhase sp(phases_, "histogram");
+      PhaseTracer::Scope sp(tracer_, "histogram");
       scan_local([&](const Value* rows, std::size_t nrows) {
         hist.accumulate(rows, nrows);
       });
+      comm_.allreduce_sum(hist.counts());
     }
-    comm_.allreduce_sum(hist.counts());
     {
-      ScopedPhase sp(phases_, "grid");
+      PhaseTracer::Scope sp(tracer_, "grid");
       grids_ = compute_adaptive_grids(lo, hi, hist, n, opt_.grid);
     }
   }
@@ -135,17 +141,17 @@ class MafiaWorker {
       // records in B-record chunks, then Reduce globalizes the counts.
       UnitPopulator populator(grids_, cdus);
       {
-        ScopedPhase sp(phases_, "populate");
+        PhaseTracer::Scope sp(tracer_, "populate");
         scan_local([&](const Value* rows, std::size_t nrows) {
           populator.accumulate(rows, nrows);
         });
+        comm_.allreduce_sum(populator.counts());
       }
-      comm_.allreduce_sum(populator.counts());
 
       // ---- Identify dense units (task parallel, Algorithm 5).
       std::vector<std::uint8_t> flags(cdus.size(), 0);
       {
-        ScopedPhase sp(phases_, "identify");
+        PhaseTracer::Scope sp(tracer_, "identify");
         if (cdus.size() > opt_.tau && p > 1) {
           const BlockRange r = block_partition(cdus.size(),
                                                static_cast<std::size_t>(p),
@@ -184,7 +190,7 @@ class MafiaWorker {
       // ---- Build dense-unit data structures (task parallel, Algorithm 6).
       UnitStore dense(cdus.k());
       {
-        ScopedPhase sp(phases_, "identify");
+        PhaseTracer::Scope sp(tracer_, "identify");
         if (ndu > opt_.tau && p > 1) {
           // "A linear search over the dense unit array is required to
           // determine the start and end indices ... for equal task
@@ -215,7 +221,7 @@ class MafiaWorker {
       ++level;
       UnitStore raw(level);
       {
-        ScopedPhase sp(phases_, "join");
+        PhaseTracer::Scope sp(tracer_, "join");
         if (prev_dense.size() > opt_.tau && p > 1) {
           const auto bounds =
               opt_.optimal_task_partition
@@ -262,7 +268,7 @@ class MafiaWorker {
 
       // ---- Eliminate repeated CDUs (Algorithm 4).
       {
-        ScopedPhase sp(phases_, "dedup");
+        PhaseTracer::Scope sp(tracer_, "dedup");
         DedupResult dd;
         if (opt_.dedup == DedupPolicy::Hash) {
           dd = dedup_hash(raw);
@@ -351,6 +357,7 @@ class MafiaWorker {
   const DataSource& data_;
   const MafiaOptions& opt_;
   mp::Comm& comm_;
+  PhaseTracer tracer_;
   BlockRange my_records_;
   std::vector<UnitStore> registered_;
 };
@@ -366,25 +373,27 @@ MafiaResult run_pmafia(const DataSource& data, const MafiaOptions& options,
 
   Timer total;
   MafiaResult result;
-  std::vector<PhaseTimer> rank_phases(static_cast<std::size_t>(p));
 
   const mp::NetworkSimulation network =
       options.simulate_network.value_or(mp::NetworkSimulation{});
-  const mp::JobStats job = mp::run(p, [&](mp::Comm& comm) {
+  mp::run(p, [&](mp::Comm& comm) {
     MafiaWorker worker(data, options, comm);
     worker.run();
-    rank_phases[static_cast<std::size_t>(comm.rank())] = worker.phases_;
     if (comm.is_parent()) {
       // Rank 0 is the paper's parent processor: it owns the printable
       // result.  Sibling ranks computed identical clusters redundantly.
       result.grids = std::move(worker.grids_);
       result.levels = std::move(worker.trace_);
       result.clusters = std::move(worker.clusters_);
+      result.trace = std::move(worker.run_trace_);
     }
   }, network);
 
-  for (const PhaseTimer& t : rank_phases) result.phases.merge_max(t);
-  result.comm = job.total();
+  // Both views derive from the gathered trace: phase seconds are the true
+  // cross-rank maxima, and the comm totals are the sum of the per-rank
+  // snapshots (so per-phase deltas add up to them exactly).
+  result.phases = result.trace.max_phases;
+  result.comm = result.trace.comm_total();
   result.total_seconds = total.seconds();
   result.num_records = static_cast<std::size_t>(data.num_records());
   result.num_dims = data.num_dims();

@@ -1,8 +1,33 @@
 #include "core/report.hpp"
 
+#include <algorithm>
+#include <iomanip>
 #include <sstream>
 
+#include "common/json.hpp"
+
 namespace mafia {
+
+namespace {
+
+/// Serializes one CommStats as a JSON object (shared by every level of the
+/// report so the counter schema is identical everywhere it appears).
+void write_comm(JsonWriter& w, const mp::CommStats& s) {
+  w.begin_object();
+  w.key("p2p_messages").value(s.p2p_messages);
+  w.key("p2p_bytes").value(s.p2p_bytes);
+  w.key("barriers").value(s.barriers);
+  w.key("reduces").value(s.reduces);
+  w.key("bcasts").value(s.bcasts);
+  w.key("gathers").value(s.gathers);
+  w.key("scatters").value(s.scatters);
+  w.key("collective_bytes").value(s.collective_bytes);
+  w.key("total_bytes").value(s.total_bytes());
+  w.key("comm_seconds").value(s.comm_seconds);
+  w.end_object();
+}
+
+}  // namespace
 
 std::string render_clusters(const MafiaResult& result) {
   std::ostringstream os;
@@ -23,23 +48,135 @@ std::string render_report(const MafiaResult& result) {
   os << render_clusters(result);
 
   os << "\nlevel trace:\n";
-  os << "  k     raw CDUs   unique CDUs   dense units\n";
+  os << "  " << std::setw(3) << "k" << std::setw(12) << "raw CDUs"
+     << std::setw(14) << "unique CDUs" << std::setw(14) << "dense units"
+     << "\n";
   for (const LevelTrace& t : result.levels) {
-    os << "  " << t.level << "     " << t.ncdu_raw << "   " << t.ncdu << "   "
-       << t.ndu << "\n";
+    os << "  " << std::setw(3) << t.level << std::setw(12) << t.ncdu_raw
+       << std::setw(14) << t.ncdu << std::setw(14) << t.ndu << "\n";
   }
 
-  os << "\nphases (max across ranks, seconds):\n";
+  // Phase seconds: the max column is a true cross-rank maximum (an
+  // allreduce_max over every rank's timer, carried by result.phases); the
+  // min/mean columns need the gathered per-rank trace and are omitted when
+  // a result predates the exchange.
+  const bool have_trace = !result.trace.empty();
+  os << "\nphases (seconds, across " << result.num_ranks << " rank(s)):\n";
+  os << "  " << std::left << std::setw(12) << "phase" << std::right
+     << std::setw(12) << "max";
+  if (have_trace) os << std::setw(12) << "min" << std::setw(12) << "mean";
+  os << "\n";
+  os << std::fixed << std::setprecision(6);
   for (const auto& [name, secs] : result.phases.phases()) {
-    os << "  " << name << ": " << secs << "\n";
+    os << "  " << std::left << std::setw(12) << name << std::right
+       << std::setw(12) << secs;
+    if (have_trace) {
+      os << std::setw(12) << result.trace.min_seconds(name) << std::setw(12)
+         << result.trace.mean_seconds(name);
+    }
+    os << "\n";
   }
+  os.unsetf(std::ios::fixed);
+  os << std::setprecision(6);
 
   os << "\ncommunication (all ranks):\n";
   os << "  reduces " << result.comm.reduces << ", bcasts " << result.comm.bcasts
-     << ", gathers " << result.comm.gathers << ", p2p "
-     << result.comm.p2p_messages << "\n";
-  os << "  payload bytes " << result.comm.total_bytes() << "\n";
+     << ", gathers " << result.comm.gathers << ", scatters "
+     << result.comm.scatters << ", p2p " << result.comm.p2p_messages << "\n";
+  os << "  payload bytes " << result.comm.total_bytes() << ", in-comm seconds "
+     << result.comm.comm_seconds << "\n";
   return os.str();
+}
+
+std::string render_report_json(const MafiaResult& result,
+                               const mp::CostModel& model) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pmafia-report-v1");
+  w.key("records").value(result.num_records);
+  w.key("dims").value(result.num_dims);
+  w.key("ranks").value(result.num_ranks);
+  w.key("total_seconds").value(result.total_seconds);
+  w.key("num_clusters").value(result.clusters.size());
+  w.key("max_dense_level").value(result.max_dense_level());
+
+  w.key("clusters").begin_array();
+  for (const Cluster& c : result.clusters) {
+    w.begin_object();
+    w.key("dims").begin_array();
+    for (const DimId d : c.dims) w.value(static_cast<std::uint64_t>(d));
+    w.end_array();
+    w.key("num_units").value(c.units.size());
+    w.key("dnf").value(c.to_string(result.grids));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("levels").begin_array();
+  for (const LevelTrace& t : result.levels) {
+    w.begin_object();
+    w.key("level").value(t.level);
+    w.key("raw_cdus").value(t.ncdu_raw);
+    w.key("cdus").value(t.ncdu);
+    w.key("dense_units").value(t.ndu);
+    w.end_object();
+  }
+  w.end_array();
+
+  // Per-phase view.  max_seconds is a cross-rank allreduce_max; min/mean
+  // and the comm attribution come from the gathered per-rank trace and are
+  // present only when the result carries it (parent rank).
+  const bool have_trace = !result.trace.empty();
+  w.key("phases").begin_array();
+  for (const auto& [name, secs] : result.phases.phases()) {
+    w.begin_object();
+    w.key("name").value(name);
+    w.key("max_seconds").value(secs);
+    if (have_trace) {
+      w.key("min_seconds").value(result.trace.min_seconds(name));
+      w.key("mean_seconds").value(result.trace.mean_seconds(name));
+      w.key("comm");
+      write_comm(w, result.trace.phase_comm(name));
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("per_rank").begin_array();
+  for (int r = 0; r < result.trace.num_ranks(); ++r) {
+    w.begin_object();
+    w.key("rank").value(r);
+    w.key("phases").begin_object();
+    for (const auto& [name, ps] :
+         result.trace.per_rank[static_cast<std::size_t>(r)]) {
+      w.key(name).begin_object();
+      w.key("seconds").value(ps.seconds);
+      w.key("comm");
+      write_comm(w, ps.comm);
+      w.end_object();
+    }
+    w.end_object();
+    w.key("comm_total");
+    write_comm(w, result.trace.rank_totals[static_cast<std::size_t>(r)]);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("comm");
+  write_comm(w, result.comm);
+
+  // Section 4.5: what the measured volume would cost on the model machine
+  // (SP2 by default), next to the wall time actually spent inside comm
+  // calls (summed over ranks, barrier waits included).
+  w.key("cost_model").begin_object();
+  w.key("latency_seconds").value(model.latency_seconds);
+  w.key("bandwidth_bytes_per_sec").value(model.bandwidth_bytes_per_sec);
+  w.key("predicted_seconds").value(model.communication_seconds(result.comm));
+  w.key("measured_seconds").value(result.comm.comm_seconds);
+  w.end_object();
+
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace mafia

@@ -1,10 +1,14 @@
-// Human-readable run reports — the library's equivalent of the parent
-// processor's print-clusters() step in Algorithm 2.
+// Run reports — the library's equivalent of the parent processor's
+// print-clusters() step in Algorithm 2, in two renderings: a human-readable
+// text report and a machine-readable JSON document (the observability
+// layer's stable output format; schema "pmafia-report-v1", documented in
+// docs/architecture.md).
 #pragma once
 
 #include <string>
 
 #include "core/result.hpp"
+#include "mp/stats.hpp"
 
 namespace mafia {
 
@@ -14,5 +18,14 @@ namespace mafia {
 
 /// Renders just the cluster list (one DNF expression per line).
 [[nodiscard]] std::string render_clusters(const MafiaResult& result);
+
+/// Renders the structured JSON run report ("pmafia-report-v1"): run shape
+/// (records/dims/ranks), per-level CDU and dense-unit counts, per-phase
+/// max/min/mean seconds with attributed comm deltas, the full per-rank
+/// breakdown when the trace carries it, job comm totals, and the Section
+/// 4.5 cost model's predicted communication seconds next to the measured
+/// in-comm wall time.  `model` defaults to the paper's SP2 constants.
+[[nodiscard]] std::string render_report_json(const MafiaResult& result,
+                                             const mp::CostModel& model = {});
 
 }  // namespace mafia

@@ -9,6 +9,7 @@
 
 #include "cluster/cluster_model.hpp"
 #include "common/timer.hpp"
+#include "core/trace.hpp"
 #include "grid/grid_types.hpp"
 #include "mp/stats.hpp"
 
@@ -35,11 +36,18 @@ struct MafiaResult {
 
   /// Wall-clock per phase, max across ranks (the slowest rank bounds the
   /// job): "histogram", "grid", "populate", "identify", "join", "dedup",
-  /// "assemble", "io+scan" is folded into populate/histogram.
+  /// "assemble", "io+scan" is folded into populate/histogram.  Derived
+  /// from `trace` (a true cross-rank allreduce_max, not rank 0's timers).
   PhaseTimer phases;
 
-  /// Aggregate communication over all ranks.
+  /// Aggregate communication over all ranks: the sum of the per-rank
+  /// snapshots in `trace`, equal by construction to the sum of all
+  /// per-phase comm deltas (the trace exchange itself is excluded).
   mp::CommStats comm;
+
+  /// Full per-rank, per-phase breakdown (seconds + comm deltas), gathered
+  /// from every rank at the end of the run.
+  RunTrace trace;
 
   /// End-to-end wall-clock seconds (includes rank spawn/join).
   double total_seconds = 0.0;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/timer.hpp"
 #include "mp/barrier.hpp"
 #include "mp/mailbox.hpp"
 #include "mp/stats.hpp"
@@ -82,6 +83,7 @@ class Comm {
 
   /// Synchronizes all ranks.
   void barrier() {
+    const OpTimer ot(stats());
     ++stats().barriers;
     ctx_.barrier.wait();
   }
@@ -94,6 +96,7 @@ class Comm {
   template <typename T, typename BinaryOp>
   void allreduce(std::vector<T>& data, BinaryOp op) {
     static_assert(std::is_trivially_copyable_v<T>);
+    const OpTimer ot(stats());
     ++stats().reduces;
     stats().collective_bytes += data.size() * sizeof(T);
     publish(data.data(), data.size() * sizeof(T));
@@ -151,6 +154,7 @@ class Comm {
   template <typename T>
   void bcast(std::vector<T>& data, int root = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
+    const OpTimer ot(stats());
     ++stats().bcasts;
     publish(data.data(), data.size() * sizeof(T));
     ctx_.barrier.wait();
@@ -180,7 +184,9 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<T> gatherv(const std::vector<T>& local, int root = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
+    const OpTimer ot(stats());
     ++stats().gathers;
+    // Sender side: this rank's contribution travels to the root.
     stats().collective_bytes += local.size() * sizeof(T);
     publish(local.data(), local.size() * sizeof(T));
     ctx_.barrier.wait();
@@ -192,6 +198,9 @@ class Comm {
       for (int r = 0; r < size(); ++r) {
         result.insert(result.end(), peer<T>(r), peer<T>(r) + peer_count<T>(r));
       }
+      // Receiver side: everything that arrived from other ranks (the root's
+      // own contribution is self-delivery and only counts as sent above).
+      stats().collective_bytes += (total - local.size()) * sizeof(T);
     }
     ctx_.barrier.wait();
     return result;
@@ -201,8 +210,8 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<T> allgatherv(const std::vector<T>& local) {
     static_assert(std::is_trivially_copyable_v<T>);
+    const OpTimer ot(stats());
     ++stats().gathers;
-    stats().collective_bytes += local.size() * sizeof(T) * static_cast<std::size_t>(size());
     publish(local.data(), local.size() * sizeof(T));
     ctx_.barrier.wait();
     std::vector<T> result;
@@ -212,6 +221,10 @@ class Comm {
     for (int r = 0; r < size(); ++r) {
       result.insert(result.end(), peer<T>(r), peer<T>(r) + peer_count<T>(r));
     }
+    // Own contribution sent once plus everything received from other ranks
+    // = the full concatenated payload (gatherv's accounting applied at
+    // every rank, since every rank is a receiver here).
+    stats().collective_bytes += total * sizeof(T);
     ctx_.barrier.wait();
     return result;
   }
@@ -231,6 +244,7 @@ class Comm {
   template <typename T, typename BinaryOp>
   void reduce(std::vector<T>& data, BinaryOp op, int root = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
+    const OpTimer ot(stats());
     ++stats().reduces;
     stats().collective_bytes += data.size() * sizeof(T);
     publish(data.data(), data.size() * sizeof(T));
@@ -253,13 +267,17 @@ class Comm {
 
   /// Scatters rank-indexed variable-length slices from `root`: rank r
   /// receives `slices[r]` (only root's `slices` is read).  Matches
-  /// MPI_Scatterv.
+  /// MPI_Scatterv.  Counted as one scatter operation: the root counts the
+  /// bytes leaving it, every other rank counts the slice it receives —
+  /// implemented directly on the exchange board (two rounds: lengths, then
+  /// the flattened payload) rather than via broadcasts, so no rank is
+  /// charged for slices addressed to its siblings.
   template <typename T>
   [[nodiscard]] std::vector<T> scatterv(const std::vector<std::vector<T>>& slices,
                                         int root = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
-    ++stats().gathers;
-    // Root flattens with a length prefix so a single slot publish suffices.
+    const OpTimer ot(stats());
+    ++stats().scatters;
     std::vector<T> flat;
     std::vector<std::size_t> lengths;
     if (rank_ == root) {
@@ -270,14 +288,35 @@ class Comm {
         flat.insert(flat.end(), s.begin(), s.end());
       }
     }
-    bcast(lengths, root);
-    bcast(flat, root);
+    // Round 1: per-rank lengths (only the root's slot is read).
+    publish(lengths.data(), lengths.size() * sizeof(std::size_t));
+    ctx_.barrier.wait();
+    const std::vector<std::size_t> all_lengths(
+        peer<std::size_t>(root),
+        peer<std::size_t>(root) + peer_count<std::size_t>(root));
+    ctx_.barrier.wait();
+    require(all_lengths.size() == static_cast<std::size_t>(size()),
+            "scatterv: need one slice per rank");
+    // Round 2: the flattened payload; each rank copies out its own slice.
+    publish(flat.data(), flat.size() * sizeof(T));
+    ctx_.barrier.wait();
     std::size_t offset = 0;
-    for (int r = 0; r < rank_; ++r) offset += lengths[static_cast<std::size_t>(r)];
-    const std::size_t mine = lengths[static_cast<std::size_t>(rank_)];
-    stats().collective_bytes += mine * sizeof(T);
-    return {flat.begin() + static_cast<std::ptrdiff_t>(offset),
-            flat.begin() + static_cast<std::ptrdiff_t>(offset + mine)};
+    for (int r = 0; r < rank_; ++r) offset += all_lengths[static_cast<std::size_t>(r)];
+    const std::size_t mine = all_lengths[static_cast<std::size_t>(rank_)];
+    std::vector<T> result;
+    if (mine > 0) {
+      const T* base = peer<T>(root);
+      result.assign(base + offset, base + offset + mine);
+    }
+    ctx_.barrier.wait();
+    if (rank_ == root) {
+      // Sender side: every slice addressed to another rank (the root's own
+      // slice is self-delivery and free).
+      stats().collective_bytes += (flat.size() - mine) * sizeof(T);
+    } else {
+      stats().collective_bytes += mine * sizeof(T);
+    }
+    return result;
   }
 
   /// All-to-all variable-length exchange: `outgoing[r]` goes to rank r;
@@ -312,6 +351,7 @@ class Comm {
   void send(int dest, int tag, const std::vector<T>& payload) {
     static_assert(std::is_trivially_copyable_v<T>);
     require(dest >= 0 && dest < size(), "send: bad destination rank");
+    const OpTimer ot(stats());
     ++stats().p2p_messages;
     stats().p2p_bytes += payload.size() * sizeof(T);
     simulate_delay(payload.size() * sizeof(T));
@@ -324,6 +364,7 @@ class Comm {
   [[nodiscard]] std::vector<T> recv(int source, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     require(source >= 0 && source < size(), "recv: bad source rank");
+    const OpTimer ot(stats());
     Message msg = ctx_.mailboxes[static_cast<std::size_t>(rank_)].pop(
         source, tag, ctx_.barrier);
     require(msg.payload.size() % sizeof(T) == 0, "recv: payload size mismatch");
@@ -333,6 +374,20 @@ class Comm {
   }
 
  private:
+  /// RAII accumulator for CommStats::comm_seconds: times one top-level comm
+  /// call, barrier waits included (so load-imbalance stall is visible, just
+  /// as it is in MPI communication profiles).  Only the outermost primitive
+  /// of a call carries one — wrappers (allreduce_sum, alltoallv over
+  /// send/recv, ...) must not double-count.
+  struct OpTimer {
+    explicit OpTimer(CommStats& s) : stats(s) {}
+    ~OpTimer() { stats.comm_seconds += clock.seconds(); }
+    OpTimer(const OpTimer&) = delete;
+    OpTimer& operator=(const OpTimer&) = delete;
+    CommStats& stats;
+    Timer clock;
+  };
+
   void publish(const void* ptr, std::size_t bytes) {
     ctx_.slot_ptr[static_cast<std::size_t>(rank_)] = ptr;
     ctx_.slot_len[static_cast<std::size_t>(rank_)] = bytes;

@@ -5,8 +5,30 @@
 // and α the communication constant.  CommStats measures S and the message
 // count exactly, so benches can report the "negligible communication
 // overhead" claim quantitatively instead of hand-waving it.
+//
+// Accounting convention (uniform across all collectives): counters track
+// payload bytes crossing rank boundaries — the sender side counts bytes it
+// sends to other ranks, the receiver side counts bytes it receives from
+// other ranks, and self-delivery is free.  For reductions (reduce /
+// allreduce) each rank's operand vector counts once as its contribution and
+// the combined result is not separately charged (the receive side of a
+// reduction is arithmetic, not data delivery).  Consequences, per rank:
+//
+//   allreduce/reduce  n                          (operand contributed)
+//   bcast             root: n·(p−1); other: n
+//   gatherv           every rank: local; root additionally: Σ others' local
+//   allgatherv        every rank: total payload (own local contributed +
+//                                 everything received from other ranks)
+//   scatterv          root: Σ others' slices; other: own slice
+//   alltoallv         counted as point-to-point (its implementation)
+//
+// Because data-movement collectives charge both endpoints, job totals count
+// each transferred byte twice (once sent, once received) — exactly like
+// per-process MPI byte counters, and what the unit tests hand-compute.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 
 namespace mafia::mp {
@@ -20,8 +42,19 @@ struct CommStats {
   std::uint64_t reduces = 0;         ///< (all)reduce operations entered
   std::uint64_t bcasts = 0;          ///< broadcast operations entered
   std::uint64_t gathers = 0;         ///< gather/allgather operations entered
+  std::uint64_t scatters = 0;        ///< scatter operations entered
   std::uint64_t collective_bytes = 0;///< payload bytes this rank contributed
                                      ///< to or received from collectives
+                                     ///< (see convention above)
+  double comm_seconds = 0.0;         ///< wall seconds spent inside comm
+                                     ///< calls (includes barrier waits, so
+                                     ///< load-imbalance stall shows up here
+                                     ///< just as it would in MPI profiles)
+
+  /// Number of collective operations entered (the cost model's op count).
+  [[nodiscard]] std::uint64_t collective_ops() const {
+    return reduces + bcasts + gathers + scatters;
+  }
 
   /// Element-wise sum, used to aggregate per-rank stats into a job total.
   void merge(const CommStats& other) {
@@ -31,11 +64,57 @@ struct CommStats {
     reduces += other.reduces;
     bcasts += other.bcasts;
     gathers += other.gathers;
+    scatters += other.scatters;
     collective_bytes += other.collective_bytes;
+    comm_seconds += other.comm_seconds;
+  }
+
+  /// Counter increments since an earlier snapshot of the same rank's stats.
+  /// This is how the run trace attributes each collective to the phase that
+  /// issued it: snapshot at phase entry, delta at phase exit.
+  [[nodiscard]] CommStats delta_since(const CommStats& earlier) const {
+    CommStats d;
+    d.p2p_messages = p2p_messages - earlier.p2p_messages;
+    d.p2p_bytes = p2p_bytes - earlier.p2p_bytes;
+    d.barriers = barriers - earlier.barriers;
+    d.reduces = reduces - earlier.reduces;
+    d.bcasts = bcasts - earlier.bcasts;
+    d.gathers = gathers - earlier.gathers;
+    d.scatters = scatters - earlier.scatters;
+    d.collective_bytes = collective_bytes - earlier.collective_bytes;
+    d.comm_seconds = comm_seconds - earlier.comm_seconds;
+    return d;
   }
 
   [[nodiscard]] std::uint64_t total_bytes() const {
     return p2p_bytes + collective_bytes;
+  }
+
+  // ---- wire format (for gathering traces across ranks) -------------------
+
+  /// Number of 64-bit words in the serialized form.
+  static constexpr std::size_t kSerializedWords = 9;
+
+  /// Packs the counters into 64-bit words (comm_seconds bit-cast) so a
+  /// whole trace can ship through one gatherv<uint64_t>.
+  [[nodiscard]] std::array<std::uint64_t, kSerializedWords> serialize() const {
+    return {p2p_messages, p2p_bytes,  barriers, reduces, bcasts,
+            gathers,      scatters,   collective_bytes,
+            std::bit_cast<std::uint64_t>(comm_seconds)};
+  }
+
+  static CommStats deserialize(const std::uint64_t* words) {
+    CommStats s;
+    s.p2p_messages = words[0];
+    s.p2p_bytes = words[1];
+    s.barriers = words[2];
+    s.reduces = words[3];
+    s.bcasts = words[4];
+    s.gathers = words[5];
+    s.scatters = words[6];
+    s.collective_bytes = words[7];
+    s.comm_seconds = std::bit_cast<double>(words[8]);
+    return s;
   }
 };
 
@@ -49,8 +128,8 @@ struct CostModel {
   double bandwidth_bytes_per_sec = 102e6; ///< uni-directional
 
   [[nodiscard]] double communication_seconds(const CommStats& s) const {
-    const double ops = static_cast<double>(s.p2p_messages + s.reduces +
-                                           s.bcasts + s.gathers);
+    const double ops =
+        static_cast<double>(s.p2p_messages + s.collective_ops());
     return ops * latency_seconds +
            static_cast<double>(s.total_bytes()) / bandwidth_bytes_per_sec;
   }

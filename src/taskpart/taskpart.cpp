@@ -62,6 +62,15 @@ std::vector<std::size_t> flag_balanced_partition(std::span<const std::uint8_t> f
   std::size_t total_set = 0;
   for (const std::uint8_t f : flags) total_set += (f != 0);
 
+  // Degenerate case: with no flags set every quota is 0, and the scan
+  // below would hand one element to each of the first p−1 ranks and the
+  // rest to the last — fall back to an even block split instead so the
+  // (flag-independent) per-element scan work stays balanced.
+  if (total_set == 0) {
+    for (std::size_t i = 0; i <= p; ++i) bounds[i] = n * i / p;
+    return bounds;
+  }
+
   // Linear scan: advance the cut when the running count reaches the next
   // rank's quota (ceil-balanced so early ranks take the remainder).
   std::size_t next_rank = 1;
@@ -77,7 +86,8 @@ std::vector<std::size_t> flag_balanced_partition(std::span<const std::uint8_t> f
     }
   }
   for (; next_rank < p; ++next_rank) bounds[next_rank] = n;
-  // Monotonicity (quotas of zero can leave early bounds at 0 — fine).
+  // Monotonicity (a rank whose quota was met immediately can leave its
+  // bound behind the previous rank's — clamp forward).
   for (std::size_t i = 1; i <= p; ++i) {
     bounds[i] = std::max(bounds[i], bounds[i - 1]);
   }

@@ -4,8 +4,20 @@
 #include <cstring>
 #include <map>
 #include <numeric>
+#include <type_traits>
 
 namespace mafia {
+
+// Row-layout contract for the memcmp-based sort and binary search below:
+// a unit's bin tuple is k_ contiguous BinId elements, so a row occupies
+// exactly k_ * sizeof(BinId) bytes with no padding, and byte-wise
+// comparison yields a consistent total order between the sort and the
+// search (for multi-byte BinId it is not the numeric tuple order, which is
+// fine — only consistency and equality matter here).
+static_assert(std::is_trivially_copyable_v<BinId> &&
+                  std::has_unique_object_representations_v<BinId>,
+              "UnitPopulator compares bin rows with memcmp; BinId must have "
+              "no padding bits");
 
 UnitPopulator::UnitPopulator(const GridSet& grids, const UnitStore& cdus)
     : grids_(grids),
@@ -31,7 +43,8 @@ UnitPopulator::UnitPopulator(const GridSet& grids, const UnitStore& cdus)
     // binary search over contiguous k-byte rows.
     std::sort(members.begin(), members.end(),
               [&cdus, this](std::uint32_t a, std::uint32_t b) {
-                return std::memcmp(cdus.bins(a).data(), cdus.bins(b).data(), k_) < 0;
+                return std::memcmp(cdus.bins(a).data(), cdus.bins(b).data(),
+                                   k_ * sizeof(BinId)) < 0;
               });
     sub.sorted_bins.reserve(members.size() * k_);
     sub.cdu_index = members;
@@ -64,8 +77,8 @@ void UnitPopulator::accumulate(const Value* rows, std::size_t nrows) {
       std::size_t hi = sub.cdu_index.size();
       while (lo < hi) {
         const std::size_t mid = lo + (hi - lo) / 2;
-        const int cmp =
-            std::memcmp(sub.sorted_bins.data() + mid * k_, key.data(), k_);
+        const int cmp = std::memcmp(sub.sorted_bins.data() + mid * k_,
+                                    key.data(), k_ * sizeof(BinId));
         if (cmp < 0) {
           lo = mid + 1;
         } else {
@@ -76,7 +89,8 @@ void UnitPopulator::accumulate(const Value* rows, std::size_t nrows) {
       // by dedup before populating, but the counting contract holds either
       // way: identical candidates sort adjacently).
       while (lo < sub.cdu_index.size() &&
-             std::memcmp(sub.sorted_bins.data() + lo * k_, key.data(), k_) == 0) {
+             std::memcmp(sub.sorted_bins.data() + lo * k_, key.data(),
+                         k_ * sizeof(BinId)) == 0) {
         ++counts_[sub.cdu_index[lo]];
         ++lo;
       }

@@ -3,12 +3,17 @@
 // The binary path is injected by CMake as PMAFIA_CLI_PATH.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include "common/json.hpp"
 
 #ifndef PMAFIA_CLI_PATH
 #error "PMAFIA_CLI_PATH must be defined by the build"
@@ -17,7 +22,11 @@
 namespace {
 
 std::string temp(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  // gtest_discover_tests runs each TEST as its own ctest entry, so several
+  // cli_test processes run concurrently under `ctest -j` — the scratch
+  // names must be per-process or parallel runs stomp each other's files.
+  static const std::string pid = std::to_string(::getpid());
+  return (std::filesystem::temp_directory_path() / (pid + "_" + name)).string();
 }
 
 /// Runs the CLI with `args`, captures stdout, returns {exit, output}.
@@ -103,6 +112,63 @@ TEST_F(CliPipeline, CsvRoundTripThroughCli) {
   EXPECT_EQ(status, 0) << out;
   EXPECT_NE(out.find("subspace {0,2}"), std::string::npos) << out;
   std::remove(csv.c_str());
+}
+
+TEST_F(CliPipeline, ReportJsonIsValidAndComplete) {
+  const std::string report = temp("mafia_cli_report.json");
+  ASSERT_EQ(run_cli("generate --out " + data_ +
+                    " --dims 8 --records 20000 --seed 7 --cluster 1,4,6:30:45")
+                .first,
+            0);
+  auto [status, out] = run_cli("cluster --data " + data_ +
+                               " --ranks 4 --domain-lo 0 --domain-hi 100"
+                               " --report-json " + report);
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_NE(out.find("report written"), std::string::npos) << out;
+
+  std::ifstream in(report);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(report.c_str());
+
+  // The document must parse and carry every required section.
+  const mafia::JsonValue doc = mafia::json_parse(buffer.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema").string, "pmafia-report-v1");
+  EXPECT_EQ(doc.at("records").number, 22000.0);
+  EXPECT_EQ(doc.at("dims").number, 8.0);
+  EXPECT_EQ(doc.at("ranks").number, 4.0);
+  ASSERT_TRUE(doc.at("levels").is_array());
+  EXPECT_FALSE(doc.at("levels").array.empty());
+  EXPECT_TRUE(doc.at("levels").array[0].has("dense_units"));
+  ASSERT_TRUE(doc.at("phases").is_array());
+  EXPECT_FALSE(doc.at("phases").array.empty());
+  ASSERT_TRUE(doc.at("comm").is_object());
+  ASSERT_EQ(doc.at("per_rank").array.size(), 4u);
+  EXPECT_TRUE(doc.at("cost_model").has("predicted_seconds"));
+  EXPECT_TRUE(doc.at("cost_model").has("measured_seconds"));
+
+  // Per-phase comm deltas must sum to the job totals, and each phase's
+  // max_seconds must equal the max over the per-rank breakdown.
+  for (const char* counter :
+       {"reduces", "bcasts", "gathers", "scatters", "collective_bytes"}) {
+    double phase_sum = 0.0;
+    for (const auto& phase : doc.at("phases").array) {
+      phase_sum += phase.at("comm").at(counter).number;
+    }
+    EXPECT_EQ(phase_sum, doc.at("comm").at(counter).number) << counter;
+  }
+  for (const auto& phase : doc.at("phases").array) {
+    const std::string& name = phase.at("name").string;
+    double rank_max = 0.0;
+    for (const auto& rank : doc.at("per_rank").array) {
+      if (rank.at("phases").has(name)) {
+        rank_max = std::max(rank_max,
+                            rank.at("phases").at(name).at("seconds").number);
+      }
+    }
+    EXPECT_EQ(phase.at("max_seconds").number, rank_max) << name;
+  }
 }
 
 TEST(CliErrors, UnknownSubcommandFails) {

@@ -3,9 +3,11 @@
 // equivalence, registration of maximal units, and option handling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <string>
 
 #include "core/mafia.hpp"
 #include "datagen/generator.hpp"
@@ -363,6 +365,58 @@ TEST(Core, MinClusterDimsFilter) {
   const MafiaResult r = run_mafia(source, show);
   ASSERT_EQ(r.clusters.size(), 1u);
   EXPECT_EQ(r.clusters[0].dims, (std::vector<DimId>{2}));
+}
+
+TEST(Core, RunTraceGlobalizesPhasesAndComm) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 8;
+  cfg.num_records = 20000;
+  cfg.seed = 7;
+  cfg.clusters.push_back(ClusterSpec::box({1, 4, 6}, {30, 30, 30}, {45, 45, 45}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  const int p = 4;
+  const MafiaResult r = run_pmafia(source, default_options(), p);
+  ASSERT_FALSE(r.trace.empty());
+  ASSERT_EQ(r.trace.num_ranks(), p);
+  ASSERT_EQ(r.trace.rank_totals.size(), static_cast<std::size_t>(p));
+
+  // Reported phase seconds are the true cross-rank max: they dominate every
+  // rank's local timer and are attained by at least one rank.
+  for (const std::string& name : r.trace.phase_names()) {
+    const double reported = r.phases.get(name);
+    double rank_max = 0.0;
+    for (int rk = 0; rk < p; ++rk) {
+      const double local = r.trace.rank_phase(rk, name).seconds;
+      EXPECT_LE(local, reported) << "phase " << name << " rank " << rk;
+      rank_max = std::max(rank_max, local);
+    }
+    EXPECT_EQ(reported, rank_max) << "phase " << name;
+    EXPECT_GE(r.trace.mean_seconds(name), r.trace.min_seconds(name));
+    EXPECT_GE(r.trace.max_seconds(name), r.trace.mean_seconds(name));
+  }
+
+  // The per-phase comm deltas sum exactly to the job totals — every
+  // collective the driver issues sits inside some phase scope, and the
+  // trace exchange's own traffic is excluded from both sides.
+  mp::CommStats phase_sum;
+  for (const std::string& name : r.trace.phase_names()) {
+    phase_sum.merge(r.trace.phase_comm(name));
+  }
+  EXPECT_EQ(phase_sum.reduces, r.comm.reduces);
+  EXPECT_EQ(phase_sum.bcasts, r.comm.bcasts);
+  EXPECT_EQ(phase_sum.gathers, r.comm.gathers);
+  EXPECT_EQ(phase_sum.scatters, r.comm.scatters);
+  EXPECT_EQ(phase_sum.p2p_messages, r.comm.p2p_messages);
+  EXPECT_EQ(phase_sum.p2p_bytes, r.comm.p2p_bytes);
+  EXPECT_EQ(phase_sum.collective_bytes, r.comm.collective_bytes);
+  EXPECT_DOUBLE_EQ(phase_sum.comm_seconds, r.comm.comm_seconds);
+
+  // A parallel run on this workload really communicates, and the wall time
+  // spent inside comm calls is visible.
+  EXPECT_GT(r.comm.reduces, 0u);
+  EXPECT_GT(r.comm.comm_seconds, 0.0);
 }
 
 TEST(Core, SerialRunHasOnlyDegenerateCommunication) {

@@ -1,0 +1,158 @@
+// Tests for the dependency-free JSON writer/parser behind the structured
+// run reports (common/json.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace mafia {
+namespace {
+
+// ----------------------------------------------------------------- writer
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  {
+    JsonWriter w;
+    w.begin_object().end_object();
+    EXPECT_EQ(w.str(), "{}");
+  }
+  {
+    JsonWriter w;
+    w.begin_array().end_array();
+    EXPECT_EQ(w.str(), "[]");
+  }
+}
+
+TEST(JsonWriter, CommasBetweenSiblingsOnly) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").begin_array().value(2).value(3).end_array();
+  w.key("c").value("x");
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[2,3],"c":"x"})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("q\"uote").value("line\nbreak\ttab\\slash");
+  w.key("ctl").value(std::string(1, '\x01'));
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"q\\\"uote\":\"line\\nbreak\\ttab\\\\slash\","
+            "\"ctl\":\"\\u0001\"}");
+}
+
+TEST(JsonWriter, NumbersRoundTripExactly) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(0.1);
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.value(std::int64_t{-42});
+  w.value(true).value(false).null();
+  w.end_array();
+  const JsonValue v = json_parse(w.str());
+  ASSERT_EQ(v.array.size(), 6u);
+  EXPECT_EQ(v.array[0].number, 0.1);  // %.17g is round-trip exact
+  EXPECT_EQ(v.array[2].number, -42.0);
+  EXPECT_TRUE(v.array[3].boolean);
+  EXPECT_FALSE(v.array[4].boolean);
+  EXPECT_EQ(v.array[5].type, JsonValue::Type::Null);
+}
+
+TEST(JsonWriter, RawSplicesDocumentAsValue) {
+  JsonWriter inner;
+  inner.begin_object().key("x").value(1).end_object();
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(0);
+  w.key("nested").raw(inner.str());
+  w.key("b").value(2);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":0,"nested":{"x":1},"b":2})");
+  EXPECT_EQ(json_parse(w.str()).at("nested").at("x").number, 1.0);
+}
+
+TEST(JsonWriter, RejectsMismatchedNesting) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW((void)w.end_array(), Error);
+  EXPECT_THROW((void)w.str(), Error);  // still unclosed
+}
+
+TEST(JsonWriter, RejectsKeyOutsideObject) {
+  JsonWriter w;
+  w.begin_array();
+  EXPECT_THROW((void)w.key("k"), Error);
+}
+
+// ----------------------------------------------------------------- parser
+
+TEST(JsonParse, ParsesNestedDocument) {
+  const JsonValue v = json_parse(
+      R"({"name":"run","n":3,"ok":true,"items":[1,2.5,-3e2],"sub":{"x":null}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("name").string, "run");
+  EXPECT_EQ(v.at("n").number, 3.0);
+  EXPECT_TRUE(v.at("ok").boolean);
+  ASSERT_EQ(v.at("items").array.size(), 3u);
+  EXPECT_EQ(v.at("items").array[1].number, 2.5);
+  EXPECT_EQ(v.at("items").array[2].number, -300.0);
+  EXPECT_EQ(v.at("sub").at("x").type, JsonValue::Type::Null);
+}
+
+TEST(JsonParse, DecodesEscapes) {
+  const JsonValue v = json_parse(R"(["a\"b", "\u0041\u00e9", "\n\t\\"])");
+  EXPECT_EQ(v.array[0].string, "a\"b");
+  EXPECT_EQ(v.array[1].string, "A\xc3\xa9");  // é in UTF-8
+  EXPECT_EQ(v.array[2].string, "\n\t\\");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const JsonValue v = json_parse("  { \"a\" :\n[ 1 ,\t2 ] }  ");
+  EXPECT_EQ(v.at("a").array.size(), 2u);
+}
+
+TEST(JsonParse, ThrowsOnMalformedInput) {
+  EXPECT_THROW((void)json_parse(""), Error);
+  EXPECT_THROW((void)json_parse("{"), Error);
+  EXPECT_THROW((void)json_parse("{\"a\":}"), Error);
+  EXPECT_THROW((void)json_parse("[1,]"), Error);
+  EXPECT_THROW((void)json_parse("[1] trailing"), Error);
+  EXPECT_THROW((void)json_parse("\"unterminated"), Error);
+  EXPECT_THROW((void)json_parse("nul"), Error);
+}
+
+TEST(JsonParse, AtThrowsOnMissingKeyAndHasChecks) {
+  const JsonValue v = json_parse(R"({"a":1})");
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("b"));
+  EXPECT_THROW((void)v.at("b"), Error);
+}
+
+TEST(JsonRoundTrip, WriterOutputReparsesIdentically) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pmafia-report-v1");
+  w.key("seconds").value(0.123456789012345678);
+  w.key("phases").begin_array();
+  for (int i = 0; i < 3; ++i) {
+    w.begin_object().key("n").value(i).end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  const JsonValue v = json_parse(w.str());
+  EXPECT_EQ(v.at("schema").string, "pmafia-report-v1");
+  EXPECT_EQ(v.at("seconds").number, 0.123456789012345678);
+  ASSERT_EQ(v.at("phases").array.size(), 3u);
+  EXPECT_EQ(v.at("phases").array[2].at("n").number, 2.0);
+}
+
+}  // namespace
+}  // namespace mafia

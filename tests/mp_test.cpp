@@ -303,6 +303,142 @@ TEST(Stats, CountsMessagesAndBytes) {
   EXPECT_EQ(total.collective_bytes, 2u * 8u * sizeof(std::uint32_t));
 }
 
+TEST(Stats, GathervAccountingPerRank) {
+  // Convention: every rank counts its local contribution; the root
+  // additionally counts the bytes it receives from the other ranks.
+  // Rank r contributes (r+1) uint64s -> locals of 8, 16, 24 bytes.
+  const JobStats job = run(3, [&](Comm& comm) {
+    std::vector<std::uint64_t> local(static_cast<std::size_t>(comm.rank()) + 1,
+                                     7);
+    (void)comm.gatherv(local, 0);
+  });
+  EXPECT_EQ(job.per_rank[0].collective_bytes, 8u + (16u + 24u));  // root
+  EXPECT_EQ(job.per_rank[1].collective_bytes, 16u);
+  EXPECT_EQ(job.per_rank[2].collective_bytes, 24u);
+  EXPECT_EQ(job.total().collective_bytes, 88u);
+  EXPECT_EQ(job.total().gathers, 3u);
+}
+
+TEST(Stats, AllgathervCountsTotalPayloadPerRank) {
+  // Every rank both contributes its local slice and receives everyone
+  // else's, so each rank counts the full concatenated payload: 48 bytes.
+  const JobStats job = run(3, [&](Comm& comm) {
+    std::vector<std::uint64_t> local(static_cast<std::size_t>(comm.rank()) + 1,
+                                     7);
+    (void)comm.allgatherv(local);
+  });
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(job.per_rank[static_cast<std::size_t>(r)].collective_bytes,
+              (8u + 16u + 24u))
+        << "rank " << r;
+  }
+  EXPECT_EQ(job.total().collective_bytes, 3u * 48u);
+  EXPECT_EQ(job.total().gathers, 3u);
+}
+
+TEST(Stats, ScattervCountsScattersNotGathers) {
+  // Regression: scatterv used to increment `gathers` and double-count its
+  // payload through internal bcasts.  It now has its own counter and the
+  // mirror of gatherv's accounting: root counts the slices it sends to
+  // other ranks, every other rank counts the slice it receives.
+  const JobStats job = run(3, [&](Comm& comm) {
+    std::vector<std::vector<std::uint32_t>> slices;
+    if (comm.rank() == 0) {
+      slices = {{1}, {2, 2}, {3, 3, 3}};  // rank r gets r+1 uint32s
+    }
+    (void)comm.scatterv(slices, 0);
+  });
+  EXPECT_EQ(job.per_rank[0].collective_bytes, (2u + 3u) * sizeof(std::uint32_t));
+  EXPECT_EQ(job.per_rank[1].collective_bytes, 2u * sizeof(std::uint32_t));
+  EXPECT_EQ(job.per_rank[2].collective_bytes, 3u * sizeof(std::uint32_t));
+  const CommStats total = job.total();
+  EXPECT_EQ(total.scatters, 3u);
+  EXPECT_EQ(total.gathers, 0u);
+  EXPECT_EQ(total.bcasts, 0u);
+  EXPECT_EQ(total.collective_bytes, 2u * (2u + 3u) * sizeof(std::uint32_t));
+  EXPECT_EQ(total.collective_ops(), 3u);
+}
+
+TEST(Stats, BcastRootCountsFanOut) {
+  // Root sends its n bytes to each of the p-1 other ranks; every other
+  // rank receives n bytes.  p=4, n=5 uint32s: root 60, others 20 each.
+  const JobStats job = run(4, [&](Comm& comm) {
+    std::vector<std::uint32_t> v(5, comm.rank() == 0 ? 9u : 0u);
+    comm.bcast(v, 0);
+  });
+  EXPECT_EQ(job.per_rank[0].collective_bytes, 5u * 4u * 3u);
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(job.per_rank[static_cast<std::size_t>(r)].collective_bytes,
+              5u * 4u)
+        << "rank " << r;
+  }
+  EXPECT_EQ(job.total().bcasts, 4u);
+}
+
+TEST(Stats, CommSecondsAccumulatesInsideCommCalls) {
+  // With a simulated per-op latency, the in-comm wall time must show up in
+  // every rank's comm_seconds (each rank stalls inside the collective).
+  NetworkSimulation net;
+  net.latency_seconds = 2e-3;
+  const JobStats job = run(
+      2,
+      [&](Comm& comm) {
+        std::vector<int> v{1};
+        comm.allreduce_sum(v);
+        comm.barrier();
+      },
+      net);
+  for (const CommStats& s : job.per_rank) {
+    EXPECT_GT(s.comm_seconds, 0.0);
+  }
+  // A comm-less job spends nothing.
+  const JobStats idle = run(2, [&](Comm&) {});
+  EXPECT_EQ(idle.total().comm_seconds, 0.0);
+}
+
+TEST(Stats, SerializeRoundTripsEveryCounter) {
+  CommStats s;
+  s.p2p_messages = 1;
+  s.p2p_bytes = 2;
+  s.barriers = 3;
+  s.reduces = 4;
+  s.bcasts = 5;
+  s.gathers = 6;
+  s.scatters = 7;
+  s.collective_bytes = 8;
+  s.comm_seconds = 1.25;
+  const auto words = s.serialize();
+  const CommStats back = CommStats::deserialize(words.data());
+  EXPECT_EQ(back.p2p_messages, 1u);
+  EXPECT_EQ(back.p2p_bytes, 2u);
+  EXPECT_EQ(back.barriers, 3u);
+  EXPECT_EQ(back.reduces, 4u);
+  EXPECT_EQ(back.bcasts, 5u);
+  EXPECT_EQ(back.gathers, 6u);
+  EXPECT_EQ(back.scatters, 7u);
+  EXPECT_EQ(back.collective_bytes, 8u);
+  EXPECT_EQ(back.comm_seconds, 1.25);
+}
+
+TEST(Stats, DeltaSinceSubtractsEveryCounter) {
+  CommStats early;
+  early.reduces = 2;
+  early.scatters = 1;
+  early.collective_bytes = 100;
+  early.comm_seconds = 0.5;
+  CommStats late = early;
+  late.reduces = 5;
+  late.scatters = 4;
+  late.collective_bytes = 250;
+  late.comm_seconds = 0.75;
+  const CommStats d = late.delta_since(early);
+  EXPECT_EQ(d.reduces, 3u);
+  EXPECT_EQ(d.scatters, 3u);
+  EXPECT_EQ(d.collective_bytes, 150u);
+  EXPECT_DOUBLE_EQ(d.comm_seconds, 0.25);
+  EXPECT_EQ(d.p2p_messages, 0u);
+}
+
 TEST(Stats, CostModelScalesWithVolume) {
   CommStats small;
   small.p2p_messages = 1;

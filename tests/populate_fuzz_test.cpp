@@ -1,6 +1,15 @@
 // Fuzz tests for CDU population: the subspace-grouped binary-search
 // populator against a brute-force membership reference, over randomized
 // grids, candidates, and records.
+//
+// Regression note: the populator's memcmp-based row sort/search once used a
+// length of `k` elements where bytes were required.  With BinId = uint8_t
+// the two coincide, so the fuzz suite could not catch it; the comparison
+// length is now spelled `k * sizeof(BinId)` and populate.cpp static_asserts
+// the row-layout contract (no padding bits) so a wider BinId fails to
+// compile rather than silently truncating comparisons.  These randomized
+// instances (multi-bin rows, duplicate-prefix candidates) are the tests
+// that would break first if the byte width regressed.
 #include <gtest/gtest.h>
 
 #include <numeric>

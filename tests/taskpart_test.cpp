@@ -148,11 +148,34 @@ TEST(FlagBalanced, CoversWholeArray) {
   }
 }
 
-TEST(FlagBalanced, NoFlagsSet) {
+TEST(FlagBalanced, NoFlagsSetFallsBackToEvenBlocks) {
+  // Regression: with zero flags set every quota is 0, and the scan used to
+  // hand one element to each of the first p−1 ranks and the remaining n−p+1
+  // to the last.  The degenerate case now falls back to an even block split.
   std::vector<std::uint8_t> flags(10, 0);
   const auto bounds = flag_balanced_partition(flags, 4);
+  ASSERT_EQ(bounds.size(), 5u);
   EXPECT_EQ(bounds.front(), 0u);
   EXPECT_EQ(bounds.back(), 10u);
+  const std::size_t n = flags.size();
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(bounds[r], n * r / 4) << "rank " << r;
+    const std::size_t len = bounds[r + 1] - bounds[r];
+    EXPECT_GE(len, n / 4) << "rank " << r;
+    EXPECT_LE(len, n / 4 + 1) << "rank " << r;
+  }
+}
+
+TEST(FlagBalanced, NoFlagsSetLargeArrayStaysBalanced) {
+  // The element count each rank scans (flag-independent work) must stay
+  // within one element of even, not collapse onto the last rank.
+  std::vector<std::uint8_t> flags(1000, 0);
+  const auto bounds = flag_balanced_partition(flags, 8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    const std::size_t len = bounds[r + 1] - bounds[r];
+    EXPECT_GE(len, 125u - 1) << "rank " << r;
+    EXPECT_LE(len, 125u + 1) << "rank " << r;
+  }
 }
 
 TEST(FlagBalanced, MoreRanksThanFlags) {

@@ -187,6 +187,14 @@ int cmd_cluster(const Args& args) {
     result = run_pmafia(source, options_from_args(args), ranks);
   }
   std::fputs(render_report(result).c_str(), stdout);
+  if (args.has("report-json")) {
+    const std::string out = args.get("report-json");
+    std::ofstream f(out);
+    require(f.good(), "cluster: cannot open " + out);
+    f << render_report_json(result) << "\n";
+    require(f.good(), "cluster: failed writing " + out);
+    std::printf("report written to %s\n", out.c_str());
+  }
   if (args.has("save")) {
     save_model(args.get("save"), result.grids, result.clusters);
     std::printf("model saved to %s\n", args.get("save").c_str());
@@ -261,7 +269,7 @@ void usage() {
       "           [--alpha A] [--beta B] [--fine-bins N] [--window-cells W]\n"
       "           [--noise-sigmas S] [--min-dims K] [--chunk B]\n"
       "           [--domain-lo L --domain-hi H] [--xi N --tau F]\n"
-      "           [--save model.txt]\n"
+      "           [--save model.txt] [--report-json report.json]\n"
       "  assign   --data F [--out labels.csv] [--model model.txt |\n"
       "           --ranks P + grid flags]\n"
       "  stage    --data F [--ranks P] [--prefix PFX]\n",
