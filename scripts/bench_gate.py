@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Soft perf gate over pmafia-bench-v1 JSONL trajectories.
+
+Compares fresh bench rows against committed baseline rows and warns when
+populate throughput regressed beyond the tolerance.  Throughput of one row
+is computed from the wrapped pmafia-report-v1 document as
+
+    records * max(1, len(levels)) / populate_max_seconds
+
+(the populate phase scans every record once per level, so the metric is
+record-level passes per second; for kernel-micro rows with no levels the
+factor is 1 and the metric degenerates to records per second).
+
+Rows are grouped by (bench, tag); the newest fresh row per group is
+compared against the best baseline row of the same group — comparing
+against the best, not the mean, keeps the gate one-sided: a lucky baseline
+tightens it, a noisy one never loosens it.
+
+Exit status: 0 when everything passes or only warnings were produced (the
+gate is soft by default: CI prints the warning but does not fail the
+build); 1 with --strict when any group regressed beyond tolerance; 2 on
+usage/parse errors.  Groups present only on one side are reported but
+never fail the gate (new benches seed their baselines through normal
+commits).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Parses a pmafia-bench-v1 JSON-Lines file into a list of dicts."""
+    rows = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as e:
+                    raise SystemExit(f"{path}:{lineno}: bad JSON: {e}")
+                if row.get("schema") != "pmafia-bench-v1":
+                    raise SystemExit(
+                        f"{path}:{lineno}: unexpected schema {row.get('schema')!r}")
+                rows.append(row)
+    except OSError as e:
+        raise SystemExit(f"cannot read {path}: {e}")
+    return rows
+
+
+def throughput(row):
+    """Record-level passes per second for one bench row, or None."""
+    report = row.get("report", {})
+    records = report.get("records", 0)
+    levels = report.get("levels", [])
+    populate = next((p.get("max_seconds", 0.0)
+                     for p in report.get("phases", [])
+                     if p.get("name") == "populate"), 0.0)
+    if not records or populate <= 0.0:
+        return None
+    return records * max(1, len(levels)) / populate
+
+
+def group_rows(rows):
+    """(bench, tag) -> list of throughputs, in file order."""
+    groups = {}
+    for row in rows:
+        tp = throughput(row)
+        if tp is None:
+            continue
+        groups.setdefault((row.get("bench", "?"), row.get("tag", "")), []).append(tp)
+    return groups
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed pmafia-bench-v1 JSONL baseline")
+    ap.add_argument("--fresh", required=True,
+                    help="freshly produced pmafia-bench-v1 JSONL rows")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="fractional throughput regression that triggers a "
+                         "warning (default 0.15)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 on regression instead of warning only")
+    args = ap.parse_args()
+
+    baseline = group_rows(load_rows(args.baseline))
+    fresh = group_rows(load_rows(args.fresh))
+    if not fresh:
+        raise SystemExit(f"no usable rows in {args.fresh}")
+
+    regressions = 0
+    print(f"{'bench':<12} {'tag':<22} {'baseline':>12} {'fresh':>12} "
+          f"{'ratio':>7}  verdict")
+    for key in sorted(fresh):
+        bench, tag = key
+        fresh_tp = fresh[key][-1]
+        if key not in baseline:
+            print(f"{bench:<12} {tag:<22} {'-':>12} {fresh_tp:>12.3e} "
+                  f"{'-':>7}  NEW (no baseline row)")
+            continue
+        base_tp = max(baseline[key])
+        ratio = fresh_tp / base_tp
+        if ratio < 1.0 - args.tolerance:
+            regressions += 1
+            verdict = f"REGRESSION (>{args.tolerance:.0%} below baseline)"
+        else:
+            verdict = "ok"
+        print(f"{bench:<12} {tag:<22} {base_tp:>12.3e} {fresh_tp:>12.3e} "
+              f"{ratio:>6.2f}x  {verdict}")
+    for key in sorted(set(baseline) - set(fresh)):
+        print(f"{key[0]:<12} {key[1]:<22} {'(baseline only, not re-run)'}")
+
+    if regressions:
+        print(f"\nWARNING: {regressions} group(s) regressed beyond "
+              f"{args.tolerance:.0%}.")
+        return 1 if args.strict else 0
+    print("\nbench gate: all groups within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

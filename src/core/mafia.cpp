@@ -55,6 +55,7 @@ class MafiaWorker {
   std::vector<LevelTrace> trace_;
   std::vector<Cluster> clusters_;
   RunTrace run_trace_;
+  PopulateKernelStats populate_stats_;
 
  private:
   // ----------------------------------------------------------- grid phase
@@ -139,7 +140,8 @@ class MafiaWorker {
     while (true) {
       // ---- Populate candidates (data parallel): each rank scans its N/p
       // records in B-record chunks, then Reduce globalizes the counts.
-      UnitPopulator populator(grids_, cdus);
+      UnitPopulator populator(grids_, cdus, opt_.populate);
+      populate_stats_.merge(populator.kernel_stats());
       {
         PhaseTracer::Scope sp(tracer_, "populate");
         scan_local([&](const Value* rows, std::size_t nrows) {
@@ -169,7 +171,8 @@ class MafiaWorker {
       std::size_t ndu = 0;
       for (const std::uint8_t f : flags) ndu += (f != 0);
 
-      trace_.push_back(LevelTrace{level, pending_raw_count, cdus.size(), ndu});
+      trace_.push_back(LevelTrace{level, pending_raw_count, cdus.size(), ndu,
+                                  count_vector_checksum(populator.counts())});
 
       // ---- Register maximal units of the previous level: a (k−1)-dim
       // dense unit whose every candidate child failed the density test (or
@@ -386,6 +389,7 @@ MafiaResult run_pmafia(const DataSource& data, const MafiaOptions& options,
       result.levels = std::move(worker.trace_);
       result.clusters = std::move(worker.clusters_);
       result.trace = std::move(worker.run_trace_);
+      result.populate_kernel = worker.populate_stats_;
     }
   }, network);
 

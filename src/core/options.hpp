@@ -18,6 +18,7 @@
 #include "units/dedup.hpp"
 #include "units/identify.hpp"
 #include "units/join.hpp"
+#include "units/populate.hpp"
 
 namespace mafia {
 
@@ -40,6 +41,12 @@ struct MafiaOptions {
   /// B: records per chunk of the out-of-core scans (Algorithm 2's memory
   /// buffer).
   std::size_t chunk_records = 1 << 16;
+
+  /// Populate-kernel tuning: the record-block size of the subspace-major
+  /// sweep and the lookup-kernel selection (Auto = packed integer keys for
+  /// k <= 8 subspaces, byte-row memcmp beyond).  The chosen kernels are
+  /// surfaced in the run report's populate_kernel object.
+  PopulateConfig populate;
 
   /// tau: below this many units, task-parallel phases degenerate to every
   /// rank processing everything locally ("Candidate dense units are
@@ -94,6 +101,8 @@ struct MafiaOptions {
   void validate() const {
     grid.validate();
     require(chunk_records >= 1, "MafiaOptions: chunk_records must be positive");
+    require(populate.block_records >= 1,
+            "MafiaOptions: populate.block_records must be positive");
     require(max_level >= 1, "MafiaOptions: max_level must be positive");
     if (fixed_domain) {
       require(fixed_domain->second > fixed_domain->first,

@@ -10,6 +10,17 @@ namespace mafia {
 
 namespace {
 
+/// Fixed-width hex rendering for the level count checksums: a 64-bit FNV
+/// value exceeds the exactly-representable double range, so emitting it as
+/// a JSON number would silently round in consumers; a hex string is
+/// compare-for-equality data anyway.
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
 /// Serializes one CommStats as a JSON object (shared by every level of the
 /// report so the counter schema is identical everywhere it appears).
 void write_comm(JsonWriter& w, const mp::CommStats& s) {
@@ -55,6 +66,12 @@ std::string render_report(const MafiaResult& result) {
     os << "  " << std::setw(3) << t.level << std::setw(12) << t.ncdu_raw
        << std::setw(14) << t.ncdu << std::setw(14) << t.ndu << "\n";
   }
+
+  os << "\npopulate kernel (subspaces over all levels): packed-sorted "
+     << result.populate_kernel.packed_sorted_subspaces << ", packed-hash "
+     << result.populate_kernel.packed_hash_subspaces << ", memcmp "
+     << result.populate_kernel.memcmp_subspaces << ", block "
+     << result.populate_kernel.block_records << " records\n";
 
   // Phase seconds: the max column is a true cross-rank maximum (an
   // allreduce_max over every rank's timer, carried by result.phases); the
@@ -119,9 +136,20 @@ std::string render_report_json(const MafiaResult& result,
     w.key("raw_cdus").value(t.ncdu_raw);
     w.key("cdus").value(t.ncdu);
     w.key("dense_units").value(t.ndu);
+    w.key("count_checksum").value(hex64(t.count_checksum));
     w.end_object();
   }
   w.end_array();
+
+  // Which populate kernels the run selected (per-subspace, summed over
+  // levels) and the block size of the subspace-major sweep — so a recorded
+  // populate-phase time is attributable to a concrete kernel configuration.
+  w.key("populate_kernel").begin_object();
+  w.key("packed_sorted_subspaces").value(result.populate_kernel.packed_sorted_subspaces);
+  w.key("packed_hash_subspaces").value(result.populate_kernel.packed_hash_subspaces);
+  w.key("memcmp_subspaces").value(result.populate_kernel.memcmp_subspaces);
+  w.key("block_records").value(result.populate_kernel.block_records);
+  w.end_object();
 
   // Per-phase view.  max_seconds is a cross-rank allreduce_max; min/mean
   // and the comm attribution come from the gathered per-rank trace and are

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "cluster/cluster_model.hpp"
@@ -12,6 +13,7 @@
 #include "core/trace.hpp"
 #include "grid/grid_types.hpp"
 #include "mp/stats.hpp"
+#include "units/populate.hpp"
 
 namespace mafia {
 
@@ -21,7 +23,25 @@ struct LevelTrace {
   std::size_t ncdu_raw = 0;  ///< CDUs generated before repeat elimination
   std::size_t ncdu = 0;      ///< unique CDUs populated (the paper's Ncdu)
   std::size_t ndu = 0;       ///< dense units identified (the paper's Ndu)
+  /// FNV-1a over the level's globalized populate counts, in CDU order.
+  /// Identical on every rank and for every (p, B, kernel) configuration —
+  /// the determinism tests compare it across rank counts, and it pins the
+  /// populate output of a run without shipping the full count vector.
+  std::uint64_t count_checksum = 0;
 };
+
+/// FNV-1a over a count vector (the LevelTrace::count_checksum function).
+[[nodiscard]] inline std::uint64_t count_vector_checksum(
+    const std::vector<Count>& counts) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const Count c : counts) {
+    for (std::size_t byte = 0; byte < sizeof(Count); ++byte) {
+      h ^= (c >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
 
 struct MafiaResult {
   /// Maximal-dimensionality clusters (subset clusters eliminated), highest
@@ -48,6 +68,12 @@ struct MafiaResult {
   /// Full per-rank, per-phase breakdown (seconds + comm deltas), gathered
   /// from every rank at the end of the run.
   RunTrace trace;
+
+  /// Populate-kernel selection, accumulated over all levels: how many
+  /// subspaces ran on the packed sorted / packed hash / memcmp kernels and
+  /// the block size the sweep used.  Identical on every rank (the CDU sets
+  /// are globally replicated).
+  PopulateKernelStats populate_kernel;
 
   /// End-to-end wall-clock seconds (includes rank spawn/join).
   double total_seconds = 0.0;

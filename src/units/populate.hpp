@@ -9,14 +9,30 @@
 // Implementation: a record lies in CDU {(d₁,b₁)..(d_k,b_k)} iff its bin
 // index in dimension dᵢ equals bᵢ for all i (adaptive bins tile each
 // dimension, so each value maps to exactly one bin).  The populator
-// pre-groups CDUs by their dimension set (subspace); per record it computes
-// the per-dimension bin indices once, then for each subspace does ONE
-// binary search of the record's projected bin tuple against that subspace's
-// lexicographically sorted CDU rows — O(d + Σ_s k·log m_s) per record
-// instead of the naive O(Ncdu·k).
+// pre-groups CDUs by their dimension set (subspace) and processes records
+// in cache-sized blocks with a subspace-major inner loop: each block's
+// per-dimension bin indices are computed once into a column buffer, then
+// every subspace sweeps the whole block while its lookup structure stays
+// hot in cache.  The block sweep is self-contained per block range, so the
+// kernel is trivially splittable for future intra-rank threading.
+//
+// Per-subspace lookup kernels (PopulateKernel selects; Auto is Packed):
+//   * packed/sorted  (k <= 8): the k bin bytes of each CDU row pack into
+//     one uint64 (pack_bin_key); a record's projected tuple packs the same
+//     way and a branchless lower_bound over the flat sorted key array
+//     replaces the per-record memcmp binary search.
+//   * packed/hash (k <= 8, high CDU count): an open-addressing exact-match
+//     table over the packed keys turns the lookup into O(1) probes.
+//   * memcmp (k > 8, or forced): binary search of the projected k-byte row
+//     against the subspace's lexicographically sorted CDU rows — the
+//     fallback contract for units wider than a packed key.
+// All kernels count duplicate CDU rows correctly (identical candidates
+// sort adjacently; the hash table points at the first row of an equal
+// run), so the contract holds with or without a prior dedup pass.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "grid/grid_types.hpp"
@@ -24,11 +40,52 @@
 
 namespace mafia {
 
+/// Lookup-kernel selection for UnitPopulator.  Auto picks the packed-key
+/// kernels whenever the unit dimensionality allows (k <= kPackedKeyMaxDims)
+/// and is the production default; Memcmp forces the byte-row binary-search
+/// path everywhere (the k > 8 fallback), kept selectable for the
+/// oracle-differential tests and the bench_populate_kernel A/B.
+enum class PopulateKernel { Auto, Packed, Memcmp };
+
+/// Tuning knobs for the populate kernel (defaults are the production
+/// configuration; the bench and the differential tests sweep them).
+struct PopulateConfig {
+  /// Records per block of the subspace-major sweep.  The block's bin
+  /// columns occupy block_records * num_dims bytes; the default keeps them
+  /// comfortably inside L2 for the paper's dimensionalities.
+  std::size_t block_records = 2048;
+
+  /// Kernel selection (see PopulateKernel).
+  PopulateKernel kernel = PopulateKernel::Auto;
+
+  /// Packed subspaces with at least this many CDUs get the open-addressing
+  /// exact-match table instead of the sorted-array search.
+  std::size_t hash_min_cdus = 48;
+};
+
+/// Which kernel each subspace ended up on — surfaced through MafiaResult
+/// and the JSON report so the populate-phase configuration is visible in
+/// every recorded run.
+struct PopulateKernelStats {
+  std::size_t packed_sorted_subspaces = 0;
+  std::size_t packed_hash_subspaces = 0;
+  std::size_t memcmp_subspaces = 0;
+  std::size_t block_records = 0;
+
+  void merge(const PopulateKernelStats& other) {
+    packed_sorted_subspaces += other.packed_sorted_subspaces;
+    packed_hash_subspaces += other.packed_hash_subspaces;
+    memcmp_subspaces += other.memcmp_subspaces;
+    if (other.block_records > block_records) block_records = other.block_records;
+  }
+};
+
 class UnitPopulator {
  public:
   /// Prepares lookup structures for counting membership in `cdus` under
   /// `grids`.  Both must outlive the populator.
-  UnitPopulator(const GridSet& grids, const UnitStore& cdus);
+  UnitPopulator(const GridSet& grids, const UnitStore& cdus,
+                const PopulateConfig& config = {});
 
   /// Folds `nrows` row-major records (width = grids.num_dims()) into the
   /// local counts.
@@ -42,21 +99,39 @@ class UnitPopulator {
   /// Number of distinct subspaces among the CDUs (exposed for tests/benches).
   [[nodiscard]] std::size_t num_subspaces() const { return subspaces_.size(); }
 
+  /// Per-kernel subspace counts for this populator (exposed for the run
+  /// report and the benches).
+  [[nodiscard]] const PopulateKernelStats& kernel_stats() const { return stats_; }
+
  private:
   struct Subspace {
-    std::vector<DimId> dims;          // ascending dimension set, size k
-    std::vector<BinId> sorted_bins;   // member CDU bin rows, lex-sorted, k-stride
+    std::vector<DimId> dims;               // ascending dimension set, size k
     std::vector<std::uint32_t> cdu_index;  // sorted row -> original CDU index
+    // Packed kernels (k <= kPackedKeyMaxDims):
+    std::vector<std::uint64_t> keys;  // member CDU rows as sorted packed keys
+    std::vector<std::uint32_t> slots;  // open addressing: key -> first run row
+    std::uint64_t slot_mask = 0;       // slots.size() - 1 (power of two)
+    // Memcmp fallback (k > kPackedKeyMaxDims or forced):
+    std::vector<BinId> sorted_bins;  // member CDU bin rows, lex-sorted, k-stride
   };
+
+  void sweep_packed_sorted(const Subspace& sub, std::size_t bn);
+  void sweep_packed_hash(const Subspace& sub, std::size_t bn);
+  void sweep_memcmp(const Subspace& sub, std::size_t bn);
 
   const GridSet& grids_;
   std::size_t k_;
+  bool packed_;  // packed kernels active (k fits a key and not forced off)
+  PopulateConfig cfg_;
+  PopulateKernelStats stats_;
   std::vector<Subspace> subspaces_;
   std::vector<Count> counts_;
-  // Scratch: per-record bin index for every dimension that occurs in some
-  // subspace (kMaxBinsPerDim fits in BinId).
-  std::vector<BinId> bin_scratch_;
+  // Block-sweep scratch: per-dimension bin columns for the current block,
+  // dim-major (column j starts at j * block_records), filled only for
+  // dimensions that occur in some subspace.
+  std::vector<BinId> col_bins_;
   std::vector<std::uint8_t> dim_used_;
+  std::vector<BinId> key_scratch_;  // projected row buffer (memcmp path)
 };
 
 }  // namespace mafia

@@ -196,6 +196,91 @@ TEST(Invariance, RankCountDoesNotChangeResultsUnderAllOptionCombos) {
   }
 }
 
+TEST(Invariance, SpmdDeterminismSweepAcrossRankCounts) {
+  // Serial vs p in {2, 3, 5, 8} on randomized workloads: the dense-unit
+  // sets (cluster signatures) AND the populate counts must be bit-identical
+  // — the per-level count_checksum hashes the full globalized count vector,
+  // so any rank-dependent drift in the packed-key populate kernel (block
+  // boundaries at partition edges, partial-block sweeps on the last chunk
+  // of a rank's N/p records) fails here even when the dense flags happen to
+  // agree.  tau = 2 engages every task-parallel phase.
+  IcgRandom rng(20260806);
+  for (int instance = 0; instance < 3; ++instance) {
+    GeneratorConfig cfg;
+    cfg.num_dims = 8 + uniform_index(rng, 6);
+    cfg.num_records = 12000 + uniform_index(rng, 8000);
+    cfg.seed = 555 + static_cast<std::uint64_t>(instance);
+    const std::size_t nclusters = 1 + uniform_index(rng, 3);
+    std::size_t dim_cursor = 0;
+    for (std::size_t c = 0; c < nclusters; ++c) {
+      const std::size_t cdims = 2 + uniform_index(rng, 2);
+      std::vector<DimId> dims(cdims);
+      for (std::size_t i = 0; i < cdims; ++i) {
+        dims[i] = static_cast<DimId>((dim_cursor + i) % cfg.num_dims);
+      }
+      std::sort(dims.begin(), dims.end());
+      dim_cursor += cdims;
+      const Value lo = static_cast<Value>(10 + 22 * c);
+      cfg.clusters.push_back(
+          ClusterSpec::box(std::move(dims), std::vector<Value>(cdims, lo),
+                           std::vector<Value>(cdims, lo + 9), 1.0));
+    }
+    const Dataset data = generate(cfg);
+    InMemorySource source(data);
+    MafiaOptions options;
+    options.fixed_domain = {{0.0f, 100.0f}};
+    options.tau = 2;
+
+    const MafiaResult serial = run_pmafia(source, options, 1);
+    const auto serial_sig = signature(serial);
+    for (const int p : {2, 3, 5, 8}) {
+      const MafiaResult par = run_pmafia(source, options, p);
+      EXPECT_EQ(serial_sig, signature(par)) << "instance " << instance
+                                            << " p=" << p;
+      ASSERT_EQ(serial.levels.size(), par.levels.size())
+          << "instance " << instance << " p=" << p;
+      for (std::size_t l = 0; l < serial.levels.size(); ++l) {
+        EXPECT_EQ(serial.levels[l].ncdu_raw, par.levels[l].ncdu_raw);
+        EXPECT_EQ(serial.levels[l].ncdu, par.levels[l].ncdu);
+        EXPECT_EQ(serial.levels[l].ndu, par.levels[l].ndu);
+        EXPECT_EQ(serial.levels[l].count_checksum, par.levels[l].count_checksum)
+            << "populate counts diverged at level " << serial.levels[l].level
+            << " (instance " << instance << ", p=" << p << ")";
+      }
+    }
+  }
+}
+
+TEST(Invariance, PopulateKernelSelectionDoesNotChangeResults) {
+  // Forcing the memcmp fallback (and odd block sizes) must reproduce the
+  // packed-kernel results exactly, through the full driver.
+  const Dataset data = invariance_data();
+  InMemorySource source(data);
+  MafiaOptions reference;
+  reference.fixed_domain = {{0.0f, 100.0f}};
+  const MafiaResult expect = run_mafia(source, reference);
+
+  for (const PopulateKernel kernel :
+       {PopulateKernel::Packed, PopulateKernel::Memcmp}) {
+    for (const std::size_t block : {std::size_t{1}, std::size_t{37},
+                                    std::size_t{4096}}) {
+      MafiaOptions options = reference;
+      options.populate.kernel = kernel;
+      options.populate.block_records = block;
+      const MafiaResult got = run_mafia(source, options);
+      EXPECT_EQ(signature(expect), signature(got))
+          << "kernel=" << static_cast<int>(kernel) << " block=" << block;
+      ASSERT_EQ(expect.levels.size(), got.levels.size());
+      for (std::size_t l = 0; l < expect.levels.size(); ++l) {
+        EXPECT_EQ(expect.levels[l].count_checksum,
+                  got.levels[l].count_checksum)
+            << "kernel=" << static_cast<int>(kernel) << " block=" << block
+            << " level=" << expect.levels[l].level;
+      }
+    }
+  }
+}
+
 TEST(Invariance, SeedChangesDataButNotDiscoveredStructure) {
   // Different generator seeds give different records but identical planted
   // structure; discovered subspaces must be stable across seeds.

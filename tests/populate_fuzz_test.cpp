@@ -1,6 +1,7 @@
-// Fuzz tests for CDU population: the subspace-grouped binary-search
-// populator against a brute-force membership reference, over randomized
-// grids, candidates, and records.
+// Fuzz tests for CDU population: the production kernels (packed sorted,
+// packed hash, memcmp fallback) against the naive reference oracle
+// (tests/populate_oracle.hpp), over randomized grids, candidates, and
+// records.
 //
 // Regression note: the populator's memcmp-based row sort/search once used a
 // length of `k` elements where bytes were required.  With BinId = uint8_t
@@ -18,34 +19,13 @@
 #include "grid/adaptive_grid.hpp"
 #include "grid/histogram.hpp"
 #include "grid/uniform_grid.hpp"
+#include "populate_oracle.hpp"
 #include "rng/distributions.hpp"
 #include "rng/icg.hpp"
 #include "units/populate.hpp"
 
 namespace mafia {
 namespace {
-
-/// Brute-force reference: for every record and CDU, test bin membership by
-/// definition (value inside every (dim, bin) interval, upper-clamped).
-std::vector<Count> brute_force_counts(const GridSet& grids, const UnitStore& cdus,
-                                      const std::vector<Value>& rows,
-                                      std::size_t nrows) {
-  const std::size_t d = grids.num_dims();
-  std::vector<Count> counts(cdus.size(), 0);
-  for (std::size_t r = 0; r < nrows; ++r) {
-    const Value* row = rows.data() + r * d;
-    for (std::size_t u = 0; u < cdus.size(); ++u) {
-      const auto dims = cdus.dims(u);
-      const auto bins = cdus.bins(u);
-      bool inside = true;
-      for (std::size_t i = 0; i < dims.size() && inside; ++i) {
-        inside = grids[dims[i]].bin_of(row[dims[i]]) == bins[i];
-      }
-      counts[u] += inside ? 1 : 0;
-    }
-  }
-  return counts;
-}
 
 /// Randomized grid per dimension: either uniform (random xi) or adaptive
 /// from a random histogram.
@@ -72,32 +52,9 @@ GridSet random_grids(IcgRandom& rng, std::size_t d) {
   return grids;
 }
 
-/// Random CDU store of dimensionality k over d dims (valid bins).
-UnitStore random_cdus(IcgRandom& rng, const GridSet& grids, std::size_t k,
-                      std::size_t count) {
-  UnitStore cdus(k);
-  const std::size_t d = grids.num_dims();
-  std::vector<DimId> all_dims(d);
-  std::iota(all_dims.begin(), all_dims.end(), DimId{0});
-  std::vector<DimId> dims(k);
-  std::vector<BinId> bins(k);
-  for (std::size_t u = 0; u < count; ++u) {
-    shuffle(rng, all_dims.begin(), all_dims.end());
-    std::copy(all_dims.begin(), all_dims.begin() + static_cast<std::ptrdiff_t>(k),
-              dims.begin());
-    std::sort(dims.begin(), dims.end());
-    for (std::size_t i = 0; i < k; ++i) {
-      bins[i] = static_cast<BinId>(
-          uniform_index(rng, grids[dims[i]].num_bins()));
-    }
-    cdus.push_unchecked(dims.data(), bins.data());
-  }
-  return cdus;
-}
-
 class PopulateFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(PopulateFuzz, MatchesBruteForceOnRandomInstances) {
+TEST_P(PopulateFuzz, MatchesOracleOnRandomInstances) {
   IcgRandom rng(GetParam());
   const std::size_t d = 3 + uniform_index(rng, 8);       // 3..10 dims
   const std::size_t k = 1 + uniform_index(rng, std::min<std::size_t>(d, 4));
@@ -115,7 +72,7 @@ TEST_P(PopulateFuzz, MatchesBruteForceOnRandomInstances) {
 
   UnitPopulator pop(grids, cdus);
   pop.accumulate(rows.data(), nrows);
-  const auto expected = brute_force_counts(grids, cdus, rows, nrows);
+  const auto expected = oracle_counts(grids, cdus, rows.data(), nrows);
   ASSERT_EQ(pop.counts().size(), expected.size());
   for (std::size_t u = 0; u < expected.size(); ++u) {
     EXPECT_EQ(pop.counts()[u], expected[u]) << "cdu " << cdus.to_string(u);
@@ -124,6 +81,48 @@ TEST_P(PopulateFuzz, MatchesBruteForceOnRandomInstances) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PopulateFuzz,
                          ::testing::Range<std::uint64_t>(1, 25));
+
+// Packed-key path fuzz: arity mixes straddling the k = 8 fast-path
+// boundary (k in 6..10 crosses packed -> memcmp fallback), with random
+// block sizes and hash thresholds, each instance run under every explicit
+// kernel selection and compared count-for-count against the oracle.
+class PackedKeyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PackedKeyFuzz, StraddlesPackedBoundaryAgainstOracle) {
+  IcgRandom rng(GetParam() * 6364136223846793005ull + 1);
+  const std::size_t d = 10 + uniform_index(rng, 6);  // 10..15 dims
+  const std::size_t k = 6 + uniform_index(rng, 5);   // 6..10: spans k = 8/9
+  const std::size_t ncdu = 1 + uniform_index(rng, 150);
+  const std::size_t nrows = 300 + uniform_index(rng, 700);
+
+  const GridSet grids = random_grids(rng, d);
+  const UnitStore cdus = random_cdus(rng, grids, k, ncdu);
+  std::vector<Value> rows(nrows * d);
+  for (auto& v : rows) {
+    v = static_cast<Value>(uniform_real(rng, -10.0, 110.0));
+  }
+  const auto expected = oracle_counts(grids, cdus, rows.data(), nrows);
+
+  for (const PopulateKernel kernel :
+       {PopulateKernel::Auto, PopulateKernel::Packed, PopulateKernel::Memcmp}) {
+    PopulateConfig cfg;
+    cfg.kernel = kernel;
+    cfg.block_records = 1 + uniform_index(rng, 512);
+    cfg.hash_min_cdus = 1 + uniform_index(rng, 2 * ncdu);
+    UnitPopulator pop(grids, cdus, cfg);
+    pop.accumulate(rows.data(), nrows);
+    ASSERT_EQ(pop.counts().size(), expected.size());
+    for (std::size_t u = 0; u < expected.size(); ++u) {
+      ASSERT_EQ(pop.counts()[u], expected[u])
+          << "cdu " << cdus.to_string(u) << " k=" << k
+          << " kernel=" << static_cast<int>(kernel)
+          << " block=" << cfg.block_records;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackedKeyFuzz,
+                         ::testing::Range<std::uint64_t>(1, 17));
 
 TEST(PopulateInvariant, LevelOneCountsPartitionTheRecords) {
   // The level-1 candidate set is every bin of every dimension; since bins

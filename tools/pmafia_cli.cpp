@@ -135,6 +135,20 @@ MafiaOptions options_from_args(const Args& args) {
       args.get_int("chunk", static_cast<long>(o.chunk_records)));
   o.min_cluster_dims = static_cast<std::size_t>(
       args.get_int("min-dims", static_cast<long>(o.min_cluster_dims)));
+  o.populate.block_records = static_cast<std::size_t>(args.get_int(
+      "populate-block", static_cast<long>(o.populate.block_records)));
+  if (args.has("populate-kernel")) {
+    const std::string kernel = args.get("populate-kernel");
+    if (kernel == "auto") {
+      o.populate.kernel = PopulateKernel::Auto;
+    } else if (kernel == "packed") {
+      o.populate.kernel = PopulateKernel::Packed;
+    } else if (kernel == "memcmp") {
+      o.populate.kernel = PopulateKernel::Memcmp;
+    } else {
+      require(false, "--populate-kernel must be auto, packed, or memcmp");
+    }
+  }
   if (args.has("domain-lo") || args.has("domain-hi")) {
     o.fixed_domain = {{static_cast<Value>(args.get_double("domain-lo", 0.0)),
                        static_cast<Value>(args.get_double("domain-hi", 100.0))}};
