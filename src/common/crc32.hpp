@@ -1,0 +1,47 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over byte ranges.
+//
+// Guards on-disk structures whose silent corruption would poison a resumed
+// run (core/checkpoint files).  Table-driven, one byte per step — these
+// files are small (dense-unit summaries, not data), so throughput is
+// irrelevant next to a guaranteed-portable, dependency-free checksum.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mafia {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// CRC-32 of [data, data+bytes); pass a previous result as `seed` to
+/// checksum discontiguous ranges incrementally.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t bytes,
+                                         std::uint32_t seed = 0) {
+  const auto& table = detail::crc32_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace mafia

@@ -3,6 +3,13 @@
 // The library throws mafia::Error for unrecoverable misuse (bad options,
 // malformed files, dimension overflow).  Hot paths never throw; argument
 // validation happens once at API boundaries.
+//
+// Every Error carries an ErrorClass so callers (the CLI, harnesses) can
+// map failures to distinct exit codes / report fields without parsing
+// message text: Usage for caller mistakes, Input for corrupt or malformed
+// data files, Resource for exceeded budgets (e.g. the CDU memory cap),
+// Fault for injected/propagated rank failures, Internal for wrapped
+// unexpected exceptions escaping a rank.
 #pragma once
 
 #include <stdexcept>
@@ -10,17 +17,69 @@
 
 namespace mafia {
 
+/// Failure classification, stable across the library (the CLI maps these
+/// to exit codes; the error-report JSON carries error_class_name()).
+enum class ErrorClass {
+  Usage,     ///< bad options / API misuse / malformed arguments
+  Input,     ///< corrupt, truncated, or non-finite input data
+  Resource,  ///< an explicit budget (memory, level cap) was exceeded
+  Fault,     ///< an injected or propagated rank failure
+  Internal,  ///< unexpected exception wrapped at a runtime boundary
+};
+
+/// Stable lowercase name for an ErrorClass (JSON error reports).
+[[nodiscard]] inline const char* error_class_name(ErrorClass cls) {
+  switch (cls) {
+    case ErrorClass::Usage: return "usage";
+    case ErrorClass::Input: return "input";
+    case ErrorClass::Resource: return "resource";
+    case ErrorClass::Fault: return "fault";
+    case ErrorClass::Internal: return "internal";
+  }
+  return "internal";
+}
+
 /// Exception type thrown by all pMAFIA public entry points on invalid
 /// arguments or corrupt inputs.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, ErrorClass cls = ErrorClass::Usage)
+      : std::runtime_error(what), class_(cls) {}
+
+  [[nodiscard]] ErrorClass error_class() const { return class_; }
+  [[nodiscard]] const char* class_name() const {
+    return error_class_name(class_);
+  }
+
+ private:
+  ErrorClass class_;
+};
+
+/// Corrupt, truncated, or otherwise unusable input data (record files,
+/// checkpoints): the data must be fixed, not the call.
+class InputError : public Error {
+ public:
+  explicit InputError(const std::string& what)
+      : Error(what, ErrorClass::Input) {}
+};
+
+/// An explicit resource budget was exceeded (e.g. --max-cdu-bytes): the
+/// run fails fast with the offending quantity instead of OOM-ing.
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what)
+      : Error(what, ErrorClass::Resource) {}
 };
 
 /// Throws mafia::Error with `message` when `condition` is false.
 /// Used for API-boundary validation only, never in inner loops.
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw Error(message);
+}
+
+/// Input-data variant of require (throws InputError).
+inline void require_input(bool condition, const std::string& message) {
+  if (!condition) throw InputError(message);
 }
 
 }  // namespace mafia

@@ -1,0 +1,111 @@
+// Level-granularity checkpoint/restart for the bottom-up loop.
+//
+// Each level of Algorithm 2 ends with a small, complete summary of every
+// data pass so far: the adaptive grids, the next level's candidate units,
+// the previous level's dense units (with parent links for maximality
+// marking), everything registered as maximal, and the per-level trace.
+// Serializing exactly that after each level means a multi-hour run killed
+// at level k restarts at level k instead of level 1 — the cheapest
+// possible recovery point for a grid/density algorithm, since the state is
+// dense-unit summaries (kilobytes), not data (gigabytes).
+//
+// File format (version 1, little-endian PODs):
+//   [0..7]   magic "MAFIACKP"
+//   [8..11]  uint32 format version
+//   [12..15] uint32 CRC-32 of the payload
+//   [16.. ]  payload: fingerprint, data shape, loop state, grids,
+//            unit stores, level traces, registered maximal units,
+//            populate-kernel counters
+//
+// Torn writes cannot produce a "valid" half-checkpoint: files are written
+// to a temp name and atomically renamed, and the CRC guards everything
+// after the header.  load_latest_checkpoint walks levels highest-first and
+// silently falls back past any file that is short, corrupt, from another
+// format version, or fingerprinted for different options/data — counting
+// the discards so the run report can surface them.
+//
+// The options fingerprint covers every knob that changes the computed
+// state (grid parameters, density policy, join rule, dedup policy, tau,
+// partitioning, max_level, domains, MDL pruning) and deliberately excludes
+// knobs that provably don't (chunk size B, populate kernel tuning, rank
+// count p — the determinism suite pins result invariance across all
+// three), so a resume may legally change them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/result.hpp"
+#include "grid/grid_types.hpp"
+#include "units/unit_store.hpp"
+
+namespace mafia {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Everything the bottom-up loop needs to continue from a level boundary,
+/// plus the cumulative outputs accumulated so far.  `level` is the next
+/// level to populate; `cdus` its candidate units.
+struct CheckpointState {
+  std::uint64_t fingerprint = 0;   ///< checkpoint_fingerprint() of the run
+  std::uint64_t num_records = 0;
+  std::uint32_t num_dims = 0;
+
+  // Loop-carried state (see MafiaWorker::level_loop).
+  std::uint64_t level = 1;
+  std::uint64_t pending_raw_count = 0;
+  UnitStore cdus{1};
+  UnitStore prev_dense{1};
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> parents;
+  std::vector<std::uint32_t> raw_to_unique;
+
+  // Cumulative outputs.
+  GridSet grids;
+  std::vector<LevelTrace> levels;
+  std::vector<UnitStore> registered;
+  PopulateKernelStats populate;
+};
+
+/// Hash of the options and data shape a checkpoint is only valid for.
+/// Bit-exact field hashing (doubles bit-cast), so any change to a
+/// result-affecting knob invalidates old checkpoints.
+[[nodiscard]] std::uint64_t checkpoint_fingerprint(const MafiaOptions& options,
+                                                   std::uint64_t num_records,
+                                                   std::uint32_t num_dims);
+
+/// Serializes `state` to the version-1 wire format (CRC filled in).
+[[nodiscard]] std::vector<std::uint8_t> serialize_checkpoint(
+    const CheckpointState& state);
+
+/// Parses and validates a serialized checkpoint.  Throws mafia::InputError
+/// on bad magic, version, CRC, or structural corruption.
+[[nodiscard]] CheckpointState deserialize_checkpoint(
+    const std::uint8_t* data, std::size_t size);
+
+/// Path of the checkpoint file for `level` under `directory`.
+[[nodiscard]] std::string checkpoint_file_path(const std::string& directory,
+                                               std::uint64_t level);
+
+/// Atomically writes `state` as the checkpoint for its level under
+/// `directory` (created if missing): temp file + rename, so a crash
+/// mid-write leaves the previous level's file as the latest valid one.
+void write_checkpoint_file(const std::string& directory,
+                           const CheckpointState& state);
+
+/// Result of scanning a checkpoint directory for a resume point.
+struct CheckpointScan {
+  std::optional<CheckpointState> state;  ///< latest valid checkpoint, if any
+  std::uint64_t discarded = 0;  ///< corrupt/short/mismatched files skipped
+};
+
+/// Finds the highest-level checkpoint under `directory` that deserializes
+/// cleanly and matches `fingerprint`, falling back level-by-level past
+/// invalid files.  A missing directory is simply "no checkpoint".
+[[nodiscard]] CheckpointScan load_latest_checkpoint(
+    const std::string& directory, std::uint64_t fingerprint);
+
+}  // namespace mafia

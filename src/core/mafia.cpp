@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
 #include "cluster/assembly.hpp"
+#include "core/checkpoint.hpp"
 #include "core/mdl.hpp"
 #include "core/trace.hpp"
 #include "common/math_util.hpp"
@@ -34,8 +36,18 @@ class MafiaWorker {
                                   static_cast<std::size_t>(p),
                                   static_cast<std::size_t>(rank));
 
-    build_grids();
-    level_loop();
+    // Resume is decided collectively (the checkpoint blob is broadcast), so
+    // either every rank restores the same level boundary or none does.
+    std::optional<CheckpointState> restored = maybe_resume();
+    if (restored) {
+      grids_ = std::move(restored->grids);
+      trace_ = std::move(restored->levels);
+      registered_ = std::move(restored->registered);
+      populate_stats_ = restored->populate;
+    } else {
+      build_grids();
+    }
+    level_loop(restored ? &*restored : nullptr);
     {
       PhaseTracer::Scope sp(tracer_, "assemble");
       clusters_ = assemble_clusters(registered_);
@@ -56,6 +68,7 @@ class MafiaWorker {
   std::vector<Cluster> clusters_;
   RunTrace run_trace_;
   PopulateKernelStats populate_stats_;
+  RecoveryInfo recovery_;
 
  private:
   // ----------------------------------------------------------- grid phase
@@ -115,29 +128,42 @@ class MafiaWorker {
 
   // ----------------------------------------------------------- level loop
 
-  void level_loop() {
+  void level_loop(CheckpointState* restored) {
     const int p = comm_.size();
     const int rank = comm_.rank();
     const auto n = static_cast<Count>(data_.num_records());
     const DensityContext dctx{opt_.grid.alpha, n};
 
-    // "Set candidate dense units to the bins found in each dimension."
     UnitStore cdus(1);
-    for (std::size_t j = 0; j < grids_.num_dims(); ++j) {
-      for (std::size_t b = 0; b < grids_[j].num_bins(); ++b) {
-        const auto dj = static_cast<DimId>(j);
-        const auto bb = static_cast<BinId>(b);
-        cdus.push_unchecked(&dj, &bb);
-      }
-    }
-    std::size_t pending_raw_count = cdus.size();
-
     UnitStore prev_dense(1);
     std::vector<std::pair<std::uint32_t, std::uint32_t>> parents;
     std::vector<std::uint32_t> raw_to_unique;
+    std::size_t pending_raw_count = 0;
     std::size_t level = 1;
 
+    if (restored != nullptr) {
+      // Continue from the restored level boundary — the state here is
+      // exactly what the uninterrupted run carried into this iteration.
+      level = static_cast<std::size_t>(restored->level);
+      pending_raw_count = static_cast<std::size_t>(restored->pending_raw_count);
+      cdus = std::move(restored->cdus);
+      prev_dense = std::move(restored->prev_dense);
+      parents = std::move(restored->parents);
+      raw_to_unique = std::move(restored->raw_to_unique);
+    } else {
+      // "Set candidate dense units to the bins found in each dimension."
+      for (std::size_t j = 0; j < grids_.num_dims(); ++j) {
+        for (std::size_t b = 0; b < grids_[j].num_bins(); ++b) {
+          const auto dj = static_cast<DimId>(j);
+          const auto bb = static_cast<BinId>(b);
+          cdus.push_unchecked(&dj, &bb);
+        }
+      }
+      pending_raw_count = cdus.size();
+    }
+
     while (true) {
+      check_cdu_budget(level, cdus.size(), cdus.k(), /*with_counts=*/true);
       // ---- Populate candidates (data parallel): each rank scans its N/p
       // records in B-record chunks, then Reduce globalizes the counts.
       UnitPopulator populator(grids_, cdus, opt_.populate);
@@ -268,6 +294,7 @@ class MafiaWorker {
         break;
       }
       pending_raw_count = raw.size();
+      check_cdu_budget(level, raw.size(), raw.k(), /*with_counts=*/false);
 
       // ---- Eliminate repeated CDUs (Algorithm 4).
       {
@@ -292,6 +319,82 @@ class MafiaWorker {
         cdus = std::move(dd.unique);
         raw_to_unique = std::move(dd.raw_to_unique);
       }
+
+      // ---- Level boundary: the loop-carried state above is everything the
+      // next iteration needs, so this is the recovery point.  Rank 0 writes;
+      // every rank opens the phase scope (the trace exchange requires
+      // identical phase sets on all ranks).
+      if (opt_.checkpoint.enabled()) {
+        PhaseTracer::Scope sp(tracer_, "checkpoint");
+        if (comm_.is_parent()) {
+          CheckpointState state;
+          state.fingerprint = fingerprint_;
+          state.num_records = static_cast<std::uint64_t>(n);
+          state.num_dims = static_cast<std::uint32_t>(data_.num_dims());
+          state.level = level;
+          state.pending_raw_count = pending_raw_count;
+          state.cdus = cdus;
+          state.prev_dense = prev_dense;
+          state.parents = parents;
+          state.raw_to_unique = raw_to_unique;
+          state.grids = grids_;
+          state.levels = trace_;
+          state.registered = registered_;
+          state.populate = populate_stats_;
+          write_checkpoint_file(opt_.checkpoint.directory, state);
+          ++recovery_.checkpoints_written;
+        }
+      }
+    }
+  }
+
+  // ----------------------------------------------------- checkpoint/resume
+
+  /// Collective resume decision.  Rank 0 scans the checkpoint directory for
+  /// the latest valid state and broadcasts its serialized form; an empty
+  /// blob means "start fresh".  Either way every rank leaves with the same
+  /// answer, so the level loop stays in lockstep.
+  std::optional<CheckpointState> maybe_resume() {
+    if (!opt_.checkpoint.enabled()) return std::nullopt;
+    PhaseTracer::Scope sp(tracer_, "checkpoint");
+    recovery_.checkpoint_enabled = true;
+    fingerprint_ = checkpoint_fingerprint(
+        opt_, static_cast<std::uint64_t>(data_.num_records()),
+        static_cast<std::uint32_t>(data_.num_dims()));
+    if (!opt_.checkpoint.resume) return std::nullopt;
+
+    std::vector<std::uint8_t> blob;
+    if (comm_.is_parent()) {
+      const CheckpointScan scan =
+          load_latest_checkpoint(opt_.checkpoint.directory, fingerprint_);
+      recovery_.checkpoints_discarded =
+          static_cast<std::size_t>(scan.discarded);
+      if (scan.state) blob = serialize_checkpoint(*scan.state);
+    }
+    comm_.bcast(blob);
+    if (blob.empty()) return std::nullopt;
+
+    CheckpointState state = deserialize_checkpoint(blob.data(), blob.size());
+    recovery_.resumed = true;
+    recovery_.resume_level = static_cast<std::size_t>(state.level);
+    return state;
+  }
+
+  /// Graceful degradation: fail fast with a structured error naming the
+  /// level instead of OOM-ing once a level's candidate state outgrows the
+  /// configured budget.  The stores checked are globally replicated, so
+  /// every rank throws the same error and the job unwinds cleanly.
+  void check_cdu_budget(std::size_t level, std::size_t units, std::size_t k,
+                        bool with_counts) const {
+    if (opt_.max_cdu_bytes == 0) return;
+    std::size_t bytes = units * k * 2;  // dim bytes + bin bytes
+    if (with_counts) bytes += units * sizeof(Count);
+    if (bytes > opt_.max_cdu_bytes) {
+      throw ResourceError(
+          "CDU budget exceeded at level " + std::to_string(level) + ": " +
+          std::to_string(units) + " candidate units need " +
+          std::to_string(bytes) + " bytes > max_cdu_bytes " +
+          std::to_string(opt_.max_cdu_bytes));
     }
   }
 
@@ -363,6 +466,7 @@ class MafiaWorker {
   PhaseTracer tracer_;
   BlockRange my_records_;
   std::vector<UnitStore> registered_;
+  std::uint64_t fingerprint_ = 0;
 };
 
 }  // namespace
@@ -377,8 +481,9 @@ MafiaResult run_pmafia(const DataSource& data, const MafiaOptions& options,
   Timer total;
   MafiaResult result;
 
-  const mp::NetworkSimulation network =
-      options.simulate_network.value_or(mp::NetworkSimulation{});
+  mp::RunOptions run_options;
+  run_options.network = options.simulate_network.value_or(mp::NetworkSimulation{});
+  run_options.faults = options.fault_plan;
   mp::run(p, [&](mp::Comm& comm) {
     MafiaWorker worker(data, options, comm);
     worker.run();
@@ -390,8 +495,9 @@ MafiaResult run_pmafia(const DataSource& data, const MafiaOptions& options,
       result.clusters = std::move(worker.clusters_);
       result.trace = std::move(worker.run_trace_);
       result.populate_kernel = worker.populate_stats_;
+      result.recovery = worker.recovery_;
     }
-  }, network);
+  }, run_options);
 
   // Both views derive from the gathered trace: phase seconds are the true
   // cross-rank maxima, and the comm totals are the sum of the per-rank

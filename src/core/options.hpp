@@ -10,10 +10,12 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "grid/adaptive_grid.hpp"
+#include "mp/faults.hpp"
 #include "mp/stats.hpp"
 #include "units/dedup.hpp"
 #include "units/identify.hpp"
@@ -21,6 +23,19 @@
 #include "units/populate.hpp"
 
 namespace mafia {
+
+/// Level-checkpoint/restart configuration (core/checkpoint.hpp).  With a
+/// directory set, rank 0 writes one CRC-guarded checkpoint file per
+/// completed level of the bottom-up loop; with `resume` also set, the run
+/// restores the latest valid checkpoint (falling back past corrupt or
+/// mismatched files) and continues from that level with bit-identical
+/// results to an uninterrupted run.
+struct CheckpointConfig {
+  std::string directory;  ///< empty = checkpointing disabled
+  bool resume = false;    ///< restore the latest valid checkpoint first
+
+  [[nodiscard]] bool enabled() const { return !directory.empty(); }
+};
 
 struct MafiaOptions {
   /// Algorithm 1 parameters (alpha, beta, window geometry).
@@ -92,6 +107,22 @@ struct MafiaOptions {
   /// see every registered maximal unit.
   std::size_t min_cluster_dims = 2;
 
+  /// Level-checkpoint/restart: see CheckpointConfig.  Checkpoint contents
+  /// are independent of chunk_records, populate tuning, and rank count
+  /// (results are invariant to all three), so a resume may change them.
+  CheckpointConfig checkpoint;
+
+  /// Graceful degradation: hard cap, in bytes, on one level's CDU state
+  /// (dim/bin byte arrays of the raw and unique stores plus the count
+  /// vector).  Exceeding it throws mafia::ResourceError naming the level
+  /// instead of OOM-ing mid-allocation.  0 = unlimited.
+  std::size_t max_cdu_bytes = 0;
+
+  /// Deterministic fault injection for robustness tests and recovery
+  /// drills (mp/faults.hpp).  Empty = no faults.  An injected kill
+  /// surfaces as mp::FaultError from run_pmafia with every rank unwound.
+  mp::FaultPlan fault_plan;
+
   /// CLIQUE's MDL subspace pruning, applied to the dense units of every
   /// level: subspaces in the low-coverage MDL group lose their dense units
   /// before the next join.  pMAFIA keeps this off ("In order to maintain
@@ -104,6 +135,8 @@ struct MafiaOptions {
     require(populate.block_records >= 1,
             "MafiaOptions: populate.block_records must be positive");
     require(max_level >= 1, "MafiaOptions: max_level must be positive");
+    require(!checkpoint.resume || checkpoint.enabled(),
+            "MafiaOptions: resume requires a checkpoint directory");
     if (fixed_domain) {
       require(fixed_domain->second > fixed_domain->first,
               "MafiaOptions: empty fixed domain");

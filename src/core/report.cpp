@@ -96,6 +96,18 @@ std::string render_report(const MafiaResult& result) {
   os.unsetf(std::ios::fixed);
   os << std::setprecision(6);
 
+  if (result.recovery.checkpoint_enabled) {
+    os << "\nrecovery: ";
+    if (result.recovery.resumed) {
+      os << "resumed at level " << result.recovery.resume_level;
+    } else {
+      os << "fresh run";
+    }
+    os << ", " << result.recovery.checkpoints_written
+       << " checkpoint(s) written, " << result.recovery.checkpoints_discarded
+       << " discarded\n";
+  }
+
   os << "\ncommunication (all ranks):\n";
   os << "  reduces " << result.comm.reduces << ", bcasts " << result.comm.bcasts
      << ", gathers " << result.comm.gathers << ", scatters "
@@ -149,6 +161,16 @@ std::string render_report_json(const MafiaResult& result,
   w.key("packed_hash_subspaces").value(result.populate_kernel.packed_hash_subspaces);
   w.key("memcmp_subspaces").value(result.populate_kernel.memcmp_subspaces);
   w.key("block_records").value(result.populate_kernel.block_records);
+  w.end_object();
+
+  // Checkpoint/restart accounting (additive in pmafia-report-v1; all-zero
+  // when checkpointing is disabled).
+  w.key("recovery").begin_object();
+  w.key("checkpoint_enabled").value(result.recovery.checkpoint_enabled);
+  w.key("resumed").value(result.recovery.resumed);
+  w.key("resume_level").value(result.recovery.resume_level);
+  w.key("checkpoints_written").value(result.recovery.checkpoints_written);
+  w.key("checkpoints_discarded").value(result.recovery.checkpoints_discarded);
   w.end_object();
 
   // Per-phase view.  max_seconds is a cross-rank allreduce_max; min/mean

@@ -43,6 +43,15 @@ struct LevelTrace {
   return h;
 }
 
+/// Checkpoint/restart accounting for one run (core/checkpoint.hpp).
+struct RecoveryInfo {
+  bool checkpoint_enabled = false;     ///< a checkpoint directory was set
+  bool resumed = false;                ///< run continued from a checkpoint
+  std::size_t resume_level = 0;        ///< level the resume restarted at
+  std::size_t checkpoints_written = 0;
+  std::size_t checkpoints_discarded = 0;  ///< corrupt/mismatched files skipped
+};
+
 struct MafiaResult {
   /// Maximal-dimensionality clusters (subset clusters eliminated), highest
   /// dimensionality first, DNF expressions built.
@@ -74,6 +83,9 @@ struct MafiaResult {
   /// the block size the sweep used.  Identical on every rank (the CDU sets
   /// are globally replicated).
   PopulateKernelStats populate_kernel;
+
+  /// Checkpoint/restart accounting (zeros when checkpointing is off).
+  RecoveryInfo recovery;
 
   /// End-to-end wall-clock seconds (includes rank spawn/join).
   double total_seconds = 0.0;

@@ -91,7 +91,7 @@ class FileSource final : public DataSource {
     require(chunk_records > 0, "scan: chunk_records must be positive");
     require(begin <= end && end <= header_.num_records, "scan: bad record range");
     std::ifstream in(path_, std::ios::binary);
-    require(in.good(), "FileSource::scan: cannot open " + path_);
+    require_input(in.good(), "FileSource::scan: cannot open " + path_);
     const std::size_t d = header_.num_dims;
     const std::size_t row_bytes = d * sizeof(Value);
     in.seekg(static_cast<std::streamoff>(kRecordFileHeaderBytes +
@@ -102,7 +102,11 @@ class FileSource final : public DataSource {
           std::min<RecordIndex>(chunk_records, end - at));
       in.read(reinterpret_cast<char*>(buffer.data()),
               static_cast<std::streamsize>(take * row_bytes));
-      require(in.good(), "FileSource::scan: truncated read in " + path_);
+      require_input(in.good(), "FileSource::scan: truncated read in " + path_);
+      // Reject NaN/Inf before any kernel sees the chunk: a single bad
+      // float would otherwise poison bin lookups silently.  One isfinite
+      // pass per chunk is noise next to the disk read it follows.
+      validate_finite_values(buffer.data(), take, d, at, path_);
       fn(buffer.data(), take);
       at += take;
     }

@@ -1,6 +1,8 @@
 #include "io/record_file.hpp"
 
+#include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "common/error.hpp"
@@ -21,7 +23,42 @@ T read_pod(std::ifstream& in) {
   return value;
 }
 
+/// Byte size the header says the file must have.  Guarded against 64-bit
+/// overflow (an absurd record count in a corrupt header must produce a
+/// mismatch error, not a wrapped-around "expected" size that accidentally
+/// matches).
+std::uint64_t declared_file_bytes(const RecordFileHeader& h,
+                                  const std::string& path) {
+  const std::uint64_t row_bytes =
+      static_cast<std::uint64_t>(h.num_dims) * sizeof(Value) +
+      (h.has_labels ? sizeof(std::int32_t) : 0);
+  require_input(h.num_records <=
+                    (UINT64_MAX - kRecordFileHeaderBytes) / row_bytes,
+                "record file header in " + path +
+                    " declares an impossible record count");
+  return kRecordFileHeaderBytes + h.num_records * row_bytes;
+}
+
 }  // namespace
+
+void validate_finite_values(const Value* rows, std::size_t nrows,
+                            std::size_t num_dims, RecordIndex first_record,
+                            const std::string& path) {
+  for (std::size_t i = 0; i < nrows * num_dims; ++i) {
+    if (!std::isfinite(rows[i])) [[unlikely]] {
+      const std::uint64_t record =
+          static_cast<std::uint64_t>(first_record) + i / num_dims;
+      const std::size_t dim = i % num_dims;
+      const std::uint64_t offset =
+          kRecordFileHeaderBytes +
+          (record * num_dims + dim) * sizeof(Value);
+      throw InputError("non-finite value in " + path + " at record " +
+                       std::to_string(record) + ", dim " +
+                       std::to_string(dim) + " (byte offset " +
+                       std::to_string(offset) + ")");
+    }
+  }
+}
 
 void write_record_file(const std::string& path, const Dataset& data,
                        bool with_labels) {
@@ -51,30 +88,46 @@ void write_record_file(const std::string& path, const Dataset& data,
 
 RecordFileHeader read_record_file_header(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  require(in.good(), "read_record_file_header: cannot open " + path);
+  require_input(in.good(), "read_record_file_header: cannot open " + path);
 
   char magic[8];
   in.read(magic, sizeof(magic));
-  require(in.good() && std::memcmp(magic, kRecordFileMagic, 8) == 0,
-          "read_record_file_header: bad magic in " + path);
+  require_input(in.good() && std::memcmp(magic, kRecordFileMagic, 8) == 0,
+                "read_record_file_header: bad magic in " + path);
   const auto version = read_pod<std::uint32_t>(in);
-  require(version == kRecordFileVersion,
-          "read_record_file_header: unsupported version in " + path);
+  require_input(version == kRecordFileVersion,
+                "read_record_file_header: unsupported version in " + path);
 
   RecordFileHeader header;
   header.num_records = read_pod<std::uint64_t>(in);
   header.num_dims = read_pod<std::uint32_t>(in);
   header.has_labels = (read_pod<std::uint32_t>(in) & 1u) != 0;
-  require(in.good(), "read_record_file_header: truncated header in " + path);
-  require(header.num_dims >= 1 && header.num_dims <= kMaxDims,
-          "read_record_file_header: bad dimension count in " + path);
+  require_input(in.good(),
+                "read_record_file_header: truncated header in " + path);
+  require_input(header.num_dims >= 1 && header.num_dims <= kMaxDims,
+                "read_record_file_header: bad dimension count in " + path);
+
+  // The value block (and label block, if flagged) must match the header's
+  // declared shape exactly — a truncated or padded file is rejected here,
+  // before any reader silently scans garbage.
+  const std::uint64_t expected = declared_file_bytes(header, path);
+  std::error_code ec;
+  const std::uint64_t actual = std::filesystem::file_size(path, ec);
+  require_input(!ec, "read_record_file_header: cannot stat " + path);
+  require_input(actual == expected,
+                "record file size mismatch in " + path + ": header declares " +
+                    std::to_string(header.num_records) + " records x " +
+                    std::to_string(header.num_dims) + " dims" +
+                    (header.has_labels ? " + labels" : "") + " = " +
+                    std::to_string(expected) + " bytes, file has " +
+                    std::to_string(actual) + " bytes");
   return header;
 }
 
 Dataset read_record_file(const std::string& path) {
   const RecordFileHeader header = read_record_file_header(path);
   std::ifstream in(path, std::ios::binary);
-  require(in.good(), "read_record_file: cannot open " + path);
+  require_input(in.good(), "read_record_file: cannot open " + path);
   in.seekg(static_cast<std::streamoff>(kRecordFileHeaderBytes));
 
   Dataset data(header.num_dims);
@@ -83,14 +136,16 @@ Dataset read_record_file(const std::string& path) {
   for (std::uint64_t i = 0; i < header.num_records; ++i) {
     in.read(reinterpret_cast<char*>(row.data()),
             static_cast<std::streamsize>(row.size() * sizeof(Value)));
-    require(in.good(), "read_record_file: truncated values in " + path);
+    require_input(in.good(), "read_record_file: truncated values in " + path);
+    validate_finite_values(row.data(), 1, header.num_dims,
+                           static_cast<RecordIndex>(i), path);
     data.append(row);
   }
   if (header.has_labels) {
     for (std::uint64_t i = 0; i < header.num_records; ++i) {
       data.set_label(i, read_pod<std::int32_t>(in));
     }
-    require(in.good(), "read_record_file: truncated labels in " + path);
+    require_input(in.good(), "read_record_file: truncated labels in " + path);
   }
   return data;
 }

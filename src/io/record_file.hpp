@@ -40,8 +40,19 @@ inline constexpr std::size_t kRecordFileHeaderBytes = 28;
 void write_record_file(const std::string& path, const Dataset& data,
                        bool with_labels = true);
 
-/// Reads just the header of a record file.
+/// Reads and validates the header of a record file: magic, version,
+/// dimension bounds, and that the actual file size matches the declared
+/// N*d value block (plus label block when flagged) exactly — truncated or
+/// padded files throw mafia::InputError here, before any reader scans
+/// garbage.
 [[nodiscard]] RecordFileHeader read_record_file_header(const std::string& path);
+
+/// Rejects NaN/Inf values in `nrows` row-major records with an InputError
+/// naming the record, dimension, and byte offset within `path`.  Shared by
+/// the whole-file reader and FileSource's chunked scans.
+void validate_finite_values(const Value* rows, std::size_t nrows,
+                            std::size_t num_dims, RecordIndex first_record,
+                            const std::string& path);
 
 /// Reads an entire record file into memory (tests and small data sets).
 [[nodiscard]] Dataset read_record_file(const std::string& path);

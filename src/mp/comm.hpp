@@ -34,6 +34,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "mp/barrier.hpp"
+#include "mp/faults.hpp"
 #include "mp/mailbox.hpp"
 #include "mp/stats.hpp"
 
@@ -47,7 +48,7 @@ namespace detail {
 struct Context {
   explicit Context(int p)
       : size(p), barrier(static_cast<std::size_t>(p)), mailboxes(p),
-        slot_ptr(p, nullptr), slot_len(p, 0), stats(p) {}
+        slot_ptr(p, nullptr), slot_len(p, 0), stats(p), ops_seen(p, 0) {}
 
   const int size;
   Barrier barrier;
@@ -57,7 +58,11 @@ struct Context {
   std::vector<const void*> slot_ptr;
   std::vector<std::size_t> slot_len;
   std::vector<CommStats> stats;
+  // Per-rank count of comm ops entered (each rank touches only its own
+  // entry) — the op index the fault plan fires against.
+  std::vector<std::uint64_t> ops_seen;
   NetworkSimulation network;  ///< zero = no emulated delay
+  FaultPlan faults;           ///< empty = no injected faults
 
   void interrupt_all() {
     barrier.abort();
@@ -83,6 +88,7 @@ class Comm {
 
   /// Synchronizes all ranks.
   void barrier() {
+    fault_point("barrier");
     const OpTimer ot(stats());
     ++stats().barriers;
     ctx_.barrier.wait();
@@ -96,6 +102,7 @@ class Comm {
   template <typename T, typename BinaryOp>
   void allreduce(std::vector<T>& data, BinaryOp op) {
     static_assert(std::is_trivially_copyable_v<T>);
+    fault_point("allreduce");
     const OpTimer ot(stats());
     ++stats().reduces;
     stats().collective_bytes += data.size() * sizeof(T);
@@ -154,6 +161,7 @@ class Comm {
   template <typename T>
   void bcast(std::vector<T>& data, int root = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
+    fault_point("bcast");
     const OpTimer ot(stats());
     ++stats().bcasts;
     publish(data.data(), data.size() * sizeof(T));
@@ -184,6 +192,7 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<T> gatherv(const std::vector<T>& local, int root = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
+    fault_point("gatherv");
     const OpTimer ot(stats());
     ++stats().gathers;
     // Sender side: this rank's contribution travels to the root.
@@ -210,6 +219,7 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<T> allgatherv(const std::vector<T>& local) {
     static_assert(std::is_trivially_copyable_v<T>);
+    fault_point("allgatherv");
     const OpTimer ot(stats());
     ++stats().gathers;
     publish(local.data(), local.size() * sizeof(T));
@@ -244,6 +254,7 @@ class Comm {
   template <typename T, typename BinaryOp>
   void reduce(std::vector<T>& data, BinaryOp op, int root = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
+    fault_point("reduce");
     const OpTimer ot(stats());
     ++stats().reduces;
     stats().collective_bytes += data.size() * sizeof(T);
@@ -276,6 +287,7 @@ class Comm {
   [[nodiscard]] std::vector<T> scatterv(const std::vector<std::vector<T>>& slices,
                                         int root = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
+    fault_point("scatterv");
     const OpTimer ot(stats());
     ++stats().scatters;
     std::vector<T> flat;
@@ -351,6 +363,7 @@ class Comm {
   void send(int dest, int tag, const std::vector<T>& payload) {
     static_assert(std::is_trivially_copyable_v<T>);
     require(dest >= 0 && dest < size(), "send: bad destination rank");
+    fault_point("send");
     const OpTimer ot(stats());
     ++stats().p2p_messages;
     stats().p2p_bytes += payload.size() * sizeof(T);
@@ -364,6 +377,7 @@ class Comm {
   [[nodiscard]] std::vector<T> recv(int source, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     require(source >= 0 && source < size(), "recv: bad source rank");
+    fault_point("recv");
     const OpTimer ot(stats());
     Message msg = ctx_.mailboxes[static_cast<std::size_t>(rank_)].pop(
         source, tag, ctx_.barrier);
@@ -374,6 +388,29 @@ class Comm {
   }
 
  private:
+  /// Entry gate of every communication primitive: counts this rank's ops
+  /// and fires the matching fault-plan spec.  Runs BEFORE the op publishes
+  /// anything to the exchange board or touches a mailbox, so a killed rank
+  /// leaves no dangling slot pointer and siblings already blocked in the
+  /// op unwind through the job abort rather than reading stale state.
+  /// Wrappers (allreduce_sum, alltoallv, ...) don't call this — only the
+  /// outermost primitives do, keeping op indices aligned with the op
+  /// sequence a trace would show.
+  void fault_point(const char* op) {
+    const std::uint64_t idx = ctx_.ops_seen[static_cast<std::size_t>(rank_)]++;
+    if (ctx_.faults.empty()) return;
+    const FaultSpec* spec = ctx_.faults.match(rank_, idx);
+    if (spec == nullptr) return;
+    if (spec->action == FaultAction::Delay) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(spec->delay_seconds));
+      return;
+    }
+    throw FaultError("injected fault: rank " + std::to_string(rank_) +
+                     " killed at comm op " + std::to_string(idx) + " (" + op +
+                     ")");
+  }
+
   /// RAII accumulator for CommStats::comm_seconds: times one top-level comm
   /// call, barrier waits included (so load-imbalance stall is visible, just
   /// as it is in MPI communication profiles).  Only the outermost primitive
@@ -427,11 +464,26 @@ struct JobStats {
   }
 };
 
+/// Per-job runtime knobs: interconnect emulation (NetworkSimulation::sp2()
+/// for the paper's switch) and the deterministic fault-injection plan.
+struct RunOptions {
+  NetworkSimulation network;
+  FaultPlan faults;
+};
+
 /// Launches `p` SPMD ranks running `fn(comm)` and joins them.
-/// If any rank throws, the job is aborted (sibling ranks unwind out of
-/// barriers/recvs with AbortedError) and the first original exception is
-/// rethrown to the caller.  `network` optionally emulates interconnect
-/// delays (NetworkSimulation::sp2() for the paper's switch).
+/// Failure contract: if any rank throws, the job is aborted — every
+/// sibling blocked in a barrier, collective, or mailbox wait unwinds with
+/// AbortedError — all ranks are joined, and exactly one exception reaches
+/// the caller: the lowest failed rank's mafia::Error rethrown as-is, or,
+/// for a foreign exception type, a mafia::Error (ErrorClass::Internal)
+/// wrapping its message with the rank attached.  The runtime never
+/// deadlocks on a failed rank and never lets an exception escape a rank
+/// thread into std::terminate.
+JobStats run(int p, const std::function<void(Comm&)>& fn,
+             const RunOptions& options);
+
+/// Convenience overload: network emulation only, no fault plan.
 JobStats run(int p, const std::function<void(Comm&)>& fn,
              const NetworkSimulation& network = {});
 

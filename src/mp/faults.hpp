@@ -1,0 +1,109 @@
+// Deterministic fault injection for the SPMD runtime.
+//
+// A production MPI job dies in ways a clean test suite never exercises: a
+// rank segfaults mid-collective, a straggler stalls a barrier, a process
+// blocks forever in a recv whose sender is gone.  This header makes every
+// one of those paths reproducible: a FaultPlan is a small list of (rank,
+// op-index, action) triples, and each Comm primitive (barrier, collective,
+// send, recv) passes through a fault point that counts the rank's
+// communication operations and fires the matching spec.
+//
+//   * Kill  — the rank throws FaultError at the op's entry, before it
+//     publishes anything to the exchange board, so siblings blocked in the
+//     same collective (or in a mailbox wait for a message this rank will
+//     now never send) unwind via the job abort — never a deadlock, never a
+//     dangling slot pointer.
+//   * Delay — the rank sleeps at the op's entry, turning it into a
+//     deterministic straggler; results must be unaffected (the tests
+//     assert this), only barrier-wait time moves.
+//
+// Because ranks issue their comm ops in a deterministic order (the whole
+// runtime is rank-order deterministic), the same plan against the same
+// program fails at the same place every time — "kill rank 2 at its 7th op"
+// is a reproducible test case, not a flaky one.  random_kill derives a
+// plan from a seed for randomized sweeps that stay replayable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mafia::mp {
+
+/// Thrown by a rank whose Kill fault fires.  ErrorClass::Fault, so the CLI
+/// and harnesses can distinguish injected/propagated rank deaths from bad
+/// input or usage errors.
+class FaultError : public Error {
+ public:
+  explicit FaultError(const std::string& what)
+      : Error(what, ErrorClass::Fault) {}
+};
+
+enum class FaultAction {
+  Kill,   ///< throw FaultError at the op's entry
+  Delay,  ///< sleep delay_seconds at the op's entry, then proceed
+};
+
+/// One planned fault: fires when `rank` enters its `op`-th communication
+/// operation (0-based; barriers, collectives, sends, and recvs all count).
+struct FaultSpec {
+  int rank = 0;
+  std::uint64_t op = 0;
+  FaultAction action = FaultAction::Kill;
+  double delay_seconds = 0.0;
+};
+
+/// A deterministic schedule of injected faults for one SPMD job.
+class FaultPlan {
+ public:
+  FaultPlan& kill(int rank, std::uint64_t op) {
+    specs_.push_back({rank, op, FaultAction::Kill, 0.0});
+    return *this;
+  }
+
+  FaultPlan& delay(int rank, std::uint64_t op, double seconds) {
+    specs_.push_back({rank, op, FaultAction::Delay, seconds});
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const { return specs_.empty(); }
+  [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+
+  /// The spec firing for `rank`'s `op`-th operation, or nullptr.  Linear
+  /// scan: plans hold a handful of specs and this runs once per comm op,
+  /// not per byte.
+  [[nodiscard]] const FaultSpec* match(int rank, std::uint64_t op) const {
+    for (const FaultSpec& s : specs_) {
+      if (s.rank == rank && s.op == op) return &s;
+    }
+    return nullptr;
+  }
+
+  /// A single seeded kill: rank and op index drawn from splitmix64, so
+  /// randomized sweeps replay exactly from the seed.  `max_op` bounds the
+  /// drawn op index (exclusive); use a value past the job's op count to
+  /// sometimes draw a fault that never fires.
+  [[nodiscard]] static FaultPlan random_kill(std::uint64_t seed, int ranks,
+                                             std::uint64_t max_op) {
+    require(ranks >= 1 && max_op >= 1, "FaultPlan::random_kill: empty range");
+    const auto mix = [](std::uint64_t& state) {
+      state += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = state;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    std::uint64_t state = seed;
+    FaultPlan plan;
+    plan.kill(static_cast<int>(mix(state) % static_cast<std::uint64_t>(ranks)),
+              mix(state) % max_op);
+    return plan;
+  }
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace mafia::mp

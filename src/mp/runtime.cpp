@@ -1,4 +1,9 @@
 // SPMD job launcher: spawn p ranks, propagate failures, collect stats.
+//
+// Failure contract (see mp::run's declaration): any rank's exception
+// aborts the job, every sibling unwinds out of its blocking wait, all
+// threads are joined, and the caller sees exactly one structured
+// mafia::Error — never a deadlock, never std::terminate.
 #include "mp/comm.hpp"
 
 #include <exception>
@@ -6,11 +11,37 @@
 
 namespace mafia::mp {
 
+namespace {
+
+/// Normalizes the first failed rank's exception into what the caller sees:
+/// mafia::Error (and subclasses — FaultError, InputError, ...) pass
+/// through unchanged so class and message survive; anything else is
+/// wrapped into an ErrorClass::Internal mafia::Error naming the rank, so
+/// the caller always catches one structured type.
+[[noreturn]] void rethrow_normalized(std::exception_ptr err, int rank) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw Error("mp: rank " + std::to_string(rank) +
+                    " failed: " + std::string(e.what()),
+                ErrorClass::Internal);
+  } catch (...) {
+    throw Error("mp: rank " + std::to_string(rank) +
+                    " failed with a non-standard exception",
+                ErrorClass::Internal);
+  }
+}
+
+}  // namespace
+
 JobStats run(int p, const std::function<void(Comm&)>& fn,
-             const NetworkSimulation& network) {
+             const RunOptions& options) {
   require(p >= 1, "mp::run: need at least one rank");
   detail::Context ctx(p);
-  ctx.network = network;
+  ctx.network = options.network;
+  ctx.faults = options.faults;
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
   std::vector<std::thread> threads;
@@ -32,13 +63,22 @@ JobStats run(int p, const std::function<void(Comm&)>& fn,
   }
   for (auto& t : threads) t.join();
 
-  for (const auto& err : errors) {
-    if (err) std::rethrow_exception(err);
+  for (int rank = 0; rank < p; ++rank) {
+    if (errors[static_cast<std::size_t>(rank)]) {
+      rethrow_normalized(errors[static_cast<std::size_t>(rank)], rank);
+    }
   }
 
   JobStats stats;
   stats.per_rank = ctx.stats;
   return stats;
+}
+
+JobStats run(int p, const std::function<void(Comm&)>& fn,
+             const NetworkSimulation& network) {
+  RunOptions options;
+  options.network = network;
+  return run(p, fn, options);
 }
 
 }  // namespace mafia::mp

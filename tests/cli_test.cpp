@@ -3,6 +3,7 @@
 // The binary path is injected by CMake as PMAFIA_CLI_PATH.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -29,17 +30,28 @@ std::string temp(const std::string& name) {
   return (std::filesystem::temp_directory_path() / (pid + "_" + name)).string();
 }
 
-/// Runs the CLI with `args`, captures stdout, returns {exit, output}.
+/// Runs the CLI with `args`, captures stdout, returns {exit code, output}.
+/// The exit code is the process's actual exit status (WEXITSTATUS), so the
+/// per-failure-class codes (2 usage, 3 input, 4 resource, 5 fault) are
+/// directly comparable; -1 means the process did not exit normally.
 std::pair<int, std::string> run_cli(const std::string& args) {
   const std::string out_file = temp("mafia_cli_test_stdout.txt");
   const std::string command =
       std::string(PMAFIA_CLI_PATH) + " " + args + " > " + out_file + " 2>&1";
   const int status = std::system(command.c_str());
+  const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   std::ifstream in(out_file);
   std::stringstream buffer;
   buffer << in.rdbuf();
   std::remove(out_file.c_str());
-  return {status, buffer.str()};
+  return {code, buffer.str()};
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
 }
 
 class CliPipeline : public ::testing::Test {
@@ -145,6 +157,9 @@ TEST_F(CliPipeline, ReportJsonIsValidAndComplete) {
   EXPECT_FALSE(doc.at("phases").array.empty());
   ASSERT_TRUE(doc.at("comm").is_object());
   ASSERT_EQ(doc.at("per_rank").array.size(), 4u);
+  ASSERT_TRUE(doc.at("recovery").is_object());
+  EXPECT_FALSE(doc.at("recovery").at("checkpoint_enabled").boolean);
+  EXPECT_FALSE(doc.at("recovery").at("resumed").boolean);
   EXPECT_TRUE(doc.at("cost_model").has("predicted_seconds"));
   EXPECT_TRUE(doc.at("cost_model").has("measured_seconds"));
 
@@ -171,25 +186,140 @@ TEST_F(CliPipeline, ReportJsonIsValidAndComplete) {
   }
 }
 
+TEST_F(CliPipeline, CheckpointResumeReproducesBitIdenticalReport) {
+  // CLI-level crash recovery: interrupt a checkpointed run at every comm-op
+  // index via --inject-fault, resume with --resume, and require the resumed
+  // report's clusters and per-level count checksums to match an
+  // uninterrupted baseline exactly.
+  ASSERT_EQ(run_cli("generate --out " + data_ +
+                    " --dims 6 --records 6000 --seed 5 --cluster 1,3,5:25:45")
+                .first,
+            0);
+  const std::string common = "cluster --data " + data_ +
+                             " --ranks 2 --domain-lo 0 --domain-hi 100";
+  const std::string base_report = temp("mafia_cli_base.json");
+  ASSERT_EQ(run_cli(common + " --report-json " + base_report).first, 0);
+  const mafia::JsonValue baseline = mafia::json_parse(slurp(base_report));
+  std::remove(base_report.c_str());
+
+  const auto levels_of = [](const mafia::JsonValue& doc) {
+    std::string flat;
+    for (const auto& level : doc.at("levels").array) {
+      flat += std::to_string(level.at("level").number) + ":" +
+              std::to_string(level.at("cdus").number) + ":" +
+              std::to_string(level.at("dense_units").number) + ":" +
+              level.at("count_checksum").string + ";";
+    }
+    return flat;
+  };
+  const auto clusters_of = [](const mafia::JsonValue& doc) {
+    std::vector<std::string> dnf;
+    for (const auto& c : doc.at("clusters").array) {
+      dnf.push_back(c.at("dnf").string);
+    }
+    std::sort(dnf.begin(), dnf.end());
+    return dnf;
+  };
+
+  const std::string dir = temp("mafia_cli_ckpt");
+  const std::string resume_report = temp("mafia_cli_resume.json");
+  int interrupted = 0;
+  bool saw_resume = false;
+  for (int op = 0; op < 200; ++op) {
+    std::filesystem::remove_all(dir);
+    auto [fault_code, fault_out] =
+        run_cli(common + " --checkpoint-dir " + dir + " --inject-fault 1:" +
+                std::to_string(op));
+    if (fault_code == 0) break;  // op index is past the end of the run
+    ASSERT_EQ(fault_code, 5) << fault_out;  // injected fault exit class
+    ++interrupted;
+
+    auto [resume_code, resume_out] =
+        run_cli(common + " --checkpoint-dir " + dir +
+                " --resume --report-json " + resume_report);
+    ASSERT_EQ(resume_code, 0) << resume_out;
+    const mafia::JsonValue resumed = mafia::json_parse(slurp(resume_report));
+    EXPECT_EQ(levels_of(resumed), levels_of(baseline)) << "kill op " << op;
+    EXPECT_EQ(clusters_of(resumed), clusters_of(baseline)) << "kill op " << op;
+    if (resumed.at("recovery").at("resumed").boolean) saw_resume = true;
+  }
+  std::filesystem::remove_all(dir);
+  std::remove(resume_report.c_str());
+  EXPECT_GT(interrupted, 0);
+  // Some kill points must land after the first checkpoint write, so the
+  // sweep exercised a true restore rather than only fresh-run fallback.
+  EXPECT_TRUE(saw_resume);
+}
+
 TEST(CliErrors, UnknownSubcommandFails) {
-  EXPECT_NE(run_cli("frobnicate").first, 0);
+  EXPECT_EQ(run_cli("frobnicate").first, 2);
 }
 
 TEST(CliErrors, MissingDataFlagFails) {
   auto [status, out] = run_cli("cluster");
-  EXPECT_NE(status, 0);
+  EXPECT_EQ(status, 2);  // usage-class error
   EXPECT_NE(out.find("--data is required"), std::string::npos) << out;
 }
 
 TEST(CliErrors, NonexistentFileFails) {
-  EXPECT_NE(run_cli("cluster --data /nonexistent/never.bin").first, 0);
+  EXPECT_EQ(run_cli("cluster --data /nonexistent/never.bin").first, 3);
 }
 
 TEST(CliErrors, MalformedClusterSpecFails) {
   auto [status, out] =
       run_cli("generate --out /tmp/x.bin --cluster not-a-spec");
-  EXPECT_NE(status, 0);
+  EXPECT_EQ(status, 2);
   EXPECT_NE(out.find("dims:lo:hi"), std::string::npos) << out;
+}
+
+TEST(CliErrors, ExitCodesDistinguishFailureClasses) {
+  const std::string data = temp("mafia_cli_codes.bin");
+  ASSERT_EQ(run_cli("generate --out " + data + " --dims 5 --records 4000"
+                    " --seed 2 --cluster 1,3:25:45")
+                .first,
+            0);
+  const std::string common =
+      "cluster --data " + data + " --domain-lo 0 --domain-hi 100";
+
+  // Resource class (4): a CDU budget no level-1 candidate set fits.
+  auto [resource, resource_out] = run_cli(common + " --max-cdu-bytes 16");
+  EXPECT_EQ(resource, 4) << resource_out;
+  EXPECT_NE(resource_out.find("CDU budget exceeded at level 1"),
+            std::string::npos)
+      << resource_out;
+
+  // Fault class (5): an injected rank kill.
+  auto [fault, fault_out] =
+      run_cli(common + " --ranks 2 --inject-fault 0:0");
+  EXPECT_EQ(fault, 5) << fault_out;
+  EXPECT_NE(fault_out.find("injected fault"), std::string::npos) << fault_out;
+
+  // Usage class (2): --resume without a checkpoint directory.
+  EXPECT_EQ(run_cli(common + " --resume").first, 2);
+
+  std::remove(data.c_str());
+}
+
+TEST(CliErrors, FailureWritesErrorObjectToReportJson) {
+  const std::string data = temp("mafia_cli_errjson.bin");
+  const std::string report = temp("mafia_cli_errjson_report.json");
+  ASSERT_EQ(run_cli("generate --out " + data + " --dims 5 --records 4000"
+                    " --seed 2 --cluster 1,3:25:45")
+                .first,
+            0);
+  auto [status, out] = run_cli("cluster --data " + data +
+                               " --ranks 2 --domain-lo 0 --domain-hi 100"
+                               " --inject-fault 1:1 --report-json " + report);
+  EXPECT_EQ(status, 5) << out;
+
+  const mafia::JsonValue doc = mafia::json_parse(slurp(report));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema").string, "pmafia-error-v1");
+  EXPECT_EQ(doc.at("error").at("class").string, "fault");
+  EXPECT_NE(doc.at("error").at("message").string.find("injected fault"),
+            std::string::npos);
+  std::remove(data.c_str());
+  std::remove(report.c_str());
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <string>
 
 #include "core/mafia.hpp"
 #include "datagen/generator.hpp"
@@ -112,13 +114,68 @@ TEST(FailureInjection, CorruptRecordFileFailsCleanly) {
       (std::filesystem::temp_directory_path() / "mafia_failure_corrupt.bin").string();
   const Dataset data = small_planted();
   write_record_file(path, data, false);
-  // Truncate into the middle of the value block.
+  // Truncate into the middle of the value block: the header now declares
+  // more data than the file holds, so construction itself must refuse the
+  // file (header validation checks declared size against actual size).
   std::filesystem::resize_file(path, kRecordFileHeaderBytes + 1234);
 
-  FileSource source(path);  // header is intact, so construction succeeds
+  try {
+    FileSource source(path);
+    FAIL() << "expected an InputError";
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("size mismatch"), std::string::npos)
+        << e.what();
+    EXPECT_EQ(e.error_class(), ErrorClass::Input);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, NonFiniteValueInFileFailsWithOffset) {
+  // A NaN smuggled into the value block must be rejected before any kernel
+  // consumes it, with an error naming the record, dimension, and byte
+  // offset.
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mafia_failure_nan.bin").string();
+  const Dataset data = small_planted();
+  write_record_file(path, data, false);
+  const std::size_t record = 17;
+  const std::size_t dim = 3;
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    f.seekp(static_cast<std::streamoff>(
+        kRecordFileHeaderBytes +
+        (record * data.num_dims() + dim) * sizeof(Value)));
+    f.write(reinterpret_cast<const char*>(&nan), sizeof(nan));
+  }
+
+  FileSource source(path);  // header is consistent; construction succeeds
   MafiaOptions options;
   options.fixed_domain = {{0.0f, 100.0f}};
-  EXPECT_THROW((void)run_pmafia(source, options, 2), Error);
+  try {
+    (void)run_pmafia(source, options, 2);
+    FAIL() << "expected an InputError";
+  } catch (const InputError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-finite"), std::string::npos) << what;
+    EXPECT_NE(what.find("record " + std::to_string(record)), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("dim " + std::to_string(dim)), std::string::npos)
+        << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, TruncatedLabelBlockFailsAtConstruction) {
+  // With the labels flag set, the declared size includes the int32 label
+  // block — chopping it off must be caught by the same size validation.
+  const auto path =
+      (std::filesystem::temp_directory_path() / "mafia_failure_labels.bin").string();
+  const Dataset data = small_planted();
+  write_record_file(path, data, true);
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 100);
+  EXPECT_THROW((void)FileSource(path), InputError);
   std::remove(path.c_str());
 }
 

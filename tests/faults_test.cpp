@@ -1,0 +1,241 @@
+// Fault injection: killing a rank inside any communication primitive must
+// unwind every sibling — out of collective barriers and out of mailbox
+// waits — and surface one FaultError from mp::run.  No deadlock (ctest
+// enforces per-test timeouts), no std::terminate, and the same plan fails
+// at the same place on every replay.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/mafia.hpp"
+#include "datagen/generator.hpp"
+#include "io/data_source.hpp"
+#include "mp/comm.hpp"
+
+namespace mafia {
+namespace {
+
+const int kRankCounts[] = {2, 3, 8};
+
+/// Runs `fn` under `plan` and asserts the job dies with the injected
+/// FaultError (not a sibling's abort echo or a deadlock).
+void expect_fault(int p, const mp::FaultPlan& plan,
+                  const std::function<void(mp::Comm&)>& fn) {
+  mp::RunOptions options;
+  options.faults = plan;
+  try {
+    (void)mp::run(p, fn, options);
+    FAIL() << "expected a FaultError, p=" << p;
+  } catch (const mp::FaultError& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::Fault);
+    EXPECT_NE(std::string(e.what()).find("injected fault"), std::string::npos);
+  }
+}
+
+TEST(FaultInjection, KillInsideAllreduce) {
+  for (const int p : kRankCounts) {
+    for (const int victim : {0, p - 1}) {
+      // Second allreduce (op 1): siblings are already blocked in it when
+      // the victim dies at entry.
+      expect_fault(p, mp::FaultPlan{}.kill(victim, 1), [](mp::Comm& comm) {
+        for (int i = 0; i < 3; ++i) {
+          std::vector<int> v{comm.rank()};
+          comm.allreduce_sum(v);
+        }
+      });
+    }
+  }
+}
+
+TEST(FaultInjection, KillInsideReduce) {
+  for (const int p : kRankCounts) {
+    for (const int victim : {0, p - 1}) {
+      expect_fault(p, mp::FaultPlan{}.kill(victim, 1), [](mp::Comm& comm) {
+        for (int i = 0; i < 3; ++i) {
+          std::vector<int> v{comm.rank()};
+          comm.reduce(v, [](int a, int b) { return a + b; });
+        }
+      });
+    }
+  }
+}
+
+TEST(FaultInjection, KillInsideBcast) {
+  for (const int p : kRankCounts) {
+    for (const int victim : {0, p - 1}) {
+      expect_fault(p, mp::FaultPlan{}.kill(victim, 1), [](mp::Comm& comm) {
+        for (int i = 0; i < 3; ++i) {
+          std::vector<int> v(4, comm.rank());
+          comm.bcast(v);
+        }
+      });
+    }
+  }
+}
+
+TEST(FaultInjection, KillInsideGatherv) {
+  for (const int p : kRankCounts) {
+    for (const int victim : {0, p - 1}) {
+      expect_fault(p, mp::FaultPlan{}.kill(victim, 1), [](mp::Comm& comm) {
+        for (int i = 0; i < 3; ++i) {
+          const std::vector<int> local(static_cast<std::size_t>(comm.rank()) + 1,
+                                       comm.rank());
+          (void)comm.gatherv(local);
+        }
+      });
+    }
+  }
+}
+
+TEST(FaultInjection, KillInsideAllgatherv) {
+  for (const int p : kRankCounts) {
+    for (const int victim : {0, p - 1}) {
+      expect_fault(p, mp::FaultPlan{}.kill(victim, 1), [](mp::Comm& comm) {
+        for (int i = 0; i < 3; ++i) {
+          const std::vector<int> local{comm.rank()};
+          (void)comm.allgatherv(local);
+        }
+      });
+    }
+  }
+}
+
+TEST(FaultInjection, KillInsideScatterv) {
+  for (const int p : kRankCounts) {
+    for (const int victim : {0, p - 1}) {
+      expect_fault(p, mp::FaultPlan{}.kill(victim, 1), [p](mp::Comm& comm) {
+        for (int i = 0; i < 3; ++i) {
+          std::vector<std::vector<int>> slices;
+          if (comm.is_parent()) {
+            for (int r = 0; r < p; ++r) slices.push_back({r, r});
+          }
+          (void)comm.scatterv(slices);
+        }
+      });
+    }
+  }
+}
+
+TEST(FaultInjection, KillInsideBarrier) {
+  for (const int p : kRankCounts) {
+    for (const int victim : {0, p - 1}) {
+      expect_fault(p, mp::FaultPlan{}.kill(victim, 2),
+                   [](mp::Comm& comm) {
+                     for (int i = 0; i < 4; ++i) comm.barrier();
+                   });
+    }
+  }
+}
+
+TEST(FaultInjection, KillSenderUnblocksMailboxWait) {
+  // Ring exchange: every rank sends to its successor, then receives from
+  // its predecessor.  Killing one rank at its send leaves the successor
+  // blocked in recv for a message that will never arrive — the abort must
+  // interrupt that mailbox wait.
+  for (const int p : kRankCounts) {
+    for (const int victim : {0, p - 1}) {
+      expect_fault(p, mp::FaultPlan{}.kill(victim, 0), [p](mp::Comm& comm) {
+        const int next = (comm.rank() + 1) % p;
+        const int prev = (comm.rank() + p - 1) % p;
+        comm.send(next, /*tag=*/7, std::vector<int>{comm.rank()});
+        const auto got = comm.recv<int>(prev, /*tag=*/7);
+        ASSERT_EQ(got.size(), 1u);
+        EXPECT_EQ(got[0], prev);
+      });
+    }
+  }
+}
+
+TEST(FaultInjection, DelayedStragglerDoesNotChangeResults) {
+  // A Delay spec is a straggler, not a failure: the job completes with
+  // bit-identical collective results.
+  for (const int p : kRankCounts) {
+    mp::RunOptions options;
+    options.faults.delay(/*rank=*/0, /*op=*/1, /*seconds=*/0.05);
+    std::vector<int> sums(static_cast<std::size_t>(p), -1);
+    (void)mp::run(p, [&](mp::Comm& comm) {
+      std::vector<int> v{comm.rank() + 1};
+      comm.allreduce_sum(v);
+      comm.barrier();
+      std::vector<int> w{v[0]};
+      comm.allreduce_sum(w);
+      sums[static_cast<std::size_t>(comm.rank())] = w[0];
+    }, options);
+    const int expected = p * (p * (p + 1) / 2);
+    for (const int s : sums) EXPECT_EQ(s, expected);
+  }
+}
+
+TEST(FaultInjection, SamePlanFailsIdenticallyOnReplay) {
+  const auto job = [](mp::Comm& comm) {
+    for (int i = 0; i < 5; ++i) {
+      std::vector<int> v{comm.rank()};
+      comm.allreduce_sum(v);
+    }
+  };
+  std::string first;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    try {
+      mp::RunOptions options;
+      options.faults.kill(1, 3);
+      (void)mp::run(3, job, options);
+      FAIL() << "expected a FaultError";
+    } catch (const mp::FaultError& e) {
+      if (attempt == 0) {
+        first = e.what();
+        EXPECT_NE(first.find("rank 1"), std::string::npos) << first;
+        EXPECT_NE(first.find("op 3"), std::string::npos) << first;
+      } else {
+        EXPECT_EQ(std::string(e.what()), first);
+      }
+    }
+  }
+}
+
+TEST(FaultInjection, RandomKillIsSeedDeterministic) {
+  const mp::FaultPlan a = mp::FaultPlan::random_kill(42, 8, 100);
+  const mp::FaultPlan b = mp::FaultPlan::random_kill(42, 8, 100);
+  ASSERT_EQ(a.specs().size(), 1u);
+  ASSERT_EQ(b.specs().size(), 1u);
+  EXPECT_EQ(a.specs()[0].rank, b.specs()[0].rank);
+  EXPECT_EQ(a.specs()[0].op, b.specs()[0].op);
+  EXPECT_LT(a.specs()[0].rank, 8);
+  EXPECT_LT(a.specs()[0].op, 100u);
+
+  // Different seeds must eventually produce different draws.
+  bool differs = false;
+  for (std::uint64_t seed = 0; seed < 16 && !differs; ++seed) {
+    const mp::FaultPlan c = mp::FaultPlan::random_kill(seed, 8, 100);
+    differs = c.specs()[0].rank != a.specs()[0].rank ||
+              c.specs()[0].op != a.specs()[0].op;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjection, FaultDuringPmafiaRunThenCleanRerun) {
+  // Killing a rank mid-run_pmafia surfaces the FaultError through the
+  // driver, and the process state stays clean enough for an immediate
+  // un-faulted rerun to succeed.
+  GeneratorConfig cfg;
+  cfg.num_dims = 6;
+  cfg.num_records = 4000;
+  cfg.seed = 11;
+  cfg.clusters.push_back(ClusterSpec::box({1, 4}, {20, 20}, {35, 35}));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+
+  MafiaOptions faulty = options;
+  faulty.fault_plan.kill(/*rank=*/1, /*op=*/2);
+  EXPECT_THROW((void)run_pmafia(source, faulty, 3), mp::FaultError);
+
+  const MafiaResult r = run_pmafia(source, options, 3);
+  EXPECT_EQ(r.clusters.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mafia

@@ -15,13 +15,16 @@
 //   pmafia stage --data data.bin --ranks 8 --prefix /scratch/local
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "clique/clique.hpp"
 #include "cluster/membership.hpp"
+#include "common/json.hpp"
 #include "core/mafia.hpp"
 #include "core/model_io.hpp"
 #include "core/report.hpp"
@@ -34,8 +37,11 @@ namespace {
 
 using namespace mafia;
 
+/// Flags that take no value (presence is the value).
+const std::set<std::string> kBooleanFlags = {"resume"};
+
 /// Minimal --flag value parser: flags() holds every "--name value" pair;
-/// repeated flags accumulate.
+/// repeated flags accumulate.  Flags in kBooleanFlags consume no value.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
@@ -43,6 +49,10 @@ class Args {
       std::string key = argv[i];
       require(key.rfind("--", 0) == 0, "expected --flag, got '" + key + "'");
       key = key.substr(2);
+      if (kBooleanFlags.count(key) > 0) {
+        values_[key].push_back("true");
+        continue;
+      }
       require(i + 1 < argc, "flag --" + key + " needs a value");
       values_[key].push_back(argv[++i]);
     }
@@ -99,6 +109,44 @@ ClusterSpec parse_cluster(const std::string& text) {
                           std::vector<Value>(k, hi));
 }
 
+/// Parses one --inject-fault spec "rank:op" (kill) or "rank:op:seconds"
+/// (delay) into the plan.
+void parse_fault_spec(const std::string& text, mp::FaultPlan& plan) {
+  const auto c1 = text.find(':');
+  require(c1 != std::string::npos,
+          "--inject-fault must be rank:op or rank:op:delay_seconds");
+  const auto c2 = text.find(':', c1 + 1);
+  const int rank =
+      static_cast<int>(std::strtol(text.substr(0, c1).c_str(), nullptr, 10));
+  const auto op = static_cast<std::uint64_t>(std::strtoull(
+      text.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
+                                                  : c2 - c1 - 1)
+          .c_str(),
+      nullptr, 10));
+  if (c2 == std::string::npos) {
+    plan.kill(rank, op);
+  } else {
+    plan.delay(rank, op,
+               std::strtod(text.substr(c2 + 1).c_str(), nullptr));
+  }
+}
+
+/// Writes `content` via a temp file + rename so readers never observe a
+/// half-written report.
+void write_text_file_atomic(const std::string& path,
+                            const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    require(f.good(), "cannot open " + tmp);
+    f << content;
+    require(f.good(), "failed writing " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  require(!ec, "cannot rename " + tmp + " to " + path);
+}
+
 /// Loads a data set by extension (.csv or record file).  A CSV whose header
 /// ends in a "label" column (as `pmafia generate` writes) has that column
 /// read as the ground-truth label, not as a data dimension.
@@ -153,6 +201,13 @@ MafiaOptions options_from_args(const Args& args) {
     o.fixed_domain = {{static_cast<Value>(args.get_double("domain-lo", 0.0)),
                        static_cast<Value>(args.get_double("domain-hi", 100.0))}};
   }
+  o.checkpoint.directory = args.get("checkpoint-dir");
+  o.checkpoint.resume = args.has("resume");
+  o.max_cdu_bytes =
+      static_cast<std::size_t>(args.get_int("max-cdu-bytes", 0));
+  for (const std::string& spec : args.all("inject-fault")) {
+    parse_fault_spec(spec, o.fault_plan);
+  }
   return o;
 }
 
@@ -203,10 +258,7 @@ int cmd_cluster(const Args& args) {
   std::fputs(render_report(result).c_str(), stdout);
   if (args.has("report-json")) {
     const std::string out = args.get("report-json");
-    std::ofstream f(out);
-    require(f.good(), "cluster: cannot open " + out);
-    f << render_report_json(result) << "\n";
-    require(f.good(), "cluster: failed writing " + out);
+    write_text_file_atomic(out, render_report_json(result) + "\n");
     std::printf("report written to %s\n", out.c_str());
   }
   if (args.has("save")) {
@@ -284,10 +336,48 @@ void usage() {
       "           [--noise-sigmas S] [--min-dims K] [--chunk B]\n"
       "           [--domain-lo L --domain-hi H] [--xi N --tau F]\n"
       "           [--save model.txt] [--report-json report.json]\n"
+      "           [--checkpoint-dir DIR] [--resume] [--max-cdu-bytes N]\n"
+      "           [--inject-fault rank:op[:delay_s]]...   (repeatable)\n"
+      "exit codes: 0 ok, 2 usage, 3 bad input, 4 resource limit,\n"
+      "            5 injected fault, 1 internal error\n"
       "  assign   --data F [--out labels.csv] [--model model.txt |\n"
       "           --ranks P + grid flags]\n"
       "  stage    --data F [--ranks P] [--prefix PFX]\n",
       stderr);
+}
+
+/// Exit code per failure class: scripts can tell a usage mistake (2) from
+/// bad input data (3), a resource budget hit (4), an injected fault (5),
+/// and everything else (1).
+int exit_code_for(ErrorClass cls) {
+  switch (cls) {
+    case ErrorClass::Usage: return 2;
+    case ErrorClass::Input: return 3;
+    case ErrorClass::Resource: return 4;
+    case ErrorClass::Fault: return 5;
+    case ErrorClass::Internal: return 1;
+  }
+  return 1;
+}
+
+/// On failure, --report-json gets a machine-readable error object instead
+/// of a run report (schema pmafia-error-v1).
+void write_error_report(const std::string& path, const char* cls,
+                        const std::string& message) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pmafia-error-v1");
+  w.key("error").begin_object();
+  w.key("class").value(cls);
+  w.key("message").value(message);
+  w.end_object();
+  w.end_object();
+  try {
+    write_text_file_atomic(path, w.str() + "\n");
+  } catch (const std::exception&) {
+    // The original failure is what the caller needs to see; a report path
+    // that cannot be written must not mask it.
+  }
 }
 
 }  // namespace
@@ -297,8 +387,10 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  std::string report_path;
   try {
     const Args args(argc, argv, 2);
+    report_path = args.get("report-json");
     const std::string cmd = argv[1];
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "cluster") return cmd_cluster(args);
@@ -306,8 +398,17 @@ int main(int argc, char** argv) {
     if (cmd == "stage") return cmd_stage(args);
     usage();
     return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "pmafia: %s error: %s\n", e.class_name(), e.what());
+    if (!report_path.empty()) {
+      write_error_report(report_path, e.class_name(), e.what());
+    }
+    return exit_code_for(e.error_class());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pmafia: %s\n", e.what());
+    if (!report_path.empty()) {
+      write_error_report(report_path, "internal", e.what());
+    }
     return 1;
   }
 }
