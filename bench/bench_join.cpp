@@ -1,0 +1,203 @@
+// Join-kernel A/B: the paper's O(n²) pairwise triangular scan vs the
+// bucket-indexed kernel that probes only pairs sharing a (k−2)-dim
+// sub-signature.  Both kernels produce bit-identical raw CDU sequences
+// (asserted here per configuration; tests/join_differential_test.cpp is
+// the exhaustive proof), so the comparison is pure work: probes and
+// wall-clock at equal output.
+//
+// Two measurements, both recorded as pmafia-bench-v1 rows in
+// BENCH_join.json (the committed rows are the baselines
+// scripts/bench_gate.py compares fresh runs against, via the join-phase
+// seconds):
+//   * micro — full serial joins over synthetic dense stores at fixed unit
+//     counts and two shapes (spread: units across many subspaces;
+//     clustered: units packed into a few subspaces, the worst case for
+//     bucket sizes);
+//   * e2e   — full driver runs with the kernel forced each way on the
+//     Figure 3 workload; join-phase seconds from the run's phase trace.
+//
+// Exit status is the acceptance check: 0 iff the bucketed kernel is at
+// least 2x faster than pairwise at every micro configuration with >= 2000
+// dense units.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/mafia.hpp"
+#include "datagen/workloads.hpp"
+#include "io/data_source.hpp"
+#include "rng/distributions.hpp"
+#include "rng/icg.hpp"
+#include "taskpart/taskpart.hpp"
+#include "units/join.hpp"
+#include "units/unit_store.hpp"
+
+namespace {
+
+using namespace mafia;
+
+/// Synthetic (k−1)-dim dense store: `n` units with dims drawn from
+/// `subspaces` distinct k-subsets of `num_dims` dimensions and bins in
+/// [0, num_bins).  Few subspaces + few bins = big signature buckets.
+UnitStore make_dense(IcgRandom& rng, std::size_t n, std::size_t k,
+                     std::size_t num_dims, std::size_t subspaces,
+                     std::size_t num_bins) {
+  std::vector<std::vector<DimId>> dim_sets;
+  std::vector<DimId> all_dims(num_dims);
+  std::iota(all_dims.begin(), all_dims.end(), DimId{0});
+  for (std::size_t s = 0; s < subspaces; ++s) {
+    shuffle(rng, all_dims.begin(), all_dims.end());
+    std::vector<DimId> dims(all_dims.begin(),
+                            all_dims.begin() + static_cast<std::ptrdiff_t>(k));
+    std::sort(dims.begin(), dims.end());
+    dim_sets.push_back(std::move(dims));
+  }
+  UnitStore dense(k);
+  std::vector<BinId> bins(k);
+  for (std::size_t u = 0; u < n; ++u) {
+    const auto& dims = dim_sets[uniform_index(rng, dim_sets.size())];
+    for (std::size_t i = 0; i < k; ++i) {
+      bins[i] = static_cast<BinId>(uniform_index(rng, num_bins));
+    }
+    dense.push_unchecked(dims.data(), bins.data());
+  }
+  return dense;
+}
+
+/// Times `reps` full serial joins of one kernel; returns seconds and the
+/// stats of the last run.
+double time_join(const UnitStore& dense, bool bucketed, std::size_t reps,
+                 JoinStats* stats) {
+  Timer t;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const JoinResult r = bucketed
+                             ? bucket_join_dense_units(dense, JoinRule::MafiaAnyShared)
+                             : join_dense_units(dense, JoinRule::MafiaAnyShared);
+    *stats = r.stats;
+  }
+  return t.seconds();
+}
+
+/// Wraps a micro measurement in the bench JSONL schema: a minimal result
+/// carrying the join seconds and the dense units processed, so the row's
+/// gate throughput (units per second through the join) is computable the
+/// same way as for a full driver run.
+void record_micro(const std::string& tag, double seconds,
+                  std::size_t units_processed) {
+  MafiaResult r;
+  r.phases.add("join", seconds);
+  r.num_records = units_processed;
+  r.total_seconds = seconds;
+  bench::append_bench_json("join", r, tag);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mafia;
+
+  bench::print_header(
+      "Join kernel — bucketed sub-signature index vs pairwise O(n^2) scan",
+      "Section 4.3: CDU generation compares all unit pairs, Eq. 1 balanced",
+      "synthetic dense stores + fig3 driver runs, kernel A/B at equal output");
+
+  struct Shape {
+    const char* name;
+    std::size_t subspaces;
+    std::size_t num_bins;
+  };
+  const Shape shapes[] = {
+      {"spread", 24, 5},    // many subspaces: small buckets
+      {"clustered", 4, 8},  // few subspaces: the big-bucket worst case
+  };
+  const std::size_t sizes[] = {500, 2000, 5000};
+  const std::size_t reps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(3.0 * bench::scale()));
+
+  std::printf("\n[micro] full serial join, k=3 parents -> k=4 CDUs, %zu reps\n",
+              reps);
+  std::printf("%-11s %-7s %-13s %-13s %-13s %-13s %s\n", "shape", "units",
+              "pairwise(s)", "bucketed(s)", "pw probes", "bk probes",
+              "speedup");
+  double min_gated_speedup = 1e300;
+  for (const Shape& shape : shapes) {
+    for (const std::size_t n : sizes) {
+      IcgRandom rng(1000 + n + shape.subspaces);
+      const UnitStore dense =
+          make_dense(rng, n, 3, 20, shape.subspaces, shape.num_bins);
+
+      // Equal-output sanity check before timing anything.
+      {
+        const JoinResult pw = join_dense_units(dense, JoinRule::MafiaAnyShared);
+        const JoinResult bk = bucket_join_dense_units(dense, JoinRule::MafiaAnyShared);
+        if (pw.cdus.dim_bytes() != bk.cdus.dim_bytes() ||
+            pw.cdus.bin_bytes() != bk.cdus.bin_bytes() ||
+            pw.parents != bk.parents) {
+          std::printf("FATAL: kernels disagree at %s n=%zu\n", shape.name, n);
+          return 1;
+        }
+      }
+
+      JoinStats pw_stats{};
+      JoinStats bk_stats{};
+      const double pw_secs = time_join(dense, /*bucketed=*/false, reps, &pw_stats);
+      const double bk_secs = time_join(dense, /*bucketed=*/true, reps, &bk_stats);
+      const double speedup = pw_secs / bk_secs;
+      std::printf("%-11s %-7zu %-13.4f %-13.4f %-13llu %-13llu %.2fx\n",
+                  shape.name, n, pw_secs, bk_secs,
+                  static_cast<unsigned long long>(pw_stats.probes),
+                  static_cast<unsigned long long>(bk_stats.probes), speedup);
+      if (n >= 2000) min_gated_speedup = std::min(min_gated_speedup, speedup);
+
+      char tag[64];
+      std::snprintf(tag, sizeof(tag), "micro-%s-n=%zu-kernel=%s", shape.name,
+                    n, "bucketed");
+      record_micro(tag, bk_secs, n * reps);
+      std::snprintf(tag, sizeof(tag), "micro-%s-n=%zu-kernel=%s", shape.name,
+                    n, "pairwise");
+      record_micro(tag, pw_secs, n * reps);
+    }
+  }
+
+  // ---- e2e: full driver, kernel forced each way on the fig3 workload.
+  const RecordIndex records = bench::scaled(100000);
+  const GeneratorConfig cfg = workloads::fig3_parallel(records);
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+
+  std::printf("\n[e2e] full driver on %llu records\n",
+              static_cast<unsigned long long>(data.num_records()));
+  std::printf("%-10s %-12s %-12s %-10s %-13s %-13s %s\n", "kernel", "join(s)",
+              "total(s)", "levels", "probes", "emitted", "levels bk/pw");
+  double e2e_join_secs[2] = {0, 0};
+  for (const bool bucketed : {true, false}) {
+    MafiaOptions o;
+    o.fixed_domain = {{0.0f, 100.0f}};
+    o.join.kernel = bucketed ? JoinKernel::Bucketed : JoinKernel::Pairwise;
+    const MafiaResult r = run_mafia(source, o);
+    e2e_join_secs[bucketed ? 0 : 1] = r.phases.get("join");
+    std::printf("%-10s %-12.4f %-12.3f %-10zu %-13llu %-13llu %llu/%llu\n",
+                bucketed ? "bucketed" : "pairwise", r.phases.get("join"),
+                r.total_seconds, r.levels.size(),
+                static_cast<unsigned long long>(r.join_kernel.probes),
+                static_cast<unsigned long long>(r.join_kernel.emitted),
+                static_cast<unsigned long long>(r.join_kernel.bucketed_levels),
+                static_cast<unsigned long long>(r.join_kernel.pairwise_levels));
+    bench::append_bench_json("join", r,
+                             bucketed ? "e2e-kernel=bucketed" : "e2e-kernel=pairwise");
+  }
+  if (e2e_join_secs[1] > 0) {
+    std::printf("join speedup (e2e): %.2fx\n",
+                e2e_join_secs[1] / e2e_join_secs[0]);
+  }
+
+  std::printf("\nmin micro speedup at n >= 2000: %.2fx (acceptance: >= 2x)\n",
+              min_gated_speedup);
+  std::printf("rows appended to BENCH_join.json "
+              "(scripts/bench_gate.py compares against the committed "
+              "baselines).\n");
+  return min_gated_speedup >= 2.0 ? 0 : 1;
+}

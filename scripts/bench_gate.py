@@ -2,11 +2,13 @@
 """Soft perf gate over pmafia-bench-v1 JSONL trajectories.
 
 Compares fresh bench rows against committed baseline rows and warns when
-populate throughput regressed beyond the tolerance.  Throughput of one row
+phase throughput regressed beyond the tolerance.  Throughput of one row
 is computed from the wrapped pmafia-report-v1 document as
 
-    records * max(1, len(levels)) / populate_max_seconds
+    records * max(1, len(levels)) / phase_max_seconds
 
+where the gated phase is "join" for rows of the join bench (whose metric
+is dense-unit pair work per second) and "populate" for everything else
 (the populate phase scans every record once per level, so the metric is
 record-level passes per second; for kernel-micro rows with no levels the
 factor is 1 and the metric degenerates to records per second).
@@ -56,12 +58,13 @@ def throughput(row):
     report = row.get("report", {})
     records = report.get("records", 0)
     levels = report.get("levels", [])
-    populate = next((p.get("max_seconds", 0.0)
-                     for p in report.get("phases", [])
-                     if p.get("name") == "populate"), 0.0)
-    if not records or populate <= 0.0:
+    phase_name = "join" if row.get("bench") == "join" else "populate"
+    seconds = next((p.get("max_seconds", 0.0)
+                    for p in report.get("phases", [])
+                    if p.get("name") == phase_name), 0.0)
+    if not records or seconds <= 0.0:
         return None
-    return records * max(1, len(levels)) / populate
+    return records * max(1, len(levels)) / seconds
 
 
 def group_rows(rows):

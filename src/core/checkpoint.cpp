@@ -175,6 +175,11 @@ std::vector<std::uint8_t> serialize_checkpoint(const CheckpointState& state) {
   w.pod(state.num_dims);
   w.pod(state.level);
   w.pod(state.pending_raw_count);
+  w.pod(state.pending_join.buckets);
+  w.pod(state.pending_join.probes);
+  w.pod(state.pending_join.emitted);
+  w.pod(state.pending_join.repeats_fused);
+  w.pod(state.pending_join_kernel);
   write_store(w, state.cdus);
   write_store(w, state.prev_dense);
   {
@@ -197,6 +202,10 @@ std::vector<std::uint8_t> serialize_checkpoint(const CheckpointState& state) {
     w.pod(static_cast<std::uint64_t>(t.ncdu));
     w.pod(static_cast<std::uint64_t>(t.ndu));
     w.pod(t.count_checksum);
+    w.pod(t.join_buckets);
+    w.pod(t.join_probes);
+    w.pod(t.join_emitted);
+    w.pod(t.join_repeats_fused);
   }
   w.pod(static_cast<std::uint64_t>(state.registered.size()));
   for (const UnitStore& store : state.registered) write_store(w, store);
@@ -204,6 +213,12 @@ std::vector<std::uint8_t> serialize_checkpoint(const CheckpointState& state) {
   w.pod(static_cast<std::uint64_t>(state.populate.packed_hash_subspaces));
   w.pod(static_cast<std::uint64_t>(state.populate.memcmp_subspaces));
   w.pod(static_cast<std::uint64_t>(state.populate.block_records));
+  w.pod(state.join_kernel.bucketed_levels);
+  w.pod(state.join_kernel.pairwise_levels);
+  w.pod(state.join_kernel.buckets);
+  w.pod(state.join_kernel.probes);
+  w.pod(state.join_kernel.emitted);
+  w.pod(state.join_kernel.repeats_fused);
 
   std::vector<std::uint8_t> file;
   file.reserve(kCheckpointHeaderBytes + w.out.size());
@@ -243,6 +258,11 @@ CheckpointState deserialize_checkpoint(const std::uint8_t* data,
     state.num_dims = r.pod<std::uint32_t>();
     state.level = r.pod<std::uint64_t>();
     state.pending_raw_count = r.pod<std::uint64_t>();
+    state.pending_join.buckets = r.pod<std::uint64_t>();
+    state.pending_join.probes = r.pod<std::uint64_t>();
+    state.pending_join.emitted = r.pod<std::uint64_t>();
+    state.pending_join.repeats_fused = r.pod<std::uint64_t>();
+    state.pending_join_kernel = r.pod<std::uint8_t>();
     state.cdus = read_store(r);
     state.prev_dense = read_store(r);
     const auto packed = r.vec<std::uint64_t>();
@@ -263,6 +283,10 @@ CheckpointState deserialize_checkpoint(const std::uint8_t* data,
       t.ncdu = static_cast<std::size_t>(r.pod<std::uint64_t>());
       t.ndu = static_cast<std::size_t>(r.pod<std::uint64_t>());
       t.count_checksum = r.pod<std::uint64_t>();
+      t.join_buckets = r.pod<std::uint64_t>();
+      t.join_probes = r.pod<std::uint64_t>();
+      t.join_emitted = r.pod<std::uint64_t>();
+      t.join_repeats_fused = r.pod<std::uint64_t>();
       state.levels.push_back(t);
     }
     const auto nregistered = r.pod<std::uint64_t>();
@@ -280,6 +304,12 @@ CheckpointState deserialize_checkpoint(const std::uint8_t* data,
         static_cast<std::size_t>(r.pod<std::uint64_t>());
     state.populate.block_records =
         static_cast<std::size_t>(r.pod<std::uint64_t>());
+    state.join_kernel.bucketed_levels = r.pod<std::uint64_t>();
+    state.join_kernel.pairwise_levels = r.pod<std::uint64_t>();
+    state.join_kernel.buckets = r.pod<std::uint64_t>();
+    state.join_kernel.probes = r.pod<std::uint64_t>();
+    state.join_kernel.emitted = r.pod<std::uint64_t>();
+    state.join_kernel.repeats_fused = r.pod<std::uint64_t>();
   } catch (const InputError&) {
     throw;
   } catch (const Error& e) {

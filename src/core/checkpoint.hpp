@@ -9,13 +9,16 @@
 // possible recovery point for a grid/density algorithm, since the state is
 // dense-unit summaries (kilobytes), not data (gigabytes).
 //
-// File format (version 1, little-endian PODs):
+// File format (version 2, little-endian PODs):
 //   [0..7]   magic "MAFIACKP"
 //   [8..11]  uint32 format version
 //   [12..15] uint32 CRC-32 of the payload
-//   [16.. ]  payload: fingerprint, data shape, loop state, grids,
+//   [16.. ]  payload: fingerprint, data shape, loop state (including the
+//            pending join-stats carried into the next level trace), grids,
 //            unit stores, level traces, registered maximal units,
-//            populate-kernel counters
+//            populate-kernel counters, join-kernel counters
+// (Version 2 added the join-kernel work counters; version-1 files are
+// discarded by the version check and the run restarts from level 1.)
 //
 // Torn writes cannot produce a "valid" half-checkpoint: files are written
 // to a temp name and atomically renamed, and the CRC guards everything
@@ -27,9 +30,10 @@
 // The options fingerprint covers every knob that changes the computed
 // state (grid parameters, density policy, join rule, dedup policy, tau,
 // partitioning, max_level, domains, MDL pruning) and deliberately excludes
-// knobs that provably don't (chunk size B, populate kernel tuning, rank
-// count p — the determinism suite pins result invariance across all
-// three), so a resume may legally change them.
+// knobs that provably don't (chunk size B, populate kernel tuning, join
+// kernel selection — bucketed and pairwise joins are bit-identical — and
+// rank count p; the determinism suite pins result invariance across all
+// four), so a resume may legally change them.
 #pragma once
 
 #include <cstdint>
@@ -45,7 +49,7 @@
 
 namespace mafia {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Everything the bottom-up loop needs to continue from a level boundary,
 /// plus the cumulative outputs accumulated so far.  `level` is the next
@@ -58,6 +62,10 @@ struct CheckpointState {
   // Loop-carried state (see MafiaWorker::level_loop).
   std::uint64_t level = 1;
   std::uint64_t pending_raw_count = 0;
+  /// Join counters of the join that produced `cdus`, awaiting their level
+  /// trace; kernel: 0 = none yet, 1 = pairwise, 2 = bucketed.
+  JoinStats pending_join;
+  std::uint8_t pending_join_kernel = 0;
   UnitStore cdus{1};
   UnitStore prev_dense{1};
   std::vector<std::pair<std::uint32_t, std::uint32_t>> parents;
@@ -68,6 +76,7 @@ struct CheckpointState {
   std::vector<LevelTrace> levels;
   std::vector<UnitStore> registered;
   PopulateKernelStats populate;
+  JoinKernelStats join_kernel;
 };
 
 /// Hash of the options and data shape a checkpoint is only valid for.

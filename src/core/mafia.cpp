@@ -44,6 +44,7 @@ class MafiaWorker {
       trace_ = std::move(restored->levels);
       registered_ = std::move(restored->registered);
       populate_stats_ = restored->populate;
+      join_stats_ = restored->join_kernel;
     } else {
       build_grids();
     }
@@ -68,6 +69,7 @@ class MafiaWorker {
   std::vector<Cluster> clusters_;
   RunTrace run_trace_;
   PopulateKernelStats populate_stats_;
+  JoinKernelStats join_stats_;
   RecoveryInfo recovery_;
 
  private:
@@ -139,6 +141,12 @@ class MafiaWorker {
     std::vector<std::pair<std::uint32_t, std::uint32_t>> parents;
     std::vector<std::uint32_t> raw_to_unique;
     std::size_t pending_raw_count = 0;
+    // Stats of the join that produced the current `cdus` (pushed into the
+    // LevelTrace once the level's counts are known, then folded into the
+    // run totals).  Kernel: 0 = no join yet (level 1), 1 = pairwise,
+    // 2 = bucketed.
+    JoinStats pending_join;
+    std::uint8_t pending_join_kernel = 0;
     std::size_t level = 1;
 
     if (restored != nullptr) {
@@ -146,6 +154,8 @@ class MafiaWorker {
       // exactly what the uninterrupted run carried into this iteration.
       level = static_cast<std::size_t>(restored->level);
       pending_raw_count = static_cast<std::size_t>(restored->pending_raw_count);
+      pending_join = restored->pending_join;
+      pending_join_kernel = restored->pending_join_kernel;
       cdus = std::move(restored->cdus);
       prev_dense = std::move(restored->prev_dense);
       parents = std::move(restored->parents);
@@ -198,7 +208,20 @@ class MafiaWorker {
       for (const std::uint8_t f : flags) ndu += (f != 0);
 
       trace_.push_back(LevelTrace{level, pending_raw_count, cdus.size(), ndu,
-                                  count_vector_checksum(populator.counts())});
+                                  count_vector_checksum(populator.counts()),
+                                  pending_join.buckets, pending_join.probes,
+                                  pending_join.emitted,
+                                  pending_join.repeats_fused});
+      if (pending_join_kernel != 0) {
+        join_stats_.bucketed_levels += (pending_join_kernel == 2);
+        join_stats_.pairwise_levels += (pending_join_kernel == 1);
+        join_stats_.buckets += pending_join.buckets;
+        join_stats_.probes += pending_join.probes;
+        join_stats_.emitted += pending_join.emitted;
+        join_stats_.repeats_fused += pending_join.repeats_fused;
+        pending_join = JoinStats{};
+        pending_join_kernel = 0;
+      }
 
       // ---- Register maximal units of the previous level: a (k−1)-dim
       // dense unit whose every candidate child failed the density test (or
@@ -248,18 +271,36 @@ class MafiaWorker {
       // ---- Find candidate dense units for the next level (Algorithm 3).
       prev_dense = std::move(dense);
       ++level;
+      // Kernel selection: the bucketed index needs a non-empty
+      // sub-signature, so (k−1)-dim parents with k−1 == 1 (one global
+      // bucket — all pair work on one rank) fall back to the pairwise
+      // triangular scan, which Eq. 1 balances exactly.
+      const bool bucketed =
+          opt_.join.kernel == JoinKernel::Bucketed && prev_dense.k() >= 2;
       UnitStore raw(level);
       {
         PhaseTracer::Scope sp(tracer_, "join");
         if (prev_dense.size() > opt_.tau && p > 1) {
-          const auto bounds =
-              opt_.optimal_task_partition
-                  ? triangular_partition(prev_dense.size(),
-                                         static_cast<std::size_t>(p))
-                  : block_bounds(prev_dense.size(), p);
-          JoinResult jr = join_dense_units(
-              prev_dense, opt_.join_rule, bounds[static_cast<std::size_t>(rank)],
-              bounds[static_cast<std::size_t>(rank) + 1]);
+          JoinResult jr;
+          if (bucketed) {
+            // Every rank builds the identical index over the replicated
+            // dense store; bucket ranges are balanced by per-bucket pair
+            // work, the bucketed analogue of Eq. 1's row ranges.
+            const JoinBucketIndex index(prev_dense, opt_.join_rule);
+            const auto bounds = weight_balanced_partition(
+                index.bucket_work(), static_cast<std::size_t>(p));
+            jr = index.join_range(bounds[static_cast<std::size_t>(rank)],
+                                  bounds[static_cast<std::size_t>(rank) + 1]);
+          } else {
+            const auto bounds =
+                opt_.optimal_task_partition
+                    ? triangular_partition(prev_dense.size(),
+                                           static_cast<std::size_t>(p))
+                    : block_bounds(prev_dense.size(), p);
+            jr = join_dense_units(prev_dense, opt_.join_rule,
+                                  bounds[static_cast<std::size_t>(rank)],
+                                  bounds[static_cast<std::size_t>(rank) + 1]);
+          }
           // "CDUs generated by the processors are communicated to the
           // parent processor which concatenates the CDU dimension and bin
           // arrays in the rank order ... This information is broadcast."
@@ -281,11 +322,26 @@ class MafiaWorker {
             parents[i] = {static_cast<std::uint32_t>(parent_bytes[i] >> 32),
                           static_cast<std::uint32_t>(parent_bytes[i])};
           }
+          // Globalize the work counters (bucket ranges partition the index,
+          // so the bucket sum is the index's bucket count).
+          std::vector<std::uint64_t> sv{jr.stats.buckets, jr.stats.probes,
+                                        jr.stats.emitted};
+          comm_.allreduce_sum(sv);
+          pending_join = JoinStats{sv[0], sv[1], sv[2], 0};
+          // The bucketed ranks emitted in bucket-major order; restoring the
+          // packed-parent order makes the concatenated sequence exactly the
+          // pairwise scan's, so everything downstream (dedup order, parent
+          // marking, checksums) is bit-identical across kernels.
+          if (bucketed) sort_cdus_by_parents(raw, parents);
         } else {
-          JoinResult jr = join_dense_units(prev_dense, opt_.join_rule);
+          JoinResult jr = bucketed
+                              ? bucket_join_dense_units(prev_dense, opt_.join_rule)
+                              : join_dense_units(prev_dense, opt_.join_rule);
           raw = std::move(jr.cdus);
           parents = std::move(jr.parents);
+          pending_join = jr.stats;
         }
+        pending_join_kernel = bucketed ? 2 : 1;
       }
 
       if (raw.empty()) {
@@ -300,8 +356,13 @@ class MafiaWorker {
       {
         PhaseTracer::Scope sp(tracer_, "dedup");
         DedupResult dd;
-        if (opt_.dedup == DedupPolicy::Hash) {
+        if (bucketed || opt_.dedup == DedupPolicy::Hash) {
+          // Under the bucketed kernel repeat elimination is fused: one hash
+          // pass over the parent-ordered emissions replaces the pairwise
+          // O(Ncdu²) repeat scan regardless of DedupPolicy (which stays
+          // meaningful for the pairwise kernel's fidelity/ablation runs).
           dd = dedup_hash(raw);
+          if (bucketed) pending_join.repeats_fused = dd.num_repeats;
         } else if (raw.size() > opt_.tau && p > 1) {
           const auto bounds =
               opt_.optimal_task_partition
@@ -333,6 +394,9 @@ class MafiaWorker {
           state.num_dims = static_cast<std::uint32_t>(data_.num_dims());
           state.level = level;
           state.pending_raw_count = pending_raw_count;
+          state.pending_join = pending_join;
+          state.pending_join_kernel = pending_join_kernel;
+          state.join_kernel = join_stats_;
           state.cdus = cdus;
           state.prev_dense = prev_dense;
           state.parents = parents;
@@ -495,6 +559,7 @@ MafiaResult run_pmafia(const DataSource& data, const MafiaOptions& options,
       result.clusters = std::move(worker.clusters_);
       result.trace = std::move(worker.run_trace_);
       result.populate_kernel = worker.populate_stats_;
+      result.join_kernel = worker.join_stats_;
       result.recovery = worker.recovery_;
     }
   }, run_options);

@@ -61,10 +61,12 @@ std::string render_report(const MafiaResult& result) {
   os << "\nlevel trace:\n";
   os << "  " << std::setw(3) << "k" << std::setw(12) << "raw CDUs"
      << std::setw(14) << "unique CDUs" << std::setw(14) << "dense units"
+     << std::setw(14) << "join probes" << std::setw(14) << "join buckets"
      << "\n";
   for (const LevelTrace& t : result.levels) {
     os << "  " << std::setw(3) << t.level << std::setw(12) << t.ncdu_raw
-       << std::setw(14) << t.ncdu << std::setw(14) << t.ndu << "\n";
+       << std::setw(14) << t.ncdu << std::setw(14) << t.ndu << std::setw(14)
+       << t.join_probes << std::setw(14) << t.join_buckets << "\n";
   }
 
   os << "\npopulate kernel (subspaces over all levels): packed-sorted "
@@ -72,6 +74,13 @@ std::string render_report(const MafiaResult& result) {
      << result.populate_kernel.packed_hash_subspaces << ", memcmp "
      << result.populate_kernel.memcmp_subspaces << ", block "
      << result.populate_kernel.block_records << " records\n";
+
+  os << "join kernel (levels over the run): bucketed "
+     << result.join_kernel.bucketed_levels << ", pairwise "
+     << result.join_kernel.pairwise_levels << "; buckets "
+     << result.join_kernel.buckets << ", probes " << result.join_kernel.probes
+     << ", emitted " << result.join_kernel.emitted << ", repeats fused "
+     << result.join_kernel.repeats_fused << "\n";
 
   // Phase seconds: the max column is a true cross-rank maximum (an
   // allreduce_max over every rank's timer, carried by result.phases); the
@@ -149,6 +158,10 @@ std::string render_report_json(const MafiaResult& result,
     w.key("cdus").value(t.ncdu);
     w.key("dense_units").value(t.ndu);
     w.key("count_checksum").value(hex64(t.count_checksum));
+    w.key("join_buckets").value(t.join_buckets);
+    w.key("join_probes").value(t.join_probes);
+    w.key("join_emitted").value(t.join_emitted);
+    w.key("join_repeats_fused").value(t.join_repeats_fused);
     w.end_object();
   }
   w.end_array();
@@ -161,6 +174,18 @@ std::string render_report_json(const MafiaResult& result,
   w.key("packed_hash_subspaces").value(result.populate_kernel.packed_hash_subspaces);
   w.key("memcmp_subspaces").value(result.populate_kernel.memcmp_subspaces);
   w.key("block_records").value(result.populate_kernel.block_records);
+  w.end_object();
+
+  // Which join kernel each level ran on and the globalized work counters —
+  // the candidate-generation analogue of populate_kernel (additive in
+  // pmafia-report-v1).
+  w.key("join_kernel").begin_object();
+  w.key("bucketed_levels").value(result.join_kernel.bucketed_levels);
+  w.key("pairwise_levels").value(result.join_kernel.pairwise_levels);
+  w.key("buckets").value(result.join_kernel.buckets);
+  w.key("probes").value(result.join_kernel.probes);
+  w.key("emitted").value(result.join_kernel.emitted);
+  w.key("repeats_fused").value(result.join_kernel.repeats_fused);
   w.end_object();
 
   // Checkpoint/restart accounting (additive in pmafia-report-v1; all-zero

@@ -13,6 +13,7 @@
 #include "core/trace.hpp"
 #include "grid/grid_types.hpp"
 #include "mp/stats.hpp"
+#include "units/join.hpp"
 #include "units/populate.hpp"
 
 namespace mafia {
@@ -28,6 +29,14 @@ struct LevelTrace {
   /// the determinism tests compare it across rank counts, and it pins the
   /// populate output of a run without shipping the full count vector.
   std::uint64_t count_checksum = 0;
+  /// Join work counters for the join that generated this level's CDUs,
+  /// globalized across ranks (units/join.hpp JoinStats).  join_buckets is 0
+  /// when the pairwise kernel ran; join_repeats_fused counts repeats
+  /// eliminated by the fused hash pass under the bucketed kernel.
+  std::uint64_t join_buckets = 0;
+  std::uint64_t join_probes = 0;
+  std::uint64_t join_emitted = 0;
+  std::uint64_t join_repeats_fused = 0;
 };
 
 /// FNV-1a over a count vector (the LevelTrace::count_checksum function).
@@ -83,6 +92,12 @@ struct MafiaResult {
   /// the block size the sweep used.  Identical on every rank (the CDU sets
   /// are globally replicated).
   PopulateKernelStats populate_kernel;
+
+  /// Join-kernel selection and work counters, accumulated over all levels:
+  /// how many levels ran on the bucketed index vs the pairwise scan, and
+  /// the globalized bucket/probe/emission/repeat totals.  Identical on
+  /// every rank.
+  JoinKernelStats join_kernel;
 
   /// Checkpoint/restart accounting (zeros when checkpointing is off).
   RecoveryInfo recovery;

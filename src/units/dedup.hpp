@@ -6,14 +6,19 @@
 // itself.  This module provides:
 //   * the paper-faithful pairwise kernel (range-partitionable, so the
 //     parallel driver can split it with the Eq. 1 solver), and
-//   * a hash-based O(Ncdu) fast path used by default in serial runs,
+//   * a hash-based O(Ncdu) pass over the UnitKey map used by default in
+//     serial runs — and unconditionally under the bucketed join kernel,
+//     where repeat elimination is fused into candidate finalization (one
+//     pass over the parent-sorted emissions) and the pairwise repeat scan
+//     disappears from the default path entirely,
 // plus the machinery to rebuild the unique store and the raw→unique index
-// map that parent marking needs.  tests/dedup_test.cpp proves the two paths
-// equivalent; bench_ablation_dedup measures the gap.
+// map that parent marking needs.  tests/dedup sections of units_test.cpp
+// prove the two paths equivalent; bench_ablation_dedup measures the gap.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "units/unit_store.hpp"
@@ -25,6 +30,31 @@ enum class DedupPolicy {
   Hash,      ///< hash set over canonical (dims, bins) keys — O(Ncdu)
   Pairwise,  ///< the paper's all-pairs comparison — O(Ncdu²), partitionable
 };
+
+/// Hash-map key view over a unit: the store plus a unit index, hashed and
+/// compared by content.  Avoids materializing per-unit key strings.
+/// Public so the bucketed join's fused repeat elimination shares one
+/// definition of unit identity with the dedup kernels.
+struct UnitKey {
+  const UnitStore* store;
+  std::size_t index;
+};
+
+struct UnitKeyHash {
+  std::size_t operator()(const UnitKey& k) const {
+    return static_cast<std::size_t>(k.store->hash(k.index));
+  }
+};
+
+struct UnitKeyEq {
+  bool operator()(const UnitKey& a, const UnitKey& b) const {
+    return a.store->equal(a.index, *b.store, b.index);
+  }
+};
+
+/// First-occurrence map: unit content -> index in the unique store.
+using UnitIndexMap =
+    std::unordered_map<UnitKey, std::uint32_t, UnitKeyHash, UnitKeyEq>;
 
 /// Pairwise repeat detection over an i-range: marks unit j as repeated when
 /// some i < j in [i_begin, i_end) has identical content ("Identify repeated
@@ -46,7 +76,7 @@ struct DedupResult {
   std::size_t num_repeats = 0;
 };
 
-/// Hash-based one-pass dedup.
+/// Hash-based one-pass dedup over the UnitKey map.
 [[nodiscard]] DedupResult dedup_hash(const UnitStore& raw);
 
 /// Builds the DedupResult from global pairwise repeat flags.  The flags say

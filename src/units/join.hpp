@@ -5,15 +5,35 @@
 // such that they share any of the (k−2) dimensions" — versus CLIQUE, which
 // only merges units sharing the *first* (k−2) dimensions and therefore
 // provably misses candidates (the paper's {a₁,b₇,c₈} ⋈ {b₇,c₈,d₉} example;
-// reproduced in tests/join_test.cpp).
+// reproduced in tests/units_test.cpp).
 //
-// The triangular pair loop (unit i against every unit j > i) is exactly the
-// workload Eq. 1 partitions across processors, so the kernel takes an
-// explicit i-range: rank r runs join_dense_units(dense, rule, n_r, n_{r+1}).
+// Two kernels produce the same raw CDU sequence:
+//
+//   * Pairwise — the paper's triangular scan (unit i against every j > i),
+//     exactly the workload Eq. 1 partitions across processors; rank r runs
+//     join_dense_units(dense, rule, n_r, n_{r+1}).
+//   * Bucketed — JoinBucketIndex groups units into buckets keyed by every
+//     (k−2)-dim sub-signature (drop one dimension per entry under the
+//     MAFIA rule; the prefix under CLIQUE's) and probes pairs only inside
+//     buckets.  A joining pair shares exactly k−2 (dim, bin) coordinates,
+//     and that shared set is the one sub-signature both units carry, so
+//     the pair meets in exactly one bucket: emission is once-per-pair by
+//     construction, with no cross-bucket duplicate suppression needed.
+//     Non-joining same-bucket pairs are rejected by the same merge
+//     verifier the pairwise scan uses.  Sorting the emissions by packed
+//     parent pair ((lo << 32) | hi) reconstructs the pairwise scan's
+//     lexicographic (i, j) emission order, so the two kernels' outputs are
+//     bit-identical (tests/join_differential_test.cpp proves it).
+//
+// Task parallelism for the bucketed kernel is over *bucket* ranges,
+// balanced by per-bucket pair work b·(b−1)/2 (weight_balanced_partition),
+// replacing the triangular row ranges of the pairwise scan.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "units/unit_store.hpp"
@@ -26,6 +46,43 @@ enum class JoinRule {
   MafiaAnyShared,
   /// CLIQUE: units sharing their first (k−2) dims (ordered-set prefix).
   CliquePrefix,
+};
+
+/// Which candidate-generation kernel executes the join.
+enum class JoinKernel {
+  /// The paper's O(n²) triangular scan, task-partitioned by Eq. 1.
+  Pairwise,
+  /// Sub-signature bucket index: probes only pairs sharing a (k−2)-dim
+  /// signature, emits once per pair, and sorts emissions back into the
+  /// pairwise order.  Bit-identical output, far fewer probes.
+  Bucketed,
+};
+
+/// Join-kernel selection on MafiaOptions.
+struct JoinConfig {
+  JoinKernel kernel = JoinKernel::Bucketed;
+};
+
+/// Work counters of one join execution (or one level, once globalized).
+struct JoinStats {
+  std::uint64_t buckets = 0;  ///< signature buckets processed (0: pairwise)
+  std::uint64_t probes = 0;   ///< pair merge attempts
+  std::uint64_t emitted = 0;  ///< raw CDUs emitted
+  /// Repeats eliminated by the fused hash pass that replaces the pairwise
+  /// O(Ncdu²) repeat scan under the bucketed kernel (filled by the driver's
+  /// dedup step; always 0 directly out of a kernel).
+  std::uint64_t repeats_fused = 0;
+};
+
+/// Kernel selection and work counters accumulated over all levels of a run
+/// — the candidate-generation analogue of PopulateKernelStats.
+struct JoinKernelStats {
+  std::uint64_t bucketed_levels = 0;  ///< levels joined by the bucket index
+  std::uint64_t pairwise_levels = 0;  ///< levels joined by the triangular scan
+  std::uint64_t buckets = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t repeats_fused = 0;
 };
 
 /// Output of one join-range execution.
@@ -41,6 +98,8 @@ struct JoinResult {
   /// find the paper's "dense units which could not be combined with any
   /// other dense units" (registered as potential clusters).
   std::vector<std::uint8_t> combined;
+  /// Probe/emission counters for this execution.
+  JoinStats stats;
 };
 
 /// Attempts to join dense units `a` and `b` (both of dimensionality k−1)
@@ -50,14 +109,61 @@ bool try_join(const UnitStore& dense, std::size_t a, std::size_t b, JoinRule rul
               UnitStore& out);
 
 /// Runs the pair loop for i in [i_begin, i_end), j in (i, dense.size()).
-/// `dense` holds (k−1)-dim units; the result holds k-dim raw CDUs.
+/// `dense` holds (k−1)-dim units; the result holds k-dim raw CDUs.  Row i
+/// performs exactly dense.size() − 1 − i probes — the cost function
+/// triangular_work models (the regression test in tests/taskpart_test.cpp
+/// pins measured probes to the model).
 [[nodiscard]] JoinResult join_dense_units(const UnitStore& dense, JoinRule rule,
                                           std::size_t i_begin, std::size_t i_end);
 
-/// Convenience: the full (serial) join over all pairs.
+/// Convenience: the full (serial) pairwise join over all pairs.
 [[nodiscard]] inline JoinResult join_dense_units(const UnitStore& dense,
                                                  JoinRule rule) {
   return join_dense_units(dense, rule, 0, dense.size());
 }
+
+/// Sub-signature bucket index over one level's dense units.  Construction
+/// is deterministic given the (globally replicated) dense store, so every
+/// rank builds an identical index and the bucket-range task partition needs
+/// no coordination — exactly like the triangular boundaries it replaces.
+class JoinBucketIndex {
+ public:
+  JoinBucketIndex(const UnitStore& dense, JoinRule rule);
+
+  [[nodiscard]] std::size_t num_buckets() const { return work_.size(); }
+
+  /// Per-bucket pair work b·(b−1)/2 — the weights for
+  /// weight_balanced_partition.
+  [[nodiscard]] std::span<const std::uint64_t> bucket_work() const {
+    return work_;
+  }
+
+  /// Joins every pair inside buckets [bucket_begin, bucket_end).  Emission
+  /// order is bucket-major, unit-ascending within a bucket; callers wanting
+  /// the pairwise scan's order sort afterwards (sort_cdus_by_parents).
+  [[nodiscard]] JoinResult join_range(std::size_t bucket_begin,
+                                      std::size_t bucket_end) const;
+
+ private:
+  const UnitStore* dense_;
+  JoinRule rule_;
+  std::vector<std::uint32_t> entry_unit_;   ///< sorted entries -> unit index
+  std::vector<std::size_t> bucket_begin_;   ///< bucket b = entries [b], [b+1])
+  std::vector<std::uint64_t> work_;         ///< per-bucket pair count
+};
+
+/// Reorders raw CDUs and their parent pairs into ascending packed-parent
+/// order ((first << 32) | second).  Every pair emits at most once, so the
+/// key is a strict total order and the result is exactly the pairwise
+/// scan's lexicographic (i, j) emission sequence — the step that makes the
+/// bucketed kernel's globalized output bit-identical to the pairwise one.
+void sort_cdus_by_parents(
+    UnitStore& raw, std::vector<std::pair<std::uint32_t, std::uint32_t>>& parents);
+
+/// Convenience: the full (serial) bucketed join, emissions sorted into
+/// pairwise order.  Equal to join_dense_units(dense, rule) member for
+/// member (stats aside: probes counts only in-bucket pairs).
+[[nodiscard]] JoinResult bucket_join_dense_units(const UnitStore& dense,
+                                                 JoinRule rule);
 
 }  // namespace mafia

@@ -1,0 +1,345 @@
+// Oracle-differential suite for the bucketed join kernel: the paper's
+// pairwise triangular scan is the oracle, and the bucket-indexed kernel
+// must reproduce its raw CDU sequence bit for bit — parents, combined
+// flags, dedup outcome and all — on adversarial stores (single-bucket
+// degenerate k−1 = 1, the packed-key fast path and its 8-byte boundary,
+// the wide memcmp signature path, boundary bin values, duplicate units,
+// repeat-heavy joins) and end-to-end through run_pmafia at every rank
+// count, where the two kernels must yield identical clusters, level
+// traces, and populate-count checksums.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/mafia.hpp"
+#include "datagen/generator.hpp"
+#include "io/data_source.hpp"
+#include "rng/distributions.hpp"
+#include "rng/icg.hpp"
+#include "taskpart/taskpart.hpp"
+#include "units/dedup.hpp"
+#include "units/join.hpp"
+#include "units/unit_store.hpp"
+
+namespace mafia {
+namespace {
+
+UnitStore make_store(std::size_t k,
+                     const std::vector<std::pair<std::vector<DimId>,
+                                                 std::vector<BinId>>>& units) {
+  UnitStore s(k);
+  for (const auto& [dims, bins] : units) {
+    s.push_unchecked(dims.data(), bins.data());
+  }
+  return s;
+}
+
+/// The core differential check: pairwise oracle vs bucketed kernel, full
+/// serial join plus every rank-partitioned execution at p in {2, 3, 5, 8},
+/// for both join rules.  Everything observable must agree: the raw CDU
+/// byte sequence, parent pairs, combined flags, emission count, and the
+/// dedup pass over the raw sequence (unique store, raw→unique map, repeat
+/// count).  Bucketed probes never exceed pairwise probes — except when the
+/// store holds duplicate units: a duplicated unit pair shares all k−1
+/// sub-signatures, so the bucketed kernel probes it once per bucket it
+/// meets in (each probe fails to merge, so output is unaffected), while
+/// pairwise probes every pair exactly once.  Callers with duplicate-heavy
+/// stores pass expect_fewer_probes = false.
+void expect_kernels_identical(const UnitStore& dense,
+                              bool expect_fewer_probes = true) {
+  for (const JoinRule rule :
+       {JoinRule::MafiaAnyShared, JoinRule::CliquePrefix}) {
+    const JoinResult pw = join_dense_units(dense, rule);
+    const JoinResult bk = bucket_join_dense_units(dense, rule);
+    const char* rname = rule == JoinRule::MafiaAnyShared ? "mafia" : "clique";
+
+    ASSERT_EQ(bk.cdus.size(), pw.cdus.size()) << rname;
+    ASSERT_EQ(bk.cdus.dim_bytes(), pw.cdus.dim_bytes()) << rname;
+    ASSERT_EQ(bk.cdus.bin_bytes(), pw.cdus.bin_bytes()) << rname;
+    EXPECT_EQ(bk.parents, pw.parents) << rname;
+    EXPECT_EQ(bk.combined, pw.combined) << rname;
+    EXPECT_EQ(bk.stats.emitted, pw.stats.emitted) << rname;
+    if (expect_fewer_probes) {
+      EXPECT_LE(bk.stats.probes, pw.stats.probes) << rname;
+    }
+
+    const DedupResult dpw = dedup_hash(pw.cdus);
+    const DedupResult dbk = dedup_hash(bk.cdus);
+    ASSERT_EQ(dbk.unique.dim_bytes(), dpw.unique.dim_bytes()) << rname;
+    ASSERT_EQ(dbk.unique.bin_bytes(), dpw.unique.bin_bytes()) << rname;
+    EXPECT_EQ(dbk.raw_to_unique, dpw.raw_to_unique) << rname;
+    EXPECT_EQ(dbk.num_repeats, dpw.num_repeats) << rname;
+
+    // Rank-partitioned bucketed execution: concatenated range outputs,
+    // parent-sorted, must equal the oracle at every rank count.
+    const JoinBucketIndex index(dense, rule);
+    for (const std::size_t p : {2u, 3u, 5u, 8u}) {
+      const auto bounds = weight_balanced_partition(index.bucket_work(), p);
+      UnitStore merged(dense.k() + 1);
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> parents;
+      std::uint64_t buckets = 0;
+      for (std::size_t r = 0; r < p; ++r) {
+        const JoinResult part = index.join_range(bounds[r], bounds[r + 1]);
+        merged.append(part.cdus);
+        parents.insert(parents.end(), part.parents.begin(),
+                       part.parents.end());
+        buckets += part.stats.buckets;
+      }
+      EXPECT_EQ(buckets, index.num_buckets()) << rname << " p=" << p;
+      sort_cdus_by_parents(merged, parents);
+      ASSERT_EQ(merged.dim_bytes(), pw.cdus.dim_bytes())
+          << rname << " p=" << p;
+      ASSERT_EQ(merged.bin_bytes(), pw.cdus.bin_bytes())
+          << rname << " p=" << p;
+      EXPECT_EQ(parents, pw.parents) << rname << " p=" << p;
+    }
+  }
+}
+
+// -------------------------------------------------- adversarial unit stores
+
+TEST(JoinDifferential, SingleBucketDegenerateOneDimUnits) {
+  // k−1 == 1: empty sub-signature, one global bucket.
+  std::vector<std::pair<std::vector<DimId>, std::vector<BinId>>> defs;
+  for (DimId d = 0; d < 6; ++d) {
+    for (BinId b = 0; b < 4; ++b) defs.push_back({{d}, {b}});
+  }
+  expect_kernels_identical(make_store(1, defs));
+}
+
+TEST(JoinDifferential, PackedSignaturePathTwoDims) {
+  // k−1 == 2: one (dim, bin) pair per signature — smallest packed path.
+  std::vector<std::pair<std::vector<DimId>, std::vector<BinId>>> defs;
+  for (DimId a = 0; a < 6; ++a) {
+    for (DimId b = static_cast<DimId>(a + 1); b < 7; ++b) {
+      defs.push_back({{a, b}, {static_cast<BinId>(a % 3),
+                               static_cast<BinId>(b % 3)}});
+    }
+  }
+  expect_kernels_identical(make_store(2, defs));
+}
+
+TEST(JoinDifferential, PackedSignaturePathAtEightByteBoundary) {
+  // k−1 == 5: signatures are 4 (dim, bin) pairs = exactly 8 bytes, the
+  // last store shape the packed-u64 path accepts.
+  std::vector<std::pair<std::vector<DimId>, std::vector<BinId>>> defs;
+  IcgRandom rng(42);
+  for (int u = 0; u < 120; ++u) {
+    std::vector<DimId> dims;
+    DimId d = static_cast<DimId>(uniform_index(rng, 3));
+    while (dims.size() < 5) {
+      dims.push_back(d);
+      d = static_cast<DimId>(d + 1 + uniform_index(rng, 2));
+    }
+    std::vector<BinId> bins(5);
+    for (auto& b : bins) b = static_cast<BinId>(uniform_index(rng, 3));
+    defs.push_back({std::move(dims), std::move(bins)});
+  }
+  expect_kernels_identical(make_store(5, defs));
+}
+
+TEST(JoinDifferential, WideSignatureMemcmpPath) {
+  // k−1 == 6: signatures are 5 pairs = 10 bytes > 8, so the index must
+  // take the flat-byte memcmp sort path.
+  std::vector<std::pair<std::vector<DimId>, std::vector<BinId>>> defs;
+  IcgRandom rng(43);
+  for (int u = 0; u < 100; ++u) {
+    std::vector<DimId> dims;
+    DimId d = static_cast<DimId>(uniform_index(rng, 2));
+    while (dims.size() < 6) {
+      dims.push_back(d);
+      d = static_cast<DimId>(d + 1 + uniform_index(rng, 2));
+    }
+    std::vector<BinId> bins(6);
+    for (auto& b : bins) b = static_cast<BinId>(uniform_index(rng, 2));
+    defs.push_back({std::move(dims), std::move(bins)});
+  }
+  expect_kernels_identical(make_store(6, defs));
+}
+
+TEST(JoinDifferential, BoundaryDimAndBinValues) {
+  // Extreme byte values (bin 255, high dim ids) must not collide in the
+  // packed signature or confuse the byte-wise sort.
+  expect_kernels_identical(make_store(
+      2, {{{0, 255}, {255, 255}},
+          {{0, 254}, {255, 0}},
+          {{254, 255}, {0, 255}},
+          {{0, 255}, {255, 0}},
+          {{1, 255}, {255, 255}},
+          {{0, 1}, {255, 255}},
+          {{1, 254}, {0, 0}}}));
+}
+
+TEST(JoinDifferential, DuplicateUnitsInDenseStore) {
+  // The driver never feeds duplicate dense units, but the kernel contract
+  // shouldn't depend on that: a duplicated unit meets its twin in every
+  // shared bucket and the merge verifier rejects the pair each time, so
+  // bucketed probes can exceed pairwise here — output must still match.
+  expect_kernels_identical(make_store(
+                               2, {{{0, 1}, {3, 4}},
+                                   {{0, 1}, {3, 4}},
+                                   {{1, 2}, {4, 5}},
+                                   {{0, 1}, {3, 4}},
+                                   {{0, 2}, {3, 5}}}),
+                           /*expect_fewer_probes=*/false);
+}
+
+TEST(JoinDifferential, RepeatHeavyJoinOutput) {
+  // A clique of units over one dense cell: every pair joins and nearly
+  // every emission repeats — stresses the fused dedup comparison.
+  std::vector<std::pair<std::vector<DimId>, std::vector<BinId>>> defs;
+  for (DimId a = 0; a < 5; ++a) {
+    for (DimId b = static_cast<DimId>(a + 1); b < 6; ++b) {
+      defs.push_back({{a, b}, {7, 7}});
+    }
+  }
+  expect_kernels_identical(make_store(2, defs));
+}
+
+TEST(JoinDifferential, SharedSubspaceManyBins) {
+  // All units in the same 3-dim subspace with varying bins: buckets carry
+  // many colliding entries whose merges mostly fail.
+  std::vector<std::pair<std::vector<DimId>, std::vector<BinId>>> defs;
+  for (BinId x = 0; x < 4; ++x) {
+    for (BinId y = 0; y < 4; ++y) {
+      for (BinId z = 0; z < 3; ++z) defs.push_back({{2, 5, 9}, {x, y, z}});
+    }
+  }
+  expect_kernels_identical(make_store(3, defs));
+}
+
+TEST(JoinDifferential, RandomizedStoresSweep) {
+  IcgRandom rng(20260806);
+  for (int instance = 0; instance < 6; ++instance) {
+    const std::size_t k = 2 + uniform_index(rng, 3);  // 2..4 dims
+    const std::size_t nbins = 2 + uniform_index(rng, 4);
+    std::vector<std::pair<std::vector<DimId>, std::vector<BinId>>> defs;
+    const std::size_t n = 60 + uniform_index(rng, 120);
+    for (std::size_t u = 0; u < n; ++u) {
+      std::vector<DimId> dims;
+      DimId d = static_cast<DimId>(uniform_index(rng, 2));
+      while (dims.size() < k) {
+        dims.push_back(d);
+        d = static_cast<DimId>(d + 1 + uniform_index(rng, 2));
+      }
+      std::vector<BinId> bins(k);
+      for (auto& b : bins) b = static_cast<BinId>(uniform_index(rng, nbins));
+      defs.push_back({std::move(dims), std::move(bins)});
+    }
+    SCOPED_TRACE("instance " + std::to_string(instance));
+    expect_kernels_identical(make_store(k, defs));
+  }
+}
+
+// -------------------------------------------------------------- end-to-end
+
+std::multiset<std::string> signature(const MafiaResult& r) {
+  std::multiset<std::string> sig;
+  for (const Cluster& c : r.clusters) {
+    std::string s;
+    for (const DimId d : c.dims) s += "d" + std::to_string(d);
+    std::multiset<std::string> units;
+    for (std::size_t u = 0; u < c.units.size(); ++u) {
+      units.insert(c.units.to_string(u));
+    }
+    for (const auto& u : units) s += u;
+    sig.insert(std::move(s));
+  }
+  return sig;
+}
+
+Dataset differential_data() {
+  GeneratorConfig cfg;
+  cfg.num_dims = 10;
+  cfg.num_records = 20000;
+  cfg.seed = 77;
+  cfg.clusters.push_back(
+      ClusterSpec::box({1, 5, 8}, {30, 30, 30}, {42, 42, 42}, 1.0));
+  cfg.clusters.push_back(ClusterSpec::box({0, 3}, {60, 60}, {75, 75}, 1.0));
+  return generate(cfg);
+}
+
+TEST(JoinDifferential, EndToEndKernelsAgreeAcrossRankCounts) {
+  // run_pmafia under JoinKernel::Pairwise is the oracle; the bucketed
+  // default must match it — clusters, per-level raw/unique/dense counts,
+  // emissions, and the populate-count checksum (which hashes the full
+  // globalized count vector, so any reordering or divergence in the unique
+  // CDU sets fails here) — at every rank count.
+  const Dataset data = differential_data();
+  InMemorySource source(data);
+
+  MafiaOptions pairwise;
+  pairwise.fixed_domain = {{0.0f, 100.0f}};
+  pairwise.tau = 2;  // engage every task-parallel phase
+  pairwise.join.kernel = JoinKernel::Pairwise;
+  MafiaOptions bucketed = pairwise;
+  bucketed.join.kernel = JoinKernel::Bucketed;
+
+  const MafiaResult oracle = run_pmafia(source, pairwise, 1);
+  const auto oracle_sig = signature(oracle);
+  ASSERT_GT(oracle.levels.size(), 2u);
+
+  for (const int p : {1, 2, 3, 5, 8}) {
+    const MafiaResult pw = run_pmafia(source, pairwise, p);
+    const MafiaResult bk = run_pmafia(source, bucketed, p);
+    EXPECT_EQ(oracle_sig, signature(pw)) << "pairwise p=" << p;
+    EXPECT_EQ(oracle_sig, signature(bk)) << "bucketed p=" << p;
+    ASSERT_EQ(bk.levels.size(), oracle.levels.size()) << "p=" << p;
+    for (std::size_t l = 0; l < oracle.levels.size(); ++l) {
+      EXPECT_EQ(bk.levels[l].ncdu_raw, oracle.levels[l].ncdu_raw);
+      EXPECT_EQ(bk.levels[l].ncdu, oracle.levels[l].ncdu);
+      EXPECT_EQ(bk.levels[l].ndu, oracle.levels[l].ndu);
+      EXPECT_EQ(bk.levels[l].count_checksum, oracle.levels[l].count_checksum)
+          << "level " << oracle.levels[l].level << " p=" << p;
+      EXPECT_EQ(bk.levels[l].join_emitted, oracle.levels[l].join_emitted)
+          << "level " << oracle.levels[l].level << " p=" << p;
+      EXPECT_LE(bk.levels[l].join_probes, oracle.levels[l].join_probes)
+          << "level " << oracle.levels[l].level << " p=" << p;
+      // Emissions from a level-k join, minus fused repeats, are level k's
+      // unique CDU count (levels[l] covers k = l+1; the join that produced
+      // it is recorded on the same row).
+      if (l > 0) {
+        EXPECT_EQ(bk.levels[l].join_emitted - bk.levels[l].join_repeats_fused,
+                  bk.levels[l].ncdu)
+            << "level " << bk.levels[l].level << " p=" << p;
+      }
+    }
+    // The trace fields are rank-count invariant within each kernel too.
+    for (std::size_t l = 0; l < oracle.levels.size(); ++l) {
+      EXPECT_EQ(pw.levels[l].join_probes, oracle.levels[l].join_probes)
+          << "pairwise stats drifted with p at level " << l + 1;
+    }
+    // Kernel accounting: every joined level used the selected kernel
+    // (level 2's k−1 = 1 parents fall back to pairwise under Bucketed).
+    EXPECT_EQ(pw.join_kernel.bucketed_levels, 0u);
+    EXPECT_GT(bk.join_kernel.bucketed_levels, 0u);
+    EXPECT_EQ(bk.join_kernel.pairwise_levels, 1u) << "p=" << p;
+    EXPECT_EQ(bk.join_kernel.emitted, pw.join_kernel.emitted) << "p=" << p;
+    EXPECT_LE(bk.join_kernel.probes, pw.join_kernel.probes) << "p=" << p;
+  }
+}
+
+TEST(JoinDifferential, DedupPolicyStillInvariantUnderPairwiseKernel) {
+  // The fused dedup path only engages under the bucketed kernel; with the
+  // pairwise kernel the DedupPolicy knob keeps its meaning, and both
+  // policies still agree with the bucketed default.
+  const Dataset data = differential_data();
+  InMemorySource source(data);
+  MafiaOptions base;
+  base.fixed_domain = {{0.0f, 100.0f}};
+  base.tau = 2;
+  const auto ref = signature(run_pmafia(source, base, 2));  // bucketed+hash
+
+  MafiaOptions pw = base;
+  pw.join.kernel = JoinKernel::Pairwise;
+  pw.dedup = DedupPolicy::Pairwise;
+  EXPECT_EQ(ref, signature(run_pmafia(source, pw, 2)));
+  pw.dedup = DedupPolicy::Hash;
+  EXPECT_EQ(ref, signature(run_pmafia(source, pw, 2)));
+}
+
+}  // namespace
+}  // namespace mafia

@@ -9,6 +9,8 @@
 
 #include "common/error.hpp"
 #include "taskpart/taskpart.hpp"
+#include "units/join.hpp"
+#include "units/unit_store.hpp"
 
 namespace mafia {
 namespace {
@@ -16,12 +18,14 @@ namespace {
 // --------------------------------------------------------- work accounting
 
 TEST(TriangularWork, MatchesBruteForceSum) {
-  // Work(j) = n - j; check several ranges against explicit summation.
+  // Work(j) = n − 1 − j: row j of the pair loop compares against exactly
+  // the units after it.  (The old model charged n − j — one phantom
+  // comparison per row.)  Check several ranges against explicit summation.
   constexpr std::size_t n = 57;
   for (std::size_t begin = 0; begin <= n; begin += 7) {
     for (std::size_t end = begin; end <= n; end += 11) {
       std::uint64_t expected = 0;
-      for (std::size_t j = begin; j < end; ++j) expected += n - j;
+      for (std::size_t j = begin; j < end; ++j) expected += n - 1 - j;
       EXPECT_EQ(triangular_work(n, begin, end), expected)
           << "[" << begin << "," << end << ")";
     }
@@ -35,11 +39,13 @@ TEST(TriangularWork, EmptyRangeIsZero) {
 }
 
 TEST(TriangularWork, TotalIsClosedForm) {
+  // Total work is the number of unordered pairs, n(n−1)/2.
   for (std::size_t n : {0u, 1u, 2u, 10u, 1000u, 65536u}) {
     EXPECT_EQ(triangular_total_work(n),
-              static_cast<std::uint64_t>(n) * (n + 1) / 2);
+              static_cast<std::uint64_t>(n) * (n - (n > 0 ? 1 : 0)) / 2);
     EXPECT_EQ(triangular_work(n, 0, n), triangular_total_work(n));
   }
+  EXPECT_EQ(triangular_total_work(4), 6u);  // C(4,2), spelled out
 }
 
 // ------------------------------------------------------- Eq. 1 partition
@@ -110,6 +116,39 @@ TEST(TriangularPartition, FirstRankGetsFewerRowsThanLast) {
 
 TEST(TriangularPartition, RejectsZeroRanks) {
   EXPECT_THROW((void)triangular_partition(10, 0), Error);
+}
+
+TEST(TriangularPartition, ModelMatchesMeasuredJoinProbes) {
+  // The regression that motivated the model fix: the probe counters of the
+  // actual pairwise join kernel, run per rank range, must equal the cost
+  // function Eq. 1 optimizes — exactly, pair for pair — and each rank's
+  // measured work must sit within one row's work of the ideal.
+  constexpr std::size_t n = 311;
+  UnitStore dense(2);
+  for (std::size_t u = 0; u < n; ++u) {
+    const DimId dims[2] = {static_cast<DimId>(u % 7),
+                           static_cast<DimId>(u % 7 + 1 + u % 3)};
+    const BinId bins[2] = {static_cast<BinId>(u % 11),
+                           static_cast<BinId>(u % 5)};
+    dense.push_unchecked(dims, bins);
+  }
+  for (const std::size_t p : {2u, 3u, 5u, 8u}) {
+    const auto bounds = triangular_partition(n, p);
+    const double ideal =
+        static_cast<double>(triangular_total_work(n)) / static_cast<double>(p);
+    std::uint64_t measured_total = 0;
+    for (std::size_t r = 0; r < p; ++r) {
+      const JoinResult jr = join_dense_units(dense, JoinRule::MafiaAnyShared,
+                                             bounds[r], bounds[r + 1]);
+      EXPECT_EQ(jr.stats.probes, triangular_work(n, bounds[r], bounds[r + 1]))
+          << "rank " << r << " of " << p;
+      EXPECT_NEAR(static_cast<double>(jr.stats.probes), ideal,
+                  static_cast<double>(n))  // ±1 row of rounding
+          << "rank " << r << " of " << p;
+      measured_total += jr.stats.probes;
+    }
+    EXPECT_EQ(measured_total, triangular_total_work(n));
+  }
 }
 
 // ------------------------------------------------- flag-balanced partition
@@ -187,6 +226,102 @@ TEST(FlagBalanced, MoreRanksThanFlags) {
     for (std::size_t i = bounds[r]; i < bounds[r + 1]; ++i) total += flags[i];
   }
   EXPECT_EQ(total, 2u);
+}
+
+TEST(FlagBalanced, SingleDenseRunAdvancesAllSatisfiedRanks) {
+  // Regression: one contiguous run of set flags with total_set < p makes
+  // consecutive ceil quotas plateau at the same value.  The scan used to
+  // advance only one rank per element, smearing later cuts one element
+  // apart past the run and skewing the tail ranks' scan ranges; it must
+  // instead cut every satisfied rank at the same index.
+  std::vector<std::uint8_t> flags(1000, 0);
+  for (std::size_t i = 400; i < 405; ++i) flags[i] = 1;  // 5 flags, p = 8
+  const auto bounds = flag_balanced_partition(flags, 8);
+  ASSERT_EQ(bounds.size(), 9u);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 1000u);
+  // Every rank's range holds at most one set flag (5 flags over 8 ranks),
+  // and all cuts stay inside/at the run — no cut drifts past index 405.
+  for (std::size_t r = 0; r < 8; ++r) {
+    std::size_t set = 0;
+    for (std::size_t i = bounds[r]; i < bounds[r + 1]; ++i) set += flags[i];
+    EXPECT_LE(set, 1u) << "rank " << r;
+  }
+  for (std::size_t r = 1; r < 8; ++r) {
+    if (bounds[r] > 0) {
+      EXPECT_LE(bounds[r], 405u) << "rank " << r;
+    }
+  }
+}
+
+// ----------------------------------------------- weight-balanced partition
+
+TEST(WeightBalanced, SplitsUniformWeightsEvenly) {
+  std::vector<std::uint64_t> weights(100, 3);
+  const auto bounds = weight_balanced_partition(weights, 4);
+  ASSERT_EQ(bounds.size(), 5u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(bounds[r + 1] - bounds[r], 25u) << "rank " << r;
+  }
+}
+
+TEST(WeightBalanced, BalancesSkewedWeights) {
+  // Bucketed-join shape: many singleton buckets (weight 0) plus a few heavy
+  // ones.  Pair work must spread across ranks, not land on whoever owns the
+  // heavy tail.
+  std::vector<std::uint64_t> weights(200, 0);
+  weights[10] = 100;
+  weights[90] = 100;
+  weights[150] = 100;
+  weights[199] = 100;
+  const auto bounds = weight_balanced_partition(weights, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::uint64_t w = 0;
+    for (std::size_t i = bounds[r]; i < bounds[r + 1]; ++i) w += weights[i];
+    EXPECT_EQ(w, 100u) << "rank " << r;
+  }
+}
+
+TEST(WeightBalanced, OneHeavyBucketSatisfiesSeveralQuotas) {
+  // A single heavy bucket must cut every satisfied rank at its index (the
+  // same plateau case the flag partitioner fixes), leaving the other ranks
+  // empty rather than fed one stray bucket each.
+  std::vector<std::uint64_t> weights(50, 0);
+  weights[20] = 1000;
+  const auto bounds = weight_balanced_partition(weights, 4);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 50u);
+  std::size_t ranks_with_weight = 0;
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::uint64_t w = 0;
+    for (std::size_t i = bounds[r]; i < bounds[r + 1]; ++i) w += weights[i];
+    ranks_with_weight += (w > 0);
+  }
+  EXPECT_EQ(ranks_with_weight, 1u);
+}
+
+TEST(WeightBalanced, AllZeroWeightsFallBackToEvenBlocks) {
+  std::vector<std::uint64_t> weights(10, 0);
+  const auto bounds = weight_balanced_partition(weights, 4);
+  for (std::size_t r = 0; r <= 4; ++r) EXPECT_EQ(bounds[r], 10 * r / 4);
+}
+
+TEST(WeightBalanced, CoversArrayAndPreservesTotal) {
+  std::vector<std::uint64_t> weights{5, 0, 3, 9, 1, 0, 0, 7, 2, 4};
+  const auto bounds = weight_balanced_partition(weights, 3);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), weights.size());
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_LE(bounds[r], bounds[r + 1]);
+    for (std::size_t i = bounds[r]; i < bounds[r + 1]; ++i) total += weights[i];
+  }
+  EXPECT_EQ(total, 31u);
+}
+
+TEST(WeightBalanced, RejectsZeroRanks) {
+  std::vector<std::uint64_t> weights{1, 2, 3};
+  EXPECT_THROW((void)weight_balanced_partition(weights, 0), Error);
 }
 
 }  // namespace

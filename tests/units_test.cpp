@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "grid/uniform_grid.hpp"
+#include "taskpart/taskpart.hpp"
 #include "units/dedup.hpp"
 #include "units/identify.hpp"
 #include "units/join.hpp"
@@ -197,6 +198,115 @@ TEST(Join, MafiaJoinMatchesBruteForceDefinition) {
     }
   }
   EXPECT_EQ(r.cdus.size(), expected);
+}
+
+// --------------------------------------------------------- bucketed kernel
+
+TEST(Join, PaperExampleHoldsUnderBucketedKernel) {
+  // The Section 3 example again, through the bucket-indexed kernel: MAFIA's
+  // rule produces {a1,b7,c8,d9}, CLIQUE's prefix rule misses it — the
+  // kernels must agree with the pairwise scan rule for rule.
+  auto dense = make_store(3, {{{0, 1, 2}, {1, 7, 8}}, {{1, 2, 3}, {7, 8, 9}}});
+
+  const JoinResult mafia_join =
+      bucket_join_dense_units(dense, JoinRule::MafiaAnyShared);
+  ASSERT_EQ(mafia_join.cdus.size(), 1u);
+  EXPECT_EQ(mafia_join.cdus.to_string(0), "{d0:b1, d1:b7, d2:b8, d3:b9}");
+  EXPECT_EQ(mafia_join.parents.at(0),
+            (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+  EXPECT_EQ(mafia_join.combined, (std::vector<std::uint8_t>{1, 1}));
+  EXPECT_EQ(mafia_join.stats.emitted, 1u);
+
+  const JoinResult clique_join =
+      bucket_join_dense_units(dense, JoinRule::CliquePrefix);
+  EXPECT_EQ(clique_join.cdus.size(), 0u);
+  EXPECT_EQ(clique_join.combined, (std::vector<std::uint8_t>{0, 0}));
+}
+
+TEST(Join, BucketedMatchesPairwiseOnBruteForceStore) {
+  // Same store as MafiaJoinMatchesBruteForceDefinition: the bucketed kernel
+  // must reproduce the pairwise raw sequence bit for bit, parents included,
+  // in strictly fewer probes (the point of the index).
+  std::vector<std::pair<std::vector<DimId>, std::vector<BinId>>> defs;
+  for (DimId a = 0; a < 4; ++a) {
+    for (DimId b = static_cast<DimId>(a + 1); b < 5; ++b) {
+      for (DimId c = static_cast<DimId>(b + 1); c < 6; ++c) {
+        defs.push_back({{a, b, c}, {static_cast<BinId>(a + b),
+                                    static_cast<BinId>(b + c),
+                                    static_cast<BinId>(a + c)}});
+      }
+    }
+  }
+  UnitStore dense = make_store(3, defs);
+  for (const JoinRule rule :
+       {JoinRule::MafiaAnyShared, JoinRule::CliquePrefix}) {
+    const JoinResult pw = join_dense_units(dense, rule);
+    const JoinResult bk = bucket_join_dense_units(dense, rule);
+    ASSERT_EQ(bk.cdus.size(), pw.cdus.size());
+    for (std::size_t u = 0; u < pw.cdus.size(); ++u) {
+      EXPECT_TRUE(bk.cdus.equal(u, pw.cdus, u)) << "unit " << u;
+    }
+    EXPECT_EQ(bk.parents, pw.parents);
+    EXPECT_EQ(bk.combined, pw.combined);
+    EXPECT_EQ(bk.stats.emitted, pw.stats.emitted);
+    EXPECT_LT(bk.stats.probes, pw.stats.probes);
+    EXPECT_GT(bk.stats.buckets, 0u);
+  }
+}
+
+TEST(Join, BucketRangeUnionEqualsFullBucketedJoin) {
+  // Split the bucket ranges with the weight-balanced partitioner ("rank"
+  // pieces concatenated in order, then parent-sorted): must equal both the
+  // full bucketed join and the pairwise scan.
+  std::vector<std::pair<std::vector<DimId>, std::vector<BinId>>> defs;
+  for (DimId a = 0; a < 5; ++a) {
+    for (DimId b = static_cast<DimId>(a + 1); b < 6; ++b) {
+      defs.push_back({{a, b}, {static_cast<BinId>(a % 2), static_cast<BinId>(b % 2)}});
+    }
+  }
+  UnitStore dense = make_store(2, defs);
+  const JoinResult pw = join_dense_units(dense, JoinRule::MafiaAnyShared);
+
+  const JoinBucketIndex index(dense, JoinRule::MafiaAnyShared);
+  const auto bounds = weight_balanced_partition(index.bucket_work(), 3);
+  UnitStore merged(3);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> parents;
+  std::uint64_t buckets = 0;
+  for (std::size_t r = 0; r < 3; ++r) {
+    const JoinResult part = index.join_range(bounds[r], bounds[r + 1]);
+    merged.append(part.cdus);
+    parents.insert(parents.end(), part.parents.begin(), part.parents.end());
+    buckets += part.stats.buckets;
+  }
+  EXPECT_EQ(buckets, index.num_buckets());
+  sort_cdus_by_parents(merged, parents);
+  ASSERT_EQ(merged.size(), pw.cdus.size());
+  for (std::size_t u = 0; u < merged.size(); ++u) {
+    EXPECT_TRUE(merged.equal(u, pw.cdus, u)) << "unit " << u;
+  }
+  EXPECT_EQ(parents, pw.parents);
+}
+
+TEST(Join, BucketedHandlesOneDimensionalUnits) {
+  // k−1 == 1: the sub-signature is empty, so the index degenerates to one
+  // global bucket and must still reproduce the pairwise output (the driver
+  // prefers the triangular scan here, but the kernel stays correct).
+  auto dense = make_store(1, {{{0}, {3}}, {{1}, {5}}, {{1}, {6}}, {{2}, {0}}});
+  const JoinResult pw = join_dense_units(dense, JoinRule::MafiaAnyShared);
+  const JoinResult bk = bucket_join_dense_units(dense, JoinRule::MafiaAnyShared);
+  EXPECT_EQ(bk.stats.buckets, 1u);
+  ASSERT_EQ(bk.cdus.size(), pw.cdus.size());
+  for (std::size_t u = 0; u < pw.cdus.size(); ++u) {
+    EXPECT_TRUE(bk.cdus.equal(u, pw.cdus, u)) << "unit " << u;
+  }
+  EXPECT_EQ(bk.parents, pw.parents);
+}
+
+TEST(Join, BucketedEmptyStore) {
+  UnitStore dense(2);
+  const JoinResult bk = bucket_join_dense_units(dense, JoinRule::MafiaAnyShared);
+  EXPECT_EQ(bk.cdus.size(), 0u);
+  EXPECT_EQ(bk.stats.probes, 0u);
 }
 
 // ------------------------------------------------------------------ dedup

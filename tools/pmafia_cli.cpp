@@ -197,6 +197,16 @@ MafiaOptions options_from_args(const Args& args) {
       require(false, "--populate-kernel must be auto, packed, or memcmp");
     }
   }
+  if (args.has("join-kernel")) {
+    const std::string kernel = args.get("join-kernel");
+    if (kernel == "bucketed") {
+      o.join.kernel = JoinKernel::Bucketed;
+    } else if (kernel == "pairwise") {
+      o.join.kernel = JoinKernel::Pairwise;
+    } else {
+      require(false, "--join-kernel must be bucketed or pairwise");
+    }
+  }
   if (args.has("domain-lo") || args.has("domain-hi")) {
     o.fixed_domain = {{static_cast<Value>(args.get_double("domain-lo", 0.0)),
                        static_cast<Value>(args.get_double("domain-hi", 100.0))}};
@@ -335,6 +345,7 @@ void usage() {
       "           [--alpha A] [--beta B] [--fine-bins N] [--window-cells W]\n"
       "           [--noise-sigmas S] [--min-dims K] [--chunk B]\n"
       "           [--domain-lo L --domain-hi H] [--xi N --tau F]\n"
+      "           [--join-kernel bucketed|pairwise]\n"
       "           [--save model.txt] [--report-json report.json]\n"
       "           [--checkpoint-dir DIR] [--resume] [--max-cdu-bytes N]\n"
       "           [--inject-fault rank:op[:delay_s]]...   (repeatable)\n"
