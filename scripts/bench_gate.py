@@ -18,12 +18,23 @@ compared against the best baseline row of the same group — comparing
 against the best, not the mean, keeps the gate one-sided: a lucky baseline
 tightens it, a noisy one never loosens it.
 
+Besides the soft throughput comparison, --speedup declares HARD intra-run
+ratio gates of the form BENCH:TAG_NUM:TAG_DEN:MIN: the newest fresh rows
+of (BENCH, TAG_DEN) and (BENCH, TAG_NUM) must satisfy
+
+    total_seconds(TAG_DEN) / total_seconds(TAG_NUM) >= MIN
+
+Both rows come from the same fresh run on the same machine, so the ratio
+is machine-independent and a violation fails the gate (exit 1) even
+without --strict.  The I/O pipeline bench uses this:
+    --speedup io:e2e-prefetch=on:e2e-prefetch=off:1.3
+
 Exit status: 0 when everything passes or only warnings were produced (the
 gate is soft by default: CI prints the warning but does not fail the
-build); 1 with --strict when any group regressed beyond tolerance; 2 on
-usage/parse errors.  Groups present only on one side are reported but
-never fail the gate (new benches seed their baselines through normal
-commits).
+build); 1 with --strict when any group regressed beyond tolerance, or
+always when a --speedup gate fails; 2 on usage/parse errors.  Groups
+present only on one side are reported but never fail the gate (new
+benches seed their baselines through normal commits).
 """
 
 import argparse
@@ -78,6 +89,46 @@ def group_rows(rows):
     return groups
 
 
+def group_totals(rows):
+    """(bench, tag) -> newest report.total_seconds, for --speedup gates."""
+    totals = {}
+    for row in rows:
+        total = row.get("report", {}).get("total_seconds", 0.0)
+        if total > 0.0:
+            totals[(row.get("bench", "?"), row.get("tag", ""))] = total
+    return totals
+
+
+def check_speedups(specs, totals):
+    """Evaluates BENCH:TAG_NUM:TAG_DEN:MIN specs; returns failure count."""
+    failures = 0
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 4:
+            raise SystemExit(f"--speedup {spec!r}: want BENCH:TAG_NUM:TAG_DEN:MIN")
+        bench, tag_num, tag_den, min_str = parts
+        try:
+            minimum = float(min_str)
+        except ValueError:
+            raise SystemExit(f"--speedup {spec!r}: bad minimum {min_str!r}")
+        num = totals.get((bench, tag_num))
+        den = totals.get((bench, tag_den))
+        if num is None or den is None:
+            failures += 1
+            missing = tag_num if num is None else tag_den
+            print(f"speedup gate {spec}: FAIL (no fresh row for "
+                  f"({bench}, {missing}))")
+            continue
+        ratio = den / num
+        verdict = "ok" if ratio >= minimum else "FAIL"
+        if verdict == "FAIL":
+            failures += 1
+        print(f"speedup gate {bench}: {tag_den} / {tag_num} = "
+              f"{den:.3f}s / {num:.3f}s = {ratio:.2f}x "
+              f"(require >= {minimum:.2f}x)  {verdict}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True,
@@ -89,6 +140,11 @@ def main():
                          "warning (default 0.15)")
     ap.add_argument("--strict", action="store_true",
                     help="exit 1 on regression instead of warning only")
+    ap.add_argument("--speedup", action="append", default=[],
+                    metavar="BENCH:TAG_NUM:TAG_DEN:MIN",
+                    help="hard gate: newest fresh total_seconds ratio "
+                         "TAG_DEN/TAG_NUM for BENCH must be >= MIN "
+                         "(fails even without --strict; repeatable)")
     args = ap.parse_args()
 
     baseline = group_rows(load_rows(args.baseline))
@@ -118,9 +174,19 @@ def main():
     for key in sorted(set(baseline) - set(fresh)):
         print(f"{key[0]:<12} {key[1]:<22} {'(baseline only, not re-run)'}")
 
+    speedup_failures = 0
+    if args.speedup:
+        print()
+        speedup_failures = check_speedups(args.speedup,
+                                          group_totals(load_rows(args.fresh)))
+
     if regressions:
         print(f"\nWARNING: {regressions} group(s) regressed beyond "
               f"{args.tolerance:.0%}.")
+    if speedup_failures:
+        print(f"\nFAIL: {speedup_failures} speedup gate(s) violated.")
+        return 1
+    if regressions:
         return 1 if args.strict else 0
     print("\nbench gate: all groups within tolerance.")
     return 0

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "grid/adaptive_grid.hpp"
+#include "io/pipeline.hpp"
 #include "mp/faults.hpp"
 #include "mp/stats.hpp"
 #include "units/dedup.hpp"
@@ -65,6 +66,14 @@ struct MafiaOptions {
   /// B: records per chunk of the out-of-core scans (Algorithm 2's memory
   /// buffer).
   std::size_t chunk_records = 1 << 16;
+
+  /// Pipelined prefetching for the data passes (io/pipeline.hpp): with
+  /// `io.prefetch` set, every chunked scan runs through a PipelinedSource
+  /// so the next chunk is read while the current one is processed.  Results
+  /// are bit-identical either way (the pipeline preserves the synchronous
+  /// chunk sequence); only where the time goes changes, and the per-phase
+  /// io stats in the run report show the split.
+  IoConfig io;
 
   /// Populate-kernel tuning: the record-block size of the subspace-major
   /// sweep and the lookup-kernel selection (Auto = packed integer keys for
@@ -140,6 +149,7 @@ struct MafiaOptions {
 
   void validate() const {
     grid.validate();
+    io.validate();
     require(chunk_records >= 1, "MafiaOptions: chunk_records must be positive");
     require(populate.block_records >= 1,
             "MafiaOptions: populate.block_records must be positive");

@@ -21,6 +21,20 @@ std::string hex64(std::uint64_t v) {
   return buf;
 }
 
+/// Serializes one IoScanStats as a JSON object (the same shape wherever
+/// I/O accounting appears: per phase, per rank, and run totals).
+void write_io(JsonWriter& w, const IoScanStats& s) {
+  w.begin_object();
+  w.key("chunks").value(s.chunks);
+  w.key("bytes_read").value(s.bytes);
+  w.key("read_seconds").value(s.read_seconds);
+  w.key("wait_seconds").value(s.wait_seconds);
+  w.key("compute_seconds").value(s.compute_seconds);
+  w.key("scan_seconds").value(s.scan_seconds);
+  w.key("overlap_fraction").value(s.overlap_fraction());
+  w.end_object();
+}
+
 /// Serializes one CommStats as a JSON object (shared by every level of the
 /// report so the counter schema is identical everywhere it appears).
 void write_comm(JsonWriter& w, const mp::CommStats& s) {
@@ -81,6 +95,18 @@ std::string render_report(const MafiaResult& result) {
      << result.join_kernel.buckets << ", probes " << result.join_kernel.probes
      << ", emitted " << result.join_kernel.emitted << ", repeats fused "
      << result.join_kernel.repeats_fused << "\n";
+
+  // Chunked-scan I/O: where the data-pass time went, summed over ranks.
+  // Only meaningful when the trace carries the per-rank breakdown.
+  if (!result.trace.empty()) {
+    const IoScanStats io = result.trace.io_total();
+    os << "io (all ranks): prefetch " << (result.io.prefetch ? "on" : "off");
+    if (result.io.prefetch) os << " (" << result.io.buffers << " buffers)";
+    os << "; " << io.chunks << " chunks, " << io.bytes << " bytes read; "
+       << "read " << io.read_seconds << " s, wait " << io.wait_seconds
+       << " s, compute " << io.compute_seconds << " s, overlap "
+       << static_cast<int>(io.overlap_fraction() * 100.0 + 0.5) << "%\n";
+  }
 
   // Phase seconds: the max column is a true cross-rank maximum (an
   // allreduce_max over every rank's timer, carried by result.phases); the
@@ -212,6 +238,8 @@ std::string render_report_json(const MafiaResult& result,
       w.key("mean_seconds").value(result.trace.mean_seconds(name));
       w.key("comm");
       write_comm(w, result.trace.phase_comm(name));
+      w.key("io");
+      write_io(w, result.trace.phase_io(name));
     }
     w.end_object();
   }
@@ -228,6 +256,10 @@ std::string render_report_json(const MafiaResult& result,
       w.key("seconds").value(ps.seconds);
       w.key("comm");
       write_comm(w, ps.comm);
+      if (!ps.io.empty()) {
+        w.key("io");
+        write_io(w, ps.io);
+      }
       w.end_object();
     }
     w.end_object();
@@ -239,6 +271,16 @@ std::string render_report_json(const MafiaResult& result,
 
   w.key("comm");
   write_comm(w, result.comm);
+
+  // The I/O pipeline configuration plus job-wide chunked-scan accounting
+  // (additive in pmafia-report-v1; totals are zero when the result predates
+  // the trace exchange).
+  w.key("io").begin_object();
+  w.key("prefetch").value(result.io.prefetch);
+  w.key("buffers").value(result.io.buffers);
+  w.key("total");
+  write_io(w, result.trace.io_total());
+  w.end_object();
 
   // Section 4.5: what the measured volume would cost on the model machine
   // (SP2 by default), next to the wall time actually spent inside comm

@@ -102,6 +102,11 @@ struct MafiaResult {
   /// Checkpoint/restart accounting (zeros when checkpointing is off).
   RecoveryInfo recovery;
 
+  /// The I/O pipeline configuration the run used (copied from
+  /// MafiaOptions::io).  The per-phase and total I/O accounting lives in
+  /// `trace` (PhaseStats::io / RunTrace::io_total).
+  IoConfig io;
+
   /// End-to-end wall-clock seconds (includes rank spawn/join).
   double total_seconds = 0.0;
 

@@ -65,6 +65,23 @@ mp::CommStats RunTrace::phase_comm(const std::string& phase) const {
   return total;
 }
 
+IoScanStats RunTrace::phase_io(const std::string& phase) const {
+  IoScanStats total;
+  for (const PhaseMap& rank : per_rank) {
+    const auto it = rank.find(phase);
+    if (it != rank.end()) total.merge(it->second.io);
+  }
+  return total;
+}
+
+IoScanStats RunTrace::io_total() const {
+  IoScanStats total;
+  for (const PhaseMap& rank : per_rank) {
+    for (const auto& [name, ps] : rank) total.merge(ps.io);
+  }
+  return total;
+}
+
 mp::CommStats RunTrace::comm_total() const {
   mp::CommStats total;
   for (const mp::CommStats& s : rank_totals) total.merge(s);
@@ -72,7 +89,10 @@ mp::CommStats RunTrace::comm_total() const {
 }
 
 RunTrace exchange_trace(const PhaseTracer& tracer, mp::Comm& comm) {
-  constexpr std::size_t kWords = mp::CommStats::kSerializedWords;
+  // Per-phase serialization: the CommStats words followed by the
+  // IoScanStats words, one fixed-width block per phase.
+  constexpr std::size_t kCommWords = mp::CommStats::kSerializedWords;
+  constexpr std::size_t kWords = kCommWords + IoScanStats::kSerializedWords;
 
   // Snapshot this rank's totals BEFORE the instrumentation traffic below,
   // so the reported totals equal the sum of the per-phase deltas.
@@ -88,6 +108,8 @@ RunTrace exchange_trace(const PhaseTracer& tracer, mp::Comm& comm) {
     seconds.push_back(ps.seconds);
     const auto packed = ps.comm.serialize();
     words.insert(words.end(), packed.begin(), packed.end());
+    const auto io_packed = ps.io.serialize();
+    words.insert(words.end(), io_packed.begin(), io_packed.end());
   }
 
   // Every rank learns the cross-rank per-phase maxima (the slowest rank
@@ -111,7 +133,7 @@ RunTrace exchange_trace(const PhaseTracer& tracer, mp::Comm& comm) {
   const auto p = static_cast<std::size_t>(comm.size());
   const std::size_t np = tracer.phases().size();
   require(all_seconds.size() == p * np && all_words.size() == p * np * kWords &&
-              all_totals.size() == p * kWords,
+              all_totals.size() == p * kCommWords,
           "exchange_trace: ranks disagree on the phase structure");
 
   trace.per_rank.resize(p);
@@ -122,13 +144,14 @@ RunTrace exchange_trace(const PhaseTracer& tracer, mp::Comm& comm) {
     for (const auto& [name, ps] : tracer.phases()) {
       PhaseStats rs;
       rs.seconds = all_seconds[r * np + k];
-      rs.comm = mp::CommStats::deserialize(
-          all_words.data() + (r * np + k) * kWords);
+      const std::uint64_t* block = all_words.data() + (r * np + k) * kWords;
+      rs.comm = mp::CommStats::deserialize(block);
+      rs.io = IoScanStats::deserialize(block + kCommWords);
       phases.emplace(name, rs);
       ++k;
     }
     trace.rank_totals[r] =
-        mp::CommStats::deserialize(all_totals.data() + r * kWords);
+        mp::CommStats::deserialize(all_totals.data() + r * kCommWords);
   }
   return trace;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "io/pipeline.hpp"
 #include "mp/stats.hpp"
 
 namespace mafia {
@@ -26,16 +27,20 @@ namespace mp {
 class Comm;
 }  // namespace mp
 
-/// Wall seconds plus communication-counter deltas for one phase on one
-/// rank.  The comm deltas of all phases sum to the rank's totals because
-/// every collective the driver issues happens inside some phase scope.
+/// Wall seconds plus communication-counter deltas and chunked-scan I/O
+/// accounting for one phase on one rank.  The comm deltas of all phases sum
+/// to the rank's totals because every collective the driver issues happens
+/// inside some phase scope; `io` is nonzero only for the phases that scan
+/// data (histogram, populate).
 struct PhaseStats {
   double seconds = 0.0;
   mp::CommStats comm;
+  IoScanStats io;
 
   void merge(const PhaseStats& other) {
     seconds += other.seconds;
     comm.merge(other.comm);
+    io.merge(other.io);
   }
 };
 
@@ -79,6 +84,12 @@ class PhaseTracer {
 
   [[nodiscard]] const PhaseMap& phases() const { return phases_; }
 
+  /// Attributes one chunked scan's I/O accounting to `phase` (accumulates,
+  /// like re-entered Scopes do for seconds).
+  void add_io(const std::string& phase, const IoScanStats& io) {
+    phases_[phase].io.merge(io);
+  }
+
   /// Seconds-only view in the legacy PhaseTimer shape.
   [[nodiscard]] PhaseTimer timer() const;
 
@@ -121,6 +132,13 @@ struct RunTrace {
 
   /// Comm counters attributed to one phase, summed over ranks.
   [[nodiscard]] mp::CommStats phase_comm(const std::string& phase) const;
+
+  /// I/O accounting attributed to one phase, summed over ranks.
+  [[nodiscard]] IoScanStats phase_io(const std::string& phase) const;
+
+  /// Job-wide chunked-scan I/O totals: every phase's io summed over ranks
+  /// (parent rank only — zeros on results that predate the exchange).
+  [[nodiscard]] IoScanStats io_total() const;
 
   /// Job-wide comm totals: the sum of the per-rank snapshots (excludes the
   /// trace exchange's own instrumentation traffic).

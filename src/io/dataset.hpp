@@ -37,6 +37,16 @@ class Dataset {
     labels_.push_back(label);
   }
 
+  /// Appends `nrows` row-major records in one splice (the bulk-loader path:
+  /// read_record_file's slab reads).  Labels are filled with -1
+  /// (unlabelled); use set_label() to attach ground truth afterwards.
+  void append_rows(const Value* rows, RecordIndex nrows) {
+    require(dims_ >= 1, "Dataset::append_rows: no dimension count set");
+    const auto n = static_cast<std::size_t>(nrows);
+    values_.insert(values_.end(), rows, rows + n * dims_);
+    labels_.insert(labels_.end(), n, -1);
+  }
+
   /// Reserves capacity for `n` records.
   void reserve(RecordIndex n) {
     values_.reserve(static_cast<std::size_t>(n) * dims_);

@@ -1,5 +1,6 @@
 #include "io/record_file.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -132,20 +133,38 @@ Dataset read_record_file(const std::string& path) {
 
   Dataset data(header.num_dims);
   data.reserve(header.num_records);
-  std::vector<Value> row(header.num_dims);
-  for (std::uint64_t i = 0; i < header.num_records; ++i) {
-    in.read(reinterpret_cast<char*>(row.data()),
-            static_cast<std::streamsize>(row.size() * sizeof(Value)));
+  const std::size_t d = header.num_dims;
+
+  // Read the value block in multi-record slabs (~4 MiB) instead of one
+  // read() per row; validate_finite_values keeps per-record error
+  // attribution because each slab knows its first record index.
+  constexpr std::uint64_t kSlabBytes = 4u << 20;
+  const std::uint64_t slab_records =
+      std::max<std::uint64_t>(1, kSlabBytes / (d * sizeof(Value)));
+  std::vector<Value> slab(
+      static_cast<std::size_t>(
+          std::min<std::uint64_t>(slab_records, header.num_records)) * d);
+  for (std::uint64_t at = 0; at < header.num_records;) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(slab_records, header.num_records - at);
+    in.read(reinterpret_cast<char*>(slab.data()),
+            static_cast<std::streamsize>(take * d * sizeof(Value)));
     require_input(in.good(), "read_record_file: truncated values in " + path);
-    validate_finite_values(row.data(), 1, header.num_dims,
-                           static_cast<RecordIndex>(i), path);
-    data.append(row);
+    validate_finite_values(slab.data(), static_cast<std::size_t>(take), d,
+                           static_cast<RecordIndex>(at), path);
+    data.append_rows(slab.data(), static_cast<RecordIndex>(take));
+    at += take;
   }
-  if (header.has_labels) {
-    for (std::uint64_t i = 0; i < header.num_records; ++i) {
-      data.set_label(i, read_pod<std::int32_t>(in));
-    }
+
+  if (header.has_labels && header.num_records > 0) {
+    std::vector<std::int32_t> labels(
+        static_cast<std::size_t>(header.num_records));
+    in.read(reinterpret_cast<char*>(labels.data()),
+            static_cast<std::streamsize>(labels.size() * sizeof(std::int32_t)));
     require_input(in.good(), "read_record_file: truncated labels in " + path);
+    for (std::uint64_t i = 0; i < header.num_records; ++i) {
+      data.set_label(static_cast<RecordIndex>(i), labels[i]);
+    }
   }
   return data;
 }

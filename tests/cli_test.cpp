@@ -300,6 +300,41 @@ TEST(CliErrors, ExitCodesDistinguishFailureClasses) {
   std::remove(data.c_str());
 }
 
+TEST(CliErrors, CorruptDataFilesExitWithInputCode) {
+  // Every corrupt-record-file shape maps to the input class (exit 3) with
+  // the reader's diagnostic relayed; the full corruption matrix lives in
+  // io_corrupt_test, this pins the CLI mapping end to end.
+  const std::string data = temp("mafia_cli_corrupt.bin");
+  ASSERT_EQ(run_cli("generate --out " + data + " --dims 4 --records 2000"
+                    " --seed 3 --cluster 0,2:20:40")
+                .first,
+            0);
+
+  // Truncated mid-row.
+  const auto full_size = std::filesystem::file_size(data);
+  std::filesystem::resize_file(data, full_size - 10);
+  auto [truncated, truncated_out] = run_cli("cluster --data " + data);
+  EXPECT_EQ(truncated, 3) << truncated_out;
+  EXPECT_NE(truncated_out.find("size mismatch"), std::string::npos)
+      << truncated_out;
+
+  // Padded tail.
+  std::filesystem::resize_file(data, full_size + 17);
+  EXPECT_EQ(run_cli("cluster --data " + data).first, 3);
+
+  // Bad magic.
+  {
+    std::fstream io(data, std::ios::binary | std::ios::in | std::ios::out);
+    io.write("GARBAGE!", 8);
+  }
+  std::filesystem::resize_file(data, full_size);
+  auto [magic, magic_out] = run_cli("cluster --data " + data);
+  EXPECT_EQ(magic, 3) << magic_out;
+  EXPECT_NE(magic_out.find("bad magic"), std::string::npos) << magic_out;
+
+  std::remove(data.c_str());
+}
+
 TEST(CliErrors, FailureWritesErrorObjectToReportJson) {
   const std::string data = temp("mafia_cli_errjson.bin");
   const std::string report = temp("mafia_cli_errjson_report.json");

@@ -38,7 +38,7 @@ namespace {
 using namespace mafia;
 
 /// Flags that take no value (presence is the value).
-const std::set<std::string> kBooleanFlags = {"resume"};
+const std::set<std::string> kBooleanFlags = {"resume", "io-prefetch"};
 
 /// Minimal --flag value parser: flags() holds every "--name value" pair;
 /// repeated flags accumulate.  Flags in kBooleanFlags consume no value.
@@ -211,6 +211,9 @@ MafiaOptions options_from_args(const Args& args) {
     o.fixed_domain = {{static_cast<Value>(args.get_double("domain-lo", 0.0)),
                        static_cast<Value>(args.get_double("domain-hi", 100.0))}};
   }
+  o.io.prefetch = args.has("io-prefetch");
+  o.io.buffers = static_cast<std::size_t>(
+      args.get_int("io-buffers", static_cast<long>(o.io.buffers)));
   o.checkpoint.directory = args.get("checkpoint-dir");
   o.checkpoint.resume = args.has("resume");
   o.max_cdu_bytes =
@@ -347,6 +350,7 @@ void usage() {
       "           [--domain-lo L --domain-hi H] [--xi N --tau F]\n"
       "           [--join-kernel bucketed|pairwise]\n"
       "           [--save model.txt] [--report-json report.json]\n"
+      "           [--io-prefetch] [--io-buffers N]\n"
       "           [--checkpoint-dir DIR] [--resume] [--max-cdu-bytes N]\n"
       "           [--inject-fault rank:op[:delay_s]]...   (repeatable)\n"
       "exit codes: 0 ok, 2 usage, 3 bad input, 4 resource limit,\n"
