@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -94,6 +95,11 @@ class JsonWriter {
   JsonWriter& value(const char* s) { return value(std::string(s)); }
 
   JsonWriter& value(double d) {
+    // JSON has no NaN/Infinity literals; %.17g would emit "nan"/"inf" and
+    // corrupt the whole document.  A ratio with a zero denominator (e.g. an
+    // I/O overlap over an empty partition's zero-length scan) serializes as
+    // null instead.
+    if (!std::isfinite(d)) return null();
     separate();
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.17g", d);

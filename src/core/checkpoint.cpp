@@ -36,6 +36,12 @@ struct ByteWriter {
     const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
     out.insert(out.end(), p, p + v.size() * sizeof(T));
   }
+
+  void str(const std::string& s) {
+    pod(static_cast<std::uint64_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+    out.insert(out.end(), p, p + s.size());
+  }
 };
 
 /// Bounds-checked reader; every overrun throws InputError (a short or
@@ -73,6 +79,17 @@ struct ByteReader {
     std::memcpy(v.data(), data + at, v.size() * sizeof(T));
     at += v.size() * sizeof(T);
     return v;
+  }
+
+  std::string str() {
+    const auto n = pod<std::uint64_t>();
+    require_input(n <= size, "checkpoint: implausible string length at byte " +
+                                 std::to_string(at));
+    need(static_cast<std::size_t>(n));
+    std::string s(reinterpret_cast<const char*>(data + at),
+                  static_cast<std::size_t>(n));
+    at += s.size();
+    return s;
   }
 };
 
@@ -206,13 +223,23 @@ std::vector<std::uint8_t> serialize_checkpoint(const CheckpointState& state) {
     w.pod(t.join_probes);
     w.pod(t.join_emitted);
     w.pod(t.join_repeats_fused);
+    // Version 3: per-level kernel id, bitmap counters, unjoined units.
+    w.pod(t.populate_kernel);
+    w.pod(t.bitmap_bytes);
+    w.pod(t.bitmap_words_anded);
+    w.pod(t.unjoined_dus);
+    w.pod(static_cast<std::uint64_t>(t.unjoined_units.size()));
+    for (const std::string& u : t.unjoined_units) w.str(u);
   }
   w.pod(static_cast<std::uint64_t>(state.registered.size()));
   for (const UnitStore& store : state.registered) write_store(w, store);
   w.pod(static_cast<std::uint64_t>(state.populate.packed_sorted_subspaces));
   w.pod(static_cast<std::uint64_t>(state.populate.packed_hash_subspaces));
   w.pod(static_cast<std::uint64_t>(state.populate.memcmp_subspaces));
+  w.pod(static_cast<std::uint64_t>(state.populate.bitmap_subspaces));
   w.pod(static_cast<std::uint64_t>(state.populate.block_records));
+  w.pod(static_cast<std::uint64_t>(state.populate.bitmap_bytes));
+  w.pod(static_cast<std::uint64_t>(state.populate.bitmap_words_anded));
   w.pod(state.join_kernel.bucketed_levels);
   w.pod(state.join_kernel.pairwise_levels);
   w.pod(state.join_kernel.buckets);
@@ -287,7 +314,18 @@ CheckpointState deserialize_checkpoint(const std::uint8_t* data,
       t.join_probes = r.pod<std::uint64_t>();
       t.join_emitted = r.pod<std::uint64_t>();
       t.join_repeats_fused = r.pod<std::uint64_t>();
-      state.levels.push_back(t);
+      t.populate_kernel = r.pod<std::uint8_t>();
+      t.bitmap_bytes = r.pod<std::uint64_t>();
+      t.bitmap_words_anded = r.pod<std::uint64_t>();
+      t.unjoined_dus = r.pod<std::uint64_t>();
+      const auto nunjoined = r.pod<std::uint64_t>();
+      require_input(nunjoined <= kMaxUnjoinedListed,
+                    "checkpoint: implausible unjoined-unit list length");
+      t.unjoined_units.reserve(static_cast<std::size_t>(nunjoined));
+      for (std::uint64_t u = 0; u < nunjoined; ++u) {
+        t.unjoined_units.push_back(r.str());
+      }
+      state.levels.push_back(std::move(t));
     }
     const auto nregistered = r.pod<std::uint64_t>();
     require_input(nregistered <= 1u << 16,
@@ -302,7 +340,13 @@ CheckpointState deserialize_checkpoint(const std::uint8_t* data,
         static_cast<std::size_t>(r.pod<std::uint64_t>());
     state.populate.memcmp_subspaces =
         static_cast<std::size_t>(r.pod<std::uint64_t>());
+    state.populate.bitmap_subspaces =
+        static_cast<std::size_t>(r.pod<std::uint64_t>());
     state.populate.block_records =
+        static_cast<std::size_t>(r.pod<std::uint64_t>());
+    state.populate.bitmap_bytes =
+        static_cast<std::size_t>(r.pod<std::uint64_t>());
+    state.populate.bitmap_words_anded =
         static_cast<std::size_t>(r.pod<std::uint64_t>());
     state.join_kernel.bucketed_levels = r.pod<std::uint64_t>();
     state.join_kernel.pairwise_levels = r.pod<std::uint64_t>();

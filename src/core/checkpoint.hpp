@@ -9,7 +9,7 @@
 // possible recovery point for a grid/density algorithm, since the state is
 // dense-unit summaries (kilobytes), not data (gigabytes).
 //
-// File format (version 2, little-endian PODs):
+// File format (version 3, little-endian PODs):
 //   [0..7]   magic "MAFIACKP"
 //   [8..11]  uint32 format version
 //   [12..15] uint32 CRC-32 of the payload
@@ -17,8 +17,10 @@
 //            pending join-stats carried into the next level trace), grids,
 //            unit stores, level traces, registered maximal units,
 //            populate-kernel counters, join-kernel counters
-// (Version 2 added the join-kernel work counters; version-1 files are
-// discarded by the version check and the run restarts from level 1.)
+// (Version 2 added the join-kernel work counters; version 3 added the
+// per-level populate-kernel id, bitmap-index footprint/AND-work counters,
+// and the unjoined-dense-unit count + capped printable list.  Older files
+// are discarded by the version check and the run restarts from level 1.)
 //
 // Torn writes cannot produce a "valid" half-checkpoint: files are written
 // to a temp name and atomically renamed, and the CRC guards everything
@@ -30,10 +32,12 @@
 // The options fingerprint covers every knob that changes the computed
 // state (grid parameters, density policy, join rule, dedup policy, tau,
 // partitioning, max_level, domains, MDL pruning) and deliberately excludes
-// knobs that provably don't (chunk size B, populate kernel tuning, join
+// knobs that provably don't (chunk size B, populate kernel selection and
+// tuning — packed, memcmp, and bitmap produce bit-identical counts — join
 // kernel selection — bucketed and pairwise joins are bit-identical — and
 // rank count p; the determinism suite pins result invariance across all
-// four), so a resume may legally change them.
+// four), so a resume may legally change them, including switching
+// --populate-kernel across the resume boundary.
 #pragma once
 
 #include <cstdint>
@@ -49,7 +53,7 @@
 
 namespace mafia {
 
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// Everything the bottom-up loop needs to continue from a level boundary,
 /// plus the cumulative outputs accumulated so far.  `level` is the next

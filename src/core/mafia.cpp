@@ -183,7 +183,14 @@ class MafiaWorker {
       // ---- Populate candidates (data parallel): each rank scans its N/p
       // records in B-record chunks, then Reduce globalizes the counts.
       UnitPopulator populator(grids_, cdus, opt_.populate);
-      populate_stats_.merge(populator.kernel_stats());
+      // Kernel auxiliary memory (dominant under the bitmap kernel, whose
+      // index is used_bins × nrows bits) joins the budget.  Sized for the
+      // worst-case partition, not this rank's, so the collective guard
+      // throws on every rank or none.
+      check_budget(level, populator.auxiliary_component(),
+                   populator.auxiliary_bytes(ceil_div(
+                       static_cast<std::size_t>(n),
+                       static_cast<std::size_t>(p))));
       {
         PhaseTracer::Scope sp(tracer_, "populate");
         scan_local("populate", [&](const Value* rows, std::size_t nrows) {
@@ -191,6 +198,9 @@ class MafiaWorker {
         });
         comm_.allreduce_sum(populator.counts());
       }
+      // Merge kernel stats only after counts() finalized the scan (the
+      // bitmap kernel's AND-work counter is filled by that finalization).
+      populate_stats_.merge(populator.kernel_stats());
 
       // ---- Identify dense units (task parallel, Algorithm 5).
       std::vector<std::uint8_t> flags(cdus.size(), 0);
@@ -213,11 +223,26 @@ class MafiaWorker {
       std::size_t ndu = 0;
       for (const std::uint8_t f : flags) ndu += (f != 0);
 
-      trace_.push_back(LevelTrace{level, pending_raw_count, cdus.size(), ndu,
-                                  count_vector_checksum(populator.counts()),
-                                  pending_join.buckets, pending_join.probes,
-                                  pending_join.emitted,
-                                  pending_join.repeats_fused});
+      {
+        LevelTrace t;
+        t.level = level;
+        t.ncdu_raw = pending_raw_count;
+        t.ncdu = cdus.size();
+        t.ndu = ndu;
+        t.count_checksum = count_vector_checksum(populator.counts());
+        t.join_buckets = pending_join.buckets;
+        t.join_probes = pending_join.probes;
+        t.join_emitted = pending_join.emitted;
+        t.join_repeats_fused = pending_join.repeats_fused;
+        switch (populator.effective_kernel()) {
+          case PopulateKernel::Bitmap: t.populate_kernel = kPopulateKernelBitmap; break;
+          case PopulateKernel::Memcmp: t.populate_kernel = kPopulateKernelMemcmp; break;
+          default: t.populate_kernel = kPopulateKernelPacked; break;
+        }
+        t.bitmap_bytes = populator.kernel_stats().bitmap_bytes;
+        t.bitmap_words_anded = populator.kernel_stats().bitmap_words_anded;
+        trace_.push_back(std::move(t));
+      }
       if (pending_join_kernel != 0) {
         join_stats_.bucketed_levels += (pending_join_kernel == 2);
         join_stats_.pairwise_levels += (pending_join_kernel == 1);
@@ -283,7 +308,16 @@ class MafiaWorker {
       // triangular scan, which Eq. 1 balances exactly.
       const bool bucketed =
           opt_.join.kernel == JoinKernel::Bucketed && prev_dense.k() >= 2;
+      if (bucketed) {
+        // The bucket index is the join's auxiliary memory; budget it before
+        // any rank starts building (the estimate is deterministic, so the
+        // guard stays collective).
+        check_budget(level, "join bucket index",
+                     JoinBucketIndex::estimate_bytes(
+                         prev_dense.size(), prev_dense.k(), opt_.join_rule));
+      }
       UnitStore raw(level);
+      std::vector<std::uint8_t> combined;
       {
         PhaseTracer::Scope sp(tracer_, "join");
         if (prev_dense.size() > opt_.tau && p > 1) {
@@ -334,6 +368,10 @@ class MafiaWorker {
                                         jr.stats.emitted};
           comm_.allreduce_sum(sv);
           pending_join = JoinStats{sv[0], sv[1], sv[2], 0};
+          // Globalize the combined flags: a dense unit is unjoined only if
+          // no rank's join range paired it.
+          combined = std::move(jr.combined);
+          comm_.allreduce_or(combined);
           // The bucketed ranks emitted in bucket-major order; restoring the
           // packed-parent order makes the concatenated sequence exactly the
           // pairwise scan's, so everything downstream (dedup order, parent
@@ -346,9 +384,16 @@ class MafiaWorker {
           raw = std::move(jr.cdus);
           parents = std::move(jr.parents);
           pending_join = jr.stats;
+          combined = std::move(jr.combined);
         }
         pending_join_kernel = bucketed ? 2 : 1;
       }
+
+      // gpumafia's find_unjoined_dus: record, on the level the dense units
+      // came from, every unit the join paired into no candidate (the
+      // paper's "dense units which could not be combined" — they are also
+      // registered as maximal below, since no child can mark them).
+      record_unjoined(prev_dense, combined);
 
       if (raw.empty()) {
         // No unit could combine: every previous dense unit is maximal.
@@ -451,20 +496,43 @@ class MafiaWorker {
   }
 
   /// Graceful degradation: fail fast with a structured error naming the
-  /// level instead of OOM-ing once a level's candidate state outgrows the
-  /// configured budget.  The stores checked are globally replicated, so
-  /// every rank throws the same error and the job unwinds cleanly.
+  /// level and the memory component instead of OOM-ing once a level's
+  /// state outgrows the configured budget.  Every byte count checked is
+  /// derived from globally replicated state (or the worst-case partition
+  /// size), so every rank throws the same error and the job unwinds
+  /// cleanly.
+  void check_budget(std::size_t level, const std::string& component,
+                    std::size_t bytes) const {
+    if (opt_.max_cdu_bytes == 0 || bytes <= opt_.max_cdu_bytes) return;
+    throw ResourceError(
+        "CDU budget exceeded at level " + std::to_string(level) + ": " +
+        component + " needs " + std::to_string(bytes) +
+        " bytes > max_cdu_bytes " + std::to_string(opt_.max_cdu_bytes));
+  }
+
+  /// The candidate store itself (dim + bin byte arrays, plus the count
+  /// vector once populated) — the component the budget originally covered.
   void check_cdu_budget(std::size_t level, std::size_t units, std::size_t k,
                         bool with_counts) const {
-    if (opt_.max_cdu_bytes == 0) return;
     std::size_t bytes = units * k * 2;  // dim bytes + bin bytes
     if (with_counts) bytes += units * sizeof(Count);
-    if (bytes > opt_.max_cdu_bytes) {
-      throw ResourceError(
-          "CDU budget exceeded at level " + std::to_string(level) + ": " +
-          std::to_string(units) + " candidate units need " +
-          std::to_string(bytes) + " bytes > max_cdu_bytes " +
-          std::to_string(opt_.max_cdu_bytes));
+    check_budget(level,
+                 "candidate store (" + std::to_string(units) + " units)",
+                 bytes);
+  }
+
+  /// Records the unjoined dense units of the level `dense` came from into
+  /// its (already pushed) trace entry: the exact count plus at most
+  /// kMaxUnjoinedListed printable units.  `combined` must be globalized.
+  void record_unjoined(const UnitStore& dense,
+                       const std::vector<std::uint8_t>& combined) {
+    LevelTrace& t = trace_.back();
+    for (std::size_t u = 0; u < dense.size(); ++u) {
+      if (combined[u]) continue;
+      ++t.unjoined_dus;
+      if (t.unjoined_units.size() < kMaxUnjoinedListed) {
+        t.unjoined_units.push_back(dense.to_string(u));
+      }
     }
   }
 

@@ -126,14 +126,17 @@ struct MafiaOptions {
   std::size_t min_cluster_dims = 2;
 
   /// Level-checkpoint/restart: see CheckpointConfig.  Checkpoint contents
-  /// are independent of chunk_records, populate tuning, and rank count
-  /// (results are invariant to all three), so a resume may change them.
+  /// are independent of chunk_records, populate kernel selection/tuning,
+  /// and rank count (results are invariant to all three), so a resume may
+  /// change them — including switching --populate-kernel mid-run.
   CheckpointConfig checkpoint;
 
-  /// Graceful degradation: hard cap, in bytes, on one level's CDU state
-  /// (dim/bin byte arrays of the raw and unique stores plus the count
-  /// vector).  Exceeding it throws mafia::ResourceError naming the level
-  /// instead of OOM-ing mid-allocation.  0 = unlimited.
+  /// Graceful degradation: hard cap, in bytes, on one level's memory
+  /// components — the CDU stores (dim/bin byte arrays plus the count
+  /// vector) and the kernels' auxiliary structures (the populate bitmap
+  /// index sized for the worst-case partition, the join bucket index).
+  /// Exceeding it throws mafia::ResourceError naming the level and the
+  /// offending component instead of OOM-ing mid-allocation.  0 = unlimited.
   std::size_t max_cdu_bytes = 0;
 
   /// Deterministic fault injection for robustness tests and recovery

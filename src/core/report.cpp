@@ -76,18 +76,32 @@ std::string render_report(const MafiaResult& result) {
   os << "  " << std::setw(3) << "k" << std::setw(12) << "raw CDUs"
      << std::setw(14) << "unique CDUs" << std::setw(14) << "dense units"
      << std::setw(14) << "join probes" << std::setw(14) << "join buckets"
+     << std::setw(10) << "unjoined" << std::setw(9) << "kernel"
      << "\n";
   for (const LevelTrace& t : result.levels) {
     os << "  " << std::setw(3) << t.level << std::setw(12) << t.ncdu_raw
        << std::setw(14) << t.ncdu << std::setw(14) << t.ndu << std::setw(14)
-       << t.join_probes << std::setw(14) << t.join_buckets << "\n";
+       << t.join_probes << std::setw(14) << t.join_buckets << std::setw(10)
+       << t.unjoined_dus << std::setw(9) << populate_kernel_name(t.populate_kernel)
+       << "\n";
+  }
+  if (result.total_unjoined_dus() > 0) {
+    os << "  unjoined dense units (could not be combined): "
+       << result.total_unjoined_dus() << " over the run\n";
   }
 
   os << "\npopulate kernel (subspaces over all levels): packed-sorted "
      << result.populate_kernel.packed_sorted_subspaces << ", packed-hash "
      << result.populate_kernel.packed_hash_subspaces << ", memcmp "
-     << result.populate_kernel.memcmp_subspaces << ", block "
-     << result.populate_kernel.block_records << " records\n";
+     << result.populate_kernel.memcmp_subspaces << ", bitmap "
+     << result.populate_kernel.bitmap_subspaces << ", block "
+     << result.populate_kernel.block_records << " records";
+  if (result.populate_kernel.bitmap_subspaces > 0) {
+    os << "; bitmap index peak " << result.populate_kernel.bitmap_bytes
+       << " bytes, " << result.populate_kernel.bitmap_words_anded
+       << " words ANDed";
+  }
+  os << "\n";
 
   os << "join kernel (levels over the run): bucketed "
      << result.join_kernel.bucketed_levels << ", pairwise "
@@ -188,6 +202,15 @@ std::string render_report_json(const MafiaResult& result,
     w.key("join_probes").value(t.join_probes);
     w.key("join_emitted").value(t.join_emitted);
     w.key("join_repeats_fused").value(t.join_repeats_fused);
+    w.key("populate_kernel").value(populate_kernel_name(t.populate_kernel));
+    w.key("bitmap_bytes").value(t.bitmap_bytes);
+    w.key("bitmap_words_anded").value(t.bitmap_words_anded);
+    // gpumafia's find_unjoined_dus: the level's dense units no join could
+    // combine (count exact; the list capped at kMaxUnjoinedListed).
+    w.key("unjoined_dus").value(t.unjoined_dus);
+    w.key("unjoined_units").begin_array();
+    for (const std::string& u : t.unjoined_units) w.value(u);
+    w.end_array();
     w.end_object();
   }
   w.end_array();
@@ -199,8 +222,15 @@ std::string render_report_json(const MafiaResult& result,
   w.key("packed_sorted_subspaces").value(result.populate_kernel.packed_sorted_subspaces);
   w.key("packed_hash_subspaces").value(result.populate_kernel.packed_hash_subspaces);
   w.key("memcmp_subspaces").value(result.populate_kernel.memcmp_subspaces);
+  w.key("bitmap_subspaces").value(result.populate_kernel.bitmap_subspaces);
   w.key("block_records").value(result.populate_kernel.block_records);
+  w.key("bitmap_bytes").value(result.populate_kernel.bitmap_bytes);
+  w.key("bitmap_words_anded").value(result.populate_kernel.bitmap_words_anded);
   w.end_object();
+
+  // Run total of the per-level unjoined-DU counts (additive in
+  // pmafia-report-v1).
+  w.key("unjoined_dus").value(result.total_unjoined_dus());
 
   // Which join kernel each level ran on and the globalized work counters —
   // the candidate-generation analogue of populate_kernel (additive in

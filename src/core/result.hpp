@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster_model.hpp"
@@ -17,6 +18,25 @@
 #include "units/populate.hpp"
 
 namespace mafia {
+
+/// Cap on the per-level list of unjoined dense units carried in the trace
+/// (the count is always exact; the list is a diagnostic sample).
+inline constexpr std::size_t kMaxUnjoinedListed = 32;
+
+/// Per-level populate kernel ids recorded in LevelTrace::populate_kernel
+/// (the resolved kernel family, Auto and the k > 8 fallback applied).
+inline constexpr std::uint8_t kPopulateKernelPacked = 0;
+inline constexpr std::uint8_t kPopulateKernelMemcmp = 1;
+inline constexpr std::uint8_t kPopulateKernelBitmap = 2;
+
+/// Report name of a LevelTrace::populate_kernel id.
+[[nodiscard]] inline const char* populate_kernel_name(std::uint8_t id) {
+  switch (id) {
+    case kPopulateKernelMemcmp: return "memcmp";
+    case kPopulateKernelBitmap: return "bitmap";
+    default: return "packed";
+  }
+}
 
 /// One level of the bottom-up search.
 struct LevelTrace {
@@ -37,6 +57,21 @@ struct LevelTrace {
   std::uint64_t join_probes = 0;
   std::uint64_t join_emitted = 0;
   std::uint64_t join_repeats_fused = 0;
+  /// Kernel family the level's populate ran on (kPopulateKernel*); Auto and
+  /// the k > 8 packed fallback are resolved before recording.
+  std::uint8_t populate_kernel = kPopulateKernelPacked;
+  /// Bitmap-index footprint and AND-reduction work for this level's
+  /// populate (zero unless the bitmap kernel ran).
+  std::uint64_t bitmap_bytes = 0;
+  std::uint64_t bitmap_words_anded = 0;
+  /// gpumafia's find_unjoined_dus, per level: dense units of this level
+  /// that combined into no candidate of the next level (globalized — a
+  /// unit counts only if no rank's join range paired it).  On the run's
+  /// last dense level every dense unit is trivially unjoined because no
+  /// join follows; the fields stay zero there.  unjoined_units carries at
+  /// most kMaxUnjoinedListed printable units; unjoined_dus is exact.
+  std::uint64_t unjoined_dus = 0;
+  std::vector<std::string> unjoined_units;
 };
 
 /// FNV-1a over a count vector (the LevelTrace::count_checksum function).
@@ -113,6 +148,14 @@ struct MafiaResult {
   std::size_t num_records = 0;
   std::size_t num_dims = 0;
   int num_ranks = 1;
+
+  /// Total unjoined dense units over all levels (LevelTrace::unjoined_dus
+  /// summed): the paper's "dense units which could not be combined".
+  [[nodiscard]] std::uint64_t total_unjoined_dus() const {
+    std::uint64_t n = 0;
+    for (const LevelTrace& t : levels) n += t.unjoined_dus;
+    return n;
+  }
 
   /// Highest dimensionality at which a dense unit was found.
   [[nodiscard]] std::size_t max_dense_level() const {

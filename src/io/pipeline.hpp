@@ -62,11 +62,17 @@ struct IoScanStats {
 
   /// Share of read time NOT paid for by the consumer: 0 for a synchronous
   /// scan (every read second is also a wait second), approaching 1 when
-  /// prefetching hides the reads entirely.
+  /// prefetching hides the reads entirely.  Clamped to [0, 1] and NaN-safe:
+  /// an empty partition yields a zero-length scan (all fields 0) and a
+  /// timer anomaly can inject NaN, and the value feeds straight into the
+  /// text report's percent cast (UB on NaN) and the JSON report — so every
+  /// degenerate input must come out as 0, not NaN.  The negated
+  /// comparisons are deliberate: `!(x > 0)` is true for 0, negatives, and
+  /// NaN alike, where `x <= 0` would let NaN fall through.
   [[nodiscard]] double overlap_fraction() const {
-    if (read_seconds <= 0.0) return 0.0;
+    if (!(read_seconds > 0.0)) return 0.0;
     const double hidden = read_seconds - wait_seconds;
-    if (hidden <= 0.0) return 0.0;
+    if (!(hidden > 0.0)) return 0.0;
     return hidden >= read_seconds ? 1.0 : hidden / read_seconds;
   }
 

@@ -130,6 +130,22 @@ class JoinBucketIndex {
  public:
   JoinBucketIndex(const UnitStore& dense, JoinRule rule);
 
+  /// Upper bound on the index's memory for `units` dense units of
+  /// dimensionality `k` (= the store's k, the join's k−1): every unit
+  /// contributes one entry per dropped dimension under the MAFIA rule (k
+  /// entries) and exactly one under CLIQUE's prefix rule, and each entry
+  /// costs one uint32 plus — bounding buckets by entries — one bucket
+  /// offset and one work counter.  Lets the driver fold the index into a
+  /// resource budget before construction.
+  [[nodiscard]] static std::size_t estimate_bytes(std::size_t units,
+                                                  std::size_t k,
+                                                  JoinRule rule) {
+    const std::size_t per_unit = rule == JoinRule::MafiaAnyShared ? k : 1;
+    const std::size_t entries = units * per_unit;
+    return entries * (sizeof(std::uint32_t) + sizeof(std::size_t) +
+                      sizeof(std::uint64_t));
+  }
+
   [[nodiscard]] std::size_t num_buckets() const { return work_.size(); }
 
   /// Per-bucket pair work b·(b−1)/2 — the weights for

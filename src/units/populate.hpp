@@ -29,6 +29,18 @@
 // All kernels count duplicate CDU rows correctly (identical candidates
 // sort adjacently; the hash table points at the first row of an equal
 // run), so the contract holds with or without a prior dedup pass.
+//
+// The Bitmap kernel (gpumafia's build_bitmaps/count_points_bitmaps model)
+// inverts the loop structure entirely: the data pass builds one bitset of
+// nrows bits per (dim, bin) pair used by any CDU, and a unit's count is
+// then the popcount of the AND of its k bitmaps — a branch-free,
+// vectorizable reduction over 64-bit words (AVX2/NEON fast path,
+// std::popcount fallback).  Bitmap construction happens inside the same
+// chunked accumulate() pass as the other kernels, so it composes with the
+// pipelined source and SPMD per-rank record ranges; the AND+popcount
+// finalization is deferred to the first counts() access after the scan.
+// Memory is bits = used_bins × nrows (see auxiliary_bytes), which is why
+// the driver folds it into the --max-cdu-bytes budget.
 #pragma once
 
 #include <cstddef>
@@ -44,8 +56,12 @@ namespace mafia {
 /// kernels whenever the unit dimensionality allows (k <= kPackedKeyMaxDims)
 /// and is the production default; Memcmp forces the byte-row binary-search
 /// path everywhere (the k > 8 fallback), kept selectable for the
-/// oracle-differential tests and the bench_populate_kernel A/B.
-enum class PopulateKernel { Auto, Packed, Memcmp };
+/// oracle-differential tests and the bench_populate_kernel A/B.  Bitmap
+/// switches to per-(dim, bin) record-membership bitsets with AND+popcount
+/// counting — any k, wins when bins are few relative to records, loses
+/// when the used-bin count (and so the index) grows (the bench reports the
+/// crossover).
+enum class PopulateKernel { Auto, Packed, Memcmp, Bitmap };
 
 /// Tuning knobs for the populate kernel (defaults are the production
 /// configuration; the bench and the differential tests sweep them).
@@ -63,6 +79,18 @@ struct PopulateConfig {
   std::size_t hash_min_cdus = 48;
 };
 
+/// Open-addressing table capacity for `members` keys: the next power of
+/// two at or above twice the member count, so the table never exceeds 50%
+/// load.  The 2× headroom matters precisely at power-of-two member counts:
+/// rounding members up to a power of two with no slack would put such a
+/// table at load factor 1.0, where probe chains degenerate and — with no
+/// empty slot left — the linear-probe miss loop never terminates.
+[[nodiscard]] inline std::size_t hash_table_capacity(std::size_t members) {
+  std::size_t cap = 4;
+  while (cap < members * 2) cap *= 2;
+  return cap;
+}
+
 /// Which kernel each subspace ended up on — surfaced through MafiaResult
 /// and the JSON report so the populate-phase configuration is visible in
 /// every recorded run.
@@ -70,13 +98,23 @@ struct PopulateKernelStats {
   std::size_t packed_sorted_subspaces = 0;
   std::size_t packed_hash_subspaces = 0;
   std::size_t memcmp_subspaces = 0;
+  std::size_t bitmap_subspaces = 0;
   std::size_t block_records = 0;
+  /// Peak bitmap-index footprint over the run's levels (bitset words plus
+  /// the (dim, bin) -> bitmap id map); 0 unless the Bitmap kernel ran.
+  std::size_t bitmap_bytes = 0;
+  /// Total 64-bit words ANDed by the bitmap count finalization, summed
+  /// over all levels — the work metric of the AND+popcount reduction.
+  std::size_t bitmap_words_anded = 0;
 
   void merge(const PopulateKernelStats& other) {
     packed_sorted_subspaces += other.packed_sorted_subspaces;
     packed_hash_subspaces += other.packed_hash_subspaces;
     memcmp_subspaces += other.memcmp_subspaces;
+    bitmap_subspaces += other.bitmap_subspaces;
     if (other.block_records > block_records) block_records = other.block_records;
+    if (other.bitmap_bytes > bitmap_bytes) bitmap_bytes = other.bitmap_bytes;
+    bitmap_words_anded += other.bitmap_words_anded;
   }
 };
 
@@ -92,16 +130,47 @@ class UnitPopulator {
   void accumulate(const Value* rows, std::size_t nrows);
 
   /// Local counts per CDU (index-aligned with the input store), mutable so
-  /// the parallel driver can allreduce_sum in place.
-  [[nodiscard]] std::vector<Count>& counts() { return counts_; }
-  [[nodiscard]] const std::vector<Count>& counts() const { return counts_; }
+  /// the parallel driver can allreduce_sum in place.  Under the Bitmap
+  /// kernel the first access after new accumulate() calls finalizes the
+  /// pending rows (AND+popcount over the words they touched); the counts
+  /// are append-consistent, so accumulate and counts may interleave.
+  [[nodiscard]] std::vector<Count>& counts() {
+    finalize_bitmap_counts();
+    return counts_;
+  }
+  [[nodiscard]] const std::vector<Count>& counts() const {
+    finalize_bitmap_counts();
+    return counts_;
+  }
 
   /// Number of distinct subspaces among the CDUs (exposed for tests/benches).
   [[nodiscard]] std::size_t num_subspaces() const { return subspaces_.size(); }
 
   /// Per-kernel subspace counts for this populator (exposed for the run
-  /// report and the benches).
+  /// report and the benches).  Under the Bitmap kernel the AND-work counter
+  /// is complete only once counts() has finalized the accumulated rows.
   [[nodiscard]] const PopulateKernelStats& kernel_stats() const { return stats_; }
+
+  /// Kernel family this populator resolved to (Auto and the k > 8 packed
+  /// fallback resolved): Packed, Memcmp, or Bitmap.  Recorded per level in
+  /// the run trace.
+  [[nodiscard]] PopulateKernel effective_kernel() const {
+    if (bitmap_) return PopulateKernel::Bitmap;
+    return packed_ ? PopulateKernel::Packed : PopulateKernel::Memcmp;
+  }
+
+  /// Kernel auxiliary memory needed to count `nrows` records: the bitmap
+  /// index (bitset words + bin map) under the Bitmap kernel, the lookup
+  /// tables (packed keys, hash slots, sorted byte rows) otherwise.  Callers
+  /// pass the worst-case partition size so a collective budget guard stays
+  /// rank-invariant.  See auxiliary_component() for the matching name.
+  [[nodiscard]] std::size_t auxiliary_bytes(std::size_t nrows) const;
+
+  /// Human-readable name of the auxiliary-memory component measured by
+  /// auxiliary_bytes(), for resource-error messages.
+  [[nodiscard]] const char* auxiliary_component() const {
+    return bitmap_ ? "populate bitmap index" : "populate lookup tables";
+  }
 
  private:
   struct Subspace {
@@ -113,25 +182,44 @@ class UnitPopulator {
     std::uint64_t slot_mask = 0;       // slots.size() - 1 (power of two)
     // Memcmp fallback (k > kPackedKeyMaxDims or forced):
     std::vector<BinId> sorted_bins;  // member CDU bin rows, lex-sorted, k-stride
+    // Bitmap kernel: k bitmap ids per member CDU, row-major in sorted order.
+    std::vector<std::uint32_t> bitmap_ids;
   };
 
   void sweep_packed_sorted(const Subspace& sub, std::size_t bn);
   void sweep_packed_hash(const Subspace& sub, std::size_t bn);
   void sweep_memcmp(const Subspace& sub, std::size_t bn);
 
+  /// Bitmap-kernel count finalization: for every member CDU, AND its k
+  /// bitmaps and popcount over the word range the rows accumulated since
+  /// the last finalization touched (bits are append-only and tail bits are
+  /// zero, so incremental word ranges sum to the full-scan answer).  No-op
+  /// for the other kernels or when no rows are pending; const because both
+  /// counts() overloads trigger it (counts_/stats_/watermark are mutable).
+  void finalize_bitmap_counts() const;
+
   const GridSet& grids_;
   std::size_t k_;
   bool packed_;  // packed kernels active (k fits a key and not forced off)
+  bool bitmap_;  // bitmap kernel active (cfg_.kernel == Bitmap)
   PopulateConfig cfg_;
-  PopulateKernelStats stats_;
+  mutable PopulateKernelStats stats_;
   std::vector<Subspace> subspaces_;
-  std::vector<Count> counts_;
+  mutable std::vector<Count> counts_;
   // Block-sweep scratch: per-dimension bin columns for the current block,
   // dim-major (column j starts at j * block_records), filled only for
   // dimensions that occur in some subspace.
   std::vector<BinId> col_bins_;
   std::vector<std::uint8_t> dim_used_;
   std::vector<BinId> key_scratch_;  // projected row buffer (memcmp path)
+  // Bitmap-kernel state.  bin_map_ maps (dim * kMaxBinsPerDim + bin) to a
+  // bitmap id (kNoBitmap for (dim, bin) pairs no CDU uses — those set no
+  // bits and cost no memory); bitmaps_ holds one word vector of
+  // ceil(nrows / 64) words per used pair, grown as accumulate() sees rows.
+  std::vector<std::uint32_t> bin_map_;
+  std::vector<std::vector<std::uint64_t>> bitmaps_;
+  std::size_t nrows_seen_ = 0;          // rows accumulated into the bitmaps
+  mutable std::size_t done_rows_ = 0;   // rows already folded into counts_
 };
 
 }  // namespace mafia

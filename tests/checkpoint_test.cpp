@@ -99,8 +99,25 @@ CheckpointState sample_state() {
   g.uniform_fallback = true;
   state.grids.dims.push_back(g);
 
-  state.levels.push_back(LevelTrace{1, 10, 10, 4, 0x1111ull});
-  state.levels.push_back(LevelTrace{2, 6, 5, 2, 0x2222ull});
+  LevelTrace l1;
+  l1.level = 1;
+  l1.ncdu_raw = 10;
+  l1.ncdu = 10;
+  l1.ndu = 4;
+  l1.count_checksum = 0x1111ull;
+  l1.populate_kernel = kPopulateKernelBitmap;
+  l1.bitmap_bytes = 4096;
+  l1.bitmap_words_anded = 320;
+  l1.unjoined_dus = 2;
+  l1.unjoined_units = {"{d0:b2}", "{d4:b7}"};
+  state.levels.push_back(l1);
+  LevelTrace l2;
+  l2.level = 2;
+  l2.ncdu_raw = 6;
+  l2.ncdu = 5;
+  l2.ndu = 2;
+  l2.count_checksum = 0x2222ull;
+  state.levels.push_back(l2);
 
   UnitStore reg(1);
   reg.push(d2, b2);
@@ -109,7 +126,10 @@ CheckpointState sample_state() {
   state.populate.packed_sorted_subspaces = 3;
   state.populate.packed_hash_subspaces = 1;
   state.populate.memcmp_subspaces = 0;
+  state.populate.bitmap_subspaces = 2;
   state.populate.block_records = 2048;
+  state.populate.bitmap_bytes = 4096;
+  state.populate.bitmap_words_anded = 320;
   return state;
 }
 
@@ -135,9 +155,20 @@ TEST(CheckpointFormat, SerializeRoundTrip) {
   EXPECT_TRUE(out.grids[0].uniform_fallback);
   ASSERT_EQ(out.levels.size(), 2u);
   EXPECT_EQ(out.levels[1].count_checksum, 0x2222ull);
+  // Version-3 fields: per-level kernel id, bitmap counters, unjoined units.
+  EXPECT_EQ(out.levels[0].populate_kernel, kPopulateKernelBitmap);
+  EXPECT_EQ(out.levels[0].bitmap_bytes, 4096u);
+  EXPECT_EQ(out.levels[0].bitmap_words_anded, 320u);
+  EXPECT_EQ(out.levels[0].unjoined_dus, 2u);
+  EXPECT_EQ(out.levels[0].unjoined_units, in.levels[0].unjoined_units);
+  EXPECT_EQ(out.levels[1].populate_kernel, kPopulateKernelPacked);
+  EXPECT_TRUE(out.levels[1].unjoined_units.empty());
   ASSERT_EQ(out.registered.size(), 1u);
   EXPECT_EQ(out.registered[0].dim_bytes(), in.registered[0].dim_bytes());
   EXPECT_EQ(out.populate.packed_sorted_subspaces, 3u);
+  EXPECT_EQ(out.populate.bitmap_subspaces, 2u);
+  EXPECT_EQ(out.populate.bitmap_bytes, 4096u);
+  EXPECT_EQ(out.populate.bitmap_words_anded, 320u);
 }
 
 TEST(CheckpointFormat, RejectsCorruptionAsInputError) {
@@ -331,28 +362,33 @@ TEST(CheckpointRestart, OptionChangeInvalidatesOldCheckpoints) {
 TEST(CheckpointRestart, ResumeMayChangeChunkSizeAndKernel)
 {
   // The fingerprint deliberately excludes result-invariant knobs; a resume
-  // with a different chunk size and populate kernel still reproduces the
-  // baseline bit-identically.
-  ScratchDir dir("mafia_ckpt_knobs");
+  // with a different chunk size and populate kernel — including the bitmap
+  // kernel, whose execution model shares nothing with the lookup kernels —
+  // still reproduces the baseline bit-identically.
   const Dataset data = planted_data();
   InMemorySource source(data);
   const MafiaResult baseline = run_pmafia(source, base_options(), 2);
 
-  MafiaOptions faulted = base_options();
-  faulted.checkpoint.directory = dir.path();
-  faulted.fault_plan.kill(/*rank=*/0, /*op=*/6);
-  try {
-    (void)run_pmafia(source, faulted, 2);
-  } catch (const mp::FaultError&) {
-  }
+  for (const PopulateKernel kernel :
+       {PopulateKernel::Memcmp, PopulateKernel::Bitmap}) {
+    ScratchDir dir("mafia_ckpt_knobs_" +
+                   std::to_string(static_cast<int>(kernel)));
+    MafiaOptions faulted = base_options();
+    faulted.checkpoint.directory = dir.path();
+    faulted.fault_plan.kill(/*rank=*/0, /*op=*/6);
+    try {
+      (void)run_pmafia(source, faulted, 2);
+    } catch (const mp::FaultError&) {
+    }
 
-  MafiaOptions resume = base_options();
-  resume.checkpoint.directory = dir.path();
-  resume.checkpoint.resume = true;
-  resume.chunk_records = 256;
-  resume.populate.kernel = PopulateKernel::Memcmp;
-  const MafiaResult resumed = run_pmafia(source, resume, 3);  // p changes too
-  expect_same_result(resumed, baseline);
+    MafiaOptions resume = base_options();
+    resume.checkpoint.directory = dir.path();
+    resume.checkpoint.resume = true;
+    resume.chunk_records = 256;
+    resume.populate.kernel = kernel;
+    const MafiaResult resumed = run_pmafia(source, resume, 3);  // p changes too
+    expect_same_result(resumed, baseline);
+  }
 }
 
 TEST(ResourceBudget, CduBudgetFailsFastNamingLevel) {
@@ -375,6 +411,54 @@ TEST(ResourceBudget, CduBudgetFailsFastNamingLevel) {
   MafiaOptions roomy = base_options();
   roomy.max_cdu_bytes = 1u << 30;
   EXPECT_FALSE(run_pmafia(source, roomy, 2).clusters.empty());
+}
+
+TEST(ResourceBudget, ResourceErrorNamesTheOffendingComponent) {
+  const Dataset data = planted_data();
+  InMemorySource source(data);
+
+  // A budget of 64 bytes dies on the very first allocation attempt: the
+  // level-1 candidate store.
+  MafiaOptions tight = base_options();
+  tight.max_cdu_bytes = 64;
+  try {
+    (void)run_pmafia(source, tight, 2);
+    FAIL() << "expected a ResourceError";
+  } catch (const ResourceError& e) {
+    EXPECT_NE(std::string(e.what()).find("candidate store"), std::string::npos)
+        << e.what();
+  }
+
+  // The bitmap kernel's index (one nrows-bit bitset per level-1 bin, plus
+  // the (dim,bin) map) dwarfs the level-1 candidate store; a budget between
+  // the two must pass the store check and then fail naming the index.
+  MafiaOptions bitmap = base_options();
+  bitmap.populate.kernel = PopulateKernel::Bitmap;
+  bitmap.max_cdu_bytes = 4096;
+  try {
+    (void)run_pmafia(source, bitmap, 2);
+    FAIL() << "expected a ResourceError";
+  } catch (const ResourceError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("populate bitmap index"), std::string::npos) << what;
+    EXPECT_NE(what.find("CDU budget exceeded at level 1"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ResourceBudget, JoinBucketIndexEstimateCountsOneEntryPerDroppedDim) {
+  // The bucket index stores (sub-signature hash, unit, bucket-key) entries:
+  // one per unit under the prefix rule, one per dropped dimension (= k
+  // entries for a k-dim store) under MAFIA's any-shared rule.  The budget
+  // guard relies on this arithmetic; pin it.
+  constexpr std::size_t kPerEntry =
+      sizeof(std::uint32_t) + sizeof(std::size_t) + sizeof(std::uint64_t);
+  EXPECT_EQ(JoinBucketIndex::estimate_bytes(10, 3, JoinRule::MafiaAnyShared),
+            10 * 3 * kPerEntry);
+  EXPECT_EQ(JoinBucketIndex::estimate_bytes(10, 3, JoinRule::CliquePrefix),
+            10 * kPerEntry);
+  EXPECT_EQ(JoinBucketIndex::estimate_bytes(0, 5, JoinRule::MafiaAnyShared),
+            0u);
 }
 
 TEST(ResourceBudget, ValidateRejectsResumeWithoutDirectory) {

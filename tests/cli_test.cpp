@@ -186,6 +186,63 @@ TEST_F(CliPipeline, ReportJsonIsValidAndComplete) {
   }
 }
 
+TEST_F(CliPipeline, BitmapPopulateKernelEndToEnd) {
+  // --populate-kernel bitmap through the whole driver: same clusters as the
+  // default kernel, and the report records the kernel per level plus the
+  // bitmap-index footprint and the unjoined-DU fields.
+  const std::string report = temp("mafia_cli_bitmap_report.json");
+  ASSERT_EQ(run_cli("generate --out " + data_ +
+                    " --dims 8 --records 20000 --seed 7 --cluster 1,4,6:30:45")
+                .first,
+            0);
+  auto [status, out] = run_cli("cluster --data " + data_ +
+                               " --ranks 3 --domain-lo 0 --domain-hi 100"
+                               " --populate-kernel bitmap --report-json " +
+                               report);
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_NE(out.find("subspace {1,4,6}"), std::string::npos) << out;
+
+  const mafia::JsonValue doc = mafia::json_parse(slurp(report));
+  std::remove(report.c_str());
+  EXPECT_EQ(doc.at("schema").string, "pmafia-report-v1");
+  ASSERT_FALSE(doc.at("levels").array.empty());
+  for (const auto& level : doc.at("levels").array) {
+    EXPECT_EQ(level.at("populate_kernel").string, "bitmap");
+    EXPECT_TRUE(level.has("bitmap_bytes"));
+    EXPECT_TRUE(level.has("unjoined_dus"));
+    ASSERT_TRUE(level.at("unjoined_units").is_array());
+    EXPECT_LE(level.at("unjoined_units").array.size(),
+              level.at("unjoined_dus").number);
+  }
+  EXPECT_GT(doc.at("populate_kernel").at("bitmap_subspaces").number, 0.0);
+  EXPECT_GT(doc.at("populate_kernel").at("bitmap_bytes").number, 0.0);
+  EXPECT_GT(doc.at("populate_kernel").at("bitmap_words_anded").number, 0.0);
+  EXPECT_TRUE(doc.has("unjoined_dus"));
+}
+
+TEST_F(CliPipeline, EmptyRankPartitionsProduceValidReport) {
+  // More ranks than records: some ranks own zero rows, so per-rank io stats
+  // divide by zero-ish totals (the overlap fraction's read_seconds = 0
+  // case).  The run must succeed, the text report must not print garbage
+  // percentages, and the JSON must stay parseable (no bare nan/inf tokens).
+  const std::string report = temp("mafia_cli_empty_report.json");
+  ASSERT_EQ(
+      run_cli("generate --out " + data_ + " --dims 4 --records 5 --seed 11")
+          .first,
+      0);
+  auto [status, out] = run_cli("cluster --data " + data_ +
+                               " --ranks 8 --domain-lo 0 --domain-hi 100"
+                               " --io-prefetch --report-json " + report);
+  ASSERT_EQ(status, 0) << out;
+  EXPECT_EQ(out.find("nan"), std::string::npos) << out;
+
+  const mafia::JsonValue doc = mafia::json_parse(slurp(report));
+  std::remove(report.c_str());
+  EXPECT_EQ(doc.at("schema").string, "pmafia-report-v1");
+  EXPECT_LT(doc.at("records").number, 8.0);  // fewer records than ranks
+  ASSERT_EQ(doc.at("per_rank").array.size(), 8u);
+}
+
 TEST_F(CliPipeline, CheckpointResumeReproducesBitIdenticalReport) {
   // CLI-level crash recovery: interrupt a checkpointed run at every comm-op
   // index via --inject-fault, resume with --resume, and require the resumed
@@ -297,6 +354,21 @@ TEST(CliErrors, ExitCodesDistinguishFailureClasses) {
   // Usage class (2): --resume without a checkpoint directory.
   EXPECT_EQ(run_cli(common + " --resume").first, 2);
 
+  std::remove(data.c_str());
+}
+
+TEST(CliErrors, UnknownPopulateKernelFails) {
+  const std::string data = temp("mafia_cli_kernel.bin");
+  ASSERT_EQ(run_cli("generate --out " + data + " --dims 4 --records 2000"
+                    " --seed 3")
+                .first,
+            0);
+  auto [status, out] =
+      run_cli("cluster --data " + data + " --populate-kernel simd");
+  EXPECT_EQ(status, 2) << out;
+  EXPECT_NE(out.find("must be auto, packed, memcmp, or bitmap"),
+            std::string::npos)
+      << out;
   std::remove(data.c_str());
 }
 

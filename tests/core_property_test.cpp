@@ -252,8 +252,9 @@ TEST(Invariance, SpmdDeterminismSweepAcrossRankCounts) {
 }
 
 TEST(Invariance, PopulateKernelSelectionDoesNotChangeResults) {
-  // Forcing the memcmp fallback (and odd block sizes) must reproduce the
-  // packed-kernel results exactly, through the full driver.
+  // Forcing the memcmp fallback, the bitmap index kernel, and odd block
+  // sizes must all reproduce the packed-kernel results exactly, through
+  // the full driver.
   const Dataset data = invariance_data();
   InMemorySource source(data);
   MafiaOptions reference;
@@ -261,7 +262,8 @@ TEST(Invariance, PopulateKernelSelectionDoesNotChangeResults) {
   const MafiaResult expect = run_mafia(source, reference);
 
   for (const PopulateKernel kernel :
-       {PopulateKernel::Packed, PopulateKernel::Memcmp}) {
+       {PopulateKernel::Packed, PopulateKernel::Memcmp,
+        PopulateKernel::Bitmap}) {
     for (const std::size_t block : {std::size_t{1}, std::size_t{37},
                                     std::size_t{4096}}) {
       MafiaOptions options = reference;
@@ -278,6 +280,38 @@ TEST(Invariance, PopulateKernelSelectionDoesNotChangeResults) {
             << " level=" << expect.levels[l].level;
       }
     }
+  }
+}
+
+TEST(Invariance, BitmapKernelIsRankInvariant) {
+  // The bitmap kernel's per-rank bit ranges follow the SPMD record
+  // partition, so its AND-reduction runs over different local row counts at
+  // every p.  Counts, cluster signatures, and the unjoined-DU report must
+  // still be bit-identical to the serial packed-kernel reference across the
+  // rank sweep.
+  const Dataset data = invariance_data();
+  InMemorySource source(data);
+  MafiaOptions reference;
+  reference.fixed_domain = {{0.0f, 100.0f}};
+  reference.tau = 2;
+  const MafiaResult expect = run_pmafia(source, reference, 1);
+
+  MafiaOptions options = reference;
+  options.populate.kernel = PopulateKernel::Bitmap;
+  for (const int p : {1, 2, 3, 5, 8}) {
+    const MafiaResult got = run_pmafia(source, options, p);
+    EXPECT_EQ(signature(expect), signature(got)) << "p=" << p;
+    ASSERT_EQ(expect.levels.size(), got.levels.size()) << "p=" << p;
+    for (std::size_t l = 0; l < expect.levels.size(); ++l) {
+      EXPECT_EQ(expect.levels[l].count_checksum, got.levels[l].count_checksum)
+          << "p=" << p << " level=" << expect.levels[l].level;
+      EXPECT_EQ(expect.levels[l].unjoined_dus, got.levels[l].unjoined_dus)
+          << "p=" << p << " level=" << expect.levels[l].level;
+      EXPECT_EQ(expect.levels[l].unjoined_units, got.levels[l].unjoined_units)
+          << "p=" << p << " level=" << expect.levels[l].level;
+    }
+    EXPECT_EQ(expect.total_unjoined_dus(), got.total_unjoined_dus())
+        << "p=" << p;
   }
 }
 

@@ -65,6 +65,26 @@ TEST(JsonWriter, NumbersRoundTripExactly) {
   EXPECT_EQ(v.array[5].type, JsonValue::Type::Null);
 }
 
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  // JSON has no NaN/Infinity literals; %.17g would emit "nan"/"inf" and
+  // make the whole report document unparseable.  Non-finite values must
+  // degrade to null — which json_parse itself accepts.
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,null,1.5]");
+  const JsonValue v = json_parse(w.str());
+  ASSERT_EQ(v.array.size(), 4u);
+  EXPECT_EQ(v.array[0].type, JsonValue::Type::Null);
+  EXPECT_EQ(v.array[1].type, JsonValue::Type::Null);
+  EXPECT_EQ(v.array[2].type, JsonValue::Type::Null);
+  EXPECT_EQ(v.array[3].number, 1.5);
+}
+
 TEST(JsonWriter, RawSplicesDocumentAsValue) {
   JsonWriter inner;
   inner.begin_object().key("x").value(1).end_object();

@@ -37,6 +37,8 @@ std::vector<PopulateConfig> kernel_matrix() {
       {64, PopulateKernel::Packed, kNever}, // sorted-array search always
       {2048, PopulateKernel::Memcmp, 48},   // forced byte-row fallback
       {7, PopulateKernel::Memcmp, 48},
+      {2048, PopulateKernel::Bitmap, 48},   // bitmap index, large blocks
+      {3, PopulateKernel::Bitmap, 48},      // bitmap index, odd tiny blocks
   };
 }
 
@@ -200,6 +202,78 @@ TEST(PopulateOracle, RecordsOutsideEveryCandidate) {
   UnitPopulator pop(grids, cdus);
   pop.accumulate(rows.data(), 800);
   for (const Count c : pop.counts()) EXPECT_EQ(c, 0u);
+}
+
+TEST(PopulateOracle, HashTableKeepsHeadroomAtPowerOfTwoMemberCounts) {
+  // Regression guard for the open-addressing table sizing: at exactly 64
+  // CDUs in one subspace — a power-of-two member count — a `next_pow2(n)`
+  // capacity would be 64 slots for 64 keys (load factor 1.0), degrading
+  // probe chains toward O(n) and, with the final empty slot filled, turning
+  // the miss-probe loop into an infinite scan.  hash_table_capacity must
+  // keep >= 2x headroom everywhere, and the forced-hash kernel must agree
+  // with the oracle at that exact count.
+  EXPECT_EQ(hash_table_capacity(0), 4u);
+  EXPECT_EQ(hash_table_capacity(1), 4u);
+  EXPECT_EQ(hash_table_capacity(63), 128u);
+  EXPECT_EQ(hash_table_capacity(64), 128u);  // not 64: 2x headroom held
+  EXPECT_EQ(hash_table_capacity(65), 256u);
+  for (std::size_t n = 1; n <= 1024; ++n) {
+    ASSERT_GE(hash_table_capacity(n), 2 * n) << "members=" << n;
+  }
+
+  IcgRandom rng(108);
+  const GridSet grids = uniform_grids(6, 12);
+  UnitStore cdus(3);
+  const DimId dims[3] = {1, 2, 4};
+  std::size_t pushed = 0;
+  while (pushed < 64) {  // 64 distinct bin rows in the one subspace
+    const BinId bins[3] = {static_cast<BinId>(uniform_index(rng, 12)),
+                           static_cast<BinId>(uniform_index(rng, 12)),
+                           static_cast<BinId>(pushed % 12)};
+    cdus.push_unchecked(dims, bins);
+    ++pushed;
+  }
+  const std::vector<Value> rows = random_rows(rng, 1500, 6);
+  const std::vector<Count> expected =
+      oracle_counts(grids, cdus, rows.data(), 1500);
+  const PopulateConfig force_hash{2048, PopulateKernel::Packed, 1};
+  UnitPopulator pop(grids, cdus, force_hash);
+  pop.accumulate(rows.data(), 1500);
+  ASSERT_EQ(pop.counts().size(), expected.size());
+  for (std::size_t u = 0; u < expected.size(); ++u) {
+    ASSERT_EQ(pop.counts()[u], expected[u]) << "cdu " << cdus.to_string(u);
+  }
+}
+
+TEST(PopulateOracle, BitmapKernelSupportsInterleavedCountsAndAccumulate) {
+  // The bitmap kernel finalizes lazily: counts() AND-reduces only the word
+  // range appended since the last finalize.  Interleaving reads with
+  // further accumulation — which the SPMD loop does across chunk
+  // boundaries — must yield exact prefix counts at every step, including
+  // reads at non-multiple-of-64 row watermarks (partial head word).
+  IcgRandom rng(109);
+  const GridSet grids = uniform_grids(7, 9);
+  const UnitStore cdus = random_cdus(rng, grids, 3, 70);
+  const std::vector<Value> rows = random_rows(rng, 1000, 7);
+
+  const PopulateConfig cfg{256, PopulateKernel::Bitmap, 48};
+  UnitPopulator pop(grids, cdus, cfg);
+  std::size_t done = 0;
+  for (const std::size_t chunk : {37u, 1u, 64u, 200u, 500u, 198u}) {
+    pop.accumulate(rows.data() + done * 7, chunk);
+    done += chunk;
+    const std::vector<Count> expected =
+        oracle_counts(grids, cdus, rows.data(), done);
+    ASSERT_EQ(pop.counts().size(), expected.size());
+    for (std::size_t u = 0; u < expected.size(); ++u) {
+      ASSERT_EQ(pop.counts()[u], expected[u])
+          << "cdu " << cdus.to_string(u) << " after " << done << " rows";
+    }
+  }
+  ASSERT_EQ(done, 1000u);
+  // A read with no new rows since the last finalize is a no-op.
+  const std::vector<Count> again(pop.counts().begin(), pop.counts().end());
+  EXPECT_EQ(again, oracle_counts(grids, cdus, rows.data(), 1000));
 }
 
 // ------------------------------------------- randomized datagen workloads
