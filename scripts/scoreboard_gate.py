@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Quality gate over pmafia-scoreboard-v1 documents.
+
+Compares a freshly produced scoreboard against the committed baseline
+(SCOREBOARD.json) and fails when planted-truth quality regressed.  Two
+families of hard gates:
+
+1. Boundary dominance: on every workload tagged "boundary": true, the
+   fresh pmafia F1 must be STRICTLY greater than the fresh clique F1.
+   This is the paper's core quality claim (adaptive bins capture cluster
+   boundaries that CLIQUE's fixed grid truncates) and it is evaluated on
+   the fresh run alone, so it holds on any machine.
+
+2. No metric regression: for every (workload, algorithm, metric) present
+   in the baseline with an "ok" row, the fresh value must not fall below
+   baseline * (1 - tolerance).  Entropy is lower-is-better, so its gate
+   is inverted (fresh must not exceed baseline * (1 + tolerance)).
+   subspace_recovery rows that are null in the baseline (truth has no
+   known subspace) are skipped.  An algorithm that is "ok" in the
+   baseline but "failed" fresh is a hard failure; a failure on both
+   sides is reported but does not fail the gate (the zoo reports
+   failures rather than omitting rows, and the baseline records which
+   ones are expected).
+
+Workloads or algorithms present only in the fresh run are reported as
+NEW and never fail the gate — new matrix entries seed their baselines
+through normal commits, same as bench_gate.py.
+
+Exit status: 0 all gates pass; 1 any gate failed; 2 usage/parse errors.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "pmafia-scoreboard-v1"
+
+# metric name -> True when larger is better.
+METRICS = {
+    "f1": True,
+    "precision": True,
+    "recall": True,
+    "coverage": True,
+    "subspace_recovery": True,
+    "entropy": False,
+}
+
+
+def load_scoreboard(path):
+    """Parses one pmafia-scoreboard-v1 document into
+    {workload: {"boundary": bool, "rows": {algorithm: row}}}."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise SystemExit(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"{path}: bad JSON: {e}")
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    out = {}
+    for w in doc.get("workloads", []):
+        rows = {a["name"]: a for a in w.get("algorithms", [])}
+        out[w["name"]] = {"boundary": bool(w.get("boundary")), "rows": rows}
+    return out
+
+
+def f1_of(row):
+    if row is None or row.get("status") != "ok":
+        return None
+    return row.get("metrics", {}).get("f1")
+
+
+def check_boundary_dominance(fresh):
+    """pmafia F1 strictly above clique F1 on every boundary workload."""
+    failures = 0
+    for name in sorted(fresh):
+        if not fresh[name]["boundary"]:
+            continue
+        rows = fresh[name]["rows"]
+        pmafia = f1_of(rows.get("pmafia"))
+        clique = f1_of(rows.get("clique"))
+        if pmafia is None or clique is None:
+            failures += 1
+            missing = "pmafia" if pmafia is None else "clique"
+            print(f"boundary gate {name}: FAIL (no ok row for {missing})")
+            continue
+        verdict = "ok" if pmafia > clique else "FAIL"
+        if verdict == "FAIL":
+            failures += 1
+        print(f"boundary gate {name}: pmafia f1 {pmafia:.4f} vs "
+              f"clique f1 {clique:.4f}  {verdict}")
+    return failures
+
+
+def check_regressions(baseline, fresh, tolerance):
+    """Per-metric ratio gates of fresh against baseline."""
+    failures = 0
+    for wname in sorted(baseline):
+        if wname not in fresh:
+            print(f"{wname}: baseline only, not re-run  FAIL")
+            failures += 1
+            continue
+        for aname in sorted(baseline[wname]["rows"]):
+            base_row = baseline[wname]["rows"][aname]
+            fresh_row = fresh[wname]["rows"].get(aname)
+            tag = f"{wname}/{aname}"
+            if base_row.get("status") != "ok":
+                status = "absent" if fresh_row is None else fresh_row.get("status")
+                print(f"{tag}: failed in baseline (fresh: {status})  ok")
+                continue
+            if fresh_row is None or fresh_row.get("status") != "ok":
+                why = "missing" if fresh_row is None else \
+                    fresh_row.get("error", "failed")
+                print(f"{tag}: ok in baseline but fresh is not ({why})  FAIL")
+                failures += 1
+                continue
+            for metric, larger_is_better in METRICS.items():
+                base = base_row.get("metrics", {}).get(metric)
+                new = fresh_row.get("metrics", {}).get(metric)
+                if base is None:  # e.g. null subspace_recovery
+                    continue
+                if new is None:
+                    print(f"{tag}: {metric} was {base:.4f}, now null  FAIL")
+                    failures += 1
+                    continue
+                if larger_is_better:
+                    bad = new < base * (1.0 - tolerance) - 1e-12
+                else:
+                    bad = new > base * (1.0 + tolerance) + 1e-12
+                if bad:
+                    arrow = "dropped" if larger_is_better else "rose"
+                    print(f"{tag}: {metric} {arrow} {base:.4f} -> {new:.4f} "
+                          f"(tolerance {tolerance:.0%})  FAIL")
+                    failures += 1
+    for wname in sorted(set(fresh) - set(baseline)):
+        print(f"{wname}: NEW workload (no baseline)")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed pmafia-scoreboard-v1 baseline (SCOREBOARD.json)")
+    ap.add_argument("--fresh", required=True,
+                    help="freshly produced pmafia-scoreboard-v1 document")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="fractional metric slack before a drop fails the "
+                         "gate (default 0.05)")
+    ap.add_argument("--workloads", default=None, metavar="A,B,...",
+                    help="restrict both sides to these workloads (for "
+                         "reduced CI matrices that skip slow workloads)")
+    args = ap.parse_args()
+
+    baseline = load_scoreboard(args.baseline)
+    fresh = load_scoreboard(args.fresh)
+    if args.workloads is not None:
+        keep = set(args.workloads.split(","))
+        unknown = keep - set(baseline) - set(fresh)
+        if unknown:
+            raise SystemExit(f"--workloads: unknown {sorted(unknown)}")
+        baseline = {k: v for k, v in baseline.items() if k in keep}
+        fresh = {k: v for k, v in fresh.items() if k in keep}
+    if not fresh:
+        raise SystemExit(f"no workloads in {args.fresh}")
+
+    failures = check_boundary_dominance(fresh)
+    print()
+    failures += check_regressions(baseline, fresh, args.tolerance)
+
+    if failures:
+        print(f"\nscoreboard gate: {failures} gate(s) FAILED.")
+        return 1
+    print("\nscoreboard gate: all gates pass.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ std::vector<std::int32_t> assign_members(const DataSource& data,
             [&](const Value* rows, std::size_t nrows) {
               for (std::size_t r = 0; r < nrows; ++r) {
                 const Value* row = rows + r * d;
-                std::int32_t label = -1;
+                std::int32_t label = kNoiseLabel;
                 for (std::size_t c = 0; c < clusters.size(); ++c) {
                   if (contains_record(clusters[c], grids, row)) {
                     label = static_cast<std::int32_t>(c);

@@ -30,7 +30,7 @@ struct MembershipCounts {
   }
 };
 
-/// Labels every record: result[i] = index into `clusters` or -1 for noise.
+/// Labels every record: result[i] = index into `clusters` or kNoiseLabel.
 /// Clusters are tested in order; the first match wins (clusters of higher
 /// dimensionality first matches the driver's reporting order).
 [[nodiscard]] std::vector<std::int32_t> assign_members(

@@ -52,7 +52,8 @@ struct QualityReport {
                                              const std::vector<TrueBox>& truth);
 
 /// Record-level scores: given per-record discovered labels (cluster index
-/// or -1) and ground-truth labels (planted cluster id or -1 for noise),
+/// or kNoiseLabel) and ground-truth labels (planted cluster id or
+/// kNoiseLabel; any negative label counts as non-cluster),
 /// computes precision (discovered-cluster records that are true cluster
 /// records), recall (true cluster records captured by some discovered
 /// cluster), and their harmonic mean.  Cluster identity is not matched —

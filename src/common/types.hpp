@@ -42,4 +42,18 @@ inline constexpr std::size_t kMaxBinsPerDim = 256;
 /// Sentinel for "no rank" / "no index".
 inline constexpr std::size_t kInvalidIndex = std::numeric_limits<std::size_t>::max();
 
+/// Reserved ground-truth / membership label for noise records.  Cluster ids
+/// are the non-negative integers, so the noise sentinel must never collide
+/// with a cluster id; every producer (datagen, assign_members, the baseline
+/// adapters) and consumer (quality metrics, the eval scoreboard) uses this
+/// constant instead of a magic literal.
+inline constexpr std::int32_t kNoiseLabel = -1;
+
+/// Reserved label for records that carry NO ground truth at all (bulk loads
+/// from label-stripped record files, CSVs without a label column).  Distinct
+/// from kNoiseLabel: "known to be noise" and "truth unknown" must not alias,
+/// or scoring a label-stripped file would silently treat every record as
+/// planted noise.
+inline constexpr std::int32_t kUnlabeledLabel = -2;
+
 }  // namespace mafia

@@ -15,7 +15,48 @@ void GeneratorConfig::validate() const {
   require(num_records >= 1, "GeneratorConfig: need at least one record");
   require(domain_hi > domain_lo, "GeneratorConfig: empty domain");
   require(noise_fraction >= 0.0, "GeneratorConfig: negative noise fraction");
-  for (const ClusterSpec& c : clusters) c.validate(num_dims, domain_lo, domain_hi);
+  if (dim_specs.empty()) {
+    for (const ClusterSpec& c : clusters) c.validate(num_dims, domain_lo, domain_hi);
+    return;
+  }
+  require(dim_specs.size() == num_dims,
+          "GeneratorConfig: dim_specs must have one entry per dimension");
+  Value lo_all = dim_specs[0].lo;
+  Value hi_all = dim_specs[0].hi;
+  for (const DimSpec& s : dim_specs) {
+    require(s.hi > s.lo, "GeneratorConfig: empty per-dim domain");
+    for (std::size_t l = 0; l < s.levels.size(); ++l) {
+      require(s.levels[l] >= s.lo && s.levels[l] <= s.hi,
+              "GeneratorConfig: categorical level outside its domain");
+      if (l > 0) {
+        require(s.levels[l] > s.levels[l - 1],
+                "GeneratorConfig: categorical levels must be ascending");
+      }
+    }
+    lo_all = std::min(lo_all, s.lo);
+    hi_all = std::max(hi_all, s.hi);
+  }
+  for (const ClusterSpec& c : clusters) {
+    // Structural checks against the union of all per-dim ranges, then the
+    // per-dimension containment the union cannot express.
+    c.validate(num_dims, lo_all, hi_all);
+    for (const ClusterBox& b : c.boxes) {
+      for (std::size_t i = 0; i < c.dims.size(); ++i) {
+        const DimSpec& s = dim_specs[c.dims[i]];
+        require(b.lo[i] >= s.lo && b.hi[i] <= s.hi,
+                "GeneratorConfig: box outside its dimension's domain");
+        if (!s.levels.empty()) {
+          bool any = false;
+          for (const Value level : s.levels) {
+            any = any || (level >= b.lo[i] && level <= b.hi[i]);
+          }
+          require(any,
+                  "GeneratorConfig: box spans no level of its categorical "
+                  "dimension");
+        }
+      }
+    }
+  }
 }
 
 namespace {
@@ -101,20 +142,38 @@ class GeneratorImpl {
     }
   }
 
+  /// Lower bound of dimension j's domain.
+  double dim_lo(std::size_t j) const {
+    return config_.dim_specs.empty() ? static_cast<double>(config_.domain_lo)
+                                     : static_cast<double>(config_.dim_specs[j].lo);
+  }
+
+  /// Upper bound of dimension j's domain.
+  double dim_hi(std::size_t j) const {
+    return config_.dim_specs.empty() ? static_cast<double>(config_.domain_hi)
+                                     : static_cast<double>(config_.dim_specs[j].hi);
+  }
+
+  /// Dimension j's categorical levels, or nullptr for a continuous dim.
+  const std::vector<Value>* levels_of(std::size_t j) const {
+    if (config_.dim_specs.empty() || config_.dim_specs[j].levels.empty()) {
+      return nullptr;
+    }
+    return &config_.dim_specs[j].levels;
+  }
+
   /// Volume of a box in the paper's scaled [0,100] space.
   double scaled_volume(const ClusterSpec& spec, const ClusterBox& box) const {
     double v = 1.0;
     for (std::size_t i = 0; i < spec.dims.size(); ++i) {
-      v *= scale_extent(box.hi[i] - box.lo[i]);
+      v *= scale_extent(box.hi[i] - box.lo[i], spec.dims[i]);
     }
     return std::max(v, 1e-12);
   }
 
-  /// Extent mapped to the [0,100] scale.
-  double scale_extent(double extent) const {
-    const double domain =
-        static_cast<double>(config_.domain_hi) - config_.domain_lo;
-    return extent / domain * 100.0;
+  /// Extent along dimension j mapped to the [0,100] scale of j's domain.
+  double scale_extent(double extent, std::size_t j) const {
+    return extent / (dim_hi(j) - dim_lo(j)) * 100.0;
   }
 
   /// Emits `quota` records inside one box: first one point per unit cube of
@@ -123,13 +182,33 @@ class GeneratorImpl {
                 std::int32_t label, std::size_t quota) {
     const std::size_t k = spec.dims.size();
 
+    // Per-subspace-dim categorical levels inside the box (empty vector for
+    // continuous dims).  Validation guarantees a categorical dim has >= 1
+    // in-box level.
+    std::vector<std::vector<Value>> box_levels(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (const std::vector<Value>* levels = levels_of(spec.dims[i])) {
+        for (const Value level : *levels) {
+          if (level >= box.lo[i] && level <= box.hi[i]) {
+            box_levels[i].push_back(level);
+          }
+        }
+      }
+    }
+
     // Unit-cube lattice in scaled space: m_i cells along subspace dim i.
+    // A categorical dim contributes one "cell" per in-box level, so the
+    // coverage walk realizes every level at least once.
     std::vector<std::size_t> cells(k);
     std::size_t total_cells = 1;
     bool overflow = false;
     for (std::size_t i = 0; i < k; ++i) {
-      const double extent = scale_extent(box.hi[i] - box.lo[i]);
-      cells[i] = std::max<std::size_t>(1, static_cast<std::size_t>(extent));
+      if (!box_levels[i].empty()) {
+        cells[i] = box_levels[i].size();
+      } else {
+        const double extent = scale_extent(box.hi[i] - box.lo[i], spec.dims[i]);
+        cells[i] = std::max<std::size_t>(1, static_cast<std::size_t>(extent));
+      }
       if (total_cells > config_.max_cover_cells / cells[i]) overflow = true;
       total_cells *= cells[i];
     }
@@ -143,6 +222,10 @@ class GeneratorImpl {
       for (std::size_t cell = 0; cell < total_cells; ++cell) {
         fill_background(row);
         for (std::size_t i = 0; i < k; ++i) {
+          if (!box_levels[i].empty()) {
+            row[spec.dims[i]] = box_levels[i][idx[i]];
+            continue;
+          }
           const double cell_lo =
               static_cast<double>(box.lo[i]) +
               (static_cast<double>(box.hi[i]) - box.lo[i]) *
@@ -168,27 +251,36 @@ class GeneratorImpl {
     for (; emitted < quota; ++emitted) {
       fill_background(row);
       for (std::size_t i = 0; i < k; ++i) {
-        row[spec.dims[i]] = static_cast<Value>(
-            uniform_real(rng_, box.lo[i], box.hi[i]));
+        if (!box_levels[i].empty()) {
+          row[spec.dims[i]] =
+              box_levels[i][uniform_index(rng_, box_levels[i].size())];
+        } else {
+          row[spec.dims[i]] = static_cast<Value>(
+              uniform_real(rng_, box.lo[i], box.hi[i]));
+        }
       }
       data.append(row, label);
     }
   }
 
-  /// Fills every attribute uniformly over the full domain ("For the
+  /// Fills every attribute uniformly over its full domain ("For the
   /// remaining attributes we select a value at random from a uniform
-  /// distribution over the entire range").
+  /// distribution over the entire range").  Categorical dims draw a level
+  /// uniformly instead.
   void fill_background(std::vector<Value>& row) {
     for (std::size_t j = 0; j < row.size(); ++j) {
-      row[j] = static_cast<Value>(
-          uniform_real(rng_, config_.domain_lo, config_.domain_hi));
+      if (const std::vector<Value>* levels = levels_of(j)) {
+        row[j] = (*levels)[uniform_index(rng_, levels->size())];
+      } else {
+        row[j] = static_cast<Value>(uniform_real(rng_, dim_lo(j), dim_hi(j)));
+      }
     }
   }
 
   void emit_noise(Dataset& data) {
     if (noise_row_.size() != config_.num_dims) noise_row_.resize(config_.num_dims);
     fill_background(noise_row_);
-    data.append(noise_row_, -1);
+    data.append(noise_row_, kNoiseLabel);
   }
 
   const GeneratorConfig& config_;

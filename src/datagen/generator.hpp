@@ -23,6 +23,21 @@
 
 namespace mafia {
 
+/// Per-dimension domain override for the mixed-scale / categorical
+/// scoreboard workloads.  When GeneratorConfig::dim_specs is empty every
+/// dimension draws from the single [domain_lo, domain_hi] range (the
+/// paper's setup); otherwise dimension j draws from dim_specs[j].
+struct DimSpec {
+  Value lo = 0.0f;
+  Value hi = 100.0f;
+  /// Non-empty => categorical: every generated value for this dimension
+  /// (background, cluster, and noise alike) is one of these levels
+  /// (strictly ascending, within [lo, hi]).  Cluster-box fill draws only
+  /// the levels inside the box, and the unit-cube coverage lattice
+  /// degenerates to one cell per in-box level so each level is realized.
+  std::vector<Value> levels;
+};
+
 struct GeneratorConfig {
   std::size_t num_dims = 0;
   /// Cluster records to generate; noise is ADDED on top (paper semantics),
@@ -30,6 +45,11 @@ struct GeneratorConfig {
   RecordIndex num_records = 0;
   Value domain_lo = 0.0f;
   Value domain_hi = 100.0f;
+  /// Optional per-dimension domains / categorical levels; empty (default)
+  /// means every dimension uses [domain_lo, domain_hi].  When non-empty it
+  /// must hold exactly num_dims entries, and cluster boxes are validated
+  /// against their own dimensions' domains.
+  std::vector<DimSpec> dim_specs;
   std::vector<ClusterSpec> clusters;
   double noise_fraction = 0.10;
   std::uint64_t seed = 1;
@@ -46,7 +66,7 @@ struct GeneratorConfig {
 };
 
 /// Generates the data set.  Records carry ground-truth labels (cluster
-/// index, -1 for noise) that the algorithms never see.
+/// index, kNoiseLabel for noise) that the algorithms never see.
 [[nodiscard]] Dataset generate(const GeneratorConfig& config);
 
 /// The planted truth in the quality module's box form (one TrueBox per

@@ -241,4 +241,71 @@ GeneratorConfig l_shape_demo(RecordIndex records, std::uint64_t seed) {
   return cfg;
 }
 
+GeneratorConfig highdim(RecordIndex records, std::uint64_t seed) {
+  // 200 dims, 3 clusters in 10-, 12- and 15-dim subspaces (strided so the
+  // cluster dims spread across the attribute space), equal shares.  Extent
+  // 8 units = 8% with share 1/3 => dominance ~4 > alpha = 1.5.  Extents
+  // start at even offsets to align with 2-unit adaptive windows
+  // (fine_bins = 100, window_cells = 2).  The 8^10-cell coverage lattice
+  // exceeds max_cover_cells, so boxes fill uniformly — the planted boxes
+  // are still exact bounds, just without the one-point-per-cube guarantee.
+  GeneratorConfig cfg;
+  cfg.num_dims = 200;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  const auto strided = [](std::size_t k, std::size_t start, std::size_t stride) {
+    std::vector<DimId> dims(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      dims[i] = static_cast<DimId>(start + i * stride);
+    }
+    return dims;
+  };
+  cfg.clusters.push_back(cube(strided(10, 0, 20), 16, 24, 1.0));
+  cfg.clusters.push_back(cube(strided(12, 1, 16), 40, 48, 1.0));
+  cfg.clusters.push_back(cube(strided(15, 2, 13), 70, 78, 1.0));
+  return cfg;
+}
+
+GeneratorConfig overlap(RecordIndex records, std::uint64_t seed) {
+  // 16 dims.  Cluster A lives in {2,4,6,8} at [30,50], cluster B in
+  // {2,4,6,10} at [40,60]: they share three subspace dims and overlap on
+  // [40,50] there, so a record's shared-dim values cannot identify its
+  // cluster — only the distinguishing dim (8 vs 10) can.  Extent 20% with
+  // share 1/2 => dominance 2.5; bounds are even for window alignment and
+  // land on 10-unit CLIQUE bin edges (this is an assignment-ambiguity
+  // workload, not a boundary-quality one).
+  GeneratorConfig cfg;
+  cfg.num_dims = 16;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  cfg.clusters.push_back(cube({2, 4, 6, 8}, 30, 50, 1.0));
+  cfg.clusters.push_back(cube({2, 4, 6, 10}, 40, 60, 1.0));
+  return cfg;
+}
+
+GeneratorConfig mixed(RecordIndex records, std::uint64_t seed) {
+  // 12 dims of three kinds: 0-5 continuous [0,100], 6-7 categorical with 5
+  // levels each, 8-11 continuous [0,1000] (a 10x scale mismatch that sinks
+  // full-space distance metrics but is invisible to per-dim grids).  Two
+  // clusters, each combining one dim of every kind; the categorical extent
+  // admits exactly one level (50 for A, 70 for B).  Continuous extents are
+  // 16% of their own domain with share 1/2 => dominance ~3; bounds align
+  // with 2-unit (and 20-unit, for the [0,1000] dims) adaptive windows.
+  GeneratorConfig cfg;
+  cfg.num_dims = 12;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  cfg.dim_specs.resize(12);
+  for (std::size_t j = 0; j < 6; ++j) cfg.dim_specs[j] = DimSpec{0, 100, {}};
+  for (std::size_t j = 6; j < 8; ++j) {
+    cfg.dim_specs[j] = DimSpec{0, 100, {10, 30, 50, 70, 90}};
+  }
+  for (std::size_t j = 8; j < 12; ++j) cfg.dim_specs[j] = DimSpec{0, 1000, {}};
+  cfg.clusters.push_back(
+      ClusterSpec::box({1, 6, 9}, {20, 44, 200}, {36, 56, 360}, 1.0));
+  cfg.clusters.push_back(
+      ClusterSpec::box({3, 7, 10}, {60, 64, 600}, {76, 76, 760}, 1.0));
+  return cfg;
+}
+
 }  // namespace mafia::workloads

@@ -75,4 +75,24 @@ namespace mafia::workloads {
 [[nodiscard]] GeneratorConfig l_shape_demo(RecordIndex records,
                                            std::uint64_t seed = 61);
 
+/// High-dimensional stress (FP-tree-paper regime): 200 dims, 3 clusters in
+/// 10-, 12-, and 15-dim subspaces.  Exercises the deep bottom-up levels at
+/// d far beyond the paper's 100-dim ceiling.
+[[nodiscard]] GeneratorConfig highdim(RecordIndex records,
+                                      std::uint64_t seed = 71);
+
+/// Two clusters sharing subspace dims {2,4,6} with overlapping extents
+/// ([30,50] vs [40,60] on the shared dims) — records in [40,50]^3 there are
+/// consistent with either cluster, so assignment must disambiguate via the
+/// distinguishing dims (8 vs 10).
+[[nodiscard]] GeneratorConfig overlap(RecordIndex records,
+                                      std::uint64_t seed = 72);
+
+/// Categorical + mixed-scale dims: 12 dims where 6-7 are categorical
+/// (5 levels each), 8-11 span [0,1000] (10x the others), and the two
+/// planted clusters each combine a continuous, a categorical, and a
+/// large-scale dimension.  Exercises the per-dim DimSpec generator path.
+[[nodiscard]] GeneratorConfig mixed(RecordIndex records,
+                                    std::uint64_t seed = 73);
+
 }  // namespace mafia::workloads

@@ -1,0 +1,230 @@
+#include "eval/adapters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/birch.hpp"
+#include "baselines/clarans.hpp"
+#include "baselines/cure.hpp"
+#include "clique/clique.hpp"
+#include "cluster/membership.hpp"
+#include "common/error.hpp"
+#include "core/mafia.hpp"
+#include "dbscan/dbscan.hpp"
+#include "enclus/enclus.hpp"
+#include "grid/adaptive_grid.hpp"
+#include "io/data_source.hpp"
+#include "kmeans/kmeans.hpp"
+#include "proclus/proclus.hpp"
+
+namespace mafia::eval {
+
+namespace {
+
+std::vector<DimId> all_dims(std::size_t d) {
+  std::vector<DimId> dims(d);
+  for (std::size_t i = 0; i < d; ++i) dims[i] = static_cast<DimId>(i);
+  return dims;
+}
+
+/// Mean per-dimension value range, for distance-scale heuristics.
+double mean_dim_width(const Dataset& data) {
+  const std::size_t d = data.num_dims();
+  if (data.num_records() == 0) return 1.0;
+  std::vector<Value> lo(d, std::numeric_limits<Value>::max());
+  std::vector<Value> hi(d, std::numeric_limits<Value>::lowest());
+  for (RecordIndex r = 0; r < data.num_records(); ++r) {
+    for (std::size_t j = 0; j < d; ++j) {
+      lo[j] = std::min(lo[j], data.at(r, j));
+      hi[j] = std::max(hi[j], data.at(r, j));
+    }
+  }
+  double sum = 0.0;
+  for (std::size_t j = 0; j < d; ++j) {
+    sum += std::max(0.0, static_cast<double>(hi[j]) - lo[j]);
+  }
+  return std::max(sum / static_cast<double>(d), 1e-9);
+}
+
+/// Shared tail for the grid methods: drop clusters under the reporting
+/// floor, then label every record through the serving-path DNF predicates.
+AdapterOutput from_grid_result(MafiaResult&& result, const Dataset& data,
+                               const AdapterHints& hints) {
+  std::vector<Cluster> kept;
+  for (Cluster& c : result.clusters) {
+    if (c.dims.size() >= hints.min_cluster_dims) kept.push_back(std::move(c));
+  }
+  AdapterOutput out;
+  const InMemorySource source(data);
+  out.clustering.labels = assign_members(source, kept, result.grids);
+  out.clustering.cluster_dims.reserve(kept.size());
+  for (const Cluster& c : kept) out.clustering.cluster_dims.push_back(c.dims);
+  out.clusters_found = kept.size();
+  return out;
+}
+
+AdapterOutput run_pmafia_adapter(const Dataset& data, const AdapterHints& hints,
+                                 int ranks) {
+  MafiaOptions options;
+  options.grid = AdaptiveGridOptions::for_sample_size(data.num_records());
+  options.min_cluster_dims = hints.min_cluster_dims;
+  const InMemorySource source(data);
+  return from_grid_result(run_pmafia(source, options, ranks), data, hints);
+}
+
+AdapterOutput run_clique_adapter(const Dataset& data, const AdapterHints& hints,
+                                 int ranks) {
+  CliqueOptions options;
+  options.xi = hints.clique_xi;
+  options.tau_fraction = hints.clique_tau;
+  const InMemorySource source(data);
+  return from_grid_result(run_clique(source, options, ranks), data, hints);
+}
+
+AdapterOutput run_enclus_adapter(const Dataset& data, const AdapterHints& hints) {
+  EnclusOptions options;
+  options.omega =
+      hints.enclus_omega_factor * max_entropy(options.xi, hints.enclus_max_dims);
+  options.max_dims = hints.enclus_max_dims;
+  const InMemorySource source(data);
+  const EnclusResult result = run_enclus(source, options);
+  AdapterOutput out;
+  // No memberships: all-noise labels, subspaces only (interesting first —
+  // they are the high-correlation ones — then the remaining significant).
+  out.clustering.labels.assign(static_cast<std::size_t>(data.num_records()),
+                               kNoiseLabel);
+  for (const SubspaceInfo& s : result.interesting) {
+    out.clustering.cluster_dims.push_back(s.dims);
+  }
+  for (const SubspaceInfo& s : result.significant) {
+    out.clustering.cluster_dims.push_back(s.dims);
+  }
+  out.clusters_found = out.clustering.cluster_dims.size();
+  return out;
+}
+
+AdapterOutput run_dbscan_adapter(const Dataset& data, const AdapterHints& hints) {
+  DbscanOptions options;
+  options.eps = hints.dbscan_eps_factor *
+                std::sqrt(static_cast<double>(data.num_dims())) *
+                mean_dim_width(data);
+  options.min_pts = hints.dbscan_min_pts;
+  DbscanResult result = run_dbscan(data, options);
+  AdapterOutput out;
+  out.clusters_found = result.num_clusters;
+  out.clustering.labels = std::move(result.labels);
+  out.clustering.cluster_dims.assign(out.clusters_found,
+                                     all_dims(data.num_dims()));
+  return out;
+}
+
+AdapterOutput run_proclus_adapter(const Dataset& data, const AdapterHints& hints) {
+  ProclusOptions options;
+  options.num_clusters = hints.true_clusters;
+  options.avg_dims = std::max<std::size_t>(2, hints.avg_cluster_dims);
+  options.seed = hints.seed;
+  const ProclusResult result = run_proclus(data, options);
+  AdapterOutput out;
+  out.clusters_found = result.clusters.size();
+  out.clustering.labels.assign(static_cast<std::size_t>(data.num_records()),
+                               kNoiseLabel);
+  for (std::size_t c = 0; c < result.clusters.size(); ++c) {
+    out.clustering.cluster_dims.push_back(result.clusters[c].dims);
+    for (const RecordIndex r : result.clusters[c].members) {
+      out.clustering.labels[static_cast<std::size_t>(r)] =
+          static_cast<std::int32_t>(c);
+    }
+  }
+  return out;
+}
+
+AdapterOutput run_kmeans_adapter(const Dataset& data, const AdapterHints& hints,
+                                 int ranks) {
+  KMeansOptions options;
+  options.k = hints.true_clusters;
+  options.seed = hints.seed;
+  const InMemorySource source(data);
+  const KMeansResult model = run_kmeans(source, options, ranks);
+  AdapterOutput out;
+  out.clusters_found = model.sizes.size();
+  out.clustering.labels = kmeans_assign(source, model);
+  out.clustering.cluster_dims.assign(out.clusters_found,
+                                     all_dims(data.num_dims()));
+  return out;
+}
+
+AdapterOutput run_birch_adapter(const Dataset& data, const AdapterHints& hints) {
+  BirchOptions options;
+  options.num_clusters = hints.true_clusters;
+  // Leaf-absorption radius at the scale of one cluster extent: a fraction
+  // of the full-space pair distance, which grows with sqrt(d) * width.
+  options.threshold = hints.birch_threshold_factor *
+                      std::sqrt(static_cast<double>(data.num_dims())) *
+                      mean_dim_width(data);
+  const BirchResult model = run_birch(data, options);
+  AdapterOutput out;
+  out.clusters_found = model.num_clusters();
+  out.clustering.labels = birch_assign(data, model);
+  out.clustering.cluster_dims.assign(out.clusters_found,
+                                     all_dims(data.num_dims()));
+  return out;
+}
+
+AdapterOutput run_cure_adapter(const Dataset& data, const AdapterHints& hints) {
+  CureOptions options;
+  options.num_clusters = hints.true_clusters;
+  options.sample_size = std::max<std::size_t>(
+      options.num_clusters,
+      std::min<std::size_t>(500, static_cast<std::size_t>(data.num_records())));
+  options.seed = hints.seed;
+  CureResult result = run_cure(data, options);
+  AdapterOutput out;
+  out.clusters_found = result.clusters.size();
+  out.clustering.labels = std::move(result.labels);
+  out.clustering.cluster_dims.assign(out.clusters_found,
+                                     all_dims(data.num_dims()));
+  return out;
+}
+
+AdapterOutput run_clarans_adapter(const Dataset& data, const AdapterHints& hints) {
+  ClaransOptions options;
+  options.num_clusters = hints.true_clusters;
+  options.seed = hints.seed;
+  ClaransResult result = run_clarans(data, options);
+  AdapterOutput out;
+  out.clusters_found = options.num_clusters;
+  out.clustering.labels = std::move(result.labels);
+  out.clustering.cluster_dims.assign(out.clusters_found,
+                                     all_dims(data.num_dims()));
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& algorithm_names() {
+  static const std::vector<std::string> names = {
+      "pmafia", "clique", "enclus",  "dbscan", "proclus",
+      "kmeans", "birch",  "clarans", "cure"};
+  return names;
+}
+
+bool is_algorithm(const std::string& name) {
+  const std::vector<std::string>& names = algorithm_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+AdapterOutput run_algorithm(const std::string& name, const Dataset& data,
+                            const AdapterHints& hints, int ranks) {
+  if (name == "pmafia") return run_pmafia_adapter(data, hints, ranks);
+  if (name == "clique") return run_clique_adapter(data, hints, ranks);
+  if (name == "enclus") return run_enclus_adapter(data, hints);
+  if (name == "dbscan") return run_dbscan_adapter(data, hints);
+  if (name == "proclus") return run_proclus_adapter(data, hints);
+  if (name == "kmeans") return run_kmeans_adapter(data, hints, ranks);
+  if (name == "birch") return run_birch_adapter(data, hints);
+  if (name == "clarans") return run_clarans_adapter(data, hints);
+  if (name == "cure") return run_cure_adapter(data, hints);
+  throw Error("unknown algorithm: " + name, ErrorClass::Usage);
+}
+
+}  // namespace mafia::eval

@@ -1,0 +1,80 @@
+// Uniform "run -> assignments + subspaces" adapters over the whole zoo.
+//
+// Every algorithm in the repo — pMAFIA, CLIQUE, ENCLUS, DBSCAN, PROCLUS,
+// k-means, BIRCH, CURE, CLARANS — is wrapped behind one entry point that
+// returns an eval::Clustering, so the scoreboard can score them all with
+// the same metrics.  Conventions:
+//   * grid methods (pmafia, clique) label records through the SAME
+//     cluster/membership DNF path the CLI serves (assign_members), so the
+//     eval path cannot drift from the serving path (pinned by the
+//     differential test in eval_scoreboard_test);
+//   * full-space methods (kmeans, birch, cure, clarans, dbscan) report all
+//     dims as their subspace — that is what the algorithm asserts;
+//   * PROCLUS reports its learned projected dims;
+//   * ENCLUS mines subspaces only (no record memberships): its Clustering
+//     has all-noise labels plus the mined subspace dims, so it scores 0 on
+//     record metrics and is judged on subspace_recovery — honest, not an
+//     omission;
+//   * supervised baselines receive the true cluster count through
+//     AdapterHints (an oracle input the subspace methods never get —
+//     documented so the comparison reads fairly).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "io/dataset.hpp"
+
+namespace mafia::eval {
+
+/// Per-workload tuning knobs the adapters consume.  Defaults suit the
+/// canned scoreboard workloads at their default scale.
+struct AdapterHints {
+  std::size_t true_clusters = 2;     ///< k for the supervised baselines
+  std::size_t avg_cluster_dims = 4;  ///< PROCLUS's projected dim target
+  /// Reporting floor for the grid methods; raised to 3 on the categorical
+  /// workload, where every level combination of two categorical dims is a
+  /// genuine 2-d dense region the planted truth does not include.
+  std::size_t min_cluster_dims = 2;
+  std::size_t clique_xi = 10;
+  double clique_tau = 0.15;          ///< above background bin mass (~0.10)
+  /// dbscan eps = factor * sqrt(d) * mean dimension width: between the
+  /// expected intra-cluster and background pair distances on the canned
+  /// workloads (both scale with sqrt(d) * width).
+  double dbscan_eps_factor = 0.35;
+  std::size_t dbscan_min_pts = 8;
+  /// enclus omega = factor * max_entropy(xi, max_dims).
+  double enclus_omega_factor = 0.85;
+  std::size_t enclus_max_dims = 2;
+  /// birch threshold = factor * sqrt(d) * mean dimension width.  The
+  /// default keeps leaves fine-grained on ~10-dim workloads; the 200-dim
+  /// workload raises it (0.30) because there the background radius alone
+  /// exceeds a fine threshold, the CF-tree degenerates to one leaf per
+  /// record, and the agglomerative phase goes superquadratic.
+  double birch_threshold_factor = 0.06;
+  std::uint64_t seed = 1;
+};
+
+struct AdapterOutput {
+  Clustering clustering;
+  std::size_t clusters_found = 0;
+};
+
+/// The full zoo, scoreboard order (pmafia first, then the baselines).
+[[nodiscard]] const std::vector<std::string>& algorithm_names();
+
+[[nodiscard]] bool is_algorithm(const std::string& name);
+
+/// Runs one algorithm over the data set.  `ranks` is the SPMD width for
+/// the algorithms that take one (pmafia, clique, kmeans); the rest ignore
+/// it.  Throws (Error subclasses or std::exception) on algorithm failure —
+/// the scoreboard catches and reports, never omits.  Unknown names throw
+/// Error(ErrorClass::Usage).
+[[nodiscard]] AdapterOutput run_algorithm(const std::string& name,
+                                          const Dataset& data,
+                                          const AdapterHints& hints,
+                                          int ranks = 1);
+
+}  // namespace mafia::eval

@@ -1,0 +1,272 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace mafia::eval {
+
+namespace {
+
+/// Sorted distinct non-negative ids in `labels`; lookup via binary search.
+/// Sorting makes the compaction independent of record order, and every
+/// float reduction downstream sorts its terms, so the id->index map's order
+/// never leaks into the results.
+std::vector<std::int32_t> compact_ids(const std::vector<std::int32_t>& labels) {
+  std::vector<std::int32_t> ids;
+  for (const std::int32_t l : labels) {
+    if (l >= 0) ids.push_back(l);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+std::size_t index_of(const std::vector<std::int32_t>& ids, std::int32_t id) {
+  return static_cast<std::size_t>(
+      std::lower_bound(ids.begin(), ids.end(), id) - ids.begin());
+}
+
+/// Permutation-invariant sum: sorts the terms first so the accumulation
+/// order (and therefore the rounding) is a function of the multiset of
+/// values only.
+double stable_sum(std::vector<double>& terms) {
+  std::sort(terms.begin(), terms.end());
+  double s = 0.0;
+  for (const double t : terms) s += t;
+  return s;
+}
+
+struct Matching {
+  Count overlap = 0;        ///< total matched intersection records
+  std::size_t pairs = 0;    ///< matched pairs with positive intersection
+};
+
+/// Exact maximum-overlap one-to-one matching via DP over truth subsets.
+/// Objective: maximize total intersection, tie-break on fewer pairs (a
+/// zero-gain pair is never matched).  Both criteria are integral, so the
+/// optimum value is independent of iteration order.
+Matching match_exact(const std::vector<Count>& inter, std::size_t np,
+                     std::size_t nt) {
+  const std::size_t nmask = std::size_t{1} << nt;
+  // dp[mask] = best (overlap, -pairs) using any prefix of predicted
+  // clusters with truth set `mask` consumed.  Predicted clusters are
+  // interchangeable across iterations (each may stay unmatched), so one
+  // rolling table suffices.
+  std::vector<Count> best_overlap(nmask, 0);
+  std::vector<std::size_t> best_pairs(nmask, 0);
+  for (std::size_t p = 0; p < np; ++p) {
+    // A predicted cluster with no truth overlap can never improve the DP.
+    bool any = false;
+    for (std::size_t t = 0; t < nt && !any; ++t) any = inter[p * nt + t] > 0;
+    if (!any) continue;
+    // Iterate masks descending so each predicted cluster matches at most
+    // one truth cluster per pass.
+    for (std::size_t mask = nmask; mask-- > 0;) {
+      for (std::size_t t = 0; t < nt; ++t) {
+        const std::size_t bit = std::size_t{1} << t;
+        if ((mask & bit) == 0) continue;
+        const Count gain = inter[p * nt + t];
+        if (gain == 0) continue;
+        const Count cand = best_overlap[mask ^ bit] + gain;
+        const std::size_t cand_pairs = best_pairs[mask ^ bit] + 1;
+        if (cand > best_overlap[mask] ||
+            (cand == best_overlap[mask] && cand_pairs < best_pairs[mask])) {
+          best_overlap[mask] = cand;
+          best_pairs[mask] = cand_pairs;
+        }
+      }
+    }
+  }
+  Matching m;
+  for (std::size_t mask = 0; mask < nmask; ++mask) {
+    if (best_overlap[mask] > m.overlap ||
+        (best_overlap[mask] == m.overlap && best_pairs[mask] < m.pairs)) {
+      m.overlap = best_overlap[mask];
+      m.pairs = best_pairs[mask];
+    }
+  }
+  return m;
+}
+
+/// Greedy fallback for large truths: repeatedly match the largest remaining
+/// intersection.  Ties broken by smaller predicted then truth cluster size
+/// (id-free keys); a residual tie between structurally identical pairs
+/// cannot change the total of THIS pick, only of later ones, so greedy
+/// results are deterministic in practice but not guaranteed optimal.
+Matching match_greedy(const std::vector<Count>& inter,
+                      const std::vector<Count>& pred_size,
+                      const std::vector<Count>& truth_size, std::size_t np,
+                      std::size_t nt) {
+  struct Pair {
+    Count overlap;
+    Count psize;
+    Count tsize;
+    std::size_t p;
+    std::size_t t;
+  };
+  std::vector<Pair> pairs;
+  for (std::size_t p = 0; p < np; ++p) {
+    for (std::size_t t = 0; t < nt; ++t) {
+      if (inter[p * nt + t] > 0) {
+        pairs.push_back({inter[p * nt + t], pred_size[p], truth_size[t], p, t});
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    if (a.overlap != b.overlap) return a.overlap > b.overlap;
+    if (a.psize != b.psize) return a.psize < b.psize;
+    return a.tsize < b.tsize;
+  });
+  std::vector<bool> p_used(np, false), t_used(nt, false);
+  Matching m;
+  for (const Pair& pr : pairs) {
+    if (p_used[pr.p] || t_used[pr.t]) continue;
+    p_used[pr.p] = true;
+    t_used[pr.t] = true;
+    m.overlap += pr.overlap;
+    ++m.pairs;
+  }
+  return m;
+}
+
+/// Jaccard similarity of two ascending dim lists.
+double jaccard(const std::vector<DimId>& a, const std::vector<DimId>& b) {
+  std::size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t uni = a.size() + b.size() - common;
+  return uni == 0 ? 0.0 : static_cast<double>(common) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+Scores score_clustering(const Clustering& predicted, const Clustering& truth) {
+  require(predicted.labels.size() == truth.labels.size(),
+          "score_clustering: label vectors differ in length");
+
+  const std::vector<std::int32_t> pred_ids = compact_ids(predicted.labels);
+  const std::vector<std::int32_t> truth_ids = compact_ids(truth.labels);
+  const std::size_t np = pred_ids.size();
+  const std::size_t nt = truth_ids.size();
+
+  // Integer contingency.  Truth kUnlabeledLabel records carry no ground
+  // truth and are excluded entirely; truth kNoiseLabel records count toward
+  // precision (a cluster holding planted noise is impure) and the entropy
+  // noise class.
+  std::vector<Count> inter(np * nt, 0);
+  std::vector<Count> pred_size(np, 0);        // scored records per predicted cluster
+  std::vector<Count> pred_noise(np, 0);       // ... of which truth says noise
+  std::vector<Count> truth_size(nt, 0);
+  std::vector<Count> truth_covered(nt, 0);    // ... captured by any predicted cluster
+  bool any_truth_noise = false;
+  for (std::size_t r = 0; r < truth.labels.size(); ++r) {
+    const std::int32_t tl = truth.labels[r];
+    if (tl < 0 && tl != kNoiseLabel) continue;  // unlabeled: no truth to score
+    const std::int32_t pl = predicted.labels[r];
+    const std::size_t pi = pl >= 0 ? index_of(pred_ids, pl) : np;
+    if (tl == kNoiseLabel) {
+      any_truth_noise = true;
+      if (pi < np) {
+        ++pred_size[pi];
+        ++pred_noise[pi];
+      }
+      continue;
+    }
+    const std::size_t ti = index_of(truth_ids, tl);
+    ++truth_size[ti];
+    if (pi < np) {
+      ++pred_size[pi];
+      ++inter[pi * nt + ti];
+      ++truth_covered[ti];
+    }
+  }
+
+  Count pred_total = 0, truth_total = 0, covered_total = 0;
+  for (const Count c : pred_size) pred_total += c;
+  for (const Count c : truth_size) truth_total += c;
+  for (const Count c : truth_covered) covered_total += c;
+
+  const Matching matching = nt <= kExactMatchTruth
+                                ? match_exact(inter, np, nt)
+                                : match_greedy(inter, pred_size, truth_size, np, nt);
+
+  Scores s;
+  s.predicted_clusters = np;
+  s.truth_clusters = nt;
+  s.matched_clusters = matching.pairs;
+
+  // Precision/recall with the empty-side conventions: an empty prediction
+  // makes no placement mistakes (precision 1) but captures nothing (recall
+  // 0); a noise-only truth has nothing to capture (recall 1) and any
+  // predicted cluster is then pure noise (precision 0 via overlap 0).
+  const auto overlap = static_cast<double>(matching.overlap);
+  s.precision =
+      pred_total == 0 ? 1.0 : overlap / static_cast<double>(pred_total);
+  s.recall = truth_total == 0 ? 1.0 : overlap / static_cast<double>(truth_total);
+  const double pr = s.precision + s.recall;
+  s.f1 = pr > 0.0 ? 2.0 * s.precision * s.recall / pr : 0.0;
+
+  s.coverage = truth_total == 0
+                   ? 1.0
+                   : static_cast<double>(covered_total) /
+                         static_cast<double>(truth_total);
+
+  // Entropy: per predicted cluster, the truth-class distribution over the
+  // nt truth clusters plus one noise class, normalized by ln(#classes).
+  const std::size_t nclasses = nt + (any_truth_noise ? 1 : 0);
+  if (pred_total > 0 && nclasses >= 2) {
+    const double norm = std::log(static_cast<double>(nclasses));
+    std::vector<double> cluster_terms;
+    std::vector<double> class_terms;
+    for (std::size_t p = 0; p < np; ++p) {
+      if (pred_size[p] == 0) continue;
+      const auto size = static_cast<double>(pred_size[p]);
+      class_terms.clear();
+      for (std::size_t t = 0; t < nt; ++t) {
+        if (inter[p * nt + t] == 0) continue;
+        const double frac = static_cast<double>(inter[p * nt + t]) / size;
+        class_terms.push_back(-frac * std::log(frac));
+      }
+      if (pred_noise[p] > 0) {
+        const double frac = static_cast<double>(pred_noise[p]) / size;
+        class_terms.push_back(-frac * std::log(frac));
+      }
+      const double h = stable_sum(class_terms);
+      cluster_terms.push_back(size / static_cast<double>(pred_total) * h / norm);
+    }
+    s.entropy = stable_sum(cluster_terms);
+  }
+
+  // Subspace recovery: needs known truth dims for at least one truth id.
+  std::vector<double> recovery_terms;
+  for (const std::int32_t tid : truth_ids) {
+    const auto ti = static_cast<std::size_t>(tid);
+    if (ti >= truth.cluster_dims.size() || truth.cluster_dims[ti].empty()) {
+      continue;
+    }
+    double best = 0.0;
+    for (const std::vector<DimId>& pdims : predicted.cluster_dims) {
+      if (!pdims.empty()) best = std::max(best, jaccard(truth.cluster_dims[ti], pdims));
+    }
+    recovery_terms.push_back(best);
+  }
+  if (!recovery_terms.empty()) {
+    const auto n = static_cast<double>(recovery_terms.size());
+    s.subspace_recovery = stable_sum(recovery_terms) / n;
+  }
+  return s;
+}
+
+}  // namespace mafia::eval

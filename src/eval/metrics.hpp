@@ -1,0 +1,69 @@
+// Planted-truth quality metrics for the scoreboard (ROADMAP item 5).
+//
+// Scores a predicted clustering against ground truth carried on the records
+// (datagen labels, or an external labeled record file).  All metrics are
+// computed from an integer contingency table and an OPTIMAL one-to-one
+// cluster<->truth matching (maximum total overlap, exact bitmask DP for up
+// to kExactMatchTruth truth clusters, greedy beyond), so:
+//   * precision  = matched overlap / records placed in any predicted cluster
+//   * recall     = matched overlap / records in any truth cluster
+//   * f1         = harmonic mean of the two
+//   * entropy    = cluster-size-weighted normalized entropy of each
+//                  predicted cluster's truth-class distribution (truth
+//                  clusters + one noise class); 0 = every cluster pure
+//   * coverage   = fraction of truth-cluster records captured by ANY
+//                  predicted cluster (cluster identity ignored — the
+//                  paper's "thrown away as outliers" axis)
+//   * subspace_recovery = mean over truth clusters of the best Jaccard
+//                  similarity between the truth subspace dims and any
+//                  predicted cluster's dims (NaN when truth dims unknown)
+//
+// Determinism contract (pinned by eval_metrics_test): permuting cluster ids
+// and/or record order leaves every metric BIT-identical.  The matching
+// objective is integral, and every floating-point reduction sorts its terms
+// before summing, so no result depends on label values or record order.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mafia::eval {
+
+/// How many truth clusters the exact matching DP handles (2^k mask states);
+/// larger truths fall back to a greedy best-overlap-first matching.
+inline constexpr std::size_t kExactMatchTruth = 16;
+
+/// A clustering over N records: per-record labels plus per-cluster subspace
+/// dims.  Labels are cluster ids (any non-negative values), kNoiseLabel for
+/// noise, or kUnlabeledLabel for "no information" (such records are
+/// excluded from every metric when they appear on the TRUTH side).
+/// cluster_dims is keyed by cluster id and is allowed to be shorter (ids
+/// beyond it have unknown subspaces) or longer (subspaces without any
+/// member records — ENCLUS emits these) than the label range; an empty
+/// inner vector also means "unknown".
+struct Clustering {
+  std::vector<std::int32_t> labels;
+  std::vector<std::vector<DimId>> cluster_dims;
+};
+
+struct Scores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double entropy = 0.0;
+  double coverage = 0.0;
+  double subspace_recovery = std::numeric_limits<double>::quiet_NaN();
+  std::size_t predicted_clusters = 0;  ///< distinct predicted cluster ids
+  std::size_t truth_clusters = 0;      ///< distinct truth cluster ids
+  std::size_t matched_clusters = 0;    ///< matched pairs with overlap > 0
+};
+
+/// Scores `predicted` against `truth`; the two label vectors must be the
+/// same length (one entry per record, same record order).
+[[nodiscard]] Scores score_clustering(const Clustering& predicted,
+                                      const Clustering& truth);
+
+}  // namespace mafia::eval

@@ -1,0 +1,97 @@
+// Scoreboard driver: every zoo algorithm x a planted-truth workload matrix
+// -> one pmafia-scoreboard-v1 JSON document.
+//
+// The workload matrix covers the paper's boundary-quality comparison
+// (Table 3, the L-shape) plus the stress regimes the suite lacked: 200-dim
+// data with 10-15-dim planted clusters, clusters overlapping on shared
+// subspace dims, and categorical/mixed-scale attributes.  Workloads flagged
+// `boundary` carry the paper's §5.9 claim — scripts/scoreboard_gate.py
+// enforces pMAFIA >= CLIQUE on F1 there, and no metric regressing below
+// the committed SCOREBOARD.json baseline anywhere.
+//
+// An algorithm failure on a workload becomes a status:"failed" row with the
+// error message — every requested algorithm appears on every requested
+// workload, always.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/generator.hpp"
+#include "eval/adapters.hpp"
+
+namespace mafia::eval {
+
+inline constexpr const char* kScoreboardSchema = "pmafia-scoreboard-v1";
+
+/// One named workload: its generator config plus per-workload adapter
+/// hints and whether the boundary-quality gate applies.
+struct Workload {
+  std::string name;
+  bool boundary = false;
+  GeneratorConfig config;
+  AdapterHints hints;
+};
+
+/// The canned matrix, scoreboard order.
+[[nodiscard]] const std::vector<std::string>& workload_names();
+
+[[nodiscard]] bool is_workload(const std::string& name);
+
+/// Builds a canned workload at the given scale.  `records` is the cluster
+/// record count (noise rides on top, generator semantics); `seed` overrides
+/// the config's seed.  Unknown names throw Error(ErrorClass::Usage).
+[[nodiscard]] Workload make_workload(const std::string& name,
+                                     RecordIndex records, std::uint64_t seed);
+
+struct AlgorithmScore {
+  std::string algorithm;
+  bool ok = false;
+  std::string error;               ///< failure message when !ok
+  double seconds = 0.0;
+  std::size_t clusters_found = 0;
+  Scores scores;                   ///< valid when ok
+};
+
+struct WorkloadScore {
+  std::string name;
+  bool boundary = false;
+  std::size_t num_dims = 0;
+  RecordIndex num_records = 0;     ///< actual rows incl. noise
+  std::size_t planted_clusters = 0;
+  std::vector<AlgorithmScore> algorithms;
+};
+
+struct ScoreboardResult {
+  RecordIndex records = 0;         ///< requested cluster records per workload
+  std::uint64_t seed = 0;
+  int ranks = 1;
+  std::vector<WorkloadScore> workloads;
+};
+
+/// Runs the matrix.  Unknown workload/algorithm names throw
+/// Error(ErrorClass::Usage) up front; per-algorithm failures during the
+/// run are captured as failed rows.
+[[nodiscard]] ScoreboardResult run_scoreboard(
+    const std::vector<std::string>& workloads,
+    const std::vector<std::string>& algorithms, RecordIndex records,
+    std::uint64_t seed, int ranks = 1);
+
+/// Scores one generated workload (exposed for the rank-sweep and
+/// differential tests, which need the Dataset and truth in hand).
+[[nodiscard]] WorkloadScore score_workload(
+    const Workload& workload, const Dataset& data,
+    const std::vector<std::string>& algorithms, int ranks);
+
+/// Scores an external labeled data set (labels = ground truth, subspace
+/// truth unknown -> subspace_recovery is null in the JSON).
+[[nodiscard]] WorkloadScore score_dataset(
+    const std::string& name, const Dataset& data,
+    const std::vector<std::string>& algorithms, const AdapterHints& hints,
+    int ranks = 1);
+
+/// Serializes to pmafia-scoreboard-v1 JSON.
+[[nodiscard]] std::string scoreboard_json(const ScoreboardResult& result);
+
+}  // namespace mafia::eval

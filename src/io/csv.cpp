@@ -69,7 +69,7 @@ Dataset read_csv(const std::string& path, const CsvOptions& options) {
     for (std::size_t j = 0; j < value_columns; ++j) {
       row[j] = static_cast<Value>(parse_number(fields[j], line_no, path));
     }
-    std::int32_t label = -1;
+    std::int32_t label = kUnlabeledLabel;
     if (options.last_column_is_label) {
       label = static_cast<std::int32_t>(
           parse_number(fields.back(), line_no, path));

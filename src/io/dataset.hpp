@@ -2,9 +2,11 @@
 //
 // A data set is a dense N x d table of float attribute values (row-major),
 // optionally carrying per-record ground-truth labels from the synthetic
-// generator (cluster id, or -1 for noise).  Labels are never visible to the
+// generator (cluster id, kNoiseLabel for planted noise, kUnlabeledLabel when
+// the source carried no truth at all).  Labels are never visible to the
 // clustering algorithms — they exist only so the quality benches (Table 3,
-// Fig 1.2) can score discovered clusters against the planted truth.
+// Fig 1.2) and the eval scoreboard can score discovered clusters against the
+// planted truth.
 #pragma once
 
 #include <cstdint>
@@ -30,21 +32,23 @@ class Dataset {
   }
   [[nodiscard]] std::size_t num_dims() const { return dims_; }
 
-  /// Appends one record; `row.size()` must equal num_dims().
-  void append(std::span<const Value> row, std::int32_t label = -1) {
+  /// Appends one record; `row.size()` must equal num_dims().  The default
+  /// label is kUnlabeledLabel ("no ground truth"), NOT kNoiseLabel: a caller
+  /// that knows a record is planted noise must say so explicitly.
+  void append(std::span<const Value> row, std::int32_t label = kUnlabeledLabel) {
     require(row.size() == dims_, "Dataset::append: wrong row width");
     values_.insert(values_.end(), row.begin(), row.end());
     labels_.push_back(label);
   }
 
   /// Appends `nrows` row-major records in one splice (the bulk-loader path:
-  /// read_record_file's slab reads).  Labels are filled with -1
-  /// (unlabelled); use set_label() to attach ground truth afterwards.
+  /// read_record_file's slab reads).  Labels are filled with kUnlabeledLabel;
+  /// use set_label() to attach ground truth afterwards.
   void append_rows(const Value* rows, RecordIndex nrows) {
     require(dims_ >= 1, "Dataset::append_rows: no dimension count set");
     const auto n = static_cast<std::size_t>(nrows);
     values_.insert(values_.end(), rows, rows + n * dims_);
-    labels_.insert(labels_.end(), n, -1);
+    labels_.insert(labels_.end(), n, kUnlabeledLabel);
   }
 
   /// Reserves capacity for `n` records.

@@ -429,4 +429,98 @@ TEST(CliErrors, FailureWritesErrorObjectToReportJson) {
   std::remove(report.c_str());
 }
 
+// ------------------------------------------------ scoreboard subcommand
+
+TEST(CliScoreboard, EmitsValidScoreboardJson) {
+  // Small synthetic matrix: one workload, two algorithms.  The document
+  // must parse, carry the v1 schema tag, and contain one row per
+  // requested algorithm.
+  auto [status, out] = run_cli(
+      "scoreboard --workloads tab3-boundary --algorithms pmafia,clique"
+      " --records 600 --seed 7");
+  ASSERT_EQ(status, 0) << out;
+  const mafia::JsonValue doc = mafia::json_parse(out);
+  EXPECT_EQ(doc.at("schema").string, "pmafia-scoreboard-v1");
+  const mafia::JsonValue& workload = doc.at("workloads").array.at(0);
+  EXPECT_EQ(workload.at("name").string, "tab3-boundary");
+  ASSERT_EQ(workload.at("algorithms").array.size(), 2u);
+  EXPECT_EQ(workload.at("algorithms").array.at(0).at("name").string, "pmafia");
+  EXPECT_EQ(workload.at("algorithms").array.at(1).at("name").string, "clique");
+}
+
+TEST(CliScoreboard, WritesOutFileAtomically) {
+  const std::string out_path = temp("mafia_cli_scoreboard.json");
+  auto [status, out] = run_cli(
+      "scoreboard --workloads lshape-boundary --algorithms pmafia"
+      " --records 400 --out " + out_path);
+  ASSERT_EQ(status, 0) << out;
+  const mafia::JsonValue doc = mafia::json_parse(slurp(out_path));
+  EXPECT_EQ(doc.at("schema").string, "pmafia-scoreboard-v1");
+  std::remove(out_path.c_str());
+}
+
+TEST(CliScoreboard, UnknownNamesExitWithUsageCode) {
+  auto [bad_algo, algo_out] = run_cli(
+      "scoreboard --workloads tab3-boundary --algorithms pmafia,frobnicate"
+      " --records 200");
+  EXPECT_EQ(bad_algo, 2) << algo_out;
+  EXPECT_NE(algo_out.find("unknown algorithm"), std::string::npos) << algo_out;
+
+  auto [bad_workload, workload_out] =
+      run_cli("scoreboard --workloads tab9-nonsense --records 200");
+  EXPECT_EQ(bad_workload, 2) << workload_out;
+  EXPECT_NE(workload_out.find("unknown workload"), std::string::npos)
+      << workload_out;
+
+  // A trailing comma is a usage error, not a silently shorter matrix.
+  EXPECT_EQ(run_cli("scoreboard --algorithms pmafia, --records 200").first, 2);
+}
+
+TEST(CliScoreboard, TruncatedGroundTruthFileExitsWithInputCode) {
+  const std::string data = temp("mafia_cli_scoreboard_trunc.bin");
+  ASSERT_EQ(run_cli("generate --out " + data + " --dims 5 --records 2000"
+                    " --seed 4 --cluster 1,3:25:45")
+                .first,
+            0);
+  std::filesystem::resize_file(data,
+                               std::filesystem::file_size(data) - 12);
+  auto [status, out] =
+      run_cli("scoreboard --data " + data + " --algorithms pmafia");
+  EXPECT_EQ(status, 3) << out;
+  EXPECT_NE(out.find("size mismatch"), std::string::npos) << out;
+  std::remove(data.c_str());
+}
+
+TEST(CliScoreboard, UnlabeledDataFileExitsWithInputCode) {
+  // External mode needs ground truth: a record file written without labels
+  // cannot be scored and must fail as bad input, not crash or emit zeros.
+  const std::string csv = temp("mafia_cli_scoreboard_nolabel.csv");
+  {
+    std::ofstream f(csv);
+    f << "a,b\n1,2\n3,4\n5,6\n";
+  }
+  auto [status, out] =
+      run_cli("scoreboard --data " + csv + " --algorithms kmeans");
+  EXPECT_EQ(status, 3) << out;
+  EXPECT_NE(out.find("no ground-truth labels"), std::string::npos) << out;
+  std::remove(csv.c_str());
+}
+
+TEST(CliScoreboard, ScoresLabeledExternalData) {
+  const std::string data = temp("mafia_cli_scoreboard_ext.bin");
+  ASSERT_EQ(run_cli("generate --out " + data + " --dims 6 --records 3000"
+                    " --seed 5 --cluster 1,3:20:40 --cluster 2,4:60:80")
+                .first,
+            0);
+  auto [status, out] = run_cli("scoreboard --data " + data +
+                               " --algorithms pmafia --true-clusters 2");
+  ASSERT_EQ(status, 0) << out;
+  const mafia::JsonValue doc = mafia::json_parse(out);
+  const mafia::JsonValue& row =
+      doc.at("workloads").array.at(0).at("algorithms").array.at(0);
+  ASSERT_EQ(row.at("status").string, "ok") << out;
+  EXPECT_GT(row.at("metrics").at("f1").number, 0.9) << out;
+  std::remove(data.c_str());
+}
+
 }  // namespace

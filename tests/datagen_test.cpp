@@ -268,5 +268,127 @@ TEST(Workloads, Fig7ClusterDimsAreDistinct) {
   }
 }
 
+// ------------------------------------------- scoreboard stress workloads
+
+TEST(StressWorkloads, ConfigsValidate) {
+  workloads::highdim(1000).validate();
+  workloads::overlap(1000).validate();
+  workloads::mixed(1000).validate();
+}
+
+TEST(StressWorkloads, HighdimRecordsLieInsideTheirBoxes) {
+  const GeneratorConfig cfg = workloads::highdim(900);
+  EXPECT_EQ(cfg.num_dims, 200u);
+  ASSERT_EQ(cfg.clusters.size(), 3u);
+  EXPECT_EQ(cfg.clusters[0].dims.size(), 10u);
+  EXPECT_EQ(cfg.clusters[1].dims.size(), 12u);
+  EXPECT_EQ(cfg.clusters[2].dims.size(), 15u);
+  const Dataset data = generate(cfg);
+  std::size_t per_cluster[3] = {0, 0, 0};
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    const std::int32_t label = data.label(i);
+    if (label == kNoiseLabel) continue;
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 3);
+    ++per_cluster[label];
+    const ClusterSpec& spec = cfg.clusters[static_cast<std::size_t>(label)];
+    for (std::size_t k = 0; k < spec.dims.size(); ++k) {
+      EXPECT_GE(data.at(i, spec.dims[k]), spec.boxes[0].lo[k]);
+      EXPECT_LE(data.at(i, spec.dims[k]), spec.boxes[0].hi[k]);
+    }
+  }
+  EXPECT_GT(per_cluster[0], 0u);
+  EXPECT_GT(per_cluster[1], 0u);
+  EXPECT_GT(per_cluster[2], 0u);
+}
+
+TEST(StressWorkloads, OverlapIsRealizedInTheSharedRegion) {
+  // Both clusters share dims {2,4,6}; their boxes intersect on [40,50]
+  // there.  Records from BOTH clusters must land in the shared region,
+  // otherwise the workload does not actually exercise ambiguity.
+  const Dataset data = generate(workloads::overlap(2000));
+  std::size_t shared[2] = {0, 0};
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    const std::int32_t label = data.label(i);
+    if (label != 0 && label != 1) continue;
+    bool in_shared = true;
+    for (const DimId d : {2, 4, 6}) {
+      in_shared = in_shared && data.at(i, d) >= 40.0f && data.at(i, d) <= 50.0f;
+    }
+    shared[label] += in_shared;
+  }
+  EXPECT_GT(shared[0], 0u);
+  EXPECT_GT(shared[1], 0u);
+}
+
+TEST(StressWorkloads, MixedCategoricalDimsOnlyTakeLevelValues) {
+  const GeneratorConfig cfg = workloads::mixed(1500);
+  const Dataset data = generate(cfg);
+  const std::set<Value> levels = {10, 30, 50, 70, 90};
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    // Every record — cluster or noise — snaps dims 6/7 to a level.
+    EXPECT_TRUE(levels.count(data.at(i, 6))) << data.at(i, 6);
+    EXPECT_TRUE(levels.count(data.at(i, 7))) << data.at(i, 7);
+    if (data.label(i) == 0) {
+      EXPECT_EQ(data.at(i, 6), 50.0f);  // only level inside [44,56]
+      EXPECT_GE(data.at(i, 9), 200.0f);
+      EXPECT_LE(data.at(i, 9), 360.0f);
+    } else if (data.label(i) == 1) {
+      EXPECT_EQ(data.at(i, 7), 70.0f);  // only level inside [64,76]
+      EXPECT_GE(data.at(i, 10), 600.0f);
+      EXPECT_LE(data.at(i, 10), 760.0f);
+    }
+  }
+}
+
+TEST(StressWorkloads, MixedScaleDimsSpanTheirOwnDomains) {
+  const Dataset data = generate(workloads::mixed(3000));
+  Value hi8 = 0.0f;
+  Value hi0 = 0.0f;
+  for (RecordIndex i = 0; i < data.num_records(); ++i) {
+    hi8 = std::max(hi8, data.at(i, 8));
+    hi0 = std::max(hi0, data.at(i, 0));
+  }
+  EXPECT_GT(hi8, 500.0f);   // [0,1000] background actually used
+  EXPECT_LE(hi0, 100.0f);   // [0,100] dims never exceed their domain
+}
+
+TEST(StressWorkloads, DeterministicPerSeed) {
+  for (int variant = 0; variant < 3; ++variant) {
+    const auto make = [&](std::uint64_t seed) {
+      switch (variant) {
+        case 0: return workloads::highdim(700, seed);
+        case 1: return workloads::overlap(700, seed);
+        default: return workloads::mixed(700, seed);
+      }
+    };
+    const Dataset a = generate(make(5));
+    const Dataset b = generate(make(5));
+    EXPECT_EQ(a.values(), b.values()) << "variant " << variant;
+    EXPECT_EQ(a.labels(), b.labels()) << "variant " << variant;
+    const Dataset c = generate(make(6));
+    EXPECT_NE(a.values(), c.values()) << "variant " << variant;
+  }
+}
+
+TEST(StressWorkloads, DimSpecValidationCatchesBadSpecs) {
+  GeneratorConfig cfg = workloads::mixed(1000);
+  cfg.dim_specs.resize(5);  // wrong arity
+  EXPECT_THROW((void)generate(cfg), Error);
+
+  cfg = workloads::mixed(1000);
+  cfg.dim_specs[6].levels = {30, 10};  // not ascending
+  EXPECT_THROW((void)generate(cfg), Error);
+
+  cfg = workloads::mixed(1000);
+  cfg.clusters[0].boxes[0].lo[1] = 51;  // box [51,56] contains no level
+  cfg.clusters[0].boxes[0].hi[1] = 56;
+  EXPECT_THROW((void)generate(cfg), Error);
+
+  cfg = workloads::mixed(1000);
+  cfg.clusters[1].boxes[0].hi[2] = 1200;  // beyond dim 10's [0,1000] domain
+  EXPECT_THROW((void)generate(cfg), Error);
+}
+
 }  // namespace
 }  // namespace mafia

@@ -1,0 +1,268 @@
+// Hand-computed fixtures for the scoreboard quality metrics, plus the
+// bit-identical permutation-invariance property the metrics guarantee.
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace mafia::eval {
+namespace {
+
+Clustering make(std::vector<std::int32_t> labels,
+                std::vector<std::vector<DimId>> dims = {}) {
+  Clustering c;
+  c.labels = std::move(labels);
+  c.cluster_dims = std::move(dims);
+  return c;
+}
+
+TEST(EvalMetrics, PerfectMatch) {
+  const Clustering truth = make({0, 0, 1, 1, kNoiseLabel}, {{0, 1}, {2, 3}});
+  const Clustering pred = make({0, 0, 1, 1, kNoiseLabel}, {{0, 1}, {2, 3}});
+  const Scores s = score_clustering(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+  EXPECT_DOUBLE_EQ(s.entropy, 0.0);
+  EXPECT_DOUBLE_EQ(s.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(s.subspace_recovery, 1.0);
+  EXPECT_EQ(s.predicted_clusters, 2u);
+  EXPECT_EQ(s.truth_clusters, 2u);
+  EXPECT_EQ(s.matched_clusters, 2u);
+}
+
+TEST(EvalMetrics, SplitCluster) {
+  // One truth cluster of 4 records split into two predicted halves: the
+  // one-to-one matching credits one half only.
+  const Clustering truth = make({0, 0, 0, 0});
+  const Clustering pred = make({0, 0, 1, 1});
+  const Scores s = score_clustering(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.f1, 0.5);
+  // Both halves are pure, and with a single truth class the normalized
+  // entropy is defined as 0.
+  EXPECT_DOUBLE_EQ(s.entropy, 0.0);
+  EXPECT_DOUBLE_EQ(s.coverage, 1.0);  // every truth record is in SOME cluster
+  EXPECT_EQ(s.matched_clusters, 1u);
+}
+
+TEST(EvalMetrics, MergedClusters) {
+  // Two truth clusters merged into one predicted cluster.
+  const Clustering truth = make({0, 0, 1, 1});
+  const Clustering pred = make({0, 0, 0, 0});
+  const Scores s = score_clustering(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.f1, 0.5);
+  // The merged cluster is a 50/50 mix of two classes: H = ln 2, and the
+  // normalizer over 2 classes is ln 2, so normalized entropy is exactly 1.
+  EXPECT_DOUBLE_EQ(s.entropy, 1.0);
+  EXPECT_DOUBLE_EQ(s.coverage, 1.0);
+  EXPECT_EQ(s.matched_clusters, 1u);
+}
+
+TEST(EvalMetrics, NoiseOnlyTruth) {
+  const Clustering truth = make({kNoiseLabel, kNoiseLabel, kNoiseLabel});
+  const Clustering pred = make({0, 0, kNoiseLabel});
+  const Scores s = score_clustering(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);  // both predicted members are noise
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);     // nothing to capture
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+  EXPECT_DOUBLE_EQ(s.entropy, 0.0);    // single (noise) class
+  EXPECT_DOUBLE_EQ(s.coverage, 1.0);   // vacuous
+  EXPECT_TRUE(std::isnan(s.subspace_recovery));
+  EXPECT_EQ(s.truth_clusters, 0u);
+  EXPECT_EQ(s.matched_clusters, 0u);
+}
+
+TEST(EvalMetrics, EmptyPrediction) {
+  const Clustering truth = make({0, 0, 1});
+  const Clustering pred = make({kNoiseLabel, kNoiseLabel, kNoiseLabel});
+  const Scores s = score_clustering(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);  // no placement mistakes
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+  EXPECT_DOUBLE_EQ(s.entropy, 0.0);
+  EXPECT_DOUBLE_EQ(s.coverage, 0.0);
+  EXPECT_EQ(s.predicted_clusters, 0u);
+  EXPECT_EQ(s.matched_clusters, 0u);
+}
+
+TEST(EvalMetrics, NoiseInClusterEntropy) {
+  // A predicted cluster holding one truth record and one noise record is a
+  // 50/50 mix over {cluster 0, noise}: normalized entropy exactly 1.
+  const Clustering truth = make({0, kNoiseLabel});
+  const Clustering pred = make({0, 0});
+  const Scores s = score_clustering(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.entropy, 1.0);
+}
+
+TEST(EvalMetrics, SubspaceRecoveryBestJaccard) {
+  const Clustering truth = make({0, 0}, {{0, 1, 2, 3}});
+  // Candidates: Jaccard 2/4 = 0.5 and 4/6 = 2/3 — the best one counts.
+  const Clustering pred = make({0, 0}, {{0, 1}, {0, 1, 2, 3, 4, 5}});
+  const Scores s = score_clustering(pred, truth);
+  EXPECT_DOUBLE_EQ(s.subspace_recovery, 2.0 / 3.0);
+}
+
+TEST(EvalMetrics, UnlabeledRecordsExcluded) {
+  // Records whose TRUTH label is kUnlabeledLabel carry no ground truth and
+  // must not count anywhere — in particular not as noise.
+  const Clustering truth = make({0, 0, kUnlabeledLabel, kUnlabeledLabel});
+  const Clustering pred = make({0, 1, 1, 1});
+  const Scores s = score_clustering(pred, truth);
+  // Scored records: the first two.  Each predicted cluster holds one truth-0
+  // record, only one pair can match.
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_DOUBLE_EQ(s.coverage, 1.0);
+}
+
+TEST(EvalMetrics, ExactMatchingBeatsGreedy) {
+  // Overlaps: pred 0 hits truth 0 with 6 and truth 1 with 5; pred 1 hits
+  // truth 0 with 5.  Greedy takes (p0,t0)=6 and strands pred 1 (total 6);
+  // the optimal assignment is p0->t1, p1->t0 (total 10).
+  std::vector<std::int32_t> truth_labels, pred_labels;
+  for (int i = 0; i < 6; ++i) { truth_labels.push_back(0); pred_labels.push_back(0); }
+  for (int i = 0; i < 5; ++i) { truth_labels.push_back(0); pred_labels.push_back(1); }
+  for (int i = 0; i < 5; ++i) { truth_labels.push_back(1); pred_labels.push_back(0); }
+  const Scores s = score_clustering(make(pred_labels), make(truth_labels));
+  EXPECT_DOUBLE_EQ(s.precision, 10.0 / 16.0);
+  EXPECT_DOUBLE_EQ(s.recall, 10.0 / 16.0);
+  EXPECT_EQ(s.matched_clusters, 2u);
+}
+
+TEST(EvalMetrics, LengthMismatchThrows) {
+  EXPECT_THROW((void)score_clustering(make({0, 0}), make({0})), Error);
+}
+
+// ---- Permutation invariance property -------------------------------------
+
+/// Deterministic mixed-quality labelings over n records.
+struct PropertyCase {
+  Clustering pred;
+  Clustering truth;
+};
+
+PropertyCase build_case() {
+  constexpr std::size_t kRecords = 240;
+  constexpr std::int32_t kTruthClusters = 4;
+  constexpr std::int32_t kPredClusters = 5;
+  PropertyCase pc;
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  const auto next = [&x]() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (std::size_t r = 0; r < kRecords; ++r) {
+    const auto t = static_cast<std::int32_t>(next() % (kTruthClusters + 1)) - 1;
+    pc.truth.labels.push_back(t);  // -1 = noise
+    // Predictions correlate with truth but are noisy: 70% follow the truth
+    // label, the rest scatter.
+    std::int32_t p;
+    if (t >= 0 && next() % 10 < 7) {
+      p = t;
+    } else {
+      p = static_cast<std::int32_t>(next() % (kPredClusters + 1)) - 1;
+    }
+    pc.pred.labels.push_back(p);
+  }
+  for (std::int32_t t = 0; t < kTruthClusters; ++t) {
+    pc.truth.cluster_dims.push_back(
+        {static_cast<DimId>(t), static_cast<DimId>(t + 2),
+         static_cast<DimId>(t + 5)});
+  }
+  for (std::int32_t p = 0; p < kPredClusters; ++p) {
+    pc.pred.cluster_dims.push_back(
+        {static_cast<DimId>(p), static_cast<DimId>(p + 2)});
+  }
+  return pc;
+}
+
+/// Relabels cluster ids through `perm` (id i -> perm[i]) and rebuilds the
+/// dims table at the permuted slots.
+Clustering permute_ids(const Clustering& c, const std::vector<std::int32_t>& perm) {
+  Clustering out;
+  out.labels.reserve(c.labels.size());
+  for (const std::int32_t l : c.labels) {
+    out.labels.push_back(l >= 0 ? perm[static_cast<std::size_t>(l)] : l);
+  }
+  std::int32_t max_id = -1;
+  for (const std::int32_t p : perm) max_id = std::max(max_id, p);
+  out.cluster_dims.resize(static_cast<std::size_t>(max_id + 1));
+  for (std::size_t i = 0; i < c.cluster_dims.size(); ++i) {
+    out.cluster_dims[static_cast<std::size_t>(perm[i])] = c.cluster_dims[i];
+  }
+  return out;
+}
+
+Clustering permute_records(const Clustering& c, const std::vector<std::size_t>& perm) {
+  Clustering out = c;
+  for (std::size_t i = 0; i < perm.size(); ++i) out.labels[i] = c.labels[perm[i]];
+  return out;
+}
+
+void expect_bit_identical(const Scores& a, const Scores& b) {
+  // Exact comparison on purpose: the metrics promise BIT-identical results
+  // under id and record permutation.
+  EXPECT_EQ(a.precision, b.precision);
+  EXPECT_EQ(a.recall, b.recall);
+  EXPECT_EQ(a.f1, b.f1);
+  EXPECT_EQ(a.entropy, b.entropy);
+  EXPECT_EQ(a.coverage, b.coverage);
+  EXPECT_EQ(a.subspace_recovery, b.subspace_recovery);
+  EXPECT_EQ(a.predicted_clusters, b.predicted_clusters);
+  EXPECT_EQ(a.truth_clusters, b.truth_clusters);
+  EXPECT_EQ(a.matched_clusters, b.matched_clusters);
+}
+
+TEST(EvalMetricsProperty, PermutingIdsAndRecordsIsBitIdentical) {
+  const PropertyCase base = build_case();
+  const Scores reference = score_clustering(base.pred, base.truth);
+  ASSERT_FALSE(std::isnan(reference.subspace_recovery));
+
+  // Several id permutations (including non-contiguous relabelings) crossed
+  // with several record shuffles.
+  const std::vector<std::vector<std::int32_t>> pred_perms = {
+      {4, 3, 2, 1, 0}, {2, 0, 4, 1, 3}, {7, 0, 12, 3, 9}};
+  const std::vector<std::vector<std::int32_t>> truth_perms = {
+      {3, 2, 1, 0}, {1, 3, 0, 2}, {10, 2, 6, 0}};
+
+  const std::size_t n = base.pred.labels.size();
+  std::vector<std::size_t> rec_perm(n);
+  std::iota(rec_perm.begin(), rec_perm.end(), std::size_t{0});
+  std::uint64_t x = 42;
+  const auto next = [&x]() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+
+  for (std::size_t v = 0; v < pred_perms.size(); ++v) {
+    // Fresh record shuffle per variant (Fisher-Yates on the index vector).
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(rec_perm[i - 1], rec_perm[next() % i]);
+    }
+    const Clustering pred =
+        permute_records(permute_ids(base.pred, pred_perms[v]), rec_perm);
+    const Clustering truth =
+        permute_records(permute_ids(base.truth, truth_perms[v]), rec_perm);
+    expect_bit_identical(score_clustering(pred, truth), reference);
+  }
+}
+
+}  // namespace
+}  // namespace mafia::eval

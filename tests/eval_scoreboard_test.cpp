@@ -1,0 +1,195 @@
+// Scoreboard driver tests: the pMAFIA adapter-vs-DNF differential, the
+// SPMD rank sweep, failure reporting, and the pmafia-scoreboard-v1 schema.
+#include "eval/scoreboard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cluster/membership.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "core/mafia.hpp"
+#include "datagen/generator.hpp"
+#include "io/data_source.hpp"
+
+namespace mafia::eval {
+namespace {
+
+void expect_scores_equal(const AlgorithmScore& a, const AlgorithmScore& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.clusters_found, b.clusters_found);
+  // Exact: the grid pipeline promises p-invariant results.
+  EXPECT_EQ(a.scores.f1, b.scores.f1);
+  EXPECT_EQ(a.scores.precision, b.scores.precision);
+  EXPECT_EQ(a.scores.recall, b.scores.recall);
+  EXPECT_EQ(a.scores.entropy, b.scores.entropy);
+  EXPECT_EQ(a.scores.coverage, b.scores.coverage);
+  EXPECT_EQ(a.scores.subspace_recovery, b.scores.subspace_recovery);
+  EXPECT_EQ(a.scores.matched_clusters, b.scores.matched_clusters);
+}
+
+// Satellite: the scoreboard's pMAFIA labels must agree with the serving
+// path's DNF predicates (cluster/membership contains_record) on every
+// record — no drift between eval-path and serving-path membership.
+TEST(EvalScoreboard, PmafiaAdapterMatchesMembershipPredicates) {
+  const Workload w = make_workload("tab3-boundary", 700, 7);
+  const Dataset data = generate(w.config);
+  const AdapterOutput out = run_algorithm("pmafia", data, w.hints, 1);
+
+  // Independent reference run with the adapter's published options.
+  MafiaOptions options;
+  options.grid = AdaptiveGridOptions::for_sample_size(data.num_records());
+  options.min_cluster_dims = w.hints.min_cluster_dims;
+  const InMemorySource source(data);
+  const MafiaResult result = run_pmafia(source, options, 1);
+  std::vector<const Cluster*> kept;
+  for (const Cluster& c : result.clusters) {
+    if (c.dims.size() >= w.hints.min_cluster_dims) kept.push_back(&c);
+  }
+  ASSERT_FALSE(kept.empty());
+  ASSERT_EQ(out.clustering.cluster_dims.size(), kept.size());
+  for (std::size_t c = 0; c < kept.size(); ++c) {
+    EXPECT_EQ(out.clustering.cluster_dims[c], kept[c]->dims);
+  }
+
+  ASSERT_EQ(out.clustering.labels.size(), data.num_records());
+  for (RecordIndex r = 0; r < data.num_records(); ++r) {
+    std::int32_t expected = kNoiseLabel;
+    for (std::size_t c = 0; c < kept.size(); ++c) {
+      if (contains_record(*kept[c], result.grids, data.row(r).data())) {
+        expected = static_cast<std::int32_t>(c);
+        break;
+      }
+    }
+    ASSERT_EQ(out.clustering.labels[static_cast<std::size_t>(r)], expected)
+        << "record " << r;
+  }
+}
+
+// Satellite: SPMD runs score identically for p in {1,2,3,5,8}, across
+// seeds and workloads (including the new generator paths).
+TEST(EvalScoreboard, RankSweepScoresIdentically) {
+  const std::vector<std::string> grid_algos = {"pmafia", "clique"};
+  for (const std::uint64_t seed : {11ull, 23ull}) {
+    for (const char* name : {"overlap-shared", "mixed-categorical"}) {
+      const Workload w = make_workload(name, 500, seed);
+      const Dataset data = generate(w.config);
+      const WorkloadScore base = score_workload(w, data, grid_algos, 1);
+      for (const AlgorithmScore& row : base.algorithms) {
+        EXPECT_TRUE(row.ok) << name << "/" << row.algorithm << ": " << row.error;
+      }
+      for (const int p : {2, 3, 5, 8}) {
+        const WorkloadScore sweep = score_workload(w, data, grid_algos, p);
+        ASSERT_EQ(sweep.algorithms.size(), base.algorithms.size());
+        for (std::size_t i = 0; i < base.algorithms.size(); ++i) {
+          SCOPED_TRACE(std::string(name) + "/" + base.algorithms[i].algorithm +
+                       " p=" + std::to_string(p));
+          expect_scores_equal(sweep.algorithms[i], base.algorithms[i]);
+        }
+      }
+    }
+  }
+}
+
+// Acceptance: all zoo algorithms appear on every workload; a failure is a
+// reported row, never an omission.
+TEST(EvalScoreboard, EveryAlgorithmAppears) {
+  const ScoreboardResult result =
+      run_scoreboard({"tab3-boundary"}, algorithm_names(), 500, 7, 1);
+  ASSERT_EQ(result.workloads.size(), 1u);
+  const WorkloadScore& ws = result.workloads[0];
+  ASSERT_EQ(ws.algorithms.size(), algorithm_names().size());
+  for (std::size_t i = 0; i < ws.algorithms.size(); ++i) {
+    EXPECT_EQ(ws.algorithms[i].algorithm, algorithm_names()[i]);
+    if (!ws.algorithms[i].ok) {
+      EXPECT_FALSE(ws.algorithms[i].error.empty());
+    }
+  }
+}
+
+TEST(EvalScoreboard, FailedAlgorithmIsReportedNotOmitted) {
+  Workload w = make_workload("tab3-boundary", 300, 7);
+  w.hints.true_clusters = 0;  // invalid k: the supervised baselines throw
+  const Dataset data = generate(w.config);
+  const WorkloadScore ws =
+      score_workload(w, data, {"kmeans", "proclus", "pmafia"}, 1);
+  ASSERT_EQ(ws.algorithms.size(), 3u);
+  EXPECT_FALSE(ws.algorithms[0].ok);
+  EXPECT_FALSE(ws.algorithms[0].error.empty());
+  EXPECT_FALSE(ws.algorithms[1].ok);
+  EXPECT_TRUE(ws.algorithms[2].ok);  // pmafia ignores the oracle k
+}
+
+TEST(EvalScoreboard, UnknownNamesThrowUsage) {
+  try {
+    (void)run_scoreboard({"no-such-workload"}, {"pmafia"}, 100, 1, 1);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::Usage);
+  }
+  try {
+    (void)run_scoreboard({"tab3-boundary"}, {"no-such-algo"}, 100, 1, 1);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::Usage);
+  }
+}
+
+// The emitted document is valid pmafia-scoreboard-v1: parseable by
+// common/json, schema-tagged, one metrics object per ok row.
+TEST(EvalScoreboard, JsonRoundTripsThroughCommonJson) {
+  Workload w = make_workload("lshape-boundary", 400, 9);
+  const Dataset data = generate(w.config);
+  ScoreboardResult result;
+  result.records = 400;
+  result.seed = 9;
+  result.workloads.push_back(
+      score_workload(w, data, {"pmafia", "clique", "enclus"}, 1));
+
+  const JsonValue doc = json_parse(scoreboard_json(result));
+  EXPECT_EQ(doc.at("schema").string, kScoreboardSchema);
+  EXPECT_EQ(doc.at("records").number, 400.0);
+  const JsonValue& workload = doc.at("workloads").array.at(0);
+  EXPECT_EQ(workload.at("name").string, "lshape-boundary");
+  EXPECT_TRUE(workload.at("boundary").boolean);
+  for (const JsonValue& row : workload.at("algorithms").array) {
+    if (row.at("status").string == "ok") {
+      const JsonValue& metrics = row.at("metrics");
+      EXPECT_TRUE(metrics.at("f1").is_number());
+      EXPECT_TRUE(metrics.at("entropy").is_number());
+      EXPECT_TRUE(metrics.at("coverage").is_number());
+    } else {
+      EXPECT_TRUE(row.has("error"));
+    }
+  }
+}
+
+// ENCLUS mines subspaces without memberships: the row is honest (zero
+// record-level scores) but still credits subspace recovery.
+TEST(EvalScoreboard, EnclusScoresSubspacesOnly) {
+  const Workload w = make_workload("tab3-boundary", 500, 7);
+  const Dataset data = generate(w.config);
+  const WorkloadScore ws = score_workload(w, data, {"enclus"}, 1);
+  ASSERT_TRUE(ws.algorithms[0].ok) << ws.algorithms[0].error;
+  EXPECT_EQ(ws.algorithms[0].scores.recall, 0.0);
+  EXPECT_EQ(ws.algorithms[0].scores.f1, 0.0);
+  EXPECT_FALSE(std::isnan(ws.algorithms[0].scores.subspace_recovery));
+}
+
+// External mode: dataset labels are the truth, subspace truth unknown.
+TEST(EvalScoreboard, ScoreDatasetUsesEmbeddedLabels) {
+  const Workload w = make_workload("tab3-boundary", 400, 7);
+  const Dataset data = generate(w.config);
+  const WorkloadScore ws =
+      score_dataset("external", data, {"pmafia"}, w.hints, 1);
+  ASSERT_TRUE(ws.algorithms[0].ok) << ws.algorithms[0].error;
+  EXPECT_GT(ws.algorithms[0].scores.f1, 0.0);
+  EXPECT_TRUE(std::isnan(ws.algorithms[0].scores.subspace_recovery));
+}
+
+}  // namespace
+}  // namespace mafia::eval

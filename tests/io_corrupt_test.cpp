@@ -259,7 +259,7 @@ TEST(CorruptRecordFile, AppendRowsBulkMatchesAppend) {
   bulk.append_rows(original.values().data(), 23);
   EXPECT_EQ(bulk.values(), original.values());
   EXPECT_EQ(bulk.num_records(), 23u);
-  for (RecordIndex i = 0; i < 23; ++i) EXPECT_EQ(bulk.label(i), -1);
+  for (RecordIndex i = 0; i < 23; ++i) EXPECT_EQ(bulk.label(i), kUnlabeledLabel);
   bulk.append_rows(original.values().data(), 0);  // no-op splice
   EXPECT_EQ(bulk.num_records(), 23u);
 }

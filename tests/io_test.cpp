@@ -92,7 +92,7 @@ TEST(RecordFile, RoundTripWithoutLabels) {
   const Dataset loaded = read_record_file(tmp.path());
   EXPECT_EQ(loaded.values(), original.values());
   for (RecordIndex i = 0; i < loaded.num_records(); ++i) {
-    EXPECT_EQ(loaded.label(i), -1);
+    EXPECT_EQ(loaded.label(i), kUnlabeledLabel);
   }
 }
 

@@ -5,6 +5,7 @@
 //   cluster    run pMAFIA (or CLIQUE) on a record/CSV file and report
 //   assign     label every record with its discovered cluster
 //   stage      split a shared record file into per-rank local partitions
+//   scoreboard run the planted-truth quality scoreboard over the zoo
 //
 // Examples:
 //   pmafia generate --out data.bin --dims 10 --records 100000 \
@@ -13,6 +14,8 @@
 //   pmafia cluster --data table.csv --algorithm clique --xi 10 --tau 0.01
 //   pmafia assign --data data.bin --out labels.csv
 //   pmafia stage --data data.bin --ranks 8 --prefix /scratch/local
+//   pmafia scoreboard --records 2000 --out SCOREBOARD.json
+//   pmafia scoreboard --workloads tab3-boundary --algorithms pmafia,clique
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -29,6 +32,7 @@
 #include "core/model_io.hpp"
 #include "core/report.hpp"
 #include "datagen/generator.hpp"
+#include "eval/scoreboard.hpp"
 #include "io/csv.hpp"
 #include "io/record_file.hpp"
 #include "io/staging.hpp"
@@ -328,6 +332,73 @@ int cmd_assign(const Args& args) {
   return 0;
 }
 
+/// Splits "a,b,c" into tokens; empty tokens are usage errors so a stray
+/// trailing comma fails loudly instead of silently shrinking the matrix.
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while (at <= text.size()) {
+    const auto comma = text.find(',', at);
+    const std::string tok = text.substr(
+        at, comma == std::string::npos ? std::string::npos : comma - at);
+    require(!tok.empty(), "empty entry in list '" + text + "'");
+    out.push_back(tok);
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return out;
+}
+
+int cmd_scoreboard(const Args& args) {
+  const std::vector<std::string> workloads =
+      args.has("workloads") ? split_list(args.get("workloads"))
+                            : eval::workload_names();
+  const std::vector<std::string> algorithms =
+      args.has("algorithms") ? split_list(args.get("algorithms"))
+                             : eval::algorithm_names();
+  const int ranks = static_cast<int>(args.get_int("ranks", 1));
+
+  eval::ScoreboardResult result;
+  if (args.has("data")) {
+    // External mode: the file's embedded labels are the planted truth.
+    const Dataset data = load_data(args.get("data"));
+    bool labeled = false;
+    for (RecordIndex i = 0; i < data.num_records() && !labeled; ++i) {
+      labeled = (data.label(i) != kUnlabeledLabel);
+    }
+    if (!labeled) {
+      throw Error("scoreboard: " + args.get("data") +
+                      " carries no ground-truth labels",
+                  ErrorClass::Input);
+    }
+    eval::AdapterHints hints;
+    hints.true_clusters = static_cast<std::size_t>(
+        args.get_int("true-clusters", static_cast<long>(hints.true_clusters)));
+    hints.min_cluster_dims = static_cast<std::size_t>(
+        args.get_int("min-dims", static_cast<long>(hints.min_cluster_dims)));
+    hints.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    result.records = data.num_records();
+    result.seed = hints.seed;
+    result.ranks = ranks;
+    result.workloads.push_back(eval::score_dataset(
+        args.get("data"), data, algorithms, hints, ranks));
+  } else {
+    const auto records =
+        static_cast<RecordIndex>(args.get_int("records", 2000));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    result = eval::run_scoreboard(workloads, algorithms, records, seed, ranks);
+  }
+
+  const std::string json = eval::scoreboard_json(result) + "\n";
+  if (args.has("out")) {
+    write_text_file_atomic(args.get("out"), json);
+    std::fprintf(stderr, "scoreboard written to %s\n", args.get("out").c_str());
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  return 0;
+}
+
 int cmd_stage(const Args& args) {
   const std::string path = args.get("data");
   require(!path.empty(), "stage: --data is required");
@@ -343,7 +414,7 @@ int cmd_stage(const Args& args) {
 
 void usage() {
   std::fputs(
-      "usage: pmafia <generate|cluster|assign|stage> [--flag value]...\n"
+      "usage: pmafia <generate|cluster|assign|stage|scoreboard> [--flag value]...\n"
       "  generate --out F [--dims D] [--records N] [--seed S] [--noise F]\n"
       "           [--cluster dims:lo:hi]...          (repeatable)\n"
       "  cluster  --data F [--ranks P] [--algorithm mafia|clique]\n"
@@ -360,7 +431,10 @@ void usage() {
       "            5 injected fault, 1 internal error\n"
       "  assign   --data F [--out labels.csv] [--model model.txt |\n"
       "           --ranks P + grid flags]\n"
-      "  stage    --data F [--ranks P] [--prefix PFX]\n",
+      "  stage    --data F [--ranks P] [--prefix PFX]\n"
+      "  scoreboard [--workloads a,b] [--algorithms x,y] [--records N]\n"
+      "           [--seed S] [--ranks P] [--out F.json]\n"
+      "           [--data F --true-clusters K --min-dims D]\n",
       stderr);
 }
 
@@ -414,6 +488,7 @@ int main(int argc, char** argv) {
     if (cmd == "cluster") return cmd_cluster(args);
     if (cmd == "assign") return cmd_assign(args);
     if (cmd == "stage") return cmd_stage(args);
+    if (cmd == "scoreboard") return cmd_scoreboard(args);
     usage();
     return 2;
   } catch (const Error& e) {
