@@ -51,8 +51,16 @@ class Error : public std::runtime_error {
     return error_class_name(class_);
   }
 
+  /// Optional machine-readable context as a JSON object literal (e.g. the
+  /// process backend attaches per-rank exit statuses).  Empty = none.  The
+  /// CLI splices this verbatim into the pmafia-error-v1 report, so the
+  /// string must be a complete, valid JSON value.
+  [[nodiscard]] const std::string& detail_json() const { return detail_json_; }
+  void set_detail_json(std::string json) { detail_json_ = std::move(json); }
+
  private:
   ErrorClass class_;
+  std::string detail_json_;
 };
 
 /// Corrupt, truncated, or otherwise unusable input data (record files,

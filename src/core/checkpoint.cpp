@@ -5,9 +5,10 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <type_traits>
 
+#include "common/bytes.hpp"
 #include "common/crc32.hpp"
+#include "core/result_codec.hpp"
 
 namespace mafia {
 
@@ -16,129 +17,10 @@ namespace {
 constexpr char kCheckpointMagic[8] = {'M', 'A', 'F', 'I', 'A', 'C', 'K', 'P'};
 constexpr std::size_t kCheckpointHeaderBytes = 16;  // magic + version + crc
 
-// ------------------------------------------------------------- byte stream
-
-/// Append-only POD/vector serializer for the checkpoint payload.
-struct ByteWriter {
-  std::vector<std::uint8_t> out;
-
-  template <typename T>
-  void pod(const T& value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
-    out.insert(out.end(), p, p + sizeof(T));
-  }
-
-  template <typename T>
-  void vec(const std::vector<T>& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    pod(static_cast<std::uint64_t>(v.size()));
-    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
-    out.insert(out.end(), p, p + v.size() * sizeof(T));
-  }
-
-  void str(const std::string& s) {
-    pod(static_cast<std::uint64_t>(s.size()));
-    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
-    out.insert(out.end(), p, p + s.size());
-  }
-};
-
-/// Bounds-checked reader; every overrun throws InputError (a short or
-/// corrupt payload must never read past the buffer).
-struct ByteReader {
-  const std::uint8_t* data;
-  std::size_t size;
-  std::size_t at = 0;
-
-  void need(std::size_t bytes) {
-    require_input(at + bytes >= at && at + bytes <= size,
-                  "checkpoint: truncated payload at byte " +
-                      std::to_string(at));
-  }
-
-  template <typename T>
-  T pod() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    need(sizeof(T));
-    T value;
-    std::memcpy(&value, data + at, sizeof(T));
-    at += sizeof(T);
-    return value;
-  }
-
-  template <typename T>
-  std::vector<T> vec() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const auto n = pod<std::uint64_t>();
-    require_input(n <= size / sizeof(T),
-                  "checkpoint: implausible array length at byte " +
-                      std::to_string(at));
-    need(static_cast<std::size_t>(n) * sizeof(T));
-    std::vector<T> v(static_cast<std::size_t>(n));
-    std::memcpy(v.data(), data + at, v.size() * sizeof(T));
-    at += v.size() * sizeof(T);
-    return v;
-  }
-
-  std::string str() {
-    const auto n = pod<std::uint64_t>();
-    require_input(n <= size, "checkpoint: implausible string length at byte " +
-                                 std::to_string(at));
-    need(static_cast<std::size_t>(n));
-    std::string s(reinterpret_cast<const char*>(data + at),
-                  static_cast<std::size_t>(n));
-    at += s.size();
-    return s;
-  }
-};
-
-// -------------------------------------------------------- component codecs
-
-void write_store(ByteWriter& w, const UnitStore& store) {
-  w.pod(static_cast<std::uint64_t>(store.k()));
-  w.vec(store.dim_bytes());
-  w.vec(store.bin_bytes());
-}
-
-UnitStore read_store(ByteReader& r) {
-  const auto k = r.pod<std::uint64_t>();
-  auto dims = r.vec<DimId>();
-  auto bins = r.vec<BinId>();
-  return UnitStore::from_bytes(static_cast<std::size_t>(k), std::move(dims),
-                               std::move(bins));
-}
-
-void write_grids(ByteWriter& w, const GridSet& grids) {
-  w.pod(static_cast<std::uint64_t>(grids.num_dims()));
-  for (const DimensionGrid& g : grids.dims) {
-    w.pod(g.dim);
-    w.pod(g.domain_lo);
-    w.pod(g.domain_hi);
-    w.vec(g.edges);
-    w.vec(g.thresholds);
-    w.pod(static_cast<std::uint8_t>(g.uniform_fallback ? 1 : 0));
-  }
-}
-
-GridSet read_grids(ByteReader& r) {
-  GridSet grids;
-  const auto ndims = r.pod<std::uint64_t>();
-  require_input(ndims <= kMaxDims, "checkpoint: bad grid dimension count");
-  grids.dims.reserve(static_cast<std::size_t>(ndims));
-  for (std::uint64_t i = 0; i < ndims; ++i) {
-    DimensionGrid g;
-    g.dim = r.pod<DimId>();
-    g.domain_lo = r.pod<Value>();
-    g.domain_hi = r.pod<Value>();
-    g.edges = r.vec<Value>();
-    g.thresholds = r.vec<double>();
-    g.uniform_fallback = r.pod<std::uint8_t>() != 0;
-    g.validate();
-    grids.dims.push_back(std::move(g));
-  }
-  return grids;
-}
+// The byte stream (common/bytes.hpp) and the store/grid/level-trace codecs
+// (core/result_codec.hpp) are shared with the process backend's worker
+// result blob; this file owns only the checkpoint framing and the
+// loop-state fields around them.
 
 }  // namespace
 
@@ -213,24 +95,9 @@ std::vector<std::uint8_t> serialize_checkpoint(const CheckpointState& state) {
   w.vec(state.raw_to_unique);
   write_grids(w, state.grids);
   w.pod(static_cast<std::uint64_t>(state.levels.size()));
-  for (const LevelTrace& t : state.levels) {
-    w.pod(static_cast<std::uint64_t>(t.level));
-    w.pod(static_cast<std::uint64_t>(t.ncdu_raw));
-    w.pod(static_cast<std::uint64_t>(t.ncdu));
-    w.pod(static_cast<std::uint64_t>(t.ndu));
-    w.pod(t.count_checksum);
-    w.pod(t.join_buckets);
-    w.pod(t.join_probes);
-    w.pod(t.join_emitted);
-    w.pod(t.join_repeats_fused);
-    // Version 3: per-level kernel id, bitmap counters, unjoined units.
-    w.pod(t.populate_kernel);
-    w.pod(t.bitmap_bytes);
-    w.pod(t.bitmap_words_anded);
-    w.pod(t.unjoined_dus);
-    w.pod(static_cast<std::uint64_t>(t.unjoined_units.size()));
-    for (const std::string& u : t.unjoined_units) w.str(u);
-  }
+  // Version 3 extended the per-level record with the kernel id, bitmap
+  // counters, and unjoined units (see write_level_trace).
+  for (const LevelTrace& t : state.levels) write_level_trace(w, t);
   w.pod(static_cast<std::uint64_t>(state.registered.size()));
   for (const UnitStore& store : state.registered) write_store(w, store);
   w.pod(static_cast<std::uint64_t>(state.populate.packed_sorted_subspaces));
@@ -304,28 +171,7 @@ CheckpointState deserialize_checkpoint(const std::uint8_t* data,
     require_input(nlevels <= 1u << 16, "checkpoint: implausible level count");
     state.levels.reserve(static_cast<std::size_t>(nlevels));
     for (std::uint64_t i = 0; i < nlevels; ++i) {
-      LevelTrace t;
-      t.level = static_cast<std::size_t>(r.pod<std::uint64_t>());
-      t.ncdu_raw = static_cast<std::size_t>(r.pod<std::uint64_t>());
-      t.ncdu = static_cast<std::size_t>(r.pod<std::uint64_t>());
-      t.ndu = static_cast<std::size_t>(r.pod<std::uint64_t>());
-      t.count_checksum = r.pod<std::uint64_t>();
-      t.join_buckets = r.pod<std::uint64_t>();
-      t.join_probes = r.pod<std::uint64_t>();
-      t.join_emitted = r.pod<std::uint64_t>();
-      t.join_repeats_fused = r.pod<std::uint64_t>();
-      t.populate_kernel = r.pod<std::uint8_t>();
-      t.bitmap_bytes = r.pod<std::uint64_t>();
-      t.bitmap_words_anded = r.pod<std::uint64_t>();
-      t.unjoined_dus = r.pod<std::uint64_t>();
-      const auto nunjoined = r.pod<std::uint64_t>();
-      require_input(nunjoined <= kMaxUnjoinedListed,
-                    "checkpoint: implausible unjoined-unit list length");
-      t.unjoined_units.reserve(static_cast<std::size_t>(nunjoined));
-      for (std::uint64_t u = 0; u < nunjoined; ++u) {
-        t.unjoined_units.push_back(r.str());
-      }
-      state.levels.push_back(std::move(t));
+      state.levels.push_back(read_level_trace(r));
     }
     const auto nregistered = r.pod<std::uint64_t>();
     require_input(nregistered <= 1u << 16,

@@ -7,6 +7,7 @@
 #include "cluster/assembly.hpp"
 #include "core/checkpoint.hpp"
 #include "core/mdl.hpp"
+#include "core/result_codec.hpp"
 #include "core/trace.hpp"
 #include "common/math_util.hpp"
 #include "grid/uniform_grid.hpp"
@@ -73,6 +74,7 @@ class MafiaWorker {
   GridSet grids_;
   std::vector<LevelTrace> trace_;
   std::vector<Cluster> clusters_;
+  std::vector<UnitStore> registered_;
   RunTrace run_trace_;
   PopulateKernelStats populate_stats_;
   JoinKernelStats join_stats_;
@@ -614,7 +616,6 @@ class MafiaWorker {
   PhaseTracer tracer_;
   std::optional<PipelinedSource> pipelined_;
   BlockRange my_records_;
-  std::vector<UnitStore> registered_;
   std::uint64_t fingerprint_ = 0;
 };
 
@@ -633,21 +634,60 @@ MafiaResult run_pmafia(const DataSource& data, const MafiaOptions& options,
   mp::RunOptions run_options;
   run_options.network = options.simulate_network.value_or(mp::NetworkSimulation{});
   run_options.faults = options.fault_plan;
-  mp::run(p, [&](mp::Comm& comm) {
+  run_options.backend = options.mp.backend;
+  run_options.deadline_seconds = options.mp.deadline_seconds;
+  run_options.shm_slot_bytes = options.mp.shm_slot_bytes;
+  const mp::JobStats job = mp::run(p, [&](mp::Comm& comm) {
     MafiaWorker worker(data, options, comm);
     worker.run();
-    if (comm.is_parent()) {
-      // Rank 0 is the paper's parent processor: it owns the printable
-      // result.  Sibling ranks computed identical clusters redundantly.
-      result.grids = std::move(worker.grids_);
-      result.levels = std::move(worker.trace_);
-      result.clusters = std::move(worker.clusters_);
-      result.trace = std::move(worker.run_trace_);
-      result.populate_kernel = worker.populate_stats_;
-      result.join_kernel = worker.join_stats_;
-      result.recovery = worker.recovery_;
+    if (!comm.is_parent()) return;
+    // Rank 0 is the paper's parent processor: it owns the printable
+    // result.  Sibling ranks computed identical clusters redundantly.
+    if (comm.backend() == mp::MpBackend::Process) {
+      // Rank 0 is a forked child here: the result must cross the process
+      // boundary as bytes (mp result blob, core/result_codec.hpp).  The
+      // cluster set is not shipped — the parent reassembles it from the
+      // registered maximal units below, bit-identically.
+      WorkerResult wr;
+      wr.grids = std::move(worker.grids_);
+      wr.levels = std::move(worker.trace_);
+      wr.registered = std::move(worker.registered_);
+      wr.trace = std::move(worker.run_trace_);
+      wr.populate = worker.populate_stats_;
+      wr.join_kernel = worker.join_stats_;
+      wr.recovery = worker.recovery_;
+      comm.set_result(serialize_worker_result(wr));
+      return;
     }
+    result.grids = std::move(worker.grids_);
+    result.levels = std::move(worker.trace_);
+    result.clusters = std::move(worker.clusters_);
+    result.trace = std::move(worker.run_trace_);
+    result.populate_kernel = worker.populate_stats_;
+    result.join_kernel = worker.join_stats_;
+    result.recovery = worker.recovery_;
   }, run_options);
+
+  if (options.mp.backend == mp::MpBackend::Process) {
+    if (job.result.empty()) {
+      throw Error("run_pmafia: process backend returned no worker result",
+                  ErrorClass::Internal);
+    }
+    WorkerResult wr =
+        deserialize_worker_result(job.result.data(), job.result.size());
+    result.grids = std::move(wr.grids);
+    result.levels = std::move(wr.levels);
+    result.trace = std::move(wr.trace);
+    result.populate_kernel = wr.populate;
+    result.join_kernel = wr.join_kernel;
+    result.recovery = wr.recovery;
+    result.clusters = assemble_clusters(wr.registered);
+    std::erase_if(result.clusters, [&options](const Cluster& c) {
+      return c.dims.size() < options.min_cluster_dims;
+    });
+  }
+  result.mp_backend = options.mp.backend;
+  result.rank_exits = job.rank_exits;
 
   // Both views derive from the gathered trace: phase seconds are the true
   // cross-rank maxima, and the comm totals are the sum of the per-rank

@@ -16,6 +16,7 @@
 
 #include "grid/adaptive_grid.hpp"
 #include "io/pipeline.hpp"
+#include "mp/backend.hpp"
 #include "mp/faults.hpp"
 #include "mp/stats.hpp"
 #include "units/dedup.hpp"
@@ -36,6 +37,26 @@ struct CheckpointConfig {
   bool resume = false;    ///< restore the latest valid checkpoint first
 
   [[nodiscard]] bool enabled() const { return !directory.empty(); }
+};
+
+/// SPMD transport configuration (mp/backend.hpp).  The backend changes how
+/// ranks exchange data — threads over a shared board, or forked worker
+/// processes over shared memory + sockets — never what they compute:
+/// results are bit-identical across backends, and the checkpoint
+/// fingerprint deliberately excludes all three knobs so a resume may switch
+/// backend mid-run.
+struct MpConfig {
+  mp::MpBackend backend = mp::MpBackend::Threads;
+
+  /// Deadline, in seconds, on every collective and mailbox wait; a rank
+  /// stuck longer fails the job with a Fault-class error naming the rank
+  /// and operation instead of hanging it.  0 = no deadline.
+  double deadline_seconds = 0.0;
+
+  /// Process backend only: per-rank shared-memory slot size; payloads
+  /// larger than a slot spill over the rank's socket (correct either way,
+  /// sizing only affects transport cost).
+  std::size_t shm_slot_bytes = 256 * 1024;
 };
 
 struct MafiaOptions {
@@ -139,6 +160,9 @@ struct MafiaOptions {
   /// offending component instead of OOM-ing mid-allocation.  0 = unlimited.
   std::size_t max_cdu_bytes = 0;
 
+  /// SPMD transport selection and robustness knobs (see MpConfig).
+  MpConfig mp;
+
   /// Deterministic fault injection for robustness tests and recovery
   /// drills (mp/faults.hpp).  Empty = no faults.  An injected kill
   /// surfaces as mp::FaultError from run_pmafia with every rank unwound.
@@ -159,6 +183,10 @@ struct MafiaOptions {
     require(max_level >= 1, "MafiaOptions: max_level must be positive");
     require(!checkpoint.resume || checkpoint.enabled(),
             "MafiaOptions: resume requires a checkpoint directory");
+    require(mp.deadline_seconds >= 0.0,
+            "MafiaOptions: mp.deadline_seconds must be non-negative");
+    require(mp.shm_slot_bytes >= 64,
+            "MafiaOptions: mp.shm_slot_bytes must be at least 64");
     if (fixed_domain) {
       require(fixed_domain->second > fixed_domain->first,
               "MafiaOptions: empty fixed domain");

@@ -66,7 +66,8 @@ std::string render_clusters(const MafiaResult& result) {
 std::string render_report(const MafiaResult& result) {
   std::ostringstream os;
   os << "pMAFIA run: " << result.num_records << " records x "
-     << result.num_dims << " dims on " << result.num_ranks << " rank(s), "
+     << result.num_dims << " dims on " << result.num_ranks << " rank(s) ("
+     << mp::mp_backend_name(result.mp_backend) << " backend), "
      << result.total_seconds << " s\n";
 
   os << "\nclusters (" << result.clusters.size() << ", maximal subspaces):\n";
@@ -174,6 +175,20 @@ std::string render_report_json(const MafiaResult& result,
   w.key("records").value(result.num_records);
   w.key("dims").value(result.num_dims);
   w.key("ranks").value(result.num_ranks);
+  // SPMD transport the run used (additive in pmafia-report-v1): "threads"
+  // or "process"; rank_exits carries per-rank exit statuses on the process
+  // backend (empty array on threads — ranks have no exit status there).
+  w.key("mp_backend").value(mp::mp_backend_name(result.mp_backend));
+  w.key("rank_exits").begin_array();
+  for (std::size_t r = 0; r < result.rank_exits.size(); ++r) {
+    w.begin_object();
+    w.key("rank").value(r);
+    w.key("code").value(static_cast<std::int64_t>(result.rank_exits[r].code));
+    w.key("signal").value(
+        static_cast<std::int64_t>(result.rank_exits[r].signal));
+    w.end_object();
+  }
+  w.end_array();
   w.key("total_seconds").value(result.total_seconds);
   w.key("num_clusters").value(result.clusters.size());
   w.key("max_dense_level").value(result.max_dense_level());

@@ -13,6 +13,7 @@
 #include "common/timer.hpp"
 #include "core/trace.hpp"
 #include "grid/grid_types.hpp"
+#include "mp/comm.hpp"
 #include "mp/stats.hpp"
 #include "units/join.hpp"
 #include "units/populate.hpp"
@@ -148,6 +149,14 @@ struct MafiaResult {
   std::size_t num_records = 0;
   std::size_t num_dims = 0;
   int num_ranks = 1;
+
+  /// The SPMD transport the run used (MafiaOptions::mp.backend).
+  mp::MpBackend mp_backend = mp::MpBackend::Threads;
+
+  /// Process backend only: how each worker rank exited (all code 0 on a
+  /// clean run).  Empty on the threads backend — ranks are threads, there
+  /// is no per-rank exit status.
+  std::vector<mp::RankExit> rank_exits;
 
   /// Total unjoined dense units over all levels (LevelTrace::unjoined_dus
   /// summed): the paper's "dense units which could not be combined".

@@ -1,0 +1,65 @@
+// Shared component codecs (unit stores, grids, level traces) and the
+// process-backend worker-result blob.
+//
+// On the threads backend rank 0's lambda writes straight into the caller's
+// MafiaResult; on the process backend rank 0 is a forked child, so
+// everything the parent reports must cross the process boundary as bytes.
+// WorkerResult is exactly that payload: the parent deserializes it and
+// recomputes the cluster set from the registered maximal units
+// (assemble_clusters is deterministic, so the parent-side assembly is
+// bit-identical to what rank 0 computed in-child).
+//
+// The component codecs started life inside core/checkpoint.cpp; they are
+// hoisted here so the checkpoint format and the result blob share one
+// implementation (both build on common/bytes.hpp, with per-format error
+// contexts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/result.hpp"
+#include "core/trace.hpp"
+#include "grid/grid_types.hpp"
+#include "units/unit_store.hpp"
+
+namespace mafia {
+
+// ------------------------------------------------------- component codecs
+
+void write_store(ByteWriter& w, const UnitStore& store);
+[[nodiscard]] UnitStore read_store(ByteReader& r);
+
+void write_grids(ByteWriter& w, const GridSet& grids);
+[[nodiscard]] GridSet read_grids(ByteReader& r);
+
+void write_level_trace(ByteWriter& w, const LevelTrace& t);
+[[nodiscard]] LevelTrace read_level_trace(ByteReader& r);
+
+// ------------------------------------------------------ worker result blob
+
+/// Everything rank 0 must ship to the parent process at the end of a
+/// process-backend run: the printable result minus the cluster set, which
+/// the parent reassembles from `registered`.
+struct WorkerResult {
+  GridSet grids;
+  std::vector<LevelTrace> levels;
+  std::vector<UnitStore> registered;
+  RunTrace trace;
+  PopulateKernelStats populate;
+  JoinKernelStats join_kernel;
+  RecoveryInfo recovery;
+};
+
+/// Serializes the blob rank 0 hands to Comm::set_result.
+[[nodiscard]] std::vector<std::uint8_t> serialize_worker_result(
+    const WorkerResult& wr);
+
+/// Parses a worker-result blob.  Throws mafia::Error (Internal) on a
+/// short or structurally corrupt payload — the blob never touches disk, so
+/// corruption here means a transport bug, not bad user input.
+[[nodiscard]] WorkerResult deserialize_worker_result(const std::uint8_t* data,
+                                                     std::size_t size);
+
+}  // namespace mafia

@@ -1,0 +1,113 @@
+// Transport selection and the communication-op vocabulary shared by the
+// SPMD backends.
+//
+// The runtime has two transports behind the same Comm interface:
+//
+//   * MpBackend::Threads — p ranks as std::thread in one address space,
+//     exchanging through a shared board (the original emulation; TSan-able).
+//   * MpBackend::Process — p ranks as forked worker processes coordinated
+//     over per-rank Unix-domain socket pairs plus a shared-memory slot
+//     board (real failure domains: a rank can be SIGKILLed and the job
+//     survives to report it).
+//
+// CommOp names every primitive once, so the fault planner (`--inject-fault
+// 1:allreduce@2`), the process backend's wire frames, deadline errors, and
+// trace labels all agree on the same vocabulary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mafia::mp {
+
+/// Which transport mp::run uses to realize the SPMD job.
+enum class MpBackend : std::uint8_t {
+  Threads,  ///< ranks are std::thread in one address space
+  Process,  ///< ranks are forked processes (real failure domains)
+};
+
+[[nodiscard]] inline const char* mp_backend_name(MpBackend backend) {
+  return backend == MpBackend::Process ? "process" : "threads";
+}
+
+/// Parses a backend name ("threads" | "process"); throws a Usage-class
+/// Error naming the valid values otherwise.
+[[nodiscard]] inline MpBackend parse_mp_backend(const std::string& name) {
+  if (name == "threads") return MpBackend::Threads;
+  if (name == "process") return MpBackend::Process;
+  throw Error("unknown mp backend '" + name + "' (valid: threads, process)");
+}
+
+/// True when this build/platform can run the process backend.  The fork +
+/// shared-memory transport is POSIX-only, and ThreadSanitizer does not
+/// follow forked children (its shadow state is per-process), so TSan
+/// builds keep their coverage on the threads backend and skip this one.
+[[nodiscard]] constexpr bool process_backend_supported() {
+#if !defined(__linux__) && !defined(__APPLE__)
+  return false;
+#else
+#if defined(__SANITIZE_THREAD__)
+  return false;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return false;
+#else
+  return true;
+#endif
+#else
+  return true;
+#endif
+#endif
+}
+
+/// Every top-level communication primitive, in a stable order.  Values are
+/// wire codes on the process backend's socket frames; names are what the
+/// fault planner and deadline errors use.
+enum class CommOp : std::uint32_t {
+  Barrier = 0,
+  Allreduce,
+  Reduce,
+  Bcast,
+  Gatherv,
+  Allgatherv,
+  Scatterv,
+  Send,
+  Recv,
+};
+
+inline constexpr std::size_t kNumCommOps = 9;
+
+inline constexpr std::array<const char*, kNumCommOps> kCommOpNames = {
+    "barrier", "allreduce", "reduce",   "bcast", "gatherv",
+    "allgatherv", "scatterv", "send", "recv"};
+
+[[nodiscard]] inline const char* comm_op_name(CommOp op) {
+  const auto i = static_cast<std::size_t>(op);
+  return i < kNumCommOps ? kCommOpNames[i] : "unknown";
+}
+
+/// Looks up an op by its stable name; returns false when unknown.
+[[nodiscard]] inline bool parse_comm_op(const std::string& name, CommOp* out) {
+  for (std::size_t i = 0; i < kNumCommOps; ++i) {
+    if (name == kCommOpNames[i]) {
+      *out = static_cast<CommOp>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// "barrier, allreduce, ..." — for Usage errors listing the valid op names.
+[[nodiscard]] inline std::string comm_op_names_joined() {
+  std::string out;
+  for (std::size_t i = 0; i < kNumCommOps; ++i) {
+    if (i > 0) out += ", ";
+    out += kCommOpNames[i];
+  }
+  return out;
+}
+
+}  // namespace mafia::mp

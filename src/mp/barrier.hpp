@@ -7,6 +7,7 @@
 // This mirrors how an MPI job dies when one rank calls MPI_Abort.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -29,7 +30,13 @@ class Barrier {
   Barrier& operator=(const Barrier&) = delete;
 
   /// Blocks until all parties arrive (or the job aborts).
-  void wait() {
+  void wait() { (void)wait_for(0.0); }
+
+  /// Like wait(), but gives up after `timeout_seconds` (0 = wait forever).
+  /// Returns false on timeout — the caller has been withdrawn from the
+  /// barrier (its arrival is un-counted), so it can convert the hang into
+  /// a structured deadline error without wedging later generations.
+  [[nodiscard]] bool wait_for(double timeout_seconds) {
     std::unique_lock<std::mutex> lock(mutex_);
     if (aborted_) throw AbortedError();
     const std::size_t my_generation = generation_;
@@ -37,10 +44,22 @@ class Barrier {
       arrived_ = 0;
       ++generation_;
       cv_.notify_all();
-      return;
+      return true;
     }
-    cv_.wait(lock, [&] { return generation_ != my_generation || aborted_; });
+    const auto released = [&] {
+      return generation_ != my_generation || aborted_;
+    };
+    if (timeout_seconds <= 0.0) {
+      cv_.wait(lock, released);
+    } else if (!cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                             released)) {
+      // Still this generation and not aborted: withdraw our arrival so the
+      // remaining parties' count stays consistent.
+      --arrived_;
+      return false;
+    }
     if (aborted_ && generation_ == my_generation) throw AbortedError();
+    return true;
   }
 
   /// Marks the job aborted and wakes all waiters.

@@ -4,20 +4,26 @@
 // where the same program runs on multiple processors but uses portions of
 // the data assigned to the processor" and communicates with MPI's Reduce /
 // Broadcast / point-to-point primitives (Section 4).  This runtime provides
-// exactly those semantics over std::thread:
+// exactly those semantics over two interchangeable transports (see
+// mp/backend.hpp):
 //
-//   * Runtime::run(p, fn) launches p ranks, each receiving a Comm;
+//   * mp::run(p, fn, options) launches p ranks, each receiving a Comm;
 //   * ranks share NO algorithm state — all exchange goes through the Comm
 //     (collectives or mailboxes), so porting to real MPI is mechanical;
 //   * every collective combines contributions in rank order, making parallel
-//     runs bit-deterministic (tested: serial == parallel cluster sets);
+//     runs bit-deterministic (tested: serial == parallel cluster sets on
+//     BOTH backends);
 //   * CommStats counts payload bytes and operations so benches can report
 //     measured communication volume and apply the Section 4.5 cost model.
 //
-// Collective implementation: a shared "exchange board" holds one slot per
-// rank (pointer + length).  Each collective is publish -> barrier ->
-// combine -> barrier -> write-back, which is safe because reads of rank r's
-// slot happen strictly between the two barriers that bracket r's writes.
+// Comm is the template-facing base class: every collective is implemented
+// here, once, over a small set of non-templated transport primitives
+// (begin_exchange / peer slots / end_exchange / do_send / do_recv).  A
+// collective is publish -> exchange -> combine-in-rank-order -> release,
+// which is safe because reads of rank r's slot happen strictly inside the
+// exchange window that brackets r's writes.  The threads transport backs
+// the window with a shared board and two barriers; the process transport
+// backs it with a shared-memory slot board and a coordinator round-trip.
 #pragma once
 
 #include <algorithm>
@@ -27,12 +33,14 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "mp/backend.hpp"
 #include "mp/barrier.hpp"
 #include "mp/faults.hpp"
 #include "mp/mailbox.hpp"
@@ -40,58 +48,42 @@
 
 namespace mafia::mp {
 
-class Comm;
-
-namespace detail {
-
-/// State shared by all ranks of one SPMD job.
-struct Context {
-  explicit Context(int p)
-      : size(p), barrier(static_cast<std::size_t>(p)), mailboxes(p),
-        slot_ptr(p, nullptr), slot_len(p, 0), stats(p), ops_seen(p, 0) {}
-
-  const int size;
-  Barrier barrier;
-  std::vector<Mailbox> mailboxes;
-  // Exchange board for collectives (valid only between the barriers of the
-  // collective currently in flight).
-  std::vector<const void*> slot_ptr;
-  std::vector<std::size_t> slot_len;
-  std::vector<CommStats> stats;
-  // Per-rank count of comm ops entered (each rank touches only its own
-  // entry) — the op index the fault plan fires against.
-  std::vector<std::uint64_t> ops_seen;
-  NetworkSimulation network;  ///< zero = no emulated delay
-  FaultPlan faults;           ///< empty = no injected faults
-
-  void interrupt_all() {
-    barrier.abort();
-    for (auto& mb : mailboxes) mb.interrupt();
-  }
-};
-
-}  // namespace detail
-
-/// Handle one rank uses to communicate with its siblings.  Move-only view;
-/// lifetime bounded by Runtime::run.
+/// Handle one rank uses to communicate with its siblings.  Abstract over
+/// the transport; lifetime bounded by mp::run.
 class Comm {
  public:
-  Comm(int rank, detail::Context& ctx) : rank_(rank), ctx_(ctx) {}
+  Comm(int rank, int size, MpBackend backend, CommStats* stats,
+       const NetworkSimulation& network, const FaultPlan& faults)
+      : rank_(rank), size_(size), backend_(backend), stats_(stats),
+        network_(network), faults_(faults) {}
+  virtual ~Comm() = default;
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
 
   [[nodiscard]] int rank() const { return rank_; }
-  [[nodiscard]] int size() const { return ctx_.size; }
+  [[nodiscard]] int size() const { return size_; }
   [[nodiscard]] bool is_root() const { return rank_ == 0; }
   /// The paper calls rank 0 the "parent processor".
   [[nodiscard]] bool is_parent() const { return rank_ == 0; }
+  /// Which transport this job runs on.
+  [[nodiscard]] MpBackend backend() const { return backend_; }
 
-  [[nodiscard]] CommStats& stats() { return ctx_.stats[static_cast<std::size_t>(rank_)]; }
+  [[nodiscard]] CommStats& stats() { return *stats_; }
+
+  /// Hands rank 0's final payload to the launcher: JobStats::result.  On
+  /// the threads backend the caller's lambda can capture results directly
+  /// and this is rarely needed; on the process backend it is the ONLY way
+  /// data crosses back from the worker processes, so drivers that must
+  /// work on both serialize through here.
+  virtual void set_result(std::vector<std::uint8_t> blob) = 0;
 
   /// Synchronizes all ranks.
   void barrier() {
-    fault_point("barrier");
+    fault_point(CommOp::Barrier);
     const OpTimer ot(stats());
     ++stats().barriers;
-    ctx_.barrier.wait();
+    do_barrier();
   }
 
   // ---------------------------------------------------------------- reduce
@@ -102,12 +94,12 @@ class Comm {
   template <typename T, typename BinaryOp>
   void allreduce(std::vector<T>& data, BinaryOp op) {
     static_assert(std::is_trivially_copyable_v<T>);
-    fault_point("allreduce");
+    fault_point(CommOp::Allreduce);
     const OpTimer ot(stats());
     ++stats().reduces;
     stats().collective_bytes += data.size() * sizeof(T);
-    publish(data.data(), data.size() * sizeof(T));
-    ctx_.barrier.wait();
+    simulate_delay(data.size() * sizeof(T));
+    begin_exchange(CommOp::Allreduce, data.data(), data.size() * sizeof(T));
     std::vector<T> combined(peer<T>(0), peer<T>(0) + peer_count<T>(0));
     require(combined.size() == data.size(),
             "allreduce: ranks disagree on vector length");
@@ -119,7 +111,7 @@ class Comm {
         combined[i] = op(combined[i], src[i]);
       }
     }
-    ctx_.barrier.wait();
+    end_exchange();
     data = std::move(combined);
   }
 
@@ -161,11 +153,11 @@ class Comm {
   template <typename T>
   void bcast(std::vector<T>& data, int root = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
-    fault_point("bcast");
+    fault_point(CommOp::Bcast);
     const OpTimer ot(stats());
     ++stats().bcasts;
-    publish(data.data(), data.size() * sizeof(T));
-    ctx_.barrier.wait();
+    simulate_delay(data.size() * sizeof(T));
+    begin_exchange(CommOp::Bcast, data.data(), data.size() * sizeof(T));
     const std::size_t n = peer_count<T>(root);
     if (rank_ != root) {
       stats().collective_bytes += n * sizeof(T);
@@ -173,7 +165,7 @@ class Comm {
     } else {
       stats().collective_bytes += n * sizeof(T) * static_cast<std::size_t>(size() - 1);
     }
-    ctx_.barrier.wait();
+    end_exchange();
   }
 
   /// Broadcasts one trivially copyable value from `root`.
@@ -192,13 +184,13 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<T> gatherv(const std::vector<T>& local, int root = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
-    fault_point("gatherv");
+    fault_point(CommOp::Gatherv);
     const OpTimer ot(stats());
     ++stats().gathers;
     // Sender side: this rank's contribution travels to the root.
     stats().collective_bytes += local.size() * sizeof(T);
-    publish(local.data(), local.size() * sizeof(T));
-    ctx_.barrier.wait();
+    simulate_delay(local.size() * sizeof(T));
+    begin_exchange(CommOp::Gatherv, local.data(), local.size() * sizeof(T));
     std::vector<T> result;
     if (rank_ == root) {
       std::size_t total = 0;
@@ -211,7 +203,7 @@ class Comm {
       // own contribution is self-delivery and only counts as sent above).
       stats().collective_bytes += (total - local.size()) * sizeof(T);
     }
-    ctx_.barrier.wait();
+    end_exchange();
     return result;
   }
 
@@ -219,11 +211,11 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<T> allgatherv(const std::vector<T>& local) {
     static_assert(std::is_trivially_copyable_v<T>);
-    fault_point("allgatherv");
+    fault_point(CommOp::Allgatherv);
     const OpTimer ot(stats());
     ++stats().gathers;
-    publish(local.data(), local.size() * sizeof(T));
-    ctx_.barrier.wait();
+    simulate_delay(local.size() * sizeof(T));
+    begin_exchange(CommOp::Allgatherv, local.data(), local.size() * sizeof(T));
     std::vector<T> result;
     std::size_t total = 0;
     for (int r = 0; r < size(); ++r) total += peer_count<T>(r);
@@ -235,7 +227,7 @@ class Comm {
     // = the full concatenated payload (gatherv's accounting applied at
     // every rank, since every rank is a receiver here).
     stats().collective_bytes += total * sizeof(T);
-    ctx_.barrier.wait();
+    end_exchange();
     return result;
   }
 
@@ -254,12 +246,12 @@ class Comm {
   template <typename T, typename BinaryOp>
   void reduce(std::vector<T>& data, BinaryOp op, int root = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
-    fault_point("reduce");
+    fault_point(CommOp::Reduce);
     const OpTimer ot(stats());
     ++stats().reduces;
     stats().collective_bytes += data.size() * sizeof(T);
-    publish(data.data(), data.size() * sizeof(T));
-    ctx_.barrier.wait();
+    simulate_delay(data.size() * sizeof(T));
+    begin_exchange(CommOp::Reduce, data.data(), data.size() * sizeof(T));
     std::vector<T> combined;
     if (rank_ == root) {
       combined.assign(peer<T>(0), peer<T>(0) + peer_count<T>(0));
@@ -272,7 +264,7 @@ class Comm {
         }
       }
     }
-    ctx_.barrier.wait();
+    end_exchange();
     if (rank_ == root) data = std::move(combined);
   }
 
@@ -280,14 +272,14 @@ class Comm {
   /// receives `slices[r]` (only root's `slices` is read).  Matches
   /// MPI_Scatterv.  Counted as one scatter operation: the root counts the
   /// bytes leaving it, every other rank counts the slice it receives —
-  /// implemented directly on the exchange board (two rounds: lengths, then
+  /// implemented directly on the exchange window (two rounds: lengths, then
   /// the flattened payload) rather than via broadcasts, so no rank is
   /// charged for slices addressed to its siblings.
   template <typename T>
   [[nodiscard]] std::vector<T> scatterv(const std::vector<std::vector<T>>& slices,
                                         int root = 0) {
     static_assert(std::is_trivially_copyable_v<T>);
-    fault_point("scatterv");
+    fault_point(CommOp::Scatterv);
     const OpTimer ot(stats());
     ++stats().scatters;
     std::vector<T> flat;
@@ -301,17 +293,18 @@ class Comm {
       }
     }
     // Round 1: per-rank lengths (only the root's slot is read).
-    publish(lengths.data(), lengths.size() * sizeof(std::size_t));
-    ctx_.barrier.wait();
+    simulate_delay(lengths.size() * sizeof(std::size_t));
+    begin_exchange(CommOp::Scatterv, lengths.data(),
+                   lengths.size() * sizeof(std::size_t));
     const std::vector<std::size_t> all_lengths(
         peer<std::size_t>(root),
         peer<std::size_t>(root) + peer_count<std::size_t>(root));
-    ctx_.barrier.wait();
+    end_exchange();
     require(all_lengths.size() == static_cast<std::size_t>(size()),
             "scatterv: need one slice per rank");
     // Round 2: the flattened payload; each rank copies out its own slice.
-    publish(flat.data(), flat.size() * sizeof(T));
-    ctx_.barrier.wait();
+    simulate_delay(flat.size() * sizeof(T));
+    begin_exchange(CommOp::Scatterv, flat.data(), flat.size() * sizeof(T));
     std::size_t offset = 0;
     for (int r = 0; r < rank_; ++r) offset += all_lengths[static_cast<std::size_t>(r)];
     const std::size_t mine = all_lengths[static_cast<std::size_t>(rank_)];
@@ -320,7 +313,7 @@ class Comm {
       const T* base = peer<T>(root);
       result.assign(base + offset, base + offset + mine);
     }
-    ctx_.barrier.wait();
+    end_exchange();
     if (rank_ == root) {
       // Sender side: every slice addressed to another rank (the root's own
       // slice is self-delivery and free).
@@ -363,13 +356,12 @@ class Comm {
   void send(int dest, int tag, const std::vector<T>& payload) {
     static_assert(std::is_trivially_copyable_v<T>);
     require(dest >= 0 && dest < size(), "send: bad destination rank");
-    fault_point("send");
+    fault_point(CommOp::Send);
     const OpTimer ot(stats());
     ++stats().p2p_messages;
     stats().p2p_bytes += payload.size() * sizeof(T);
     simulate_delay(payload.size() * sizeof(T));
-    ctx_.mailboxes[static_cast<std::size_t>(dest)].push(
-        rank_, tag, payload.data(), payload.size() * sizeof(T));
+    do_send(dest, tag, payload.data(), payload.size() * sizeof(T));
   }
 
   /// Blocks for a message from `source` with `tag`; returns its payload.
@@ -377,38 +369,82 @@ class Comm {
   [[nodiscard]] std::vector<T> recv(int source, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     require(source >= 0 && source < size(), "recv: bad source rank");
-    fault_point("recv");
+    fault_point(CommOp::Recv);
     const OpTimer ot(stats());
-    Message msg = ctx_.mailboxes[static_cast<std::size_t>(rank_)].pop(
-        source, tag, ctx_.barrier);
-    require(msg.payload.size() % sizeof(T) == 0, "recv: payload size mismatch");
-    std::vector<T> out(msg.payload.size() / sizeof(T));
-    if (!out.empty()) std::memcpy(out.data(), msg.payload.data(), msg.payload.size());
+    std::vector<std::uint8_t> payload = do_recv(source, tag);
+    require(payload.size() % sizeof(T) == 0, "recv: payload size mismatch");
+    std::vector<T> out(payload.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), payload.data(), payload.size());
     return out;
   }
 
- private:
+ protected:
+  // ---- transport primitives each backend implements -----------------------
+
+  /// Synchronizes all ranks (one rendezvous, no payload window).
+  virtual void do_barrier() = 0;
+
+  /// Publishes [data, data+bytes) as this rank's contribution to one
+  /// exchange round of `op` and blocks until EVERY rank's contribution for
+  /// the round is readable through peer_ptr/peer_len.  The window stays
+  /// valid until end_exchange().
+  virtual void begin_exchange(CommOp op, const void* data,
+                              std::size_t bytes) = 0;
+
+  /// Rank r's published payload for the round in flight.
+  [[nodiscard]] virtual const void* peer_ptr(int r) = 0;
+  [[nodiscard]] virtual std::size_t peer_len(int r) = 0;
+
+  /// Closes the round: after this returns, no rank may still be reading a
+  /// sibling's slot (the threads transport backs this with a barrier; the
+  /// process transport's double-buffered board makes it a no-op).
+  virtual void end_exchange() = 0;
+
+  /// Delivers [data, data+bytes) to `dest`'s mailbox under `tag`.
+  virtual void do_send(int dest, int tag, const void* data,
+                       std::size_t bytes) = 0;
+
+  /// Blocks for a mailbox message from `source` with `tag`.
+  [[nodiscard]] virtual std::vector<std::uint8_t> do_recv(int source,
+                                                          int tag) = 0;
+
+  /// Executes a Kill fault: the threads transport throws FaultError so the
+  /// runtime's failure propagation unwinds the job; the process transport
+  /// notifies the coordinator (which re-throws the exact same message in
+  /// the launching process) and then delivers a REAL SIGKILL to itself.
+  [[noreturn]] virtual void fault_die(const std::string& message,
+                                      std::uint64_t op_index, CommOp op) {
+    (void)op_index;
+    (void)op;
+    throw FaultError(message);
+  }
+
+  // ---- shared machinery ---------------------------------------------------
+
   /// Entry gate of every communication primitive: counts this rank's ops
   /// and fires the matching fault-plan spec.  Runs BEFORE the op publishes
-  /// anything to the exchange board or touches a mailbox, so a killed rank
+  /// anything to the exchange window or touches a mailbox, so a killed rank
   /// leaves no dangling slot pointer and siblings already blocked in the
   /// op unwind through the job abort rather than reading stale state.
   /// Wrappers (allreduce_sum, alltoallv, ...) don't call this — only the
   /// outermost primitives do, keeping op indices aligned with the op
   /// sequence a trace would show.
-  void fault_point(const char* op) {
-    const std::uint64_t idx = ctx_.ops_seen[static_cast<std::size_t>(rank_)]++;
-    if (ctx_.faults.empty()) return;
-    const FaultSpec* spec = ctx_.faults.match(rank_, idx);
+  void fault_point(CommOp op) {
+    const std::uint64_t idx = ops_seen_++;
+    const std::uint64_t occurrence =
+        op_counts_[static_cast<std::size_t>(op)]++;
+    if (faults_.empty()) return;
+    const FaultSpec* spec = faults_.match(rank_, idx, op, occurrence);
     if (spec == nullptr) return;
     if (spec->action == FaultAction::Delay) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(spec->delay_seconds));
       return;
     }
-    throw FaultError("injected fault: rank " + std::to_string(rank_) +
-                     " killed at comm op " + std::to_string(idx) + " (" + op +
-                     ")");
+    fault_die("injected fault: rank " + std::to_string(rank_) +
+                  " killed at comm op " + std::to_string(idx) + " (" +
+                  comm_op_name(op) + ")",
+              idx, op);
   }
 
   /// RAII accumulator for CommStats::comm_seconds: times one top-level comm
@@ -425,37 +461,51 @@ class Comm {
     Timer clock;
   };
 
-  void publish(const void* ptr, std::size_t bytes) {
-    ctx_.slot_ptr[static_cast<std::size_t>(rank_)] = ptr;
-    ctx_.slot_len[static_cast<std::size_t>(rank_)] = bytes;
-    simulate_delay(bytes);
-  }
-
   /// Stalls this rank per the network simulation (no-op by default).
   void simulate_delay(std::size_t bytes) const {
-    const double s = ctx_.network.delay_for(bytes);
+    const double s = network_.delay_for(bytes);
     if (s > 0) {
       std::this_thread::sleep_for(std::chrono::duration<double>(s));
     }
   }
 
   template <typename T>
-  [[nodiscard]] const T* peer(int r) const {
-    return static_cast<const T*>(ctx_.slot_ptr[static_cast<std::size_t>(r)]);
+  [[nodiscard]] const T* peer(int r) {
+    return static_cast<const T*>(peer_ptr(r));
   }
 
   template <typename T>
-  [[nodiscard]] std::size_t peer_count(int r) const {
-    return ctx_.slot_len[static_cast<std::size_t>(r)] / sizeof(T);
+  [[nodiscard]] std::size_t peer_count(int r) {
+    return peer_len(r) / sizeof(T);
   }
 
   const int rank_;
-  detail::Context& ctx_;
+  const int size_;
+  const MpBackend backend_;
+  CommStats* stats_;
+  NetworkSimulation network_;
+  FaultPlan faults_;
+  /// Global comm-op counter (the index the fault plan fires against) plus
+  /// per-kind occurrence counters (for name-addressed fault specs).
+  std::uint64_t ops_seen_ = 0;
+  std::array<std::uint64_t, kNumCommOps> op_counts_{};
 };
 
-/// Result of one SPMD job: per-rank communication stats plus the aggregate.
+/// How one worker process ended (process backend; threads backend leaves
+/// rank_exits empty).  signal != 0 means killed by that signal.
+struct RankExit {
+  int code = 0;
+  int signal = 0;
+};
+
+/// Result of one SPMD job: per-rank communication stats plus the aggregate,
+/// the backend it ran on, per-rank exit statuses (process backend), and
+/// rank 0's set_result payload.
 struct JobStats {
   std::vector<CommStats> per_rank;
+  MpBackend backend = MpBackend::Threads;
+  std::vector<RankExit> rank_exits;
+  std::vector<std::uint8_t> result;
 
   [[nodiscard]] CommStats total() const {
     CommStats t;
@@ -464,22 +514,32 @@ struct JobStats {
   }
 };
 
-/// Per-job runtime knobs: interconnect emulation (NetworkSimulation::sp2()
-/// for the paper's switch) and the deterministic fault-injection plan.
+/// Per-job runtime knobs: transport selection, interconnect emulation
+/// (NetworkSimulation::sp2() for the paper's switch), the deterministic
+/// fault-injection plan, and the robustness knobs of the process backend.
 struct RunOptions {
   NetworkSimulation network;
   FaultPlan faults;
+  MpBackend backend = MpBackend::Threads;
+  /// Longest any rank may block in one collective or mailbox wait before
+  /// the job fails with a Fault-class error naming the rank and op.
+  /// 0 = wait forever (the default: a healthy job has no natural bound).
+  double deadline_seconds = 0.0;
+  /// Per-rank shared-memory slot capacity on the process backend; payloads
+  /// larger than this spill over the coordinator socket instead.
+  std::size_t shm_slot_bytes = 256 * 1024;
 };
 
 /// Launches `p` SPMD ranks running `fn(comm)` and joins them.
 /// Failure contract: if any rank throws, the job is aborted — every
 /// sibling blocked in a barrier, collective, or mailbox wait unwinds with
-/// AbortedError — all ranks are joined, and exactly one exception reaches
-/// the caller: the lowest failed rank's mafia::Error rethrown as-is, or,
-/// for a foreign exception type, a mafia::Error (ErrorClass::Internal)
-/// wrapping its message with the rank attached.  The runtime never
-/// deadlocks on a failed rank and never lets an exception escape a rank
-/// thread into std::terminate.
+/// AbortedError — all ranks are joined (threads) or reaped (process: no
+/// orphan worker survives any exit path), and exactly one exception
+/// reaches the caller: the lowest failed rank's mafia::Error rethrown
+/// as-is, or, for a foreign exception type, a mafia::Error
+/// (ErrorClass::Internal) wrapping its message with the rank attached.
+/// The runtime never deadlocks on a failed rank and never lets an
+/// exception escape a rank thread into std::terminate.
 JobStats run(int p, const std::function<void(Comm&)>& fn,
              const RunOptions& options);
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "mp/backend.hpp"
 
 namespace mafia::mp {
 
@@ -46,13 +47,22 @@ enum class FaultAction {
   Delay,  ///< sleep delay_seconds at the op's entry, then proceed
 };
 
-/// One planned fault: fires when `rank` enters its `op`-th communication
-/// operation (0-based; barriers, collectives, sends, and recvs all count).
+/// One planned fault.  Two addressing modes:
+///   * by index (`by_name == false`): fires when `rank` enters its `op`-th
+///     communication operation (0-based; barriers, collectives, sends, and
+///     recvs all count);
+///   * by name (`by_name == true`): fires when `rank` enters its
+///     `occurrence`-th operation of kind `name_op` (0-based within that
+///     kind) — "kill rank 1 at its 3rd allreduce" without counting the
+///     barriers in between.
 struct FaultSpec {
   int rank = 0;
   std::uint64_t op = 0;
   FaultAction action = FaultAction::Kill;
   double delay_seconds = 0.0;
+  bool by_name = false;
+  CommOp name_op = CommOp::Barrier;
+  std::uint64_t occurrence = 0;
 };
 
 /// A deterministic schedule of injected faults for one SPMD job.
@@ -68,15 +78,47 @@ class FaultPlan {
     return *this;
   }
 
+  /// Kill `rank` at its `occurrence`-th op of kind `op` (0-based).
+  FaultPlan& kill_op(int rank, CommOp op, std::uint64_t occurrence = 0) {
+    FaultSpec s{rank, 0, FaultAction::Kill, 0.0, true, op, occurrence};
+    specs_.push_back(s);
+    return *this;
+  }
+
+  /// Delay `rank` at its `occurrence`-th op of kind `op` (0-based).
+  FaultPlan& delay_op(int rank, CommOp op, std::uint64_t occurrence,
+                      double seconds) {
+    FaultSpec s{rank, 0, FaultAction::Delay, seconds, true, op, occurrence};
+    specs_.push_back(s);
+    return *this;
+  }
+
   [[nodiscard]] bool empty() const { return specs_.empty(); }
   [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
 
   /// The spec firing for `rank`'s `op`-th operation, or nullptr.  Linear
   /// scan: plans hold a handful of specs and this runs once per comm op,
-  /// not per byte.
+  /// not per byte.  Index-mode specs only (see the 4-argument overload for
+  /// name-mode matching).
   [[nodiscard]] const FaultSpec* match(int rank, std::uint64_t op) const {
     for (const FaultSpec& s : specs_) {
-      if (s.rank == rank && s.op == op) return &s;
+      if (!s.by_name && s.rank == rank && s.op == op) return &s;
+    }
+    return nullptr;
+  }
+
+  /// Full match: `idx` is the rank's global op counter, (`op`,
+  /// `op_occurrence`) its per-kind counter — whichever addressing mode a
+  /// spec uses, it fires here.
+  [[nodiscard]] const FaultSpec* match(int rank, std::uint64_t idx, CommOp op,
+                                       std::uint64_t op_occurrence) const {
+    for (const FaultSpec& s : specs_) {
+      if (s.rank != rank) continue;
+      if (s.by_name) {
+        if (s.name_op == op && s.occurrence == op_occurrence) return &s;
+      } else if (s.op == idx) {
+        return &s;
+      }
     }
     return nullptr;
   }

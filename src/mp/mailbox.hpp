@@ -14,6 +14,7 @@
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "mp/barrier.hpp"
@@ -47,6 +48,17 @@ class Mailbox {
   /// Blocks until a message from `source` with `tag` is available and
   /// removes it.  Throws AbortedError if `abort_flag` fires while waiting.
   Message pop(int source, int tag, const Barrier& abort_flag) {
+    return *pop_for(source, tag, abort_flag, 0.0);
+  }
+
+  /// Like pop(), but gives up after `timeout_seconds` (0 = wait forever)
+  /// and returns nullopt — the caller converts the hang into a structured
+  /// deadline error.
+  std::optional<Message> pop_for(int source, int tag, const Barrier& abort_flag,
+                                 double timeout_seconds) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(timeout_seconds));
     std::unique_lock<std::mutex> lock(mutex_);
     while (true) {
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
@@ -57,6 +69,10 @@ class Mailbox {
         }
       }
       if (abort_flag.aborted()) throw AbortedError();
+      if (timeout_seconds > 0.0 &&
+          std::chrono::steady_clock::now() >= deadline) {
+        return std::nullopt;
+      }
       cv_.wait_for(lock, std::chrono::milliseconds(50));
     }
   }

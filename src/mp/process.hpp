@@ -1,0 +1,19 @@
+// Process-backend entry point (see process_backend.cpp for the transport).
+#pragma once
+
+#include <functional>
+
+#include "mp/comm.hpp"
+
+namespace mafia::mp {
+
+/// Runs the SPMD job over forked worker processes coordinated through
+/// per-rank Unix-domain socket pairs plus a shared-memory slot board.
+/// Same contract as mp::run; additionally guarantees that no worker
+/// process outlives this call on ANY exit path (normal, failure, or an
+/// exception thrown past it).  Throws a Usage-class Error when the build
+/// or platform cannot host the backend (process_backend_supported()).
+JobStats run_process(int p, const std::function<void(Comm&)>& fn,
+                     const RunOptions& options);
+
+}  // namespace mafia::mp

@@ -1,0 +1,1018 @@
+// Process transport for the SPMD runtime: ranks as forked processes.
+//
+// Topology: the launching process becomes a COORDINATOR (it is not a rank,
+// so every rank — including rank 0 — is a killable failure domain).  It
+// forks p workers and keeps one Unix-domain stream socket pair per rank.
+// All control traffic (exchange rounds, mailbox sends/recvs, results,
+// errors) moves over the sockets; collective payloads that fit move
+// through a shared-memory slot board mapped before the forks.
+//
+// Exchange board: 2 generations x p slots x shm_slot_bytes, MAP_SHARED.
+// Round k uses generation k % 2, so a rank publishing round k+2 can never
+// clobber a slot a sibling is still reading from round k: entering round
+// k+2 requires the round-(k+1) reply, which the coordinator only sends
+// after every rank issued its round-(k+1) request — and a rank issues that
+// request only after it finished reading round k.  The double buffer
+// replaces the threads transport's release barrier.  Payloads larger than
+// a slot spill inline over the socket instead.
+//
+// Robustness (the reason this backend exists):
+//   * rank death — a worker's socket EOF (it was SIGKILLed, segfaulted, or
+//     exited) is detected by the coordinator's poll loop, the child is
+//     reaped with waitpid, and the job aborts: every other worker receives
+//     an abort frame and unwinds with AbortedError, exactly like the
+//     threads backend's interrupt_all;
+//   * deadlines — with RunOptions::deadline_seconds set, a collective any
+//     rank fails to enter in time, or a mailbox wait no send ever matches,
+//     fails the job with a Fault-class error naming the rank and op
+//     instead of hanging;
+//   * orphan cleanup — workers arm PR_SET_PDEATHSIG(SIGKILL) so a dying
+//     coordinator takes them along, and the coordinator SIGKILLs + reaps
+//     every still-running worker on every exit path (including exceptions),
+//     so no run leaves a stray process behind;
+//   * injected faults are REAL here: a Kill spec makes the worker raise
+//     SIGKILL against itself after telling the coordinator the exact
+//     FaultError message the threads backend would have thrown, so both
+//     backends fail byte-identically;
+//   * per-rank exit statuses (code or signal) are captured and surfaced in
+//     JobStats::rank_exits and, on failure, in the thrown Error's
+//     detail_json (the CLI splices it into pmafia-error-v1).
+#include "mp/process.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mafia::mp {
+
+namespace {
+
+// ---------------------------------------------------------------- wire format
+
+/// Frame types on the per-rank socket.  Worker -> coordinator: Exchange,
+/// Send, Recv, Result, Done, Error, Dying.  Coordinator -> worker: Slots,
+/// Message, Abort.
+enum FrameType : std::uint32_t {
+  kFrameExchange = 1,
+  kFrameSend = 2,
+  kFrameRecv = 3,
+  kFrameResult = 4,
+  kFrameDone = 5,
+  kFrameError = 6,
+  kFrameDying = 7,
+  kFrameSlots = 8,
+  kFrameMessage = 9,
+  kFrameAbort = 10,
+};
+
+/// 16-byte frame header; `aux` carries the CommOp code (Exchange/Slots),
+/// the ErrorClass + foreign bit (Error), and is 0 otherwise.
+struct FrameHeader {
+  std::uint32_t type = 0;
+  std::uint32_t aux = 0;
+  std::uint64_t len = 0;
+};
+
+/// kFrameError aux: low byte ErrorClass; this bit marks a non-mafia::Error
+/// exception that must be re-wrapped like rethrow_normalized does.
+constexpr std::uint32_t kErrorForeignBit = 0x100;
+
+/// Worker exit codes (distinct from anything a user fn would exit with).
+constexpr int kExitAborted = 120;  ///< unwound via AbortedError / abort frame
+constexpr int kExitError = 121;    ///< reported a structured error frame
+
+constexpr double kAbortGraceSeconds = 2.0;
+constexpr int kPollMillis = 50;
+
+[[nodiscard]] double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Full write with MSG_NOSIGNAL (a dead peer must surface as an error
+/// return, never SIGPIPE).  Returns false on any failure.
+bool write_all(int fd, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::send(fd, p, bytes, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Full read; returns false on EOF or error.
+bool read_all(int fd, void* data, std::size_t bytes) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::read(fd, p, bytes);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_frame(int fd, std::uint32_t type, std::uint32_t aux,
+                 const void* payload, std::size_t bytes) {
+  FrameHeader h{type, aux, bytes};
+  if (!write_all(fd, &h, sizeof(h))) return false;
+  if (bytes > 0 && !write_all(fd, payload, bytes)) return false;
+  return true;
+}
+
+void store_u64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+[[nodiscard]] std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+void store_i32(std::uint8_t* p, std::int32_t v) { std::memcpy(p, &v, 4); }
+[[nodiscard]] std::int32_t load_i32(const std::uint8_t* p) {
+  std::int32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+// ------------------------------------------------------------ shared memory
+
+/// 2 x p x slot_bytes anonymous shared mapping created before the forks.
+class ShmBoard {
+ public:
+  ShmBoard(int p, std::size_t slot_bytes)
+      : parties_(p), slot_bytes_(std::max<std::size_t>(slot_bytes, 64)) {
+    total_ = slot_bytes_ * static_cast<std::size_t>(p) * 2;
+    mem_ = ::mmap(nullptr, total_, PROT_READ | PROT_WRITE,
+                  MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (mem_ == MAP_FAILED) {
+      throw ResourceError("mp: failed to map a " + std::to_string(total_) +
+                          "-byte shared exchange board: " +
+                          std::strerror(errno));
+    }
+  }
+
+  ~ShmBoard() {
+    if (mem_ != MAP_FAILED) ::munmap(mem_, total_);
+  }
+
+  ShmBoard(const ShmBoard&) = delete;
+  ShmBoard& operator=(const ShmBoard&) = delete;
+
+  [[nodiscard]] std::uint8_t* slot(int generation, int rank) {
+    const std::size_t index = static_cast<std::size_t>(generation) *
+                                  static_cast<std::size_t>(parties_) +
+                              static_cast<std::size_t>(rank);
+    return static_cast<std::uint8_t*>(mem_) + index * slot_bytes_;
+  }
+
+  [[nodiscard]] std::size_t slot_bytes() const { return slot_bytes_; }
+
+ private:
+  const int parties_;
+  const std::size_t slot_bytes_;
+  std::size_t total_ = 0;
+  void* mem_ = MAP_FAILED;
+};
+
+// ---------------------------------------------------------------- worker side
+
+/// A rank's Comm inside its worker process.  Every transport primitive is
+/// a request frame to the coordinator; collective payloads ride the shared
+/// board when they fit (the request then carries only the length).
+class ProcessComm final : public Comm {
+ public:
+  ProcessComm(int rank, int size, int fd, ShmBoard& board,
+              const RunOptions& options, CommStats* stats)
+      : Comm(rank, size, MpBackend::Process, stats, options.network,
+             options.faults),
+        fd_(fd), board_(board), peer_shm_(static_cast<std::size_t>(size), 0),
+        peer_lens_(static_cast<std::size_t>(size), 0),
+        spill_(static_cast<std::size_t>(size)) {}
+
+  void set_result(std::vector<std::uint8_t> blob) override {
+    if (!write_frame(fd_, kFrameResult, 0, blob.data(), blob.size())) {
+      throw AbortedError();
+    }
+  }
+
+  /// Called by worker_main after fn returns cleanly: ships the rank's
+  /// CommStats so the launching process can aggregate JobStats.
+  void finish() {
+    const auto words = stats().serialize();
+    if (!write_frame(fd_, kFrameDone, 0, words.data(),
+                     words.size() * sizeof(std::uint64_t))) {
+      throw AbortedError();
+    }
+  }
+
+ protected:
+  void do_barrier() override {
+    begin_exchange(CommOp::Barrier, nullptr, 0);
+    end_exchange();
+  }
+
+  void begin_exchange(CommOp op, const void* data, std::size_t bytes) override {
+    ++round_;
+    const int generation = static_cast<int>(round_ & 1);
+    const bool in_shm = bytes <= board_.slot_bytes();
+    if (in_shm) {
+      if (bytes > 0) std::memcpy(board_.slot(generation, rank_), data, bytes);
+      std::uint8_t head[9];
+      head[0] = 1;
+      store_u64(head + 1, bytes);
+      if (!write_frame(fd_, kFrameExchange, static_cast<std::uint32_t>(op),
+                       head, sizeof(head))) {
+        throw AbortedError();
+      }
+    } else {
+      std::vector<std::uint8_t> request(9 + bytes);
+      request[0] = 0;
+      store_u64(request.data() + 1, bytes);
+      std::memcpy(request.data() + 9, data, bytes);
+      if (!write_frame(fd_, kFrameExchange, static_cast<std::uint32_t>(op),
+                       request.data(), request.size())) {
+        throw AbortedError();
+      }
+    }
+    // Reply: per-rank {in_shm flag, length} table, then the socket-carried
+    // payloads concatenated in rank order.
+    const auto [header, payload] = read_reply();
+    if (header.type != kFrameSlots) throw AbortedError();
+    const std::size_t table = static_cast<std::size_t>(size_) * 9;
+    if (payload.size() < table) throw AbortedError();
+    std::size_t spill_at = table;
+    for (int r = 0; r < size_; ++r) {
+      const std::uint8_t* row = payload.data() + static_cast<std::size_t>(r) * 9;
+      const bool peer_in_shm = row[0] != 0;
+      const std::uint64_t len = load_u64(row + 1);
+      peer_shm_[static_cast<std::size_t>(r)] = peer_in_shm ? 1 : 0;
+      peer_lens_[static_cast<std::size_t>(r)] = static_cast<std::size_t>(len);
+      if (peer_in_shm) {
+        spill_[static_cast<std::size_t>(r)].clear();
+      } else {
+        if (spill_at + len > payload.size()) throw AbortedError();
+        spill_[static_cast<std::size_t>(r)].assign(
+            payload.begin() + static_cast<std::ptrdiff_t>(spill_at),
+            payload.begin() + static_cast<std::ptrdiff_t>(spill_at + len));
+        spill_at += len;
+      }
+    }
+    exchange_generation_ = generation;
+  }
+
+  const void* peer_ptr(int r) override {
+    if (peer_shm_[static_cast<std::size_t>(r)] != 0) {
+      return board_.slot(exchange_generation_, r);
+    }
+    return spill_[static_cast<std::size_t>(r)].data();
+  }
+
+  std::size_t peer_len(int r) override {
+    return peer_lens_[static_cast<std::size_t>(r)];
+  }
+
+  void end_exchange() override {
+    // The double-buffered board needs no release step: the next round's
+    // request is the read-completion signal (see the file header).
+  }
+
+  void do_send(int dest, int tag, const void* data, std::size_t bytes) override {
+    std::vector<std::uint8_t> payload(8 + bytes);
+    store_i32(payload.data(), dest);
+    store_i32(payload.data() + 4, tag);
+    if (bytes > 0) std::memcpy(payload.data() + 8, data, bytes);
+    if (!write_frame(fd_, kFrameSend, 0, payload.data(), payload.size())) {
+      throw AbortedError();
+    }
+  }
+
+  std::vector<std::uint8_t> do_recv(int source, int tag) override {
+    std::uint8_t request[8];
+    store_i32(request, source);
+    store_i32(request + 4, tag);
+    if (!write_frame(fd_, kFrameRecv, 0, request, sizeof(request))) {
+      throw AbortedError();
+    }
+    auto [header, payload] = read_reply();
+    if (header.type != kFrameMessage) throw AbortedError();
+    return std::move(payload);
+  }
+
+  [[noreturn]] void fault_die(const std::string& message,
+                              std::uint64_t op_index, CommOp op) override {
+    (void)op_index;
+    // Tell the coordinator the exact FaultError message the threads
+    // backend would throw, then die for real.  The kill is what makes the
+    // fault genuine; the message is what keeps both backends byte-equal.
+    (void)write_frame(fd_, kFrameDying, static_cast<std::uint32_t>(op),
+                      message.data(), message.size());
+    ::raise(SIGKILL);
+    ::_exit(137);  // unreachable: SIGKILL cannot be blocked
+  }
+
+ private:
+  /// Reads one coordinator reply; converts an abort frame (or a dead
+  /// coordinator socket) into AbortedError, matching interrupt_all.
+  std::pair<FrameHeader, std::vector<std::uint8_t>> read_reply() {
+    FrameHeader header;
+    if (!read_all(fd_, &header, sizeof(header))) throw AbortedError();
+    std::vector<std::uint8_t> payload(header.len);
+    if (header.len > 0 && !read_all(fd_, payload.data(), payload.size())) {
+      throw AbortedError();
+    }
+    if (header.type == kFrameAbort) throw AbortedError();
+    return {header, std::move(payload)};
+  }
+
+  const int fd_;
+  ShmBoard& board_;
+  std::uint64_t round_ = 0;
+  int exchange_generation_ = 0;
+  std::vector<std::uint8_t> peer_shm_;
+  std::vector<std::size_t> peer_lens_;
+  std::vector<std::vector<std::uint8_t>> spill_;
+};
+
+/// Worker process body.  Never returns: every path ends in _exit (no
+/// atexit handlers, no stdio double-flush, no leak-checker in children).
+[[noreturn]] void worker_main(int rank, int size, int fd, ShmBoard& board,
+                              const RunOptions& options,
+                              const std::function<void(Comm&)>& fn,
+                              pid_t coordinator_pid) {
+#ifdef __linux__
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+  // Re-check after arming the death signal: if the coordinator died in the
+  // fork window, getppid already changed and the signal will never come.
+  if (::getppid() != coordinator_pid) ::_exit(kExitAborted);
+  try {
+    CommStats stats;
+    ProcessComm comm(rank, size, fd, board, options, &stats);
+    fn(comm);
+    comm.finish();
+    ::_exit(0);
+  } catch (const AbortedError&) {
+    ::_exit(kExitAborted);
+  } catch (const Error& e) {
+    const auto aux = static_cast<std::uint32_t>(e.error_class());
+    (void)write_frame(fd, kFrameError, aux, e.what(), std::strlen(e.what()));
+    ::_exit(kExitError);
+  } catch (const std::exception& e) {
+    const auto aux =
+        static_cast<std::uint32_t>(ErrorClass::Internal) | kErrorForeignBit;
+    (void)write_frame(fd, kFrameError, aux, e.what(), std::strlen(e.what()));
+    ::_exit(kExitError);
+  } catch (...) {
+    const auto aux =
+        static_cast<std::uint32_t>(ErrorClass::Internal) | kErrorForeignBit;
+    (void)write_frame(fd, kFrameError, aux, nullptr, 0);
+    ::_exit(kExitError);
+  }
+}
+
+// ----------------------------------------------------------- coordinator side
+
+struct WorkerFailure {
+  ErrorClass cls = ErrorClass::Internal;
+  std::string message;
+  bool foreign = false;  ///< needs the rethrow_normalized-style wrap
+};
+
+struct WorkerState {
+  pid_t pid = -1;
+  int fd = -1;
+  bool done = false;       ///< sent kFrameDone
+  bool closed = false;     ///< socket reached EOF (fd closed)
+  bool reaped = false;     ///< waitpid collected the exit status
+  bool killed_by_us = false;
+  bool dying_seen = false;
+  RankExit exit;
+  std::optional<WorkerFailure> failure;
+  CommStats stats;
+  bool have_stats = false;
+  // Pending blocking recv (at most one: workers block).
+  bool recv_pending = false;
+  int recv_source = 0;
+  int recv_tag = 0;
+  double recv_since = 0.0;
+};
+
+/// One collective round in flight on the exchange board.
+struct Round {
+  bool open = false;
+  CommOp op = CommOp::Barrier;
+  double started = 0.0;
+  int arrived = 0;
+  std::vector<std::uint8_t> present;
+  std::vector<std::uint8_t> in_shm;
+  std::vector<std::uint64_t> lens;
+  std::vector<std::vector<std::uint8_t>> spill;
+
+  void reset(int p) {
+    open = false;
+    arrived = 0;
+    present.assign(static_cast<std::size_t>(p), 0);
+    in_shm.assign(static_cast<std::size_t>(p), 0);
+    lens.assign(static_cast<std::size_t>(p), 0);
+    spill.assign(static_cast<std::size_t>(p), {});
+  }
+};
+
+class Coordinator {
+ public:
+  Coordinator(int p, const RunOptions& options, std::vector<WorkerState> workers)
+      : p_(p), options_(options), workers_(std::move(workers)),
+        mail_(static_cast<std::size_t>(p)) {
+    round_.reset(p);
+  }
+
+  ~Coordinator() {
+    // Last line of orphan defense: whatever path exits this scope, no
+    // worker process survives it.
+    for (auto& w : workers_) {
+      if (w.fd >= 0) ::close(w.fd);
+      w.fd = -1;
+      if (!w.reaped && w.pid > 0) {
+        ::kill(w.pid, SIGKILL);
+        int status = 0;
+        while (::waitpid(w.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        w.reaped = true;
+      }
+    }
+  }
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  JobStats run() {
+    while (!all_reaped()) {
+      if (aborting_ && !grace_killed_ &&
+          now_seconds() - abort_started_ > kAbortGraceSeconds) {
+        kill_stragglers();
+      }
+      check_deadlines();
+      poll_once();
+    }
+    return finalize();
+  }
+
+ private:
+  [[nodiscard]] bool all_reaped() const {
+    for (const auto& w : workers_) {
+      if (!w.reaped) return false;
+    }
+    return true;
+  }
+
+  void poll_once() {
+    std::vector<pollfd> fds;
+    std::vector<int> ranks;
+    for (int r = 0; r < p_; ++r) {
+      const auto& w = workers_[static_cast<std::size_t>(r)];
+      if (!w.closed && w.fd >= 0) {
+        fds.push_back({w.fd, POLLIN, 0});
+        ranks.push_back(r);
+      }
+    }
+    if (fds.empty()) {
+      // All sockets are closed but someone is unreaped: reap directly.
+      reap_remaining();
+      return;
+    }
+    const int n = ::poll(fds.data(), fds.size(), kPollMillis);
+    if (n < 0) {
+      if (errno == EINTR) return;
+      fail(0, ErrorClass::Internal,
+           "mp: coordinator poll failed: " + std::string(std::strerror(errno)),
+           false);
+      return;
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        handle_readable(ranks[i]);
+      }
+    }
+  }
+
+  void reap_remaining() {
+    for (auto& w : workers_) {
+      if (w.reaped || w.pid <= 0) continue;
+      int status = 0;
+      pid_t got;
+      while ((got = ::waitpid(w.pid, &status, 0)) < 0 && errno == EINTR) {
+      }
+      record_exit(w, got >= 0 ? status : 0);
+    }
+  }
+
+  void handle_readable(int rank) {
+    auto& w = workers_[static_cast<std::size_t>(rank)];
+    FrameHeader header;
+    if (!read_all(w.fd, &header, sizeof(header))) {
+      on_eof(rank);
+      return;
+    }
+    std::vector<std::uint8_t> payload(header.len);
+    if (header.len > 0 && !read_all(w.fd, payload.data(), payload.size())) {
+      on_eof(rank);
+      return;
+    }
+    switch (header.type) {
+      case kFrameExchange:
+        on_exchange(rank, static_cast<CommOp>(header.aux), payload);
+        break;
+      case kFrameSend:
+        on_send(rank, payload);
+        break;
+      case kFrameRecv:
+        on_recv(rank, payload);
+        break;
+      case kFrameResult:
+        result_.assign(payload.begin(), payload.end());
+        break;
+      case kFrameDone:
+        on_done(rank, payload);
+        break;
+      case kFrameError:
+        on_error(rank, header.aux, payload);
+        break;
+      case kFrameDying:
+        w.dying_seen = true;
+        fail(rank, ErrorClass::Fault,
+             std::string(payload.begin(), payload.end()), false);
+        break;
+      default:
+        fail(rank, ErrorClass::Internal,
+             "mp: rank " + std::to_string(rank) +
+                 " sent an unknown frame type " + std::to_string(header.type),
+             false);
+        break;
+    }
+  }
+
+  void on_exchange(int rank, CommOp op,
+                   const std::vector<std::uint8_t>& payload) {
+    if (aborting_) return;  // worker will read its abort frame next
+    if (payload.size() < 9) {
+      fail(rank, ErrorClass::Internal,
+           "mp: rank " + std::to_string(rank) + " sent a short exchange frame",
+           false);
+      return;
+    }
+    if (!round_.open) {
+      round_.open = true;
+      round_.op = op;
+      round_.started = now_seconds();
+    } else if (round_.op != op) {
+      fail(rank, ErrorClass::Internal,
+           "mp: ranks diverged: rank " + std::to_string(rank) + " entered " +
+               comm_op_name(op) + " while " + comm_op_name(round_.op) +
+               " was in flight",
+           false);
+      return;
+    }
+    auto& r = round_;
+    const auto idx = static_cast<std::size_t>(rank);
+    r.present[idx] = 1;
+    r.in_shm[idx] = payload[0];
+    r.lens[idx] = load_u64(payload.data() + 1);
+    if (payload[0] == 0) {
+      r.spill[idx].assign(payload.begin() + 9, payload.end());
+    } else {
+      r.spill[idx].clear();
+    }
+    if (++r.arrived == p_) complete_round();
+  }
+
+  void complete_round() {
+    std::size_t spill_total = 0;
+    for (int r = 0; r < p_; ++r) {
+      spill_total += round_.spill[static_cast<std::size_t>(r)].size();
+    }
+    std::vector<std::uint8_t> reply(static_cast<std::size_t>(p_) * 9 +
+                                    spill_total);
+    for (int r = 0; r < p_; ++r) {
+      std::uint8_t* row = reply.data() + static_cast<std::size_t>(r) * 9;
+      row[0] = round_.in_shm[static_cast<std::size_t>(r)];
+      store_u64(row + 1, round_.lens[static_cast<std::size_t>(r)]);
+    }
+    std::size_t at = static_cast<std::size_t>(p_) * 9;
+    for (int r = 0; r < p_; ++r) {
+      const auto& s = round_.spill[static_cast<std::size_t>(r)];
+      if (!s.empty()) {
+        std::memcpy(reply.data() + at, s.data(), s.size());
+        at += s.size();
+      }
+    }
+    const auto op_code = static_cast<std::uint32_t>(round_.op);
+    round_.reset(p_);
+    for (int r = 0; r < p_; ++r) {
+      auto& w = workers_[static_cast<std::size_t>(r)];
+      // All p ranks arrived, so all are alive; a write failure here means a
+      // rank died between its request and the reply — EOF handling catches
+      // it on the next poll.
+      (void)write_frame(w.fd, kFrameSlots, op_code, reply.data(),
+                        reply.size());
+    }
+  }
+
+  void on_send(int rank, const std::vector<std::uint8_t>& payload) {
+    if (aborting_) return;
+    if (payload.size() < 8) {
+      fail(rank, ErrorClass::Internal,
+           "mp: rank " + std::to_string(rank) + " sent a short send frame",
+           false);
+      return;
+    }
+    Message msg;
+    msg.source = rank;
+    const int dest = load_i32(payload.data());
+    msg.tag = load_i32(payload.data() + 4);
+    msg.payload.assign(payload.begin() + 8, payload.end());
+    if (dest < 0 || dest >= p_) return;  // validated worker-side; ignore
+    auto& w = workers_[static_cast<std::size_t>(dest)];
+    if (w.recv_pending && w.recv_source == rank && w.recv_tag == msg.tag) {
+      w.recv_pending = false;
+      (void)write_frame(w.fd, kFrameMessage, 0, msg.payload.data(),
+                        msg.payload.size());
+      return;
+    }
+    mail_[static_cast<std::size_t>(dest)].push_back(std::move(msg));
+  }
+
+  void on_recv(int rank, const std::vector<std::uint8_t>& payload) {
+    if (aborting_) return;
+    if (payload.size() < 8) {
+      fail(rank, ErrorClass::Internal,
+           "mp: rank " + std::to_string(rank) + " sent a short recv frame",
+           false);
+      return;
+    }
+    const int source = load_i32(payload.data());
+    const int tag = load_i32(payload.data() + 4);
+    auto& queue = mail_[static_cast<std::size_t>(rank)];
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->source == source && it->tag == tag) {
+        auto& w = workers_[static_cast<std::size_t>(rank)];
+        (void)write_frame(w.fd, kFrameMessage, 0, it->payload.data(),
+                          it->payload.size());
+        queue.erase(it);
+        return;
+      }
+    }
+    auto& w = workers_[static_cast<std::size_t>(rank)];
+    // A recv whose source has already finished (and whose message is not
+    // queued) can never complete — the threads backend would sit in this
+    // hang until a deadline; here it is detectable immediately.
+    if (source >= 0 && source < p_ &&
+        (workers_[static_cast<std::size_t>(source)].done ||
+         workers_[static_cast<std::size_t>(source)].closed)) {
+      fail(rank, ErrorClass::Fault,
+           "mp: rank " + std::to_string(rank) + " waits in recv for rank " +
+               std::to_string(source) + " (tag " + std::to_string(tag) +
+               "), which has already finished",
+           false);
+      return;
+    }
+    w.recv_pending = true;
+    w.recv_source = source;
+    w.recv_tag = tag;
+    w.recv_since = now_seconds();
+  }
+
+  void on_done(int rank, const std::vector<std::uint8_t>& payload) {
+    auto& w = workers_[static_cast<std::size_t>(rank)];
+    w.done = true;
+    if (payload.size() >=
+        CommStats::kSerializedWords * sizeof(std::uint64_t)) {
+      std::array<std::uint64_t, CommStats::kSerializedWords> words{};
+      std::memcpy(words.data(), payload.data(),
+                  words.size() * sizeof(std::uint64_t));
+      w.stats = CommStats::deserialize(words.data());
+      w.have_stats = true;
+    }
+    if (aborting_) return;
+    if (round_.open && round_.present[static_cast<std::size_t>(rank)] == 0) {
+      fail(rank, ErrorClass::Internal,
+           "mp: rank " + std::to_string(rank) + " finished while " +
+               comm_op_name(round_.op) + " was in flight",
+           false);
+      return;
+    }
+    // Any sibling blocked in a recv sourced from this now-finished rank
+    // (with nothing queued) is hung for good.
+    for (int r = 0; r < p_; ++r) {
+      auto& peer = workers_[static_cast<std::size_t>(r)];
+      if (!peer.recv_pending || peer.recv_source != rank) continue;
+      bool queued = false;
+      for (const auto& m : mail_[static_cast<std::size_t>(r)]) {
+        if (m.source == rank && m.tag == peer.recv_tag) {
+          queued = true;
+          break;
+        }
+      }
+      if (!queued) {
+        fail(r, ErrorClass::Fault,
+             "mp: rank " + std::to_string(r) + " waits in recv for rank " +
+                 std::to_string(rank) + " (tag " +
+                 std::to_string(peer.recv_tag) +
+                 "), which has already finished",
+             false);
+      }
+    }
+  }
+
+  void on_error(int rank, std::uint32_t aux,
+                const std::vector<std::uint8_t>& payload) {
+    const auto cls = static_cast<ErrorClass>(aux & 0xff);
+    const bool foreign = (aux & kErrorForeignBit) != 0;
+    fail(rank, cls, std::string(payload.begin(), payload.end()), foreign);
+  }
+
+  void on_eof(int rank) {
+    auto& w = workers_[static_cast<std::size_t>(rank)];
+    if (w.fd >= 0) ::close(w.fd);
+    w.fd = -1;
+    w.closed = true;
+    if (w.recv_pending) w.recv_pending = false;
+    int status = 0;
+    pid_t got;
+    while ((got = ::waitpid(w.pid, &status, 0)) < 0 && errno == EINTR) {
+    }
+    record_exit(w, got >= 0 ? status : 0);
+    if (w.done || w.failure.has_value() || w.killed_by_us) {
+      // Finished cleanly, already recorded as failed (dying/error frame
+      // preceded the EOF on this socket), or killed by the abort grace
+      // sweep — every case already has its abort/bookkeeping done.
+      return;
+    }
+    if (w.exit.signal != 0) {
+      const char* name = ::strsignal(w.exit.signal);
+      fail(rank, ErrorClass::Fault,
+           "mp: rank " + std::to_string(rank) + " killed by signal " +
+               std::to_string(w.exit.signal) +
+               (name != nullptr ? " (" + std::string(name) + ")" : ""),
+           false);
+    } else if (w.exit.code == kExitAborted && aborting_) {
+      // Abort echo: unwound because a sibling failed first.
+    } else {
+      fail(rank, ErrorClass::Internal,
+           "mp: rank " + std::to_string(rank) +
+               " exited unexpectedly with code " + std::to_string(w.exit.code),
+           false);
+    }
+  }
+
+  void record_exit(WorkerState& w, int status) {
+    w.reaped = true;
+    if (WIFEXITED(status)) {
+      w.exit.code = WEXITSTATUS(status);
+      w.exit.signal = 0;
+    } else if (WIFSIGNALED(status)) {
+      w.exit.code = 0;
+      w.exit.signal = WTERMSIG(status);
+    }
+  }
+
+  void fail(int rank, ErrorClass cls, std::string message, bool foreign) {
+    auto& w = workers_[static_cast<std::size_t>(rank)];
+    if (!w.failure.has_value()) {
+      w.failure = WorkerFailure{cls, std::move(message), foreign};
+    }
+    initiate_abort();
+  }
+
+  void initiate_abort() {
+    if (aborting_) return;
+    aborting_ = true;
+    abort_started_ = now_seconds();
+    for (auto& w : workers_) {
+      if (!w.closed && !w.done && w.fd >= 0) {
+        (void)write_frame(w.fd, kFrameAbort, 0, nullptr, 0);
+      }
+    }
+  }
+
+  void kill_stragglers() {
+    grace_killed_ = true;
+    for (auto& w : workers_) {
+      if (!w.reaped && w.pid > 0) {
+        w.killed_by_us = true;
+        ::kill(w.pid, SIGKILL);
+      }
+    }
+  }
+
+  void check_deadlines() {
+    if (aborting_ || options_.deadline_seconds <= 0.0) return;
+    const double deadline = options_.deadline_seconds;
+    const double t = now_seconds();
+    if (round_.open && t - round_.started > deadline) {
+      for (int r = 0; r < p_; ++r) {
+        if (round_.present[static_cast<std::size_t>(r)] == 0) {
+          fail(r, ErrorClass::Fault,
+               "mp: deadline exceeded: rank " + std::to_string(r) +
+                   " did not enter " + comm_op_name(round_.op) + " within " +
+                   std::to_string(deadline) + " s",
+               false);
+          return;
+        }
+      }
+    }
+    for (int r = 0; r < p_; ++r) {
+      const auto& w = workers_[static_cast<std::size_t>(r)];
+      if (w.recv_pending && t - w.recv_since > deadline) {
+        fail(r, ErrorClass::Fault,
+             "mp: deadline exceeded: rank " + std::to_string(r) + " waited " +
+                 std::to_string(deadline) + " s in recv (source " +
+                 std::to_string(w.recv_source) + ", tag " +
+                 std::to_string(w.recv_tag) + ")",
+             false);
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] std::string exits_json() const {
+    std::string out = "{\"backend\":\"process\",\"rank_exits\":[";
+    for (int r = 0; r < p_; ++r) {
+      const auto& e = workers_[static_cast<std::size_t>(r)].exit;
+      if (r > 0) out += ",";
+      out += "{\"rank\":" + std::to_string(r) +
+             ",\"code\":" + std::to_string(e.code) +
+             ",\"signal\":" + std::to_string(e.signal) + "}";
+    }
+    out += "]}";
+    return out;
+  }
+
+  [[noreturn]] void throw_failure(int rank, const WorkerFailure& f) {
+    std::string message = f.message;
+    ErrorClass cls = f.cls;
+    if (f.foreign) {
+      cls = ErrorClass::Internal;
+      message = message.empty()
+                    ? "mp: rank " + std::to_string(rank) +
+                          " failed with a non-standard exception"
+                    : "mp: rank " + std::to_string(rank) + " failed: " + message;
+    }
+    const std::string detail = exits_json();
+    switch (cls) {
+      case ErrorClass::Fault: {
+        FaultError e(message);
+        e.set_detail_json(detail);
+        throw e;
+      }
+      case ErrorClass::Input: {
+        InputError e(message);
+        e.set_detail_json(detail);
+        throw e;
+      }
+      case ErrorClass::Resource: {
+        ResourceError e(message);
+        e.set_detail_json(detail);
+        throw e;
+      }
+      default: {
+        Error e(message, cls);
+        e.set_detail_json(detail);
+        throw e;
+      }
+    }
+  }
+
+  JobStats finalize() {
+    for (int r = 0; r < p_; ++r) {
+      const auto& w = workers_[static_cast<std::size_t>(r)];
+      if (w.failure.has_value()) throw_failure(r, *w.failure);
+    }
+    for (int r = 0; r < p_; ++r) {
+      const auto& w = workers_[static_cast<std::size_t>(r)];
+      if (!w.done) {
+        // All workers reaped, none failed, but someone never reported Done
+        // — e.g. aborted without a recorded cause.  Surface it structurally
+        // rather than returning a half-job.
+        Error e("mp: rank " + std::to_string(r) +
+                    " exited without completing the job",
+                ErrorClass::Internal);
+        e.set_detail_json(exits_json());
+        throw e;
+      }
+    }
+    JobStats stats;
+    stats.backend = MpBackend::Process;
+    stats.per_rank.resize(static_cast<std::size_t>(p_));
+    stats.rank_exits.resize(static_cast<std::size_t>(p_));
+    for (int r = 0; r < p_; ++r) {
+      const auto& w = workers_[static_cast<std::size_t>(r)];
+      if (w.have_stats) stats.per_rank[static_cast<std::size_t>(r)] = w.stats;
+      stats.rank_exits[static_cast<std::size_t>(r)] = w.exit;
+    }
+    stats.result = std::move(result_);
+    return stats;
+  }
+
+  const int p_;
+  const RunOptions options_;
+  std::vector<WorkerState> workers_;
+  std::vector<std::deque<Message>> mail_;
+  Round round_;
+  std::vector<std::uint8_t> result_;
+  bool aborting_ = false;
+  bool grace_killed_ = false;
+  double abort_started_ = 0.0;
+};
+
+}  // namespace
+
+JobStats run_process(int p, const std::function<void(Comm&)>& fn,
+                     const RunOptions& options) {
+  if (!process_backend_supported()) {
+    throw Error(
+        "mp: the process backend is not supported in this build "
+        "(ThreadSanitizer or non-POSIX platform); use the threads backend",
+        ErrorClass::Usage);
+  }
+  ShmBoard board(p, options.shm_slot_bytes);
+  std::vector<WorkerState> workers(static_cast<std::size_t>(p));
+  const pid_t coordinator_pid = ::getpid();
+  // Child processes _exit without flushing stdio; flush now so buffered
+  // output is not duplicated into them.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  for (int rank = 0; rank < p; ++rank) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      const std::string why = std::strerror(errno);
+      for (int r = 0; r < rank; ++r) {
+        ::close(workers[static_cast<std::size_t>(r)].fd);
+        ::kill(workers[static_cast<std::size_t>(r)].pid, SIGKILL);
+        int status = 0;
+        while (::waitpid(workers[static_cast<std::size_t>(r)].pid, &status,
+                         0) < 0 &&
+               errno == EINTR) {
+        }
+      }
+      throw ResourceError("mp: socketpair failed: " + why);
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const std::string why = std::strerror(errno);
+      ::close(sv[0]);
+      ::close(sv[1]);
+      for (int r = 0; r < rank; ++r) {
+        ::close(workers[static_cast<std::size_t>(r)].fd);
+        ::kill(workers[static_cast<std::size_t>(r)].pid, SIGKILL);
+        int status = 0;
+        while (::waitpid(workers[static_cast<std::size_t>(r)].pid, &status,
+                         0) < 0 &&
+               errno == EINTR) {
+        }
+      }
+      throw ResourceError("mp: fork failed: " + why);
+    }
+    if (pid == 0) {
+      // Worker: drop the coordinator ends it inherited, keep only its own.
+      for (int r = 0; r < rank; ++r) {
+        ::close(workers[static_cast<std::size_t>(r)].fd);
+      }
+      ::close(sv[0]);
+      worker_main(rank, p, sv[1], board, options, fn, coordinator_pid);
+    }
+    ::close(sv[1]);
+    workers[static_cast<std::size_t>(rank)].pid = pid;
+    workers[static_cast<std::size_t>(rank)].fd = sv[0];
+  }
+  Coordinator coordinator(p, options, std::move(workers));
+  return coordinator.run();
+}
+
+}  // namespace mafia::mp

@@ -1,5 +1,9 @@
 // SPMD job launcher: spawn p ranks, propagate failures, collect stats.
 //
+// This file holds the THREADS transport (ranks as std::thread over a
+// shared exchange board, the original emulation) and the backend dispatch;
+// the process transport lives in process_backend.cpp.
+//
 // Failure contract (see mp::run's declaration): any rank's exception
 // aborts the job, every sibling unwinds out of its blocking wait, all
 // threads are joined, and the caller sees exactly one structured
@@ -9,9 +13,101 @@
 #include <exception>
 #include <thread>
 
+#include "mp/process.hpp"
+
 namespace mafia::mp {
 
 namespace {
+
+/// State shared by all ranks of one threads-backend job.
+struct Context {
+  explicit Context(int p)
+      : size(p), barrier(static_cast<std::size_t>(p)), mailboxes(p),
+        slot_ptr(p, nullptr), slot_len(p, 0), stats(p) {}
+
+  const int size;
+  Barrier barrier;
+  std::vector<Mailbox> mailboxes;
+  // Exchange board for collectives (valid only between the barriers of the
+  // collective currently in flight).
+  std::vector<const void*> slot_ptr;
+  std::vector<std::size_t> slot_len;
+  std::vector<CommStats> stats;
+  double deadline_seconds = 0.0;
+  std::vector<std::uint8_t> result;
+  std::mutex result_mutex;
+
+  void interrupt_all() {
+    barrier.abort();
+    for (auto& mb : mailboxes) mb.interrupt();
+  }
+};
+
+/// Threads transport: the exchange window is publish -> barrier (siblings
+/// read the board) -> barrier (release).  Deadlines ride on the barrier's
+/// and mailbox's timed waits.
+class ThreadComm final : public Comm {
+ public:
+  ThreadComm(int rank, Context& ctx, const RunOptions& options)
+      : Comm(rank, ctx.size, MpBackend::Threads,
+             &ctx.stats[static_cast<std::size_t>(rank)], options.network,
+             options.faults),
+        ctx_(ctx) {}
+
+  void set_result(std::vector<std::uint8_t> blob) override {
+    std::lock_guard<std::mutex> lock(ctx_.result_mutex);
+    ctx_.result = std::move(blob);
+  }
+
+ protected:
+  void do_barrier() override { wait_or_deadline(CommOp::Barrier); }
+
+  void begin_exchange(CommOp op, const void* data, std::size_t bytes) override {
+    ctx_.slot_ptr[static_cast<std::size_t>(rank_)] = data;
+    ctx_.slot_len[static_cast<std::size_t>(rank_)] = bytes;
+    in_flight_ = op;
+    wait_or_deadline(op);
+  }
+
+  const void* peer_ptr(int r) override {
+    return ctx_.slot_ptr[static_cast<std::size_t>(r)];
+  }
+
+  std::size_t peer_len(int r) override {
+    return ctx_.slot_len[static_cast<std::size_t>(r)];
+  }
+
+  void end_exchange() override { wait_or_deadline(in_flight_); }
+
+  void do_send(int dest, int tag, const void* data, std::size_t bytes) override {
+    ctx_.mailboxes[static_cast<std::size_t>(dest)].push(rank_, tag, data,
+                                                        bytes);
+  }
+
+  std::vector<std::uint8_t> do_recv(int source, int tag) override {
+    auto msg = ctx_.mailboxes[static_cast<std::size_t>(rank_)].pop_for(
+        source, tag, ctx_.barrier, ctx_.deadline_seconds);
+    if (!msg) {
+      throw FaultError("mp: deadline exceeded: rank " + std::to_string(rank_) +
+                       " waited " + std::to_string(ctx_.deadline_seconds) +
+                       " s in recv (source " + std::to_string(source) +
+                       ", tag " + std::to_string(tag) + ")");
+    }
+    return std::move(msg->payload);
+  }
+
+ private:
+  void wait_or_deadline(CommOp op) {
+    if (!ctx_.barrier.wait_for(ctx_.deadline_seconds)) {
+      throw FaultError("mp: deadline exceeded: rank " + std::to_string(rank_) +
+                       " waited " + std::to_string(ctx_.deadline_seconds) +
+                       " s in " + comm_op_name(op));
+    }
+  }
+
+  Context& ctx_;
+  CommOp in_flight_ = CommOp::Barrier;
+};
 
 /// Normalizes the first failed rank's exception into what the caller sees:
 /// mafia::Error (and subclasses — FaultError, InputError, ...) pass
@@ -34,23 +130,19 @@ namespace {
   }
 }
 
-}  // namespace
-
-JobStats run(int p, const std::function<void(Comm&)>& fn,
-             const RunOptions& options) {
-  require(p >= 1, "mp::run: need at least one rank");
-  detail::Context ctx(p);
-  ctx.network = options.network;
-  ctx.faults = options.faults;
+JobStats run_threads(int p, const std::function<void(Comm&)>& fn,
+                     const RunOptions& options) {
+  Context ctx(p);
+  ctx.deadline_seconds = options.deadline_seconds;
 
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(p));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(p));
 
   for (int rank = 0; rank < p; ++rank) {
-    threads.emplace_back([rank, &ctx, &fn, &errors] {
+    threads.emplace_back([rank, &ctx, &fn, &errors, &options] {
       try {
-        Comm comm(rank, ctx);
+        ThreadComm comm(rank, ctx, options);
         fn(comm);
       } catch (const AbortedError&) {
         // Unwound because a sibling failed first; the sibling's exception
@@ -71,7 +163,20 @@ JobStats run(int p, const std::function<void(Comm&)>& fn,
 
   JobStats stats;
   stats.per_rank = ctx.stats;
+  stats.backend = MpBackend::Threads;
+  stats.result = std::move(ctx.result);
   return stats;
+}
+
+}  // namespace
+
+JobStats run(int p, const std::function<void(Comm&)>& fn,
+             const RunOptions& options) {
+  require(p >= 1, "mp::run: need at least one rank");
+  if (options.backend == MpBackend::Process) {
+    return run_process(p, fn, options);
+  }
+  return run_threads(p, fn, options);
 }
 
 JobStats run(int p, const std::function<void(Comm&)>& fn,

@@ -272,7 +272,14 @@ TEST(CheckpointFormat, FingerprintTracksResultAffectingOptionsOnly) {
   EXPECT_EQ(checkpoint_fingerprint(kernel, 4000, 6), fp);
 }
 
-TEST(CheckpointRestart, KillAtEveryOpResumesBitIdentically) {
+/// Kill-at-every-op sweep on one backend.  On the process backend every
+/// injected kill is a GENUINE SIGKILL of a forked worker (mp/faults.hpp),
+/// so the sweep doubles as the crash-surviving-restart drill: a real
+/// mid-level process death, then a resume that must reproduce the
+/// uninterrupted baseline bit-identically (count_checksums compared by
+/// expect_same_result).  The baseline always runs on the threads backend,
+/// so the comparison also pins cross-backend bit-identity.
+void kill_sweep_resumes_bit_identically(mp::MpBackend backend) {
   const Dataset data = planted_data();
   InMemorySource source(data);
   const int p = 2;
@@ -283,13 +290,17 @@ TEST(CheckpointRestart, KillAtEveryOpResumesBitIdentically) {
   // Sweep the kill point across the victim rank's entire comm-op sequence:
   // every level boundary (and every op between boundaries) becomes an
   // interruption point.  The sweep ends when a run completes because the
-  // fault never fired.
+  // fault never fired.  A deadline bounds every faulted run so a transport
+  // bug shows up as a Fault-class error, never a hung sweep.
   int interrupted_runs = 0;
   bool saw_resume_from_checkpoint = false;
   for (std::uint64_t op = 0;; ++op) {
-    ScratchDir dir("mafia_ckpt_sweep_" + std::to_string(op));
+    ScratchDir dir("mafia_ckpt_sweep_" + std::string(mp::mp_backend_name(backend)) +
+                   "_" + std::to_string(op));
 
     MafiaOptions faulted = base_options();
+    faulted.mp.backend = backend;
+    faulted.mp.deadline_seconds = 30.0;
     faulted.checkpoint.directory = dir.path();
     faulted.fault_plan.kill(/*rank=*/1, op);
     bool fired = false;
@@ -303,6 +314,7 @@ TEST(CheckpointRestart, KillAtEveryOpResumesBitIdentically) {
     if (!fired) break;
 
     MafiaOptions resume = base_options();
+    resume.mp.backend = backend;
     resume.checkpoint.directory = dir.path();
     resume.checkpoint.resume = true;
     const MafiaResult resumed = run_pmafia(source, resume, p);
@@ -318,6 +330,17 @@ TEST(CheckpointRestart, KillAtEveryOpResumesBitIdentically) {
   // At least some kill points must land after the first checkpoint was
   // written, exercising a true restore (not just fresh-run fallback).
   EXPECT_TRUE(saw_resume_from_checkpoint);
+}
+
+TEST(CheckpointRestart, KillAtEveryOpResumesBitIdentically) {
+  kill_sweep_resumes_bit_identically(mp::MpBackend::Threads);
+}
+
+TEST(CheckpointRestart, KillAtEveryOpResumesBitIdenticallyOnProcessBackend) {
+  if (!mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  kill_sweep_resumes_bit_identically(mp::MpBackend::Process);
 }
 
 TEST(CheckpointRestart, ResumeWithoutCheckpointRunsFresh) {

@@ -7,14 +7,19 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/json.hpp"
+#include "mp/backend.hpp"
 
 #ifndef PMAFIA_CLI_PATH
 #error "PMAFIA_CLI_PATH must be defined by the build"
@@ -52,6 +57,43 @@ std::string slurp(const std::string& path) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
+}
+
+/// Launches the CLI detached (shell background job) with stdout+stderr in
+/// `out_file`; returns the CLI's pid, or -1.  The process is NOT our child
+/// (the intermediate shell exits), so poll liveness with kill(pid, 0).
+pid_t spawn_cli(const std::string& args, const std::string& out_file) {
+  const std::string pid_file = out_file + ".pid";
+  const std::string command = std::string(PMAFIA_CLI_PATH) + " " + args +
+                              " > " + out_file + " 2>&1 & echo $! > " +
+                              pid_file;
+  if (std::system(command.c_str()) != 0) return -1;
+  std::ifstream in(pid_file);
+  pid_t pid = -1;
+  in >> pid;
+  std::remove(pid_file.c_str());
+  return pid;
+}
+
+bool process_alive(pid_t pid) { return ::kill(pid, 0) == 0; }
+
+/// Pids of processes whose /proc/<pid>/cmdline contains `marker` (excluding
+/// this process) — how the orphan scan finds stray pmafia workers: every
+/// process of the test run carries its unique scratch path on the command
+/// line.
+std::vector<pid_t> processes_matching(const std::string& marker) {
+  std::vector<pid_t> found;
+  for (const auto& entry : std::filesystem::directory_iterator("/proc")) {
+    const std::string name = entry.path().filename().string();
+    if (name.find_first_not_of("0123456789") != std::string::npos) continue;
+    const pid_t pid = static_cast<pid_t>(std::stol(name));
+    if (pid == ::getpid()) continue;
+    std::ifstream in(entry.path() / "cmdline", std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (buffer.str().find(marker) != std::string::npos) found.push_back(pid);
+  }
+  return found;
 }
 
 class CliPipeline : public ::testing::Test {
@@ -427,6 +469,235 @@ TEST(CliErrors, FailureWritesErrorObjectToReportJson) {
             std::string::npos);
   std::remove(data.c_str());
   std::remove(report.c_str());
+}
+
+TEST(CliErrors, BadInjectFaultSpecsExitWithUsageCode) {
+  const std::string data = temp("mafia_cli_badfault.bin");
+  ASSERT_EQ(run_cli("generate --out " + data + " --dims 4 --records 2000"
+                    " --seed 3")
+                .first,
+            0);
+  const std::string common = "cluster --data " + data + " --ranks 2";
+
+  // Unknown op name: rejected at parse time, listing every valid name.
+  auto [bad_op, bad_op_out] =
+      run_cli(common + " --inject-fault 1:frobnicate");
+  EXPECT_EQ(bad_op, 2) << bad_op_out;
+  EXPECT_NE(bad_op_out.find("unknown op 'frobnicate'"), std::string::npos)
+      << bad_op_out;
+  EXPECT_NE(bad_op_out.find("barrier, allreduce, reduce, bcast, gatherv, "
+                            "allgatherv, scatterv, send, recv"),
+            std::string::npos)
+      << bad_op_out;
+
+  // Rank out of range for --ranks.
+  auto [bad_rank, bad_rank_out] = run_cli(common + " --inject-fault 5:0");
+  EXPECT_EQ(bad_rank, 2) << bad_rank_out;
+  EXPECT_NE(bad_rank_out.find("rank 5 out of range"), std::string::npos)
+      << bad_rank_out;
+
+  // Malformed shapes: no colon, negative rank, junk occurrence, bad delay.
+  EXPECT_EQ(run_cli(common + " --inject-fault nonsense").first, 2);
+  EXPECT_EQ(run_cli(common + " --inject-fault -1:0").first, 2);
+  EXPECT_EQ(run_cli(common + " --inject-fault 1:barrier@x").first, 2);
+  EXPECT_EQ(run_cli(common + " --inject-fault 1:0:fast").first, 2);
+
+  std::remove(data.c_str());
+}
+
+TEST(CliErrors, UnknownMpBackendExitsWithUsageCode) {
+  const std::string data = temp("mafia_cli_badbackend.bin");
+  ASSERT_EQ(run_cli("generate --out " + data + " --dims 4 --records 1000"
+                    " --seed 3")
+                .first,
+            0);
+  auto [status, out] =
+      run_cli("cluster --data " + data + " --mp-backend fibers");
+  EXPECT_EQ(status, 2) << out;
+  EXPECT_NE(out.find("unknown mp backend 'fibers'"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("threads, process"), std::string::npos) << out;
+  std::remove(data.c_str());
+}
+
+TEST_F(CliPipeline, ProcessBackendReportMatchesThreadsBitIdentically) {
+  if (!mafia::mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  ASSERT_EQ(run_cli("generate --out " + data_ +
+                    " --dims 6 --records 8000 --seed 5 --cluster 1,3,5:25:45")
+                .first,
+            0);
+  const std::string common = "cluster --data " + data_ +
+                             " --ranks 3 --domain-lo 0 --domain-hi 100";
+  const std::string threads_report = temp("mafia_cli_backend_threads.json");
+  const std::string process_report = temp("mafia_cli_backend_process.json");
+
+  auto [t_status, t_out] =
+      run_cli(common + " --report-json " + threads_report);
+  ASSERT_EQ(t_status, 0) << t_out;
+  EXPECT_NE(t_out.find("(threads backend)"), std::string::npos) << t_out;
+
+  auto [p_status, p_out] = run_cli(common + " --mp-backend process"
+                                   " --report-json " + process_report);
+  ASSERT_EQ(p_status, 0) << p_out;
+  EXPECT_NE(p_out.find("(process backend)"), std::string::npos) << p_out;
+
+  const mafia::JsonValue threads_doc =
+      mafia::json_parse(slurp(threads_report));
+  const mafia::JsonValue process_doc =
+      mafia::json_parse(slurp(process_report));
+  std::remove(threads_report.c_str());
+  std::remove(process_report.c_str());
+
+  EXPECT_EQ(threads_doc.at("mp_backend").string, "threads");
+  EXPECT_EQ(process_doc.at("mp_backend").string, "process");
+  ASSERT_EQ(process_doc.at("rank_exits").array.size(), 3u);
+  for (const auto& e : process_doc.at("rank_exits").array) {
+    EXPECT_EQ(e.at("code").number, 0.0);
+    EXPECT_EQ(e.at("signal").number, 0.0);
+  }
+
+  // The cluster set and every per-level checksum must be bit-identical
+  // across transports.
+  const auto levels_of = [](const mafia::JsonValue& doc) {
+    std::string flat;
+    for (const auto& level : doc.at("levels").array) {
+      flat += std::to_string(level.at("level").number) + ":" +
+              std::to_string(level.at("dense_units").number) + ":" +
+              level.at("count_checksum").string + ";";
+    }
+    return flat;
+  };
+  EXPECT_EQ(levels_of(process_doc), levels_of(threads_doc));
+  ASSERT_EQ(process_doc.at("clusters").array.size(),
+            threads_doc.at("clusters").array.size());
+  for (std::size_t i = 0; i < process_doc.at("clusters").array.size(); ++i) {
+    EXPECT_EQ(process_doc.at("clusters").array[i].at("dnf").string,
+              threads_doc.at("clusters").array[i].at("dnf").string);
+  }
+}
+
+TEST_F(CliPipeline, ProcessBackendFaultReportCarriesRankExits) {
+  if (!mafia::mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  // An injected kill on the process backend is a real SIGKILL; the error
+  // object in pmafia-error-v1 must carry the per-rank exit table showing
+  // the victim's signal 9.
+  const std::string report = temp("mafia_cli_procfault.json");
+  ASSERT_EQ(run_cli("generate --out " + data_ + " --dims 5 --records 4000"
+                    " --seed 2 --cluster 1,3:25:45")
+                .first,
+            0);
+  auto [status, out] = run_cli("cluster --data " + data_ +
+                               " --ranks 2 --domain-lo 0 --domain-hi 100"
+                               " --mp-backend process --inject-fault 1:1"
+                               " --report-json " + report);
+  EXPECT_EQ(status, 5) << out;
+
+  const mafia::JsonValue doc = mafia::json_parse(slurp(report));
+  std::remove(report.c_str());
+  EXPECT_EQ(doc.at("schema").string, "pmafia-error-v1");
+  EXPECT_EQ(doc.at("error").at("class").string, "fault");
+  const mafia::JsonValue& detail = doc.at("error").at("detail");
+  EXPECT_EQ(detail.at("backend").string, "process");
+  ASSERT_EQ(detail.at("rank_exits").array.size(), 2u);
+  EXPECT_EQ(detail.at("rank_exits").array[1].at("signal").number, 9.0);
+}
+
+TEST_F(CliPipeline, SigkillWholeCliMidRunThenResumeIsBitIdentical) {
+  if (!mafia::mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  // The crash-surviving-restart drill at full scope: SIGKILL the whole CLI
+  // process tree mid-run (no cleanup code runs anywhere), assert no worker
+  // process survives it (PR_SET_PDEATHSIG), then --resume and require the
+  // report to match an uninterrupted baseline bit-identically.
+  ASSERT_EQ(run_cli("generate --out " + data_ +
+                    " --dims 6 --records 8000 --seed 5 --cluster 1,3,5:25:45")
+                .first,
+            0);
+  // The unique checkpoint dir doubles as the /proc cmdline marker for the
+  // orphan scan.
+  const std::string dir = temp("mafia_cli_sigkill_ckpt");
+  const std::string common = "cluster --data " + data_ +
+                             " --ranks 2 --domain-lo 0 --domain-hi 100"
+                             " --mp-backend process --checkpoint-dir " + dir;
+
+  const std::string base_report = temp("mafia_cli_sigkill_base.json");
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(run_cli(common + " --report-json " + base_report).first, 0);
+  const mafia::JsonValue baseline = mafia::json_parse(slurp(base_report));
+  std::remove(base_report.c_str());
+
+  // Stall rank 1 for 30 s at a late comm op so the run is reliably alive
+  // (and mid-level) when the kill lands.  If the chosen op index is past
+  // the end of the run the CLI finishes instead — fall back to earlier
+  // indices; op 1 exists in any run, so the loop always produces a kill.
+  const std::string out_file = temp("mafia_cli_sigkill_out.txt");
+  bool killed = false;
+  for (const int op : {40, 20, 10, 5, 2, 1}) {
+    std::filesystem::remove_all(dir);
+    const pid_t pid = spawn_cli(common + " --inject-fault 1:" +
+                                    std::to_string(op) + ":30",
+                                out_file);
+    ASSERT_GT(pid, 0);
+    for (int i = 0; i < 40 && process_alive(pid); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (!process_alive(pid)) continue;  // finished before the stall: retry
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    for (int i = 0; i < 100 && process_alive(pid); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_FALSE(process_alive(pid));
+    killed = true;
+    break;
+  }
+  std::remove(out_file.c_str());
+  ASSERT_TRUE(killed);
+
+  // No orphans: the workers carry the checkpoint dir on their command line
+  // (inherited from the parent); give PDEATHSIG delivery a moment, then
+  // require zero survivors.
+  bool orphan_free = false;
+  for (int i = 0; i < 100; ++i) {
+    if (processes_matching(dir).empty()) {
+      orphan_free = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(orphan_free) << "worker processes survived the parent SIGKILL";
+
+  // Resume must complete and reproduce the baseline exactly.
+  const std::string resume_report = temp("mafia_cli_sigkill_resume.json");
+  auto [resume_code, resume_out] =
+      run_cli(common + " --resume --report-json " + resume_report);
+  ASSERT_EQ(resume_code, 0) << resume_out;
+  const mafia::JsonValue resumed = mafia::json_parse(slurp(resume_report));
+  std::remove(resume_report.c_str());
+  std::filesystem::remove_all(dir);
+
+  const auto levels_of = [](const mafia::JsonValue& doc) {
+    std::string flat;
+    for (const auto& level : doc.at("levels").array) {
+      flat += std::to_string(level.at("level").number) + ":" +
+              std::to_string(level.at("cdus").number) + ":" +
+              std::to_string(level.at("dense_units").number) + ":" +
+              level.at("count_checksum").string + ";";
+    }
+    return flat;
+  };
+  EXPECT_EQ(levels_of(resumed), levels_of(baseline));
+  ASSERT_EQ(resumed.at("clusters").array.size(),
+            baseline.at("clusters").array.size());
+  for (std::size_t i = 0; i < resumed.at("clusters").array.size(); ++i) {
+    EXPECT_EQ(resumed.at("clusters").array[i].at("dnf").string,
+              baseline.at("clusters").array[i].at("dnf").string);
+  }
+  EXPECT_EQ(resumed.at("mp_backend").string, "process");
 }
 
 // ------------------------------------------------ scoreboard subcommand

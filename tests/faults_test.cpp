@@ -19,18 +19,34 @@ namespace {
 
 const int kRankCounts[] = {2, 3, 8};
 
-/// Runs `fn` under `plan` and asserts the job dies with the injected
-/// FaultError (not a sibling's abort echo or a deadlock).
+/// Both transports where the build supports them: every fault-injection
+/// scenario must behave identically whether ranks are threads or forked
+/// processes (where an injected kill is a genuine SIGKILL).
+std::vector<mp::MpBackend> backends_under_test() {
+  std::vector<mp::MpBackend> backends{mp::MpBackend::Threads};
+  if (mp::process_backend_supported()) {
+    backends.push_back(mp::MpBackend::Process);
+  }
+  return backends;
+}
+
+/// Runs `fn` under `plan` on every backend and asserts the job dies with
+/// the injected FaultError (not a sibling's abort echo or a deadlock).
 void expect_fault(int p, const mp::FaultPlan& plan,
                   const std::function<void(mp::Comm&)>& fn) {
-  mp::RunOptions options;
-  options.faults = plan;
-  try {
-    (void)mp::run(p, fn, options);
-    FAIL() << "expected a FaultError, p=" << p;
-  } catch (const mp::FaultError& e) {
-    EXPECT_EQ(e.error_class(), ErrorClass::Fault);
-    EXPECT_NE(std::string(e.what()).find("injected fault"), std::string::npos);
+  for (const mp::MpBackend backend : backends_under_test()) {
+    mp::RunOptions options;
+    options.faults = plan;
+    options.backend = backend;
+    try {
+      (void)mp::run(p, fn, options);
+      FAIL() << "expected a FaultError, p=" << p << ", backend="
+             << mp::mp_backend_name(backend);
+    } catch (const mp::FaultError& e) {
+      EXPECT_EQ(e.error_class(), ErrorClass::Fault);
+      EXPECT_NE(std::string(e.what()).find("injected fault"),
+                std::string::npos);
+    }
   }
 }
 
@@ -150,25 +166,39 @@ TEST(FaultInjection, KillSenderUnblocksMailboxWait) {
 
 TEST(FaultInjection, DelayedStragglerDoesNotChangeResults) {
   // A Delay spec is a straggler, not a failure: the job completes with
-  // bit-identical collective results.
-  for (const int p : kRankCounts) {
-    mp::RunOptions options;
-    options.faults.delay(/*rank=*/0, /*op=*/1, /*seconds=*/0.05);
-    std::vector<int> sums(static_cast<std::size_t>(p), -1);
-    (void)mp::run(p, [&](mp::Comm& comm) {
-      std::vector<int> v{comm.rank() + 1};
-      comm.allreduce_sum(v);
-      comm.barrier();
-      std::vector<int> w{v[0]};
-      comm.allreduce_sum(w);
-      sums[static_cast<std::size_t>(comm.rank())] = w[0];
-    }, options);
-    const int expected = p * (p * (p + 1) / 2);
-    for (const int s : sums) EXPECT_EQ(s, expected);
+  // bit-identical collective results.  The check runs inside the rank
+  // function (throwing on mismatch) because on the process backend the
+  // ranks are forked children — writes to captured arrays never reach the
+  // parent, but a thrown Error does.
+  for (const mp::MpBackend backend : backends_under_test()) {
+    for (const int p : kRankCounts) {
+      mp::RunOptions options;
+      options.faults.delay(/*rank=*/0, /*op=*/1, /*seconds=*/0.05);
+      options.backend = backend;
+      const int expected = p * (p * (p + 1) / 2);
+      EXPECT_NO_THROW((void)mp::run(p, [expected](mp::Comm& comm) {
+        std::vector<int> v{comm.rank() + 1};
+        comm.allreduce_sum(v);
+        comm.barrier();
+        std::vector<int> w{v[0]};
+        comm.allreduce_sum(w);
+        if (w[0] != expected) {
+          throw Error("straggler changed the sum: got " +
+                          std::to_string(w[0]) + ", expected " +
+                          std::to_string(expected),
+                      ErrorClass::Internal);
+        }
+      }, options)) << "backend=" << mp::mp_backend_name(backend)
+                   << " p=" << p;
+    }
   }
 }
 
 TEST(FaultInjection, SamePlanFailsIdenticallyOnReplay) {
+  // The same plan must fail with a byte-identical message on every replay
+  // AND on every backend: the process transport reconstructs the worker's
+  // FaultError in the parent, so nothing about the message may depend on
+  // which side of the fork it crossed.
   const auto job = [](mp::Comm& comm) {
     for (int i = 0; i < 5; ++i) {
       std::vector<int> v{comm.rank()};
@@ -176,20 +206,55 @@ TEST(FaultInjection, SamePlanFailsIdenticallyOnReplay) {
     }
   };
   std::string first;
-  for (int attempt = 0; attempt < 3; ++attempt) {
-    try {
-      mp::RunOptions options;
-      options.faults.kill(1, 3);
-      (void)mp::run(3, job, options);
-      FAIL() << "expected a FaultError";
-    } catch (const mp::FaultError& e) {
-      if (attempt == 0) {
-        first = e.what();
-        EXPECT_NE(first.find("rank 1"), std::string::npos) << first;
-        EXPECT_NE(first.find("op 3"), std::string::npos) << first;
-      } else {
-        EXPECT_EQ(std::string(e.what()), first);
+  for (const mp::MpBackend backend : backends_under_test()) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      try {
+        mp::RunOptions options;
+        options.faults.kill(1, 3);
+        options.backend = backend;
+        (void)mp::run(3, job, options);
+        FAIL() << "expected a FaultError, backend="
+               << mp::mp_backend_name(backend);
+      } catch (const mp::FaultError& e) {
+        if (first.empty()) {
+          first = e.what();
+          EXPECT_NE(first.find("rank 1"), std::string::npos) << first;
+          EXPECT_NE(first.find("op 3"), std::string::npos) << first;
+        } else {
+          EXPECT_EQ(std::string(e.what()), first)
+              << "backend=" << mp::mp_backend_name(backend);
+        }
       }
+    }
+  }
+}
+
+TEST(FaultInjection, KillByOpNameFiresAtTheNamedOccurrence) {
+  // Name-mode addressing counts per op kind: "rank 1's 2nd allreduce"
+  // skips the two barriers before it, so it fires at global op index 3 —
+  // and the fault message reports the global index and the op name, same
+  // as an index-mode spec would.
+  const auto job = [](mp::Comm& comm) {
+    comm.barrier();
+    comm.barrier();
+    for (int i = 0; i < 3; ++i) {
+      std::vector<int> v{comm.rank()};
+      comm.allreduce_sum(v);
+    }
+  };
+  for (const mp::MpBackend backend : backends_under_test()) {
+    mp::RunOptions options;
+    options.faults.kill_op(/*rank=*/1, mp::CommOp::Allreduce,
+                           /*occurrence=*/1);
+    options.backend = backend;
+    try {
+      (void)mp::run(3, job, options);
+      FAIL() << "expected a FaultError, backend="
+             << mp::mp_backend_name(backend);
+    } catch (const mp::FaultError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+      EXPECT_NE(what.find("op 3 (allreduce)"), std::string::npos) << what;
     }
   }
 }
@@ -226,15 +291,20 @@ TEST(FaultInjection, FaultDuringPmafiaRunThenCleanRerun) {
   const Dataset data = generate(cfg);
   InMemorySource source(data);
 
-  MafiaOptions options;
-  options.fixed_domain = {{0.0f, 100.0f}};
+  for (const mp::MpBackend backend : backends_under_test()) {
+    MafiaOptions options;
+    options.fixed_domain = {{0.0f, 100.0f}};
+    options.mp.backend = backend;
 
-  MafiaOptions faulty = options;
-  faulty.fault_plan.kill(/*rank=*/1, /*op=*/2);
-  EXPECT_THROW((void)run_pmafia(source, faulty, 3), mp::FaultError);
+    MafiaOptions faulty = options;
+    faulty.fault_plan.kill(/*rank=*/1, /*op=*/2);
+    EXPECT_THROW((void)run_pmafia(source, faulty, 3), mp::FaultError);
 
-  const MafiaResult r = run_pmafia(source, options, 3);
-  EXPECT_EQ(r.clusters.size(), 1u);
+    const MafiaResult r = run_pmafia(source, options, 3);
+    EXPECT_EQ(r.clusters.size(), 1u)
+        << "backend=" << mp::mp_backend_name(backend);
+    EXPECT_EQ(r.mp_backend, backend);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,423 @@
+// Process transport: forked workers over a shared-memory slot board plus
+// per-rank Unix sockets must be indistinguishable from the threads
+// transport at the Comm API — bit-identical collective results, identical
+// CommStats counters — while adding the robustness the threads backend
+// cannot offer: genuine rank death (SIGKILL, _exit) detected and surfaced
+// with exit statuses, collective deadlines, and a no-orphan guarantee on
+// every exit path.
+//
+// gtest caveat baked into every test here: on the process backend the rank
+// lambda runs in FORKED CHILDREN.  EXPECT/ASSERT macros and writes to
+// captured variables never reach the parent — checks either throw inside
+// the rank function (the runtime ships the error back), or run parent-side
+// on JobStats / the rank-0 result blob.
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mp/comm.hpp"
+
+namespace mafia {
+namespace {
+
+/// Asserts inside the rank function (fork-safe): throws on mismatch so the
+/// failure crosses the process boundary as the job's error.
+void check(bool ok, const std::string& what) {
+  if (!ok) throw Error("rank check failed: " + what, ErrorClass::Internal);
+}
+
+/// A composite job exercising every collective plus the mailboxes; rank 0
+/// serializes everything it observed into the result blob, so the parent
+/// can compare transports byte-for-byte.
+void collective_workout(mp::Comm& comm) {
+  const int p = comm.size();
+  const int r = comm.rank();
+
+  std::vector<std::int64_t> sum(4);
+  std::iota(sum.begin(), sum.end(), static_cast<std::int64_t>(r));
+  comm.allreduce_sum(sum);
+  check(sum[0] == static_cast<std::int64_t>(p * (p - 1) / 2),
+        "allreduce_sum[0]");
+
+  std::vector<double> mx{static_cast<double>(r) * 1.5};
+  comm.allreduce_max(mx);
+  check(mx[0] == static_cast<double>(p - 1) * 1.5, "allreduce_max");
+
+  std::vector<std::int32_t> seed(3, r == 0 ? 7 : -1);
+  comm.bcast(seed);
+  check(seed[2] == 7, "bcast");
+
+  std::vector<std::int32_t> contribution(static_cast<std::size_t>(r) + 1, r);
+  const std::vector<std::int32_t> gathered = comm.gatherv(contribution);
+  if (comm.is_parent()) {
+    check(gathered.size() ==
+              static_cast<std::size_t>(p) * static_cast<std::size_t>(p + 1) / 2,
+          "gatherv size");
+    check(gathered.back() == p - 1, "gatherv rank order");
+  } else {
+    check(gathered.empty(), "gatherv non-root empty");
+  }
+
+  const std::vector<std::int32_t> all = comm.allgatherv(contribution);
+  check(all.front() == 0 && all.back() == p - 1, "allgatherv rank order");
+
+  std::vector<std::int64_t> rooted{static_cast<std::int64_t>(r + 1)};
+  comm.reduce(rooted, [](std::int64_t a, std::int64_t b) { return a * b; });
+  if (comm.is_parent()) {
+    std::int64_t factorial = 1;
+    for (int i = 1; i <= p; ++i) factorial *= i;
+    check(rooted[0] == factorial, "reduce product at root");
+  }
+
+  std::vector<std::vector<std::int32_t>> slices;
+  if (comm.is_parent()) {
+    for (int dst = 0; dst < p; ++dst) {
+      slices.push_back(std::vector<std::int32_t>(
+          static_cast<std::size_t>(dst) + 2, dst * 10));
+    }
+  }
+  const std::vector<std::int32_t> mine = comm.scatterv(slices);
+  check(mine.size() == static_cast<std::size_t>(r) + 2, "scatterv size");
+  check(mine[0] == r * 10, "scatterv payload");
+
+  // Ring exchange through the mailboxes.
+  const int next = (r + 1) % p;
+  const int prev = (r + p - 1) % p;
+  comm.send(next, /*tag=*/3, std::vector<std::int32_t>{r, r * r});
+  const std::vector<std::int32_t> got = comm.recv<std::int32_t>(prev, 3);
+  check(got.size() == 2 && got[0] == prev && got[1] == prev * prev,
+        "ring recv");
+
+  comm.barrier();
+
+  if (comm.is_parent()) {
+    // Everything rank 0 observed, packed for the parent process.
+    std::vector<std::uint8_t> blob;
+    const auto append = [&blob](const void* src, std::size_t n) {
+      const auto* b = static_cast<const std::uint8_t*>(src);
+      blob.insert(blob.end(), b, b + n);
+    };
+    append(sum.data(), sum.size() * sizeof(sum[0]));
+    append(mx.data(), mx.size() * sizeof(mx[0]));
+    append(gathered.data(), gathered.size() * sizeof(gathered[0]));
+    append(all.data(), all.size() * sizeof(all[0]));
+    append(rooted.data(), rooted.size() * sizeof(rooted[0]));
+    append(mine.data(), mine.size() * sizeof(mine[0]));
+    comm.set_result(std::move(blob));
+  }
+}
+
+TEST(ProcessBackend, CollectivesMatchThreadsBitIdentically) {
+  if (!mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  for (const int p : {1, 2, 3, 5}) {
+    mp::RunOptions threads;
+    threads.backend = mp::MpBackend::Threads;
+    const mp::JobStats a = mp::run(p, collective_workout, threads);
+
+    mp::RunOptions process;
+    process.backend = mp::MpBackend::Process;
+    const mp::JobStats b = mp::run(p, collective_workout, process);
+
+    ASSERT_FALSE(a.result.empty()) << "p=" << p;
+    EXPECT_EQ(a.result, b.result) << "p=" << p;
+    EXPECT_EQ(a.backend, mp::MpBackend::Threads);
+    EXPECT_EQ(b.backend, mp::MpBackend::Process);
+  }
+}
+
+TEST(ProcessBackend, CommStatsMatchThreadsExceptTiming) {
+  if (!mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  const int p = 3;
+  mp::RunOptions threads;
+  threads.backend = mp::MpBackend::Threads;
+  const mp::JobStats a = mp::run(p, collective_workout, threads);
+
+  mp::RunOptions process;
+  process.backend = mp::MpBackend::Process;
+  const mp::JobStats b = mp::run(p, collective_workout, process);
+
+  ASSERT_EQ(a.per_rank.size(), b.per_rank.size());
+  for (std::size_t r = 0; r < a.per_rank.size(); ++r) {
+    const mp::CommStats& x = a.per_rank[r];
+    const mp::CommStats& y = b.per_rank[r];
+    EXPECT_EQ(x.p2p_messages, y.p2p_messages) << "rank " << r;
+    EXPECT_EQ(x.p2p_bytes, y.p2p_bytes) << "rank " << r;
+    EXPECT_EQ(x.barriers, y.barriers) << "rank " << r;
+    EXPECT_EQ(x.reduces, y.reduces) << "rank " << r;
+    EXPECT_EQ(x.bcasts, y.bcasts) << "rank " << r;
+    EXPECT_EQ(x.gathers, y.gathers) << "rank " << r;
+    EXPECT_EQ(x.scatters, y.scatters) << "rank " << r;
+    EXPECT_EQ(x.collective_bytes, y.collective_bytes) << "rank " << r;
+    // comm_seconds is wall time — transport-dependent by nature.
+  }
+}
+
+TEST(ProcessBackend, LargePayloadsSpillPastTinyShmSlots) {
+  if (!mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  // Slots sized at the 64-byte floor force every payload below through the
+  // coordinator socket's spill path; results must not change.
+  mp::RunOptions options;
+  options.backend = mp::MpBackend::Process;
+  options.shm_slot_bytes = 64;
+  const int p = 3;
+  const std::size_t n = 40000;  // 160 KB of int32 per rank, >> 64 B
+  const mp::JobStats job = mp::run(p, [n](mp::Comm& comm) {
+    std::vector<std::int32_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<std::int32_t>(i % 97) + comm.rank();
+    }
+    comm.allreduce_sum(v);
+    const int p_ = comm.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t want =
+          static_cast<std::int32_t>(i % 97) * p_ + p_ * (p_ - 1) / 2;
+      check(v[i] == want, "spilled allreduce element " + std::to_string(i));
+    }
+    const std::vector<std::int32_t> all = comm.allgatherv(v);
+    check(all.size() == n * static_cast<std::size_t>(p_),
+          "spilled allgatherv size");
+    if (comm.is_parent()) {
+      std::vector<std::uint8_t> blob(n * sizeof(std::int32_t));
+      std::memcpy(blob.data(), v.data(), blob.size());
+      comm.set_result(std::move(blob));
+    }
+  }, options);
+  EXPECT_EQ(job.result.size(), n * sizeof(std::int32_t));
+}
+
+TEST(ProcessBackend, CleanRunReportsAllZeroRankExits) {
+  if (!mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  mp::RunOptions options;
+  options.backend = mp::MpBackend::Process;
+  const int p = 4;
+  const mp::JobStats job = mp::run(p, [](mp::Comm& comm) {
+    comm.barrier();
+  }, options);
+  ASSERT_EQ(job.rank_exits.size(), static_cast<std::size_t>(p));
+  for (const mp::RankExit& e : job.rank_exits) {
+    EXPECT_EQ(e.code, 0);
+    EXPECT_EQ(e.signal, 0);
+  }
+}
+
+TEST(ProcessBackend, GenuineSigkillSurfacesSignalAndDetailJson) {
+  if (!mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  // Not an injected fault: the worker kills itself out-of-band, exactly
+  // like an OOM kill or operator kill -9 would.  The coordinator must turn
+  // the socket EOF + waitpid status into a Fault-class error naming the
+  // rank and signal, with the full exit table in detail_json.
+  mp::RunOptions options;
+  options.backend = mp::MpBackend::Process;
+  try {
+    (void)mp::run(3, [](mp::Comm& comm) {
+      comm.barrier();
+      if (comm.rank() == 1) ::raise(SIGKILL);
+      comm.barrier();
+    }, options);
+    FAIL() << "expected the job to fail";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::Fault);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1 killed by signal 9"), std::string::npos)
+        << what;
+    const std::string detail = e.detail_json();
+    EXPECT_NE(detail.find("\"backend\":\"process\""), std::string::npos)
+        << detail;
+    EXPECT_NE(detail.find("\"rank\":1,\"code\":0,\"signal\":9"),
+              std::string::npos)
+        << detail;
+  }
+}
+
+TEST(ProcessBackend, UnexpectedExitCodeSurfaces) {
+  if (!mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  mp::RunOptions options;
+  options.backend = mp::MpBackend::Process;
+  try {
+    (void)mp::run(2, [](mp::Comm& comm) {
+      if (comm.rank() == 1) ::_exit(7);
+      comm.barrier();
+    }, options);
+    FAIL() << "expected the job to fail";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::Internal);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1 exited unexpectedly with code 7"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(e.detail_json().find("\"code\":7"), std::string::npos)
+        << e.detail_json();
+  }
+}
+
+TEST(ProcessBackend, LowestFailedRankWinsAcrossTheFork) {
+  if (!mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  // Every rank fails; the contract says exactly one exception surfaces and
+  // it is the lowest failed rank's, same as the threads backend.  Error
+  // class and message must survive the serialize/deserialize round trip.
+  for (const mp::MpBackend backend :
+       {mp::MpBackend::Threads, mp::MpBackend::Process}) {
+    mp::RunOptions options;
+    options.backend = backend;
+    try {
+      (void)mp::run(3, [](mp::Comm& comm) {
+        comm.barrier();
+        throw InputError("rank " + std::to_string(comm.rank()) +
+                         " rejects its shard");
+      }, options);
+      FAIL() << "expected the job to fail, backend="
+             << mp::mp_backend_name(backend);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.error_class(), ErrorClass::Input)
+          << mp::mp_backend_name(backend);
+      EXPECT_NE(std::string(e.what()).find("rank 0 rejects its shard"),
+                std::string::npos)
+          << e.what() << " backend=" << mp::mp_backend_name(backend);
+    }
+  }
+}
+
+TEST(ProcessBackend, DeadlineTurnsAHangIntoAFaultError) {
+  if (!mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  // Rank 1 never reaches the second barrier; without a deadline this is a
+  // permanent hang (the threads backend would trip the ctest timeout, the
+  // process backend would poll forever).  Both backends must convert it
+  // into a Fault-class error that names the op.
+  for (const mp::MpBackend backend :
+       {mp::MpBackend::Threads, mp::MpBackend::Process}) {
+    mp::RunOptions options;
+    options.backend = backend;
+    options.deadline_seconds = 0.25;
+    try {
+      (void)mp::run(2, [](mp::Comm& comm) {
+        comm.barrier();
+        if (comm.rank() == 1) {
+          // Sleep well past the deadline (bounded: the threads backend can
+          // only JOIN a sleeping rank, it cannot interrupt the sleep; the
+          // process backend SIGKILLs it after the abort grace period).
+          std::this_thread::sleep_for(std::chrono::seconds(2));
+        }
+        comm.barrier();
+      }, options);
+      FAIL() << "expected a deadline FaultError, backend="
+             << mp::mp_backend_name(backend);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.error_class(), ErrorClass::Fault)
+          << mp::mp_backend_name(backend);
+      const std::string what = e.what();
+      EXPECT_NE(what.find("deadline exceeded"), std::string::npos) << what;
+      EXPECT_NE(what.find("barrier"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(ProcessBackend, RecvDeadlineNamesSourceAndTag) {
+  if (!mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  mp::RunOptions options;
+  options.backend = mp::MpBackend::Process;
+  options.deadline_seconds = 0.25;
+  try {
+    (void)mp::run(2, [](mp::Comm& comm) {
+      if (comm.rank() == 0) {
+        (void)comm.recv<std::int32_t>(/*source=*/1, /*tag=*/42);
+      } else {
+        std::this_thread::sleep_for(std::chrono::seconds(30));
+      }
+    }, options);
+    FAIL() << "expected a recv deadline FaultError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::Fault);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadline exceeded: rank 0"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("recv (source 1, tag 42)"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ProcessBackend, KillSweepLeavesNoOrphanProcesses) {
+  if (!mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  // Inject a genuine SIGKILL at several points of a collective-heavy job,
+  // then prove the no-orphan guarantee the hard way: after every failed
+  // run, this process has no children left at all (waitpid(-1) => ECHILD).
+  const auto job = [](mp::Comm& comm) {
+    for (int i = 0; i < 4; ++i) {
+      std::vector<int> v{comm.rank()};
+      comm.allreduce_sum(v);
+      comm.barrier();
+    }
+  };
+  for (const std::uint64_t op : {0u, 1u, 3u, 6u}) {
+    mp::RunOptions options;
+    options.backend = mp::MpBackend::Process;
+    options.faults.kill(/*rank=*/1, op);
+    EXPECT_THROW((void)mp::run(3, job, options), mp::FaultError)
+        << "op=" << op;
+    const pid_t leftover = ::waitpid(-1, nullptr, WNOHANG);
+    const int err = errno;
+    EXPECT_EQ(leftover, -1) << "op=" << op << ": orphan child survived";
+    EXPECT_EQ(err, ECHILD) << "op=" << op;
+  }
+}
+
+TEST(ProcessBackend, InjectedKillReportsTheVictimsExitSignal) {
+  if (!mp::process_backend_supported()) {
+    GTEST_SKIP() << "process backend unavailable in this build";
+  }
+  // An injected fault on this backend is a real SIGKILL: the thrown
+  // FaultError carries the injection message (identical to the threads
+  // backend) while detail_json records the victim's actual signal 9.
+  mp::RunOptions options;
+  options.backend = mp::MpBackend::Process;
+  options.faults.kill(/*rank=*/2, /*op=*/1);
+  try {
+    (void)mp::run(3, [](mp::Comm& comm) {
+      for (int i = 0; i < 3; ++i) comm.barrier();
+    }, options);
+    FAIL() << "expected a FaultError";
+  } catch (const mp::FaultError& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "injected fault: rank 2 killed at comm op 1 (barrier)"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(e.detail_json().find("\"rank\":2,\"code\":0,\"signal\":9"),
+              std::string::npos)
+        << e.detail_json();
+  }
+}
+
+}  // namespace
+}  // namespace mafia

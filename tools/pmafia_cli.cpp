@@ -16,6 +16,7 @@
 //   pmafia stage --data data.bin --ranks 8 --prefix /scratch/local
 //   pmafia scoreboard --records 2000 --out SCOREBOARD.json
 //   pmafia scoreboard --workloads tab3-boundary --algorithms pmafia,clique
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -113,25 +114,97 @@ ClusterSpec parse_cluster(const std::string& text) {
                           std::vector<Value>(k, hi));
 }
 
+/// Strict non-negative integer parse: the whole token must be digits.
+/// "abc" must be a loud Usage error, not a silent 0 (what a bare strtol
+/// would yield — and a fault spec that silently targets rank 0 at op 0 is
+/// a test that tests nothing).
+bool parse_nonneg(const std::string& tok, std::uint64_t* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size() || tok[0] == '-') {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+/// Strict non-negative double parse (same rationale as parse_nonneg).
+bool parse_nonneg_double(const std::string& tok, double* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (errno != 0 || end != tok.c_str() + tok.size() || v < 0.0) return false;
+  *out = v;
+  return true;
+}
+
 /// Parses one --inject-fault spec "rank:op" (kill) or "rank:op:seconds"
-/// (delay) into the plan.
-void parse_fault_spec(const std::string& text, mp::FaultPlan& plan) {
+/// (delay) into the plan.  `op` addresses the fault point either by the
+/// rank's global op index (a non-negative integer) or by op name with an
+/// optional 0-based per-kind occurrence ("allreduce", "allreduce@2").
+/// Every field is validated here, at parse time: an unknown op name, a
+/// non-numeric rank, or a rank outside [0, ranks) is a Usage error (exit
+/// 2) before any work starts, not a fault plan that silently never fires.
+void parse_fault_spec(const std::string& text, int ranks,
+                      mp::FaultPlan& plan) {
+  const std::string syntax =
+      "--inject-fault must be rank:op[:delay_seconds] where op is a "
+      "non-negative op index or an op name[@occurrence] (valid names: " +
+      mp::comm_op_names_joined() + ")";
   const auto c1 = text.find(':');
-  require(c1 != std::string::npos,
-          "--inject-fault must be rank:op or rank:op:delay_seconds");
+  require(c1 != std::string::npos, syntax);
   const auto c2 = text.find(':', c1 + 1);
-  const int rank =
-      static_cast<int>(std::strtol(text.substr(0, c1).c_str(), nullptr, 10));
-  const auto op = static_cast<std::uint64_t>(std::strtoull(
-      text.substr(c1 + 1, c2 == std::string::npos ? std::string::npos
-                                                  : c2 - c1 - 1)
-          .c_str(),
-      nullptr, 10));
-  if (c2 == std::string::npos) {
-    plan.kill(rank, op);
+
+  std::uint64_t rank_value = 0;
+  require(parse_nonneg(text.substr(0, c1), &rank_value),
+          "--inject-fault: invalid rank '" + text.substr(0, c1) + "' (" +
+              syntax + ")");
+  const int rank = static_cast<int>(rank_value);
+  require(rank < ranks, "--inject-fault: rank " + std::to_string(rank) +
+                            " out of range for --ranks " +
+                            std::to_string(ranks));
+
+  const std::string op_text = text.substr(
+      c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+  double delay = 0.0;
+  const bool is_delay = c2 != std::string::npos;
+  if (is_delay) {
+    require(parse_nonneg_double(text.substr(c2 + 1), &delay),
+            "--inject-fault: invalid delay '" + text.substr(c2 + 1) +
+                "' (must be non-negative seconds)");
+  }
+
+  std::uint64_t op_index = 0;
+  if (parse_nonneg(op_text, &op_index)) {
+    if (is_delay) {
+      plan.delay(rank, op_index, delay);
+    } else {
+      plan.kill(rank, op_index);
+    }
+    return;
+  }
+
+  // Name mode: "name" or "name@occurrence".
+  const auto at = op_text.find('@');
+  const std::string name = op_text.substr(0, at);
+  std::uint64_t occurrence = 0;
+  if (at != std::string::npos) {
+    require(parse_nonneg(op_text.substr(at + 1), &occurrence),
+            "--inject-fault: invalid occurrence '" + op_text.substr(at + 1) +
+                "' (must be a non-negative integer)");
+  }
+  mp::CommOp op;
+  require(mp::parse_comm_op(name, &op),
+          "--inject-fault: unknown op '" + name +
+              "' (valid names: " + mp::comm_op_names_joined() +
+              ", or a non-negative op index)");
+  if (is_delay) {
+    plan.delay_op(rank, op, occurrence, delay);
   } else {
-    plan.delay(rank, op,
-               std::strtod(text.substr(c2 + 1).c_str(), nullptr));
+    plan.kill_op(rank, op, occurrence);
   }
 }
 
@@ -224,8 +297,15 @@ MafiaOptions options_from_args(const Args& args) {
   o.checkpoint.resume = args.has("resume");
   o.max_cdu_bytes =
       static_cast<std::size_t>(args.get_int("max-cdu-bytes", 0));
+  if (args.has("mp-backend")) {
+    o.mp.backend = mp::parse_mp_backend(args.get("mp-backend"));
+  }
+  o.mp.deadline_seconds = args.get_double("mp-deadline", o.mp.deadline_seconds);
+  o.mp.shm_slot_bytes = static_cast<std::size_t>(
+      args.get_int("mp-shm-slot", static_cast<long>(o.mp.shm_slot_bytes)));
+  const int ranks = static_cast<int>(args.get_int("ranks", 1));
   for (const std::string& spec : args.all("inject-fault")) {
-    parse_fault_spec(spec, o.fault_plan);
+    parse_fault_spec(spec, ranks, o.fault_plan);
   }
   return o;
 }
@@ -426,7 +506,12 @@ void usage() {
       "           [--save model.txt] [--report-json report.json]\n"
       "           [--io-prefetch] [--io-buffers N]\n"
       "           [--checkpoint-dir DIR] [--resume] [--max-cdu-bytes N]\n"
-      "           [--inject-fault rank:op[:delay_s]]...   (repeatable)\n"
+      "           [--mp-backend threads|process] [--mp-deadline SECONDS]\n"
+      "           [--mp-shm-slot BYTES]\n"
+      "           [--inject-fault rank:op[:delay_s]]...   (repeatable;\n"
+      "            op = index, or name[@occurrence] from: barrier,\n"
+      "            allreduce, reduce, bcast, gatherv, allgatherv,\n"
+      "            scatterv, send, recv)\n"
       "exit codes: 0 ok, 2 usage, 3 bad input, 4 resource limit,\n"
       "            5 injected fault, 1 internal error\n"
       "  assign   --data F [--out labels.csv] [--model model.txt |\n"
@@ -455,13 +540,19 @@ int exit_code_for(ErrorClass cls) {
 /// On failure, --report-json gets a machine-readable error object instead
 /// of a run report (schema pmafia-error-v1).
 void write_error_report(const std::string& path, const char* cls,
-                        const std::string& message) {
+                        const std::string& message,
+                        const std::string& detail_json = "") {
   JsonWriter w;
   w.begin_object();
   w.key("schema").value("pmafia-error-v1");
   w.key("error").begin_object();
   w.key("class").value(cls);
   w.key("message").value(message);
+  if (!detail_json.empty()) {
+    // Machine-readable context attached by the runtime (e.g. the process
+    // backend's per-rank exit statuses); already a complete JSON value.
+    w.key("detail").raw(detail_json);
+  }
   w.end_object();
   w.end_object();
   try {
@@ -494,7 +585,8 @@ int main(int argc, char** argv) {
   } catch (const Error& e) {
     std::fprintf(stderr, "pmafia: %s error: %s\n", e.class_name(), e.what());
     if (!report_path.empty()) {
-      write_error_report(report_path, e.class_name(), e.what());
+      write_error_report(report_path, e.class_name(), e.what(),
+                         e.detail_json());
     }
     return exit_code_for(e.error_class());
   } catch (const std::exception& e) {
