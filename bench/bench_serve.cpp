@@ -1,0 +1,125 @@
+// Serving-path throughput and latency: an in-process `pmafia serve` daemon
+// on a Unix socket, hammered by concurrent ServeClient threads replaying
+// the planted-cluster data set.  Unlike the table/figure benches this does
+// not reproduce a paper artifact — it gates the daemon added on top of the
+// batch pipeline: rows/s and p99 must stay above the committed floor
+// (scripts/bench_gate.py --serve).
+//
+// --smoke runs a seconds-long variant for CI; the full run emits the
+// committed baseline row.
+#include "bench_common.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "core/mafia.hpp"
+#include "core/model_io.hpp"
+#include "core/options.hpp"
+#include "datagen/generator.hpp"
+#include "io/data_source.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace mafia;
+
+Dataset make_data(RecordIndex records) {
+  GeneratorConfig cfg;
+  cfg.num_dims = 8;
+  cfg.num_records = records;
+  cfg.seed = 23;
+  cfg.clusters.push_back(ClusterSpec::box({1, 4}, {20, 20}, {35, 35}, 1.0));
+  cfg.clusters.push_back(
+      ClusterSpec::box({2, 5, 7}, {60, 60, 60}, {72, 72, 72}, 1.0));
+  return generate(cfg);
+}
+
+serve::QueryBatch slice(const Dataset& data, std::size_t at, std::size_t n) {
+  serve::QueryBatch b;
+  b.num_dims = static_cast<std::uint32_t>(data.num_dims());
+  const Value* p = data.values().data() + at * data.num_dims();
+  b.values.assign(p, p + n * data.num_dims());
+  return b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const RecordIndex records = bench::scaled(smoke ? 4000 : 20000);
+  bench::print_header(
+      "serve throughput — daemon rows/s and tail latency",
+      "(no paper artifact: serving daemon added on top of the pipeline)",
+      smoke ? "smoke: 4 clients x 50 batches of 512 rows"
+            : "full: 4 clients x 500 batches of 512 rows");
+
+  // A real model, not a handcrafted one: cluster the planted data set and
+  // serve what `cluster --save` would have written.
+  const Dataset data = make_data(records);
+  InMemorySource source(data);
+  MafiaOptions mafia_options;
+  mafia_options.fixed_domain = {{0.0f, 100.0f}};
+  const MafiaResult result = run_mafia(source, mafia_options);
+  const std::string model_path =
+      (std::filesystem::temp_directory_path() /
+       ("bench_serve_" + std::to_string(::getpid()) + ".model"))
+          .string();
+  save_model(model_path, result.grids, result.clusters);
+
+  ServeOptions options;
+  options.model_path = model_path;
+  options.listen =
+      "unix:" + (std::filesystem::temp_directory_path() /
+                 ("bench_serve_" + std::to_string(::getpid()) + ".sock"))
+                    .string();
+  options.serve_threads = 4;
+  options.max_batch = 1024;
+  serve::ServeServer server(options);
+  std::thread accept_thread([&server] { server.serve(); });
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kBatchRows = 512;
+  const std::size_t batches_per_client = smoke ? 50 : 500;
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      serve::ServeClient client(server.endpoint());
+      const std::size_t n = data.num_records();
+      for (std::size_t b = 0; b < batches_per_client; ++b) {
+        // Walk the data set with a per-client stride so batches differ.
+        const std::size_t at = ((b + c * 131) * kBatchRows) % (n - kBatchRows);
+        (void)client.query(slice(data, at, kBatchRows));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  server.stop();
+  accept_thread.join();
+  const ServeReport report = server.snapshot();
+  std::printf("%s", render_serve_report(report).c_str());
+
+  // One pmafia-bench-v1 row wrapping the pmafia-serve-v1 document (the
+  // same schema the daemon's --report-json writes), tagged by mode so the
+  // smoke and full floors gate independently.
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pmafia-bench-v1");
+  w.key("bench").value("serve");
+  w.key("tag").value(smoke ? "smoke" : "full");
+  w.key("bench_scale").value(bench::scale());
+  w.key("report");
+  w.raw(render_serve_report_json(report));
+  w.end_object();
+  {
+    std::ofstream f("BENCH_serve.json", std::ios::app);
+    if (f.good()) f << w.str() << "\n";
+  }
+
+  std::filesystem::remove(model_path);
+  return 0;
+}

@@ -29,6 +29,19 @@ is machine-independent and a violation fails the gate (exit 1) even
 without --strict.  The I/O pipeline bench uses this:
     --speedup io:e2e-prefetch=on:e2e-prefetch=off:1.3
 
+Serving-path rows wrap a "pmafia-serve-v1" report instead of the batch
+report (no records/phases, so the throughput comparison skips them).
+--serve declares HARD absolute floors of the form BENCH:TAG:MIN_QPS:MAX_P99_MS:
+the newest fresh row of (BENCH, TAG) must satisfy
+
+    report.queries_per_second >= MIN_QPS
+    report.latency_ms.p99     <= MAX_P99_MS
+
+Like --speedup, a violation fails the gate even without --strict.  The
+floors are set an order of magnitude below healthy numbers, so they catch
+structural regressions (accidental serialization, busy-wait, per-row
+allocation) rather than machine speed.
+
 Exit status: 0 when everything passes or only warnings were produced (the
 gate is soft by default: CI prints the warning but does not fail the
 build); 1 with --strict when any group regressed beyond tolerance, or
@@ -129,6 +142,49 @@ def check_speedups(specs, totals):
     return failures
 
 
+def serve_reports(rows):
+    """(bench, tag) -> newest wrapped pmafia-serve-v1 report."""
+    latest = {}
+    for row in rows:
+        report = row.get("report", {})
+        if report.get("schema") == "pmafia-serve-v1":
+            latest[(row.get("bench", "?"), row.get("tag", ""))] = report
+    return latest
+
+
+def check_serve(specs, reports):
+    """Evaluates BENCH:TAG:MIN_QPS:MAX_P99_MS specs; returns failure count."""
+    failures = 0
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 4:
+            raise SystemExit(f"--serve {spec!r}: want BENCH:TAG:MIN_QPS:MAX_P99_MS")
+        bench, tag, min_qps_str, max_p99_str = parts
+        try:
+            min_qps = float(min_qps_str)
+            max_p99 = float(max_p99_str)
+        except ValueError:
+            raise SystemExit(f"--serve {spec!r}: bad threshold")
+        report = reports.get((bench, tag))
+        if report is None:
+            failures += 1
+            print(f"serve gate {spec}: FAIL (no fresh pmafia-serve-v1 row "
+                  f"for ({bench}, {tag}))")
+            continue
+        qps = report.get("queries_per_second", 0.0)
+        p99 = report.get("latency_ms", {}).get("p99", float("inf"))
+        qps_ok = qps >= min_qps
+        p99_ok = p99 <= max_p99
+        if not (qps_ok and p99_ok):
+            failures += 1
+        print(f"serve gate {bench}:{tag}: "
+              f"qps {qps:.0f} (require >= {min_qps:.0f}) "
+              f"{'ok' if qps_ok else 'FAIL'}; "
+              f"p99 {p99:.3f} ms (require <= {max_p99:.3f}) "
+              f"{'ok' if p99_ok else 'FAIL'}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True,
@@ -145,11 +201,19 @@ def main():
                     help="hard gate: newest fresh total_seconds ratio "
                          "TAG_DEN/TAG_NUM for BENCH must be >= MIN "
                          "(fails even without --strict; repeatable)")
+    ap.add_argument("--serve", action="append", default=[],
+                    metavar="BENCH:TAG:MIN_QPS:MAX_P99_MS",
+                    help="hard gate: newest fresh pmafia-serve-v1 row of "
+                         "(BENCH, TAG) must meet the qps floor and p99 "
+                         "ceiling (fails even without --strict; repeatable)")
     args = ap.parse_args()
 
     baseline = group_rows(load_rows(args.baseline))
-    fresh = group_rows(load_rows(args.fresh))
-    if not fresh:
+    fresh_raw = load_rows(args.fresh)
+    fresh = group_rows(fresh_raw)
+    # Serve rows carry no batch phases, so a serve-only fresh file is
+    # legitimately empty for the throughput comparison.
+    if not fresh and not args.serve:
         raise SystemExit(f"no usable rows in {args.fresh}")
 
     regressions = 0
@@ -178,13 +242,20 @@ def main():
     if args.speedup:
         print()
         speedup_failures = check_speedups(args.speedup,
-                                          group_totals(load_rows(args.fresh)))
+                                          group_totals(fresh_raw))
+    serve_failures = 0
+    if args.serve:
+        print()
+        serve_failures = check_serve(args.serve, serve_reports(fresh_raw))
 
     if regressions:
         print(f"\nWARNING: {regressions} group(s) regressed beyond "
               f"{args.tolerance:.0%}.")
-    if speedup_failures:
-        print(f"\nFAIL: {speedup_failures} speedup gate(s) violated.")
+    if speedup_failures or serve_failures:
+        if speedup_failures:
+            print(f"\nFAIL: {speedup_failures} speedup gate(s) violated.")
+        if serve_failures:
+            print(f"\nFAIL: {serve_failures} serve gate(s) violated.")
         return 1
     if regressions:
         return 1 if args.strict else 0

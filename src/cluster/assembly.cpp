@@ -190,11 +190,19 @@ std::vector<Cluster> assemble_clusters(const std::vector<UnitStore>& registered_
   }
   eliminate_subset_clusters(clusters);
   for (Cluster& c : clusters) build_dnf(c);
-  // Present highest-dimensional clusters first, then by subspace.
-  std::sort(clusters.begin(), clusters.end(), [](const Cluster& a, const Cluster& b) {
-    if (a.dims.size() != b.dims.size()) return a.dims.size() > b.dims.size();
-    return a.dims < b.dims;
-  });
+  // Present highest-dimensional clusters first, then by subspace.  The sort
+  // must be STABLE: multiple connected components in the same subspace
+  // compare equal here, and their relative order is the tie-break that
+  // assign_members' first-match-wins rule (and therefore every persisted
+  // model and every serve-side answer) depends on.  connect_units emits
+  // components deterministically, so stable_sort pins the whole ordering.
+  std::stable_sort(clusters.begin(), clusters.end(),
+                   [](const Cluster& a, const Cluster& b) {
+                     if (a.dims.size() != b.dims.size()) {
+                       return a.dims.size() > b.dims.size();
+                     }
+                     return a.dims < b.dims;
+                   });
   return clusters;
 }
 

@@ -1,6 +1,51 @@
 #include "cluster/membership.hpp"
 
+#include <limits>
+
+#include "common/error.hpp"
+
 namespace mafia {
+
+namespace {
+
+/// a + b with wraparound detection; Count totals feed capacity planning
+/// and quality gates, where a silently wrapped sum is worse than a crash.
+Count checked_add(Count a, Count b) {
+  if (a > std::numeric_limits<Count>::max() - b) {
+    throw Error("MembershipCounts: count accumulation overflowed",
+                ErrorClass::Internal);
+  }
+  return a + b;
+}
+
+}  // namespace
+
+Count MembershipCounts::total() const {
+  Count t = checked_add(noise, unlabeled);
+  for (const Count c : per_cluster) t = checked_add(t, c);
+  return t;
+}
+
+MembershipCounts tally_labels(const std::vector<std::int32_t>& labels,
+                              std::size_t num_clusters) {
+  MembershipCounts counts;
+  counts.per_cluster.assign(num_clusters, 0);
+  for (const std::int32_t label : labels) {
+    if (label == kNoiseLabel) {
+      ++counts.noise;
+    } else if (label == kUnlabeledLabel) {
+      ++counts.unlabeled;
+    } else if (label >= 0 &&
+               static_cast<std::size_t>(label) < num_clusters) {
+      ++counts.per_cluster[static_cast<std::size_t>(label)];
+    } else {
+      throw Error("tally_labels: label " + std::to_string(label) +
+                      " outside [-2, " + std::to_string(num_clusters) + ")",
+                  ErrorClass::Internal);
+    }
+  }
+  return counts;
+}
 
 bool contains_record(const Cluster& cluster, const GridSet& grids,
                      const Value* row) {

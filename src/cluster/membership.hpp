@@ -21,14 +21,20 @@ namespace mafia {
 /// Per-cluster membership statistics.
 struct MembershipCounts {
   std::vector<Count> per_cluster;  ///< records matched per cluster (first match wins)
-  Count noise = 0;                 ///< records matching no cluster
+  Count noise = 0;                 ///< records matching no cluster (kNoiseLabel)
+  Count unlabeled = 0;             ///< records never scored (kUnlabeledLabel)
 
-  [[nodiscard]] Count total() const {
-    Count t = noise;
-    for (const Count c : per_cluster) t += c;
-    return t;
-  }
+  /// Sum of all buckets, overflow-checked: Count is u64, so a sum that
+  /// wraps would silently report a tiny total for a huge data set.
+  [[nodiscard]] Count total() const;
 };
+
+/// Buckets a label vector into MembershipCounts.  kUnlabeledLabel (-2)
+/// records are tallied separately — they were never scored and must not be
+/// reported as noise (the serve path surfaces both buckets distinctly).
+/// Labels outside [-2, num_clusters) throw (ErrorClass::Internal).
+[[nodiscard]] MembershipCounts tally_labels(
+    const std::vector<std::int32_t>& labels, std::size_t num_clusters);
 
 /// Labels every record: result[i] = index into `clusters` or kNoiseLabel.
 /// Clusters are tested in order; the first match wins (clusters of higher

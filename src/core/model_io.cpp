@@ -1,8 +1,8 @@
 #include "core/model_io.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
-#include <iomanip>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -14,33 +14,152 @@ namespace {
 constexpr const char* kMagic = "MAFIA-MODEL";
 constexpr int kVersion = 1;
 
-void expect_token(std::istream& in, const std::string& expected,
-                  const std::string& path) {
-  std::string token;
-  in >> token;
-  require(in.good() && token == expected,
-          "load_model: expected '" + expected + "' in " + path +
-              (token.empty() ? "" : " (got '" + token + "')"));
+/// Plausibility cap on every declared entity count (clusters, units, DNF
+/// rects).  A corrupt or hostile count field must fail as bad input before
+/// the loader resize()s terabytes — anything above this is not a model a
+/// save_model() of this library could have produced.
+constexpr std::size_t kMaxModelEntities = 100'000'000;
+
+/// Line-aware tokenizer over the whole model file.  The istream >> operator
+/// skips newlines silently, which is exactly why the original loader could
+/// not name the offending line; this reads the file once and hands out
+/// whitespace-separated tokens while tracking the 1-based line each token
+/// sits on, so every diagnostic is "path:line: what".
+class ModelTokenizer {
+ public:
+  ModelTokenizer(std::istream& in, std::string path) : path_(std::move(path)) {
+    std::string line;
+    while (std::getline(in, line)) lines_.push_back(std::move(line));
+  }
+
+  /// Next token, or throws InputError (truncated file).
+  std::string next(const char* what) {
+    std::string token;
+    if (!try_next(&token)) {
+      throw InputError("load_model: " + where() + ": unexpected end of file, "
+                       "expected " + std::string(what));
+    }
+    return token;
+  }
+
+  /// True when no token remains (trailing-garbage check).
+  [[nodiscard]] bool exhausted() {
+    std::string token;
+    if (!try_next(&token)) return true;
+    // Un-consume is not needed: exhausted() is only called once, at EOF.
+    last_token_ = std::move(token);
+    return false;
+  }
+
+  /// "path:line" of the most recently returned token (or the current scan
+  /// position when nothing was returned yet).
+  [[nodiscard]] std::string where() const {
+    return path_ + ":" + std::to_string(token_line_ == 0 ? line_ + 1
+                                                         : token_line_);
+  }
+
+  [[nodiscard]] const std::string& last_token() const { return last_token_; }
+
+  /// Fails the parse at the current token's line (ErrorClass::Input).
+  [[noreturn]] void fail(const std::string& message) const {
+    throw InputError("load_model: " + where() + ": " + message);
+  }
+
+ private:
+  bool try_next(std::string* out) {
+    while (line_ < lines_.size()) {
+      const std::string& text = lines_[line_];
+      while (col_ < text.size() &&
+             (text[col_] == ' ' || text[col_] == '\t' || text[col_] == '\r')) {
+        ++col_;
+      }
+      if (col_ >= text.size()) {
+        ++line_;
+        col_ = 0;
+        continue;
+      }
+      const std::size_t start = col_;
+      while (col_ < text.size() && text[col_] != ' ' && text[col_] != '\t' &&
+             text[col_] != '\r') {
+        ++col_;
+      }
+      token_line_ = line_ + 1;
+      *out = text.substr(start, col_ - start);
+      last_token_ = *out;
+      return true;
+    }
+    return false;
+  }
+
+  std::string path_;
+  std::vector<std::string> lines_;
+  std::size_t line_ = 0;       ///< 0-based scan line
+  std::size_t col_ = 0;        ///< scan column within line_
+  std::size_t token_line_ = 0; ///< 1-based line of the last token (0 = none)
+  std::string last_token_;
+};
+
+void expect_token(ModelTokenizer& t, const std::string& expected) {
+  const std::string token = t.next(("'" + expected + "'").c_str());
+  if (token != expected) {
+    t.fail("expected '" + expected + "', got '" + token + "'");
+  }
 }
 
-template <typename T>
-T read_value(std::istream& in, const std::string& path, const char* what) {
-  T value{};
-  in >> value;
-  require(!in.fail(), std::string("load_model: bad ") + what + " in " + path);
-  return value;
+/// Strict full-token unsigned parse; anything else (sign, junk suffix,
+/// overflow) is an input error naming the line.
+std::size_t read_count(ModelTokenizer& t, const char* what) {
+  const std::string token = t.next(what);
+  if (token.empty() || token[0] == '-' || token[0] == '+') {
+    t.fail("bad " + std::string(what) + " '" + token + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) {
+    t.fail("bad " + std::string(what) + " '" + token + "'");
+  }
+  return static_cast<std::size_t>(v);
 }
 
-// istream extraction cannot parse hexfloats portably; go through strtod.
-double read_double(std::istream& in, const std::string& path, const char* what) {
-  std::string token;
-  in >> token;
-  require(!in.fail() && !token.empty(),
-          std::string("load_model: bad ") + what + " in " + path);
+/// read_count with the anti-OOM plausibility cap applied.
+std::size_t read_entity_count(ModelTokenizer& t, const char* what) {
+  const std::size_t v = read_count(t, what);
+  if (v > kMaxModelEntities) {
+    t.fail("implausible " + std::string(what) + " " + std::to_string(v));
+  }
+  return v;
+}
+
+/// Bin index: strict parse plus the range check against the dimension's
+/// declared grid.  The original loader's bare cast-to-BinId silently
+/// wrapped 300 to 44 — an out-of-range index must be rejected, not aliased
+/// onto a different bin.
+BinId read_bin(ModelTokenizer& t, const char* what,
+               const DimensionGrid& grid) {
+  const std::size_t v = read_count(t, what);
+  if (v >= grid.num_bins()) {
+    t.fail(std::string(what) + " " + std::to_string(v) +
+           " out of range for dim " + std::to_string(grid.dim) + " (" +
+           std::to_string(grid.num_bins()) + " bins)");
+  }
+  return static_cast<BinId>(v);
+}
+
+/// Floating-point value: istream extraction cannot parse hexfloats
+/// portably, so the token goes through strtod; partial parses ("0x1.8pz",
+/// "1.5junk") and non-finite results are input errors.
+double read_double(ModelTokenizer& t, const char* what) {
+  const std::string token = t.next(what);
+  errno = 0;
   char* end = nullptr;
   const double value = std::strtod(token.c_str(), &end);
-  require(end == token.c_str() + token.size(),
-          std::string("load_model: bad ") + what + " in " + path);
+  if (end != token.c_str() + token.size() || token.empty()) {
+    t.fail("bad " + std::string(what) + " '" + token + "'");
+  }
+  if (!std::isfinite(value)) {
+    t.fail("non-finite " + std::string(what) + " '" + token + "'");
+  }
   return value;
 }
 
@@ -89,78 +208,117 @@ void save_model(const std::string& path, const GridSet& grids,
 
 Model load_model(const std::string& path) {
   std::ifstream in(path);
-  require(in.good(), "load_model: cannot open " + path);
-  in >> std::hexfloat;
+  require_input(in.good(), "load_model: cannot open " + path);
+  ModelTokenizer t(in, path);
 
-  expect_token(in, kMagic, path);
-  const int version = read_value<int>(in, path, "version");
-  require(version == kVersion, "load_model: unsupported version in " + path);
+  expect_token(t, kMagic);
+  const std::size_t version = read_count(t, "version");
+  if (version != static_cast<std::size_t>(kVersion)) {
+    t.fail("unsupported version " + std::to_string(version));
+  }
 
   Model model;
-  expect_token(in, "dims", path);
-  const auto d = read_value<std::size_t>(in, path, "dimension count");
-  require(d >= 1 && d <= kMaxDims, "load_model: bad dimension count in " + path);
+  expect_token(t, "dims");
+  const std::size_t d = read_count(t, "dimension count");
+  if (d < 1 || d > kMaxDims) {
+    t.fail("bad dimension count " + std::to_string(d));
+  }
 
   model.grids.dims.reserve(d);
   for (std::size_t j = 0; j < d; ++j) {
-    expect_token(in, "grid", path);
+    expect_token(t, "grid");
     DimensionGrid g;
-    g.dim = static_cast<DimId>(read_value<int>(in, path, "grid dim"));
-    g.uniform_fallback = read_value<int>(in, path, "fallback flag") != 0;
-    const auto nbins = read_value<std::size_t>(in, path, "bin count");
-    require(nbins >= 1 && nbins <= kMaxBinsPerDim,
-            "load_model: bad bin count in " + path);
-    expect_token(in, "domain", path);
-    g.domain_lo = static_cast<Value>(read_double(in, path, "domain lo"));
-    g.domain_hi = static_cast<Value>(read_double(in, path, "domain hi"));
-    expect_token(in, "edges", path);
+    const std::size_t dim = read_count(t, "grid dim");
+    // save_model writes the grids in dimension order, one per dim: a grid
+    // line for the wrong dim is a duplicate or a hole, and either way the
+    // clusters' bin indices would be interpreted against the wrong grid.
+    if (dim != j) {
+      t.fail("grid for dim " + std::to_string(dim) + " where dim " +
+             std::to_string(j) + " was expected (duplicate or out-of-order "
+             "grid line)");
+    }
+    g.dim = static_cast<DimId>(dim);
+    g.uniform_fallback = read_count(t, "fallback flag") != 0;
+    const std::size_t nbins = read_count(t, "bin count");
+    if (nbins < 1 || nbins > kMaxBinsPerDim) {
+      t.fail("bad bin count " + std::to_string(nbins));
+    }
+    expect_token(t, "domain");
+    g.domain_lo = static_cast<Value>(read_double(t, "domain lo"));
+    g.domain_hi = static_cast<Value>(read_double(t, "domain hi"));
+    expect_token(t, "edges");
     g.edges.resize(nbins + 1);
-    for (Value& e : g.edges) e = static_cast<Value>(read_double(in, path, "edge"));
-    expect_token(in, "thresholds", path);
+    for (Value& e : g.edges) e = static_cast<Value>(read_double(t, "edge"));
+    expect_token(t, "thresholds");
     g.thresholds.resize(nbins);
-    for (double& t : g.thresholds) t = read_double(in, path, "threshold");
-    g.validate();
+    for (double& th : g.thresholds) th = read_double(t, "threshold");
+    for (std::size_t i = 0; i + 1 < g.edges.size(); ++i) {
+      if (!(g.edges[i] < g.edges[i + 1])) {
+        t.fail("edges of dim " + std::to_string(j) + " not ascending");
+      }
+    }
     model.grids.dims.push_back(std::move(g));
   }
 
-  expect_token(in, "clusters", path);
-  const auto nclusters = read_value<std::size_t>(in, path, "cluster count");
+  expect_token(t, "clusters");
+  const std::size_t nclusters = read_entity_count(t, "cluster count");
   model.clusters.reserve(nclusters);
   for (std::size_t ci = 0; ci < nclusters; ++ci) {
-    expect_token(in, "cluster", path);
-    const auto k = read_value<std::size_t>(in, path, "cluster dimensionality");
-    require(k >= 1 && k <= kMaxDims, "load_model: bad cluster dims in " + path);
-    Cluster c;
-    expect_token(in, "dims", path);
-    c.dims.resize(k);
-    for (DimId& dim : c.dims) {
-      dim = static_cast<DimId>(read_value<int>(in, path, "cluster dim"));
-      require(dim < d, "load_model: cluster dim out of range in " + path);
+    expect_token(t, "cluster");
+    const std::size_t k = read_count(t, "cluster dimensionality");
+    if (k < 1 || k > d) {
+      t.fail("bad cluster dimensionality " + std::to_string(k));
     }
-    expect_token(in, "units", path);
-    const auto nunits = read_value<std::size_t>(in, path, "unit count");
+    Cluster c;
+    expect_token(t, "dims");
+    c.dims.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t dim = read_count(t, "cluster dim");
+      if (dim >= d) {
+        t.fail("cluster dim " + std::to_string(dim) +
+               " out of range (model has " + std::to_string(d) + " dims)");
+      }
+      // Ascending subspace dims are a Cluster invariant (subset elimination
+      // and the DNF renderer both rely on it); a repeated dim would also
+      // make the per-position bin indices ambiguous.
+      if (i > 0 && dim <= static_cast<std::size_t>(c.dims[i - 1])) {
+        t.fail("cluster dims not strictly ascending at dim " +
+               std::to_string(dim));
+      }
+      c.dims[i] = static_cast<DimId>(dim);
+    }
+    expect_token(t, "units");
+    const std::size_t nunits = read_entity_count(t, "unit count");
     c.units = UnitStore(k);
     std::vector<BinId> bins(k);
     for (std::size_t u = 0; u < nunits; ++u) {
-      for (BinId& b : bins) {
-        b = static_cast<BinId>(read_value<int>(in, path, "unit bin"));
+      for (std::size_t i = 0; i < k; ++i) {
+        bins[i] = read_bin(t, "unit bin", model.grids[c.dims[i]]);
       }
       c.units.push_unchecked(c.dims.data(), bins.data());
     }
-    expect_token(in, "dnf", path);
-    const auto nrects = read_value<std::size_t>(in, path, "rect count");
+    expect_token(t, "dnf");
+    const std::size_t nrects = read_entity_count(t, "rect count");
     c.dnf.resize(nrects);
     for (BinRect& r : c.dnf) {
       r.lo.resize(k);
       r.hi.resize(k);
-      for (BinId& b : r.lo) {
-        b = static_cast<BinId>(read_value<int>(in, path, "rect lo"));
+      for (std::size_t i = 0; i < k; ++i) {
+        r.lo[i] = read_bin(t, "rect lo", model.grids[c.dims[i]]);
       }
-      for (BinId& b : r.hi) {
-        b = static_cast<BinId>(read_value<int>(in, path, "rect hi"));
+      for (std::size_t i = 0; i < k; ++i) {
+        r.hi[i] = read_bin(t, "rect hi", model.grids[c.dims[i]]);
+        if (r.hi[i] < r.lo[i]) {
+          t.fail("rect hi " + std::to_string(r.hi[i]) + " below lo " +
+                 std::to_string(r.lo[i]) + " in dim " +
+                 std::to_string(c.dims[i]) + " (contradictory rectangle)");
+        }
       }
     }
     model.clusters.push_back(std::move(c));
+  }
+  if (!t.exhausted()) {
+    t.fail("trailing content '" + t.last_token() + "' after the last cluster");
   }
   return model;
 }

@@ -59,6 +59,30 @@ struct MpConfig {
   std::size_t shm_slot_bytes = 256 * 1024;
 };
 
+/// `pmafia serve` daemon configuration (src/serve/server.hpp): which model
+/// file to load, where to listen, and the worker-pool / admission limits.
+/// Lives here (not in the serve module) so the CLI's option plumbing has a
+/// single home and the serve module stays a pure consumer.
+struct ServeOptions {
+  std::string model_path;  ///< model file written by `cluster --save`
+
+  /// Listen spec: "unix:/path/to.sock" (or a bare filesystem path) for a
+  /// Unix socket, "tcp:HOST:PORT" for IPv4 TCP (PORT 0 = pick a free one).
+  std::string listen;
+
+  std::size_t serve_threads = 4;  ///< query worker pool size
+  std::size_t max_batch = 4096;   ///< rows admitted per query frame
+
+  void validate() const {
+    require(!model_path.empty(), "ServeOptions: model path is required");
+    require(!listen.empty(), "ServeOptions: listen spec is required");
+    require(serve_threads >= 1 && serve_threads <= 256,
+            "ServeOptions: serve_threads must be in [1, 256]");
+    require(max_batch >= 1 && max_batch <= (1u << 22),
+            "ServeOptions: max_batch must be in [1, 4194304]");
+  }
+};
+
 struct MafiaOptions {
   /// Algorithm 1 parameters (alpha, beta, window geometry).
   AdaptiveGridOptions grid;

@@ -341,4 +341,70 @@ std::string render_report_json(const MafiaResult& result,
   return w.str();
 }
 
+std::string render_serve_report_json(const ServeReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pmafia-serve-v1");
+  w.key("listen").value(report.listen);
+  w.key("model").begin_object();
+  w.key("path").value(report.model_path);
+  w.key("dims").value(report.num_dims);
+  w.key("clusters").value(report.num_clusters);
+  w.end_object();
+  w.key("config").begin_object();
+  w.key("serve_threads").value(report.serve_threads);
+  w.key("max_batch").value(report.max_batch);
+  w.end_object();
+  w.key("traffic").begin_object();
+  w.key("connections").value(report.connections);
+  w.key("batches").value(report.batches);
+  w.key("rows").value(report.rows);
+  w.key("noise_rows").value(report.noise_rows);
+  w.key("rejected_frames").value(report.rejected_frames);
+  w.key("oversized_batches").value(report.oversized_batches);
+  w.key("midframe_disconnects").value(report.midframe_disconnects);
+  w.key("model_reloads").value(report.model_reloads);
+  w.key("reload_failures").value(report.reload_failures);
+  w.end_object();
+  w.key("elapsed_seconds").value(report.elapsed_seconds);
+  w.key("queries_per_second").value(report.queries_per_second);
+  w.key("batches_per_second").value(report.batches_per_second);
+  w.key("latency_ms").begin_object();
+  w.key("p50").value(report.latency.p50_ms);
+  w.key("p90").value(report.latency.p90_ms);
+  w.key("p99").value(report.latency.p99_ms);
+  w.key("max").value(report.latency.max_ms);
+  w.key("mean").value(report.latency.mean_ms);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string render_serve_report(const ServeReport& report) {
+  std::ostringstream out;
+  out << "pmafia serve @ " << report.listen << "\n";
+  out << "  model: " << report.model_path << " (" << report.num_dims
+      << " dims, " << report.num_clusters << " clusters)\n";
+  out << "  config: " << report.serve_threads << " threads, max batch "
+      << report.max_batch << "\n";
+  out << "  traffic: " << report.connections << " connections, "
+      << report.batches << " batches, " << report.rows << " rows ("
+      << report.noise_rows << " noise)\n";
+  out << "  rejects: " << report.rejected_frames << " malformed, "
+      << report.oversized_batches << " oversized, "
+      << report.midframe_disconnects << " mid-frame disconnects\n";
+  out << "  reloads: " << report.model_reloads << " ok, "
+      << report.reload_failures << " failed\n";
+  out << std::fixed << std::setprecision(1);
+  out << "  throughput: " << report.queries_per_second << " rows/s, "
+      << report.batches_per_second << " batches/s over "
+      << report.elapsed_seconds << " s\n";
+  out << std::setprecision(3);
+  out << "  latency ms: p50 " << report.latency.p50_ms << ", p90 "
+      << report.latency.p90_ms << ", p99 " << report.latency.p99_ms
+      << ", max " << report.latency.max_ms << ", mean "
+      << report.latency.mean_ms << "\n";
+  return out.str();
+}
+
 }  // namespace mafia

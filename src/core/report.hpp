@@ -5,6 +5,7 @@
 // docs/architecture.md).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "core/result.hpp"
@@ -18,6 +19,50 @@ namespace mafia {
 
 /// Renders just the cluster list (one DNF expression per line).
 [[nodiscard]] std::string render_clusters(const MafiaResult& result);
+
+/// Batch-latency digest of a serve run (milliseconds).  Quantiles come from
+/// the daemon's log-bucketed histogram; max and mean are exact.
+struct ServeLatency {
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+/// Snapshot of a `pmafia serve` daemon's lifetime counters — plain data so
+/// core can render it without depending on the serve module.  Rendered as
+/// schema "pmafia-serve-v1" (docs/architecture.md); the bench gate reads
+/// queries_per_second and latency.p99_ms from it.
+struct ServeReport {
+  std::string listen;        ///< listen spec actually bound (resolved port)
+  std::string model_path;
+  std::uint64_t num_dims = 0;
+  std::uint64_t num_clusters = 0;
+  std::uint64_t serve_threads = 0;
+  std::uint64_t max_batch = 0;
+
+  std::uint64_t connections = 0;
+  std::uint64_t batches = 0;    ///< query frames answered
+  std::uint64_t rows = 0;       ///< rows classified across all batches
+  std::uint64_t noise_rows = 0; ///< rows answered kNoiseLabel (never kUnlabeledLabel)
+  std::uint64_t rejected_frames = 0;      ///< malformed frames/payloads
+  std::uint64_t oversized_batches = 0;    ///< len or row count over --max-batch
+  std::uint64_t midframe_disconnects = 0; ///< peer vanished inside a frame
+  std::uint64_t model_reloads = 0;        ///< successful SIGHUP reloads
+  std::uint64_t reload_failures = 0;      ///< reloads that kept the old model
+
+  double elapsed_seconds = 0.0;
+  double queries_per_second = 0.0;  ///< rows / elapsed
+  double batches_per_second = 0.0;
+  ServeLatency latency;
+};
+
+/// Renders the serve snapshot as schema "pmafia-serve-v1" JSON.
+[[nodiscard]] std::string render_serve_report_json(const ServeReport& report);
+
+/// Human-readable rendering of the serve snapshot (daemon shutdown banner).
+[[nodiscard]] std::string render_serve_report(const ServeReport& report);
 
 /// Renders the structured JSON run report ("pmafia-report-v1"): run shape
 /// (records/dims/ranks), per-level CDU and dense-unit counts, per-phase

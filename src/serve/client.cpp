@@ -1,0 +1,173 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mafia::serve {
+
+namespace {
+
+bool write_all(int fd, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::send(fd, p, bytes, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t bytes) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::read(fd, p, bytes);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ErrorClass error_class_from_aux(std::uint32_t aux) {
+  switch (aux) {
+    case static_cast<std::uint32_t>(ErrorClass::Usage): return ErrorClass::Usage;
+    case static_cast<std::uint32_t>(ErrorClass::Input): return ErrorClass::Input;
+    case static_cast<std::uint32_t>(ErrorClass::Resource): return ErrorClass::Resource;
+    case static_cast<std::uint32_t>(ErrorClass::Fault): return ErrorClass::Fault;
+    default: return ErrorClass::Internal;
+  }
+}
+
+}  // namespace
+
+ServeClient::ServeClient(const std::string& endpoint) {
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    const std::string hostport = endpoint.substr(4);
+    const std::size_t colon = hostport.rfind(':');
+    require(colon != std::string::npos,
+            "serve client: tcp endpoint must be tcp:HOST:PORT, got " +
+                endpoint);
+    const std::string host = hostport.substr(0, colon);
+    const long port = std::strtol(hostport.c_str() + colon + 1, nullptr, 10);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    require(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+            "serve client: bad tcp host '" + host + "'");
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0 || ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) != 0) {
+      if (fd_ >= 0) ::close(fd_);
+      fd_ = -1;
+      throw ResourceError("serve client: cannot connect to " + endpoint +
+                          ": " + std::strerror(errno));
+    }
+  } else {
+    const std::string path =
+        endpoint.rfind("unix:", 0) == 0 ? endpoint.substr(5) : endpoint;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    require(path.size() < sizeof(addr.sun_path),
+            "serve client: unix socket path too long: " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0 || ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) != 0) {
+      if (fd_ >= 0) ::close(fd_);
+      fd_ = -1;
+      throw ResourceError("serve client: cannot connect to " + endpoint +
+                          ": " + std::strerror(errno));
+    }
+  }
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ServeClient::send_frame(std::uint32_t type, std::uint32_t aux,
+                             const void* payload, std::size_t bytes) {
+  FrameHeader h{type, aux, bytes};
+  if (!write_all(fd_, &h, sizeof(h)) ||
+      (bytes > 0 && !write_all(fd_, payload, bytes))) {
+    throw ResourceError("serve client: connection lost while sending");
+  }
+}
+
+std::pair<FrameHeader, std::vector<std::uint8_t>> ServeClient::read_frame() {
+  FrameHeader header;
+  if (!read_all(fd_, &header, sizeof(header))) {
+    throw ResourceError("serve client: connection closed by server");
+  }
+  // Admission cap mirrors the server's: a hostile length prefix must not
+  // drive an allocation.  Responses are bounded by max_batch rows, stats
+  // replies by a JSON document; 64 MiB clears both by orders of magnitude.
+  require_input(header.len <= (64u << 20),
+                "serve client: implausible frame length " +
+                    std::to_string(header.len));
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(header.len));
+  if (header.len > 0 && !read_all(fd_, payload.data(), payload.size())) {
+    throw ResourceError("serve client: connection closed mid-frame");
+  }
+  return {header, std::move(payload)};
+}
+
+void ServeClient::shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+std::vector<RowAnswer> ServeClient::query(const QueryBatch& batch) {
+  const std::vector<std::uint8_t> payload = encode_query(batch);
+  try {
+    send_frame(kFrameQuery, kProtocolVersion, payload.data(), payload.size());
+  } catch (const Error&) {
+    // The server may reject a frame from its header alone; if the close
+    // raced our payload write, the buffered error frame — not the broken
+    // pipe — is the real story.  read_frame rethrows when nothing arrived.
+    auto [eh, ebody] = read_frame();
+    if (eh.type == kFrameError) {
+      throw Error("serve: " + std::string(ebody.begin(), ebody.end()),
+                  error_class_from_aux(eh.aux));
+    }
+    throw;
+  }
+  auto [header, body] = read_frame();
+  if (header.type == kFrameError) {
+    throw Error("serve: " + std::string(body.begin(), body.end()),
+                error_class_from_aux(header.aux));
+  }
+  require_input(header.type == kFrameResponse,
+                "serve client: unexpected frame type " +
+                    std::to_string(header.type));
+  return decode_response(body.data(), body.size());
+}
+
+std::string ServeClient::stats_json() {
+  send_frame(kFrameStats, 0, nullptr, 0);
+  auto [header, body] = read_frame();
+  if (header.type == kFrameError) {
+    throw Error("serve: " + std::string(body.begin(), body.end()),
+                error_class_from_aux(header.aux));
+  }
+  require_input(header.type == kFrameStatsReply,
+                "serve client: unexpected frame type " +
+                    std::to_string(header.type));
+  return std::string(body.begin(), body.end());
+}
+
+}  // namespace mafia::serve

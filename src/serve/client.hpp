@@ -1,0 +1,48 @@
+// serve-v1 client: connect to a `pmafia serve` endpoint and exchange
+// frames.  Shared by the CLI `query` subcommand, bench_serve's load
+// generator, and the protocol tests (whose adversarial cases use the raw
+// send_frame/read_frame layer to craft malformed traffic on purpose).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace mafia::serve {
+
+class ServeClient {
+ public:
+  /// Connects to "unix:/path" (or a bare path) or "tcp:HOST:PORT".
+  /// Throws mafia::Error (Resource) when the daemon is unreachable.
+  explicit ServeClient(const std::string& endpoint);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Classifies a batch.  An error frame from the server rethrows as
+  /// mafia::Error carrying the server's ErrorClass; a dropped connection
+  /// throws Resource.
+  [[nodiscard]] std::vector<RowAnswer> query(const QueryBatch& batch);
+
+  /// Fetches the daemon's pmafia-serve-v1 stats JSON.
+  [[nodiscard]] std::string stats_json();
+
+  // Raw frame layer (adversarial tests): send an arbitrary frame, read
+  // whatever comes back.  read_frame throws Resource on disconnect.
+  void send_frame(std::uint32_t type, std::uint32_t aux,
+                  const void* payload, std::size_t bytes);
+  [[nodiscard]] std::pair<FrameHeader, std::vector<std::uint8_t>> read_frame();
+
+  /// Closes the write half only — lets a test observe how the server
+  /// treats a peer that vanished mid-conversation.
+  void shutdown_write();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace mafia::serve

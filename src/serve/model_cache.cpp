@@ -1,0 +1,32 @@
+#include "serve/model_cache.hpp"
+
+#include <algorithm>
+
+namespace mafia::serve {
+
+ModelCache::ModelCache(std::string path, std::size_t num_shards)
+    : path_(std::move(path)) {
+  shards_.resize(std::max<std::size_t>(1, num_shards));
+  for (auto& s : shards_) s = std::make_unique<Shard>();
+  auto model = std::make_shared<const Model>(load_model(path_));
+  for (auto& s : shards_) s->model = model;
+}
+
+std::shared_ptr<const Model> ModelCache::acquire(
+    std::size_t shard_hint) const {
+  const Shard& s = *shards_[shard_hint % shards_.size()];
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.model;
+}
+
+void ModelCache::reload() {
+  // Parse first, swap second: a corrupt replacement file must never take
+  // down a shard, let alone leave shards on different generations forever.
+  auto fresh = std::make_shared<const Model>(load_model(path_));
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    s->model = fresh;
+  }
+}
+
+}  // namespace mafia::serve

@@ -1,0 +1,52 @@
+// Sharded read-mostly model cache for the serve daemon.
+//
+// Every query batch needs a consistent {grids, clusters} snapshot, and a
+// SIGHUP reload must swap models without stalling in-flight batches.  A
+// single shared_ptr guarded by one mutex would serialize every worker on
+// the refcount cache line; instead each shard holds its own
+// shared_ptr<const Model> behind its own (padded) mutex, workers acquire
+// from "their" shard, and a reload swaps the shards one by one.  Workers
+// therefore may briefly serve different model generations during a swap —
+// acceptable for a read-mostly cache, and each batch is internally
+// consistent because it pins one snapshot for its whole lifetime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/model_io.hpp"
+
+namespace mafia::serve {
+
+class ModelCache {
+ public:
+  /// Loads the model eagerly; throws (ErrorClass::Input) on a corrupt or
+  /// missing file, so a daemon never starts with nothing to serve.
+  ModelCache(std::string path, std::size_t num_shards);
+
+  /// Pins the current model snapshot.  `shard_hint` (e.g. the worker index)
+  /// spreads refcount traffic across shards; any value is safe.
+  [[nodiscard]] std::shared_ptr<const Model> acquire(
+      std::size_t shard_hint) const;
+
+  /// Re-reads the model file and swaps it in.  On failure the old model
+  /// stays live (availability beats freshness for a serving daemon) and the
+  /// error propagates so the caller can count/log it.
+  void reload();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::shared_ptr<const Model> model;
+  };
+
+  std::string path_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mafia::serve

@@ -1,0 +1,119 @@
+// `pmafia serve`: the long-lived cluster-membership daemon.
+//
+// The pipeline's batch half builds a model (`cluster --save`); this half
+// serves it: load once into a sharded read-mostly cache (model_cache.hpp),
+// listen on a Unix or TCP socket speaking serve-v1 (protocol.hpp), and
+// answer point→cluster-membership queries with the exact first-match-wins
+// rule of assign_members — labels over the wire are bit-identical to the
+// offline path by construction, because both walk the same cluster order
+// through contains_record.
+//
+// Threading: the caller's thread runs the accept loop (serve()); a pool of
+// worker threads drains a queue of accepted connections, one connection per
+// worker at a time.  Control arrives over an internal self-pipe — stop()
+// and request_reload() write one byte, signal handlers may do the same via
+// wake_fd() (write() is async-signal-safe; none of the library is).
+// Shutdown drains: workers finish the frame in flight, answer it, then
+// close; queued never-served connections are closed unanswered.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/report.hpp"
+#include "serve/model_cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/stats.hpp"
+
+namespace mafia::serve {
+
+class ServeServer {
+ public:
+  /// Loads the model and binds the listen socket; throws mafia::Error on a
+  /// corrupt model (Input), a bad spec (Usage), or a bind failure
+  /// (Resource).  For Unix sockets, a stale path from a SIGKILLed previous
+  /// daemon is unlinked before bind so restart-on-the-same-path always
+  /// works.
+  explicit ServeServer(const ServeOptions& options);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Runs the daemon on the calling thread until stop() (or a 'q' byte on
+  /// wake_fd()) arrives, then drains and joins the workers.  Call once.
+  void serve();
+
+  /// Requests graceful shutdown (thread-safe, callable any time).
+  void stop();
+
+  /// Requests a model reload (the SIGHUP path): thread-safe; the swap
+  /// happens on the accept thread, a failed parse keeps the old model.
+  void request_reload();
+
+  /// Write end of the control pipe for signal handlers: write 'q' to stop,
+  /// 'r' to reload.
+  [[nodiscard]] int wake_fd() const { return wake_write_fd_; }
+
+  /// The bound endpoint in listen-spec form; for "tcp:HOST:0" this carries
+  /// the kernel-assigned port, so tests and benches can connect.
+  [[nodiscard]] const std::string& endpoint() const { return endpoint_; }
+
+  /// Point-in-time stats snapshot; callable during or after serve().
+  [[nodiscard]] ServeReport snapshot() const;
+
+ private:
+  struct alignas(64) WorkerStats {
+    mutable std::mutex mutex;
+    std::uint64_t batches = 0;
+    std::uint64_t rows = 0;
+    std::uint64_t noise_rows = 0;
+    std::uint64_t rejected_frames = 0;
+    std::uint64_t oversized_batches = 0;
+    std::uint64_t midframe_disconnects = 0;
+    LatencyHistogram latency;
+  };
+
+  void accept_loop();
+  void drain_wake_pipe(bool& want_stop, bool& want_reload);
+  void worker_main(std::size_t worker_id);
+  void handle_connection(int fd, std::size_t worker_id);
+
+  /// Answers one decoded batch against the worker's model snapshot.
+  [[nodiscard]] std::vector<RowAnswer> answer_batch(const Model& model,
+                                                    const QueryBatch& batch,
+                                                    WorkerStats& stats) const;
+
+  ServeOptions options_;
+  ModelCache cache_;
+  std::string endpoint_;
+  bool is_unix_ = false;
+  std::string unix_path_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+
+  std::atomic<bool> stop_{false};
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
+
+  mutable std::mutex control_mutex_;  ///< guards the counters below
+  std::uint64_t connections_ = 0;
+  std::uint64_t model_reloads_ = 0;
+  std::uint64_t reload_failures_ = 0;
+  double start_seconds_ = 0.0;
+  double stop_seconds_ = 0.0;  ///< 0 while running
+};
+
+}  // namespace mafia::serve

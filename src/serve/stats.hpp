@@ -1,0 +1,94 @@
+// Serving-side latency accounting: a log-bucketed histogram cheap enough to
+// update per batch on the worker threads, mergeable across workers, and
+// accurate enough at the tail for a p99 gate (bucket width is 2^(1/8), so a
+// quantile is within ~9% of the true value — far inside the gate margins).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "core/report.hpp"
+
+namespace mafia::serve {
+
+/// Log-spaced latency histogram: 8 sub-buckets per octave starting at 1 µs,
+/// 256 buckets ≈ 71 minutes of range.  Quantiles interpolate at the
+/// geometric midpoint of the hit bucket; min/max/sum are tracked exactly.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kSubPerOctave = 8;
+  static constexpr std::size_t kBuckets = kSubPerOctave * 32;
+
+  void record(double seconds) {
+    ++buckets_[bucket_of(seconds)];
+    ++count_;
+    sum_seconds_ += seconds;
+    max_seconds_ = std::max(max_seconds_, seconds);
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_seconds_ += other.sum_seconds_;
+    max_seconds_ = std::max(max_seconds_, other.max_seconds_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double max_seconds() const { return max_seconds_; }
+  [[nodiscard]] double mean_seconds() const {
+    return count_ == 0 ? 0.0 : sum_seconds_ / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0, 1]; 0 when empty.  The answer is clamped to
+  /// the exact max so p99 can never exceed the worst observed batch.
+  [[nodiscard]] double quantile_seconds(double q) const {
+    if (count_ == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > target) {
+        return std::min(bucket_mid_seconds(i), max_seconds_);
+      }
+    }
+    return max_seconds_;
+  }
+
+  [[nodiscard]] ServeLatency digest_ms() const {
+    ServeLatency lat;
+    lat.p50_ms = quantile_seconds(0.50) * 1e3;
+    lat.p90_ms = quantile_seconds(0.90) * 1e3;
+    lat.p99_ms = quantile_seconds(0.99) * 1e3;
+    lat.max_ms = max_seconds() * 1e3;
+    lat.mean_ms = mean_seconds() * 1e3;
+    return lat;
+  }
+
+ private:
+  static std::size_t bucket_of(double seconds) {
+    const double us = seconds * 1e6;
+    if (!(us > 1.0)) return 0;  // also catches NaN and negatives
+    const double octaves = std::log2(us);
+    const auto idx = static_cast<std::size_t>(
+        octaves * static_cast<double>(kSubPerOctave));
+    return std::min(idx + 1, kBuckets - 1);
+  }
+
+  /// Geometric midpoint of bucket i's [lo, hi) microsecond range.
+  static double bucket_mid_seconds(std::size_t i) {
+    if (i == 0) return 0.5e-6;
+    const double lo_oct =
+        static_cast<double>(i - 1) / static_cast<double>(kSubPerOctave);
+    const double mid_oct = lo_oct + 0.5 / static_cast<double>(kSubPerOctave);
+    return std::exp2(mid_oct) * 1e-6;
+  }
+
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_seconds_ = 0.0;
+  double max_seconds_ = 0.0;
+};
+
+}  // namespace mafia::serve

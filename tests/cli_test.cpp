@@ -794,4 +794,144 @@ TEST(CliScoreboard, ScoresLabeledExternalData) {
   std::remove(data.c_str());
 }
 
+// --------------------------------------------------------------- serving
+
+/// The serve daemon end-to-end at process level: generate -> cluster
+/// --save -> serve -> query, plus the two lifecycle properties the daemon
+/// promises — SIGTERM drains and reports, SIGKILL leaves nothing behind
+/// and the same socket path is immediately reusable.
+class CliServe : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = temp("mafia_cli_serve_data.bin");
+    model_ = temp("mafia_cli_serve_model.txt");
+    sock_ = temp("mafia_cli_serve.sock");
+    report_ = temp("mafia_cli_serve_report.json");
+    daemon_out_ = temp("mafia_cli_serve_daemon.txt");
+    ASSERT_EQ(run_cli("generate --out " + data_ +
+                      " --dims 8 --records 8000 --seed 23"
+                      " --cluster 1,4:20:35 --cluster 2,5,7:60:72")
+                  .first,
+              0);
+    // Fixed domain so the planted boxes land on bin edges and the model
+    // actually holds clusters — an all-noise model would make the
+    // served-vs-offline parity check below vacuously true.
+    auto [cl_status, cl_out] =
+        run_cli("cluster --data " + data_ + " --domain-lo 0 --domain-hi 100" +
+                " --save " + model_);
+    ASSERT_EQ(cl_status, 0) << cl_out;
+    ASSERT_NE(cl_out.find("clusters (2"), std::string::npos) << cl_out;
+  }
+
+  void TearDown() override {
+    // Belt and braces: no test should leave a daemon running.
+    for (const pid_t pid : processes_matching(sock_)) ::kill(pid, SIGKILL);
+    std::remove(data_.c_str());
+    std::remove(model_.c_str());
+    std::remove(sock_.c_str());
+    std::remove(report_.c_str());
+    std::remove(daemon_out_.c_str());
+  }
+
+  /// Spawns the daemon and waits until it accepts queries.
+  pid_t spawn_daemon(const std::string& extra = "") {
+    const pid_t pid = spawn_cli("serve --model " + model_ + " --listen unix:" +
+                                    sock_ + " --serve-threads 2 " + extra,
+                                daemon_out_);
+    if (pid < 0) return -1;
+    for (int i = 0; i < 500; ++i) {
+      if (run_cli("query --listen unix:" + sock_ + " --stats").first == 0) {
+        return pid;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return -1;
+  }
+
+  static void wait_until_dead(pid_t pid) {
+    for (int i = 0; i < 500 && process_alive(pid); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
+  std::string data_;
+  std::string model_;
+  std::string sock_;
+  std::string report_;
+  std::string daemon_out_;
+};
+
+TEST_F(CliServe, ServedLabelsMatchOfflineAssignAndSigtermReports) {
+  const pid_t pid = spawn_daemon("--report-json " + report_);
+  ASSERT_GT(pid, 0) << slurp(daemon_out_);
+
+  const std::string served = temp("mafia_cli_serve_labels.csv");
+  const std::string offline = temp("mafia_cli_serve_offline.csv");
+  auto [q_status, q_out] = run_cli("query --listen unix:" + sock_ +
+                                   " --data " + data_ + " --out " + served);
+  ASSERT_EQ(q_status, 0) << q_out;
+  auto [a_status, a_out] = run_cli("assign --data " + data_ + " --model " +
+                                   model_ + " --out " + offline);
+  ASSERT_EQ(a_status, 0) << a_out;
+  // Identical files, not just similar labels: both paths write the same
+  // record,cluster CSV and the daemon promises bit-identical assignment.
+  const std::string served_csv = slurp(served);
+  EXPECT_EQ(served_csv, slurp(offline));
+  // Parity alone would pass on an all-noise model; require real members.
+  EXPECT_NE(served_csv.find(",0\n"), std::string::npos);
+  EXPECT_NE(served_csv.find(",1\n"), std::string::npos);
+
+  auto [s_status, s_out] =
+      run_cli("query --listen unix:" + sock_ + " --stats");
+  ASSERT_EQ(s_status, 0) << s_out;
+  const mafia::JsonValue stats = mafia::json_parse(s_out);
+  EXPECT_EQ(stats.at("schema").string, "pmafia-serve-v1");
+  EXPECT_GT(stats.at("traffic").at("rows").number, 0.0);
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  wait_until_dead(pid);
+  EXPECT_FALSE(process_alive(pid));
+  const mafia::JsonValue final_report = mafia::json_parse(slurp(report_));
+  EXPECT_EQ(final_report.at("schema").string, "pmafia-serve-v1");
+  EXPECT_GE(final_report.at("traffic").at("rows").number, 8000.0);
+  EXPECT_NE(slurp(daemon_out_).find("pmafia serve @"), std::string::npos);
+
+  std::remove(served.c_str());
+  std::remove(offline.c_str());
+}
+
+TEST_F(CliServe, SigkillLeavesNoOrphanAndSocketPathIsReusable) {
+  const pid_t pid = spawn_daemon();
+  ASSERT_GT(pid, 0) << slurp(daemon_out_);
+
+  // A query in flight when the SIGKILL lands: fire it in the background,
+  // then kill the daemon without giving it a chance to drain.
+  const std::string client_out = temp("mafia_cli_serve_client.txt");
+  const pid_t client = spawn_cli(
+      "query --listen unix:" + sock_ + " --data " + data_, client_out);
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  wait_until_dead(pid);
+  ASSERT_FALSE(process_alive(pid));
+  if (client > 0) wait_until_dead(client);
+
+  // No orphans: nothing with our socket path on its command line survives
+  // (the daemon's workers are threads, but this also catches any future
+  // helper-process regression).
+  EXPECT_TRUE(processes_matching(sock_).empty());
+
+  // SIGKILL skipped the destructor, so the socket file is still there —
+  // restart on the same path must succeed anyway and serve queries.
+  EXPECT_TRUE(std::filesystem::exists(sock_));
+  const pid_t pid2 = spawn_daemon();
+  ASSERT_GT(pid2, 0) << slurp(daemon_out_);
+  auto [q_status, q_out] =
+      run_cli("query --listen unix:" + sock_ + " --data " + data_);
+  EXPECT_EQ(q_status, 0) << q_out;
+  ASSERT_EQ(::kill(pid2, SIGTERM), 0);
+  wait_until_dead(pid2);
+  EXPECT_FALSE(process_alive(pid2));
+
+  std::remove(client_out.c_str());
+}
+
 }  // namespace

@@ -1,7 +1,10 @@
 // Tests for record-to-cluster membership assignment and the run report.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "cluster/membership.hpp"
+#include "common/error.hpp"
 #include "core/mafia.hpp"
 #include "core/report.hpp"
 #include "datagen/generator.hpp"
@@ -110,6 +113,48 @@ TEST(Membership, ContainsRecordRespectsDnfRectangles) {
   outside[1] = 90.0f;
   outside[4] = 25.0f;
   EXPECT_FALSE(contains_record(*c2d, e.result.grids, outside.data()));
+}
+
+// ----------------------------------------------------------- count hygiene
+
+TEST(MembershipCountsTest, TallySeparatesNoiseFromUnlabeled) {
+  // kUnlabeledLabel (-2) means "never scored" and must not inflate noise.
+  const std::vector<std::int32_t> labels = {0, 1, kNoiseLabel, kUnlabeledLabel,
+                                            0, kUnlabeledLabel};
+  const MembershipCounts counts = tally_labels(labels, 2);
+  ASSERT_EQ(counts.per_cluster.size(), 2u);
+  EXPECT_EQ(counts.per_cluster[0], 2u);
+  EXPECT_EQ(counts.per_cluster[1], 1u);
+  EXPECT_EQ(counts.noise, 1u);
+  EXPECT_EQ(counts.unlabeled, 2u);
+  EXPECT_EQ(counts.total(), labels.size());
+}
+
+TEST(MembershipCountsTest, TallyRejectsOutOfRangeLabels) {
+  EXPECT_THROW((void)tally_labels({5}, 2), Error);
+  EXPECT_THROW((void)tally_labels({-3}, 2), Error);
+  const MembershipCounts empty = tally_labels({}, 0);
+  EXPECT_EQ(empty.total(), 0u);
+}
+
+TEST(MembershipCountsTest, TotalIsExactAtThe32BitBoundary) {
+  // Two 2^31 buckets sum to exactly 2^32 — the point where a u32
+  // accumulator would wrap to zero.
+  MembershipCounts counts;
+  counts.per_cluster = {Count{1} << 31, Count{1} << 31};
+  EXPECT_EQ(counts.total(), Count{1} << 32);
+}
+
+TEST(MembershipCountsTest, TotalThrowsOnOverflowInsteadOfWrapping) {
+  MembershipCounts counts;
+  counts.noise = std::numeric_limits<Count>::max();
+  counts.per_cluster = {1};
+  EXPECT_THROW((void)counts.total(), Error);
+
+  MembershipCounts counts2;
+  counts2.noise = std::numeric_limits<Count>::max() - 1;
+  counts2.unlabeled = 1;
+  EXPECT_EQ(counts2.total(), std::numeric_limits<Count>::max());
 }
 
 // ------------------------------------------------------------------ report

@@ -10,6 +10,7 @@
 #include "core/mafia.hpp"
 #include "core/model_io.hpp"
 #include "datagen/generator.hpp"
+#include "eval/scoreboard.hpp"
 #include "io/data_source.hpp"
 
 namespace mafia {
@@ -131,6 +132,255 @@ TEST(ModelIo, RejectsOutOfRangeClusterDim) {
         << "clusters 1\ncluster 1\n  dims 7\n  units 0\n  dnf 0\n";
   }
   EXPECT_THROW((void)load_model(path), Error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-model matrix (mirrors io_corrupt_test): a minimal well-formed
+// model, one line mutated per case.  Every mutation must throw an
+// ErrorClass::Input error naming the offending line — never crash, never
+// load silently.
+// ---------------------------------------------------------------------------
+
+/// Minimal valid model: 2 dims x 4 bins, one 2-dim cluster with one unit
+/// and one DNF rect.  Line numbers (1-based) are stable and asserted below.
+std::vector<std::string> base_model_lines() {
+  return {
+      /* 1*/ "MAFIA-MODEL 1",
+      /* 2*/ "dims 2",
+      /* 3*/ "grid 0 0 4",
+      /* 4*/ "  domain 0 1",
+      /* 5*/ "  edges 0 0.25 0.5 0.75 1",
+      /* 6*/ "  thresholds 1 1 1 1",
+      /* 7*/ "grid 1 0 4",
+      /* 8*/ "  domain 0 1",
+      /* 9*/ "  edges 0 0.25 0.5 0.75 1",
+      /*10*/ "  thresholds 1 1 1 1",
+      /*11*/ "clusters 1",
+      /*12*/ "cluster 2",
+      /*13*/ "  dims 0 1",
+      /*14*/ "  units 1",
+      /*15*/ "    1 2",
+      /*16*/ "  dnf 1",
+      /*17*/ "    1 2 1 3",
+  };
+}
+
+std::string write_model(const std::string& name,
+                        const std::vector<std::string>& lines) {
+  const std::string path = temp_path(name);
+  std::ofstream out(path, std::ios::trunc);
+  for (const std::string& line : lines) out << line << "\n";
+  return path;
+}
+
+/// Loads and expects an Input-class error whose message contains both the
+/// 1-based line number ("path:N:") and `what_substr`.
+void expect_input_error(const std::string& path, int line,
+                        const std::string& what_substr) {
+  try {
+    (void)load_model(path);
+    FAIL() << "expected load_model to reject " << path;
+  } catch (const Error& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::Input) << e.what();
+    const std::string what = e.what();
+    EXPECT_NE(what.find(":" + std::to_string(line) + ":"), std::string::npos)
+        << "expected line " << line << " in: " << what;
+    EXPECT_NE(what.find(what_substr), std::string::npos)
+        << "expected '" << what_substr << "' in: " << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoCorrupt, BaseFixtureLoads) {
+  const std::string path = write_model("mafia_corrupt_base.txt",
+                                       base_model_lines());
+  const Model model = load_model(path);
+  EXPECT_EQ(model.grids.num_dims(), 2u);
+  ASSERT_EQ(model.clusters.size(), 1u);
+  EXPECT_EQ(model.clusters[0].dnf.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoCorrupt, BadMagicNamesLineOne) {
+  auto lines = base_model_lines();
+  lines[0] = "NOT-A-MODEL 1";
+  expect_input_error(write_model("mafia_corrupt_magic.txt", lines), 1,
+                     "expected 'MAFIA-MODEL'");
+}
+
+TEST(ModelIoCorrupt, UnsupportedVersion) {
+  auto lines = base_model_lines();
+  lines[0] = "MAFIA-MODEL 9";
+  expect_input_error(write_model("mafia_corrupt_ver.txt", lines), 1,
+                     "unsupported version 9");
+}
+
+TEST(ModelIoCorrupt, DuplicateGridLine) {
+  auto lines = base_model_lines();
+  lines[6] = "grid 0 0 4";  // line 7: second grid re-declares dim 0
+  expect_input_error(write_model("mafia_corrupt_dupgrid.txt", lines), 7,
+                     "duplicate or out-of-order");
+}
+
+TEST(ModelIoCorrupt, NonNumericEdgeValue) {
+  auto lines = base_model_lines();
+  lines[4] = "  edges 0 0.25 zebra 0.75 1";
+  expect_input_error(write_model("mafia_corrupt_edge.txt", lines), 5,
+                     "bad edge 'zebra'");
+}
+
+TEST(ModelIoCorrupt, HexfloatJunkSuffix) {
+  auto lines = base_model_lines();
+  lines[5] = "  thresholds 1 0x1.8pz 1 1";
+  expect_input_error(write_model("mafia_corrupt_hex.txt", lines), 6,
+                     "bad threshold");
+}
+
+TEST(ModelIoCorrupt, NonFiniteThreshold) {
+  auto lines = base_model_lines();
+  lines[5] = "  thresholds 1 inf 1 1";
+  expect_input_error(write_model("mafia_corrupt_inf.txt", lines), 6,
+                     "non-finite threshold");
+}
+
+TEST(ModelIoCorrupt, EdgesNotAscending) {
+  auto lines = base_model_lines();
+  lines[8] = "  edges 0 0.5 0.25 0.75 1";
+  expect_input_error(write_model("mafia_corrupt_order.txt", lines), 10,
+                     "not ascending");
+}
+
+TEST(ModelIoCorrupt, OutOfRangeUnitBin) {
+  auto lines = base_model_lines();
+  lines[14] = "    300 2";  // dim 0 has 4 bins; 300 would wrap to 44 as u8
+  expect_input_error(write_model("mafia_corrupt_unitbin.txt", lines), 15,
+                     "unit bin 300 out of range");
+}
+
+TEST(ModelIoCorrupt, OutOfRangeRectBin) {
+  auto lines = base_model_lines();
+  lines[16] = "    1 2 1 77";
+  expect_input_error(write_model("mafia_corrupt_rectbin.txt", lines), 17,
+                     "rect hi 77 out of range");
+}
+
+TEST(ModelIoCorrupt, ContradictoryRect) {
+  auto lines = base_model_lines();
+  lines[16] = "    2 2 1 3";  // dim 0: hi 1 < lo 2
+  expect_input_error(write_model("mafia_corrupt_rectorder.txt", lines), 17,
+                     "contradictory rectangle");
+}
+
+TEST(ModelIoCorrupt, ClusterDimsNotAscending) {
+  auto lines = base_model_lines();
+  lines[12] = "  dims 1 0";
+  expect_input_error(write_model("mafia_corrupt_dims.txt", lines), 13,
+                     "not strictly ascending");
+}
+
+TEST(ModelIoCorrupt, NegativeCount) {
+  auto lines = base_model_lines();
+  lines[10] = "clusters -1";
+  expect_input_error(write_model("mafia_corrupt_neg.txt", lines), 11,
+                     "bad cluster count");
+}
+
+TEST(ModelIoCorrupt, ImplausibleCountRejectedBeforeAllocation) {
+  auto lines = base_model_lines();
+  lines[13] = "  units 99999999999999";
+  expect_input_error(write_model("mafia_corrupt_huge.txt", lines), 14,
+                     "implausible unit count");
+}
+
+TEST(ModelIoCorrupt, TrailingContentRejected) {
+  auto lines = base_model_lines();
+  lines.push_back("leftover garbage");
+  expect_input_error(write_model("mafia_corrupt_trailing.txt", lines), 18,
+                     "trailing content");
+}
+
+TEST(ModelIoCorrupt, EveryLinePrefixIsTruncationError) {
+  // Cutting the file after any line must be a clean Input-class rejection
+  // (the last prefix is the whole file, which loads).
+  const auto lines = base_model_lines();
+  for (std::size_t keep = 0; keep + 1 < lines.size(); ++keep) {
+    const std::vector<std::string> prefix(lines.begin(),
+                                          lines.begin() + keep + 1);
+    const std::string path = write_model("mafia_corrupt_prefix.txt", prefix);
+    try {
+      (void)load_model(path);
+      FAIL() << "prefix of " << keep + 1 << " lines loaded";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.error_class(), ErrorClass::Input)
+          << "prefix " << keep + 1 << ": " << e.what();
+    }
+    std::remove(path.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// First-match-wins determinism across save→load (the stable_sort fix in
+// assemble_clusters): in-memory labels must equal loaded-model labels on
+// every datagen workload, including ones whose subspaces tie.
+// ---------------------------------------------------------------------------
+
+TEST(ModelIo, LabelsSurviveRoundTripOnEveryWorkload) {
+  for (const std::string& name : eval::workload_names()) {
+    const eval::Workload w = eval::make_workload(name, 1200, 17);
+    const Dataset data = generate(w.config);
+    InMemorySource source(data);
+    MafiaOptions options;
+    options.min_cluster_dims = w.hints.min_cluster_dims;
+    MafiaResult result;
+    try {
+      result = run_mafia(source, options);
+    } catch (const Error&) {
+      continue;  // a workload the defaults cannot cluster is not this bug
+    }
+    const std::string path = temp_path("mafia_model_workload.txt");
+    save_model(path, result.grids, result.clusters);
+    const Model model = load_model(path);
+    const auto before = assign_members(source, result.clusters, result.grids);
+    const auto after = assign_members(source, model.clusters, model.grids);
+    EXPECT_EQ(before, after) << "workload " << name;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ModelIo, EqualDimensionalityTiesKeepReportingOrder) {
+  // Two planted boxes in the SAME subspace {1,4} produce two clusters that
+  // compare equal in the final sort — their order must be the driver's
+  // reporting order after a round-trip, or first-match-wins labels flip.
+  GeneratorConfig cfg;
+  cfg.num_dims = 6;
+  cfg.num_records = 8000;
+  cfg.seed = 77;
+  cfg.clusters.push_back(ClusterSpec::box({1, 4}, {10, 10}, {24, 24}, 1.0));
+  cfg.clusters.push_back(ClusterSpec::box({1, 4}, {60, 60}, {74, 74}, 1.0));
+  const Dataset data = generate(cfg);
+  InMemorySource source(data);
+  MafiaOptions options;
+  options.fixed_domain = {{0.0f, 100.0f}};
+  const MafiaResult result = run_mafia(source, options);
+
+  std::size_t same_subspace_pairs = 0;
+  for (std::size_t a = 0; a < result.clusters.size(); ++a) {
+    for (std::size_t b = a + 1; b < result.clusters.size(); ++b) {
+      if (result.clusters[a].dims == result.clusters[b].dims) {
+        ++same_subspace_pairs;
+      }
+    }
+  }
+  ASSERT_GE(same_subspace_pairs, 1u)
+      << "fixture must produce an equal-subspace tie to test the ordering";
+
+  const std::string path = temp_path("mafia_model_tie.txt");
+  save_model(path, result.grids, result.clusters);
+  const Model model = load_model(path);
+  const auto before = assign_members(source, result.clusters, result.grids);
+  const auto after = assign_members(source, model.clusters, model.grids);
+  EXPECT_EQ(before, after);
   std::remove(path.c_str());
 }
 

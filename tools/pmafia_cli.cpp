@@ -16,7 +16,11 @@
 //   pmafia stage --data data.bin --ranks 8 --prefix /scratch/local
 //   pmafia scoreboard --records 2000 --out SCOREBOARD.json
 //   pmafia scoreboard --workloads tab3-boundary --algorithms pmafia,clique
+#include <unistd.h>
+
+#include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -37,13 +41,15 @@
 #include "io/csv.hpp"
 #include "io/record_file.hpp"
 #include "io/staging.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
 using namespace mafia;
 
 /// Flags that take no value (presence is the value).
-const std::set<std::string> kBooleanFlags = {"resume", "io-prefetch"};
+const std::set<std::string> kBooleanFlags = {"resume", "io-prefetch", "stats"};
 
 /// Minimal --flag value parser: flags() holds every "--name value" pair;
 /// repeated flags accumulate.  Flags in kBooleanFlags consume no value.
@@ -479,6 +485,117 @@ int cmd_scoreboard(const Args& args) {
   return 0;
 }
 
+/// Control-pipe fd of the running serve daemon, for the signal handlers.
+/// write() is the only async-signal-safe thing the handlers do.
+std::atomic<int> g_serve_wake_fd{-1};
+
+extern "C" void serve_signal_handler(int sig) {
+  const int fd = g_serve_wake_fd.load(std::memory_order_relaxed);
+  if (fd < 0) return;
+  const char byte = sig == SIGHUP ? 'r' : 'q';
+  [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+}
+
+int cmd_serve(const Args& args) {
+  ServeOptions o;
+  o.model_path = args.get("model");
+  require(!o.model_path.empty(), "serve: --model is required");
+  o.listen = args.get("listen");
+  require(!o.listen.empty(), "serve: --listen is required");
+  o.serve_threads = static_cast<std::size_t>(
+      args.get_int("serve-threads", static_cast<long>(o.serve_threads)));
+  o.max_batch = static_cast<std::size_t>(
+      args.get_int("max-batch", static_cast<long>(o.max_batch)));
+  o.validate();
+
+  serve::ServeServer server(o);
+  g_serve_wake_fd.store(server.wake_fd());
+  std::signal(SIGTERM, serve_signal_handler);  // graceful shutdown
+  std::signal(SIGINT, serve_signal_handler);   // graceful shutdown
+  std::signal(SIGHUP, serve_signal_handler);   // model reload
+
+  std::printf("pmafia serve: listening on %s (model %s, %zu threads, "
+              "max batch %zu)\n",
+              server.endpoint().c_str(), o.model_path.c_str(),
+              o.serve_threads, o.max_batch);
+  std::fflush(stdout);
+  server.serve();
+  g_serve_wake_fd.store(-1);
+
+  const ServeReport report = server.snapshot();
+  std::fputs(render_serve_report(report).c_str(), stdout);
+  if (args.has("report-json")) {
+    const std::string out = args.get("report-json");
+    write_text_file_atomic(out, render_serve_report_json(report) + "\n");
+    std::printf("report written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_query(const Args& args) {
+  const std::string endpoint = args.get("listen");
+  require(!endpoint.empty(), "query: --listen is required");
+  serve::ServeClient client(endpoint);
+
+  if (args.has("stats")) {
+    std::fputs((client.stats_json() + "\n").c_str(), stdout);
+    return 0;
+  }
+
+  const std::string path = args.get("data");
+  require(!path.empty(), "query: --data or --stats is required");
+  const Dataset data = load_data(path);
+  const auto max_batch =
+      static_cast<std::size_t>(args.get_int("max-batch", 4096));
+  require(max_batch >= 1, "query: --max-batch must be positive");
+
+  std::vector<std::int32_t> labels;
+  labels.reserve(static_cast<std::size_t>(data.num_records()));
+  std::uint64_t batches = 0;
+  const std::size_t d = data.num_dims();
+  for (RecordIndex at = 0; at < data.num_records();) {
+    const auto take = static_cast<std::size_t>(
+        std::min<RecordIndex>(max_batch, data.num_records() - at));
+    serve::QueryBatch batch;
+    batch.num_dims = static_cast<std::uint32_t>(d);
+    batch.values.assign(
+        data.values().begin() + static_cast<std::size_t>(at) * d,
+        data.values().begin() + (static_cast<std::size_t>(at) + take) * d);
+    const std::vector<serve::RowAnswer> answers = client.query(batch);
+    for (const serve::RowAnswer& a : answers) labels.push_back(a.label);
+    at += take;
+    ++batches;
+  }
+
+  if (args.has("out")) {
+    const std::string out = args.get("out");
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    require(f != nullptr, "query: cannot open " + out);
+    std::fprintf(f, "record,cluster\n");
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      std::fprintf(f, "%zu,%d\n", i, labels[i]);
+    }
+    std::fclose(f);
+  }
+
+  // Summarize with the shared tally (noise and unlabeled stay distinct —
+  // served labels are never kUnlabeledLabel, so unlabeled must come out 0).
+  std::size_t max_label = 0;
+  for (const std::int32_t l : labels) {
+    if (l >= 0) max_label = std::max(max_label, static_cast<std::size_t>(l) + 1);
+  }
+  const MembershipCounts counts = tally_labels(labels, max_label);
+  std::printf("queried %zu rows in %llu batches via %s\n", labels.size(),
+              static_cast<unsigned long long>(batches), endpoint.c_str());
+  for (std::size_t c = 0; c < counts.per_cluster.size(); ++c) {
+    std::printf("  cluster %zu: %llu records\n", c,
+                static_cast<unsigned long long>(counts.per_cluster[c]));
+  }
+  std::printf("  noise: %llu records\n",
+              static_cast<unsigned long long>(counts.noise));
+  return 0;
+}
+
 int cmd_stage(const Args& args) {
   const std::string path = args.get("data");
   require(!path.empty(), "stage: --data is required");
@@ -494,7 +611,8 @@ int cmd_stage(const Args& args) {
 
 void usage() {
   std::fputs(
-      "usage: pmafia <generate|cluster|assign|stage|scoreboard> [--flag value]...\n"
+      "usage: pmafia <generate|cluster|assign|serve|query|stage|scoreboard>"
+      " [--flag value]...\n"
       "  generate --out F [--dims D] [--records N] [--seed S] [--noise F]\n"
       "           [--cluster dims:lo:hi]...          (repeatable)\n"
       "  cluster  --data F [--ranks P] [--algorithm mafia|clique]\n"
@@ -516,6 +634,13 @@ void usage() {
       "            5 injected fault, 1 internal error\n"
       "  assign   --data F [--out labels.csv] [--model model.txt |\n"
       "           --ranks P + grid flags]\n"
+      "  serve    --model model.txt --listen unix:/path|tcp:HOST:PORT\n"
+      "           [--serve-threads N] [--max-batch N]\n"
+      "           [--report-json report.json]\n"
+      "           (SIGTERM/SIGINT drain + stats report; SIGHUP reloads\n"
+      "            the model file in place)\n"
+      "  query    --listen unix:/path|tcp:HOST:PORT (--data F [--out F] |\n"
+      "           --stats) [--max-batch N]\n"
       "  stage    --data F [--ranks P] [--prefix PFX]\n"
       "  scoreboard [--workloads a,b] [--algorithms x,y] [--records N]\n"
       "           [--seed S] [--ranks P] [--out F.json]\n"
@@ -578,6 +703,8 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "cluster") return cmd_cluster(args);
     if (cmd == "assign") return cmd_assign(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "query") return cmd_query(args);
     if (cmd == "stage") return cmd_stage(args);
     if (cmd == "scoreboard") return cmd_scoreboard(args);
     usage();
