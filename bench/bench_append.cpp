@@ -1,0 +1,141 @@
+// Incremental append vs full rebuild on the drift workload.
+//
+// The streaming scenario `pmafia append` targets: a checkpointed base run
+// over drift_base, then a drift_batch arrives (anchor cluster stationary,
+// drifting cluster shifted + grown).  The A/B per batch size is
+//
+//   incremental: run_pmafia over base+batch with MafiaOptions::append —
+//                seeds histograms/unit counts from the final checkpoint
+//                and scans only the batch on every level whose candidate
+//                set is provably unchanged
+//   full:        run_pmafia over base+batch from scratch
+//
+// Both produce bit-identical results (tests/append_differential_test.cpp
+// pins that); this bench measures what the memo buys and where it stops
+// buying.  Small batches keep the adaptive binning stable, so every level
+// is reused and the incremental run only pays O(batch) scans; past a few
+// percent of the base the batch shifts the adaptive histogram edges, the
+// run conservatively reruns every level, and the speedup collapses to
+// ~1x (full rebuild + checkpoint traffic).  The sweep reports that
+// crossover explicitly.
+//
+// Hard gate (exit code + bench_gate.py): on every batch size where fewer
+// than half the levels were rerun, the incremental run must beat the full
+// rebuild.  Two pmafia-bench-v1 rows per batch fraction land in
+// BENCH_append.json; the smallest fraction gets the canonical tags
+// drift-incremental / drift-full for the CI ratio gate
+//     --append append:drift-incremental:drift-full:1.2
+// which also checks the incremental row actually reused levels (a memo
+// that silently stopped engaging would otherwise still pass the ratio,
+// since both sides would do identical full work).
+#include "bench_common.hpp"
+
+#include "core/mafia.hpp"
+#include "datagen/generator.hpp"
+#include "datagen/workloads.hpp"
+#include "io/data_source.hpp"
+
+#include <filesystem>
+
+namespace {
+
+using namespace mafia;
+
+constexpr double kMinSpeedup = 1.2;
+
+/// Fraction of the base record count arriving as the append batch.
+constexpr double kFractions[] = {0.01, 0.05, 0.25};
+
+}  // namespace
+
+int main() {
+  using namespace mafia;
+  namespace fs = std::filesystem;
+
+  bench::print_header(
+      "Incremental append vs full rebuild — drift workload batch sweep",
+      "streaming updates: re-cluster after a batch arrives (not in paper)",
+      "8-d drift base, batch = 1%/5%/25% of base, adaptive grid");
+
+  const int p = 1;  // timing A/B: keep both sides single-rank and quiet
+  const RecordIndex records = bench::scaled(100000);
+  const Dataset base = generate(workloads::drift_base(records));
+  const MafiaOptions plain;  // CLI defaults, like the drift pipeline
+
+  // One checkpointed base run serves every batch size: the final
+  // checkpoint is fingerprinted for the base record count and options
+  // only.  Each append replaces ckpt-final.bin, so every sweep point
+  // works on its own copy of the base directory.
+  const std::string ckpt_base =
+      (fs::temp_directory_path() / "mafia_bench_append_ckpt").string();
+  fs::remove_all(ckpt_base);
+  fs::create_directories(ckpt_base);
+  {
+    InMemorySource base_source(base);
+    MafiaOptions bo = plain;
+    bo.checkpoint.directory = ckpt_base;
+    const MafiaResult br = run_pmafia(base_source, bo, p);
+    std::printf("\n[base] %llu records, %zu levels, %zu clusters "
+                "(checkpointed in %.3f s)\n",
+                static_cast<unsigned long long>(base.num_records()),
+                br.levels.size(), br.clusters.size(), br.total_seconds);
+  }
+
+  std::printf("\n%-10s %-9s %-14s %-10s %-10s %-9s %s\n", "batch", "frac",
+              "reused/rerun", "inc(s)", "full(s)", "speedup", "verdict");
+  int failures = 0;
+  double crossover = 0.0;  // largest fraction where incremental still wins
+  for (const double frac : kFractions) {
+    const auto batch_records = static_cast<RecordIndex>(
+        static_cast<double>(records) * frac);
+    const Dataset batch = generate(workloads::drift_batch(batch_records));
+    Dataset all(base.num_dims());
+    all.append_rows(base);
+    all.append_rows(batch);
+    InMemorySource all_source(all);
+
+    const std::string work = ckpt_base + "_work";
+    fs::remove_all(work);
+    fs::copy(ckpt_base, work, fs::copy_options::recursive);
+    MafiaOptions inc_opts = plain;
+    inc_opts.checkpoint.directory = work;
+    inc_opts.append = AppendConfig{static_cast<std::uint64_t>(base.num_records())};
+    const MafiaResult inc = run_pmafia(all_source, inc_opts, p);
+
+    const MafiaResult full = run_pmafia(all_source, plain, p);
+
+    const double speedup = full.total_seconds / inc.total_seconds;
+    if (speedup > 1.0) crossover = frac;
+    // The acceptance bar: incremental must win wherever fewer than half
+    // the levels actually changed.
+    const bool gated = inc.append.levels_rerun * 2 < inc.levels.size();
+    const bool ok = !gated || speedup >= kMinSpeedup;
+    if (!ok) ++failures;
+    std::printf("%-10llu %-9.2f %llu/%llu%-9s %-10.3f %-10.3f %-9.2f %s\n",
+                static_cast<unsigned long long>(batch_records), frac,
+                static_cast<unsigned long long>(inc.append.levels_reused),
+                static_cast<unsigned long long>(inc.append.levels_rerun), "",
+                inc.total_seconds, full.total_seconds, speedup,
+                gated ? (ok ? "ok (gated)" : "FAIL") : "info only");
+
+    const bool canonical = frac == kFractions[0];
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), "-f=%.2f", frac);
+    bench::append_bench_json(
+        "append", inc,
+        canonical ? "drift-incremental" : "drift-incremental" + std::string(suffix));
+    bench::append_bench_json(
+        "append", full,
+        canonical ? "drift-full" : "drift-full" + std::string(suffix));
+    fs::remove_all(work);
+  }
+  fs::remove_all(ckpt_base);
+
+  std::printf("\ncrossover: incremental beats full rebuild up to batch "
+              "~%.0f%% of the base; past the adaptive-edge shift the run "
+              "conservatively rebuilds (speedup ~1x).\n", crossover * 100.0);
+  std::printf("rows appended to BENCH_append.json (scripts/bench_gate.py "
+              "--append append:drift-incremental:drift-full:%.1f gates the "
+              "ratio and the level reuse).\n", kMinSpeedup);
+  return failures == 0 ? 0 : 1;
+}

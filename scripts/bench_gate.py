@@ -42,6 +42,13 @@ floors are set an order of magnitude below healthy numbers, so they catch
 structural regressions (accidental serialization, busy-wait, per-row
 allocation) rather than machine speed.
 
+--append declares HARD gates of the form BENCH:TAG_INC:TAG_FULL:MIN for
+the incremental-append bench: the total_seconds ratio TAG_FULL/TAG_INC
+must reach MIN (the incremental run beats the full rebuild) AND the
+TAG_INC row's report.append.levels_reused must be >= 1 (the level-reuse
+memo actually engaged — without this clause a memo that silently stopped
+engaging would pass the ratio gate whenever both sides do the same work).
+
 Exit status: 0 when everything passes or only warnings were produced (the
 gate is soft by default: CI prints the warning but does not fail the
 build); 1 with --strict when any group regressed beyond tolerance, or
@@ -185,6 +192,59 @@ def check_serve(specs, reports):
     return failures
 
 
+def batch_reports(rows):
+    """(bench, tag) -> newest wrapped pmafia-report-v1 report."""
+    latest = {}
+    for row in rows:
+        report = row.get("report", {})
+        if report.get("schema") == "pmafia-report-v1":
+            latest[(row.get("bench", "?"), row.get("tag", ""))] = report
+    return latest
+
+
+def check_append(specs, reports):
+    """Evaluates BENCH:TAG_INC:TAG_FULL:MIN specs; returns failure count.
+
+    The ratio clause mirrors --speedup: total_seconds(TAG_FULL) /
+    total_seconds(TAG_INC) must reach MIN.  On top, the TAG_INC row's
+    report.append object must show the run actually reused at least one
+    level — a memo that silently stopped engaging would still pass a pure
+    ratio gate on a machine where both sides end up doing identical work.
+    """
+    failures = 0
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 4:
+            raise SystemExit(f"--append {spec!r}: want BENCH:TAG_INC:TAG_FULL:MIN")
+        bench, tag_inc, tag_full, min_str = parts
+        try:
+            minimum = float(min_str)
+        except ValueError:
+            raise SystemExit(f"--append {spec!r}: bad minimum {min_str!r}")
+        inc = reports.get((bench, tag_inc))
+        full = reports.get((bench, tag_full))
+        if inc is None or full is None:
+            failures += 1
+            missing = tag_inc if inc is None else tag_full
+            print(f"append gate {spec}: FAIL (no fresh row for "
+                  f"({bench}, {missing}))")
+            continue
+        inc_s = inc.get("total_seconds", 0.0)
+        full_s = full.get("total_seconds", 0.0)
+        ratio = full_s / inc_s if inc_s > 0.0 else 0.0
+        reused = inc.get("append", {}).get("levels_reused", 0)
+        ratio_ok = ratio >= minimum
+        reuse_ok = reused >= 1
+        if not (ratio_ok and reuse_ok):
+            failures += 1
+        print(f"append gate {bench}: {tag_full} / {tag_inc} = "
+              f"{full_s:.3f}s / {inc_s:.3f}s = {ratio:.2f}x "
+              f"(require >= {minimum:.2f}x) {'ok' if ratio_ok else 'FAIL'}; "
+              f"levels reused {reused} (require >= 1) "
+              f"{'ok' if reuse_ok else 'FAIL'}")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True,
@@ -206,6 +266,11 @@ def main():
                     help="hard gate: newest fresh pmafia-serve-v1 row of "
                          "(BENCH, TAG) must meet the qps floor and p99 "
                          "ceiling (fails even without --strict; repeatable)")
+    ap.add_argument("--append", action="append", default=[], dest="append_gates",
+                    metavar="BENCH:TAG_INC:TAG_FULL:MIN",
+                    help="hard gate: like --speedup on TAG_FULL/TAG_INC, and "
+                         "the TAG_INC row's report.append.levels_reused must "
+                         "be >= 1 (fails even without --strict; repeatable)")
     args = ap.parse_args()
 
     baseline = group_rows(load_rows(args.baseline))
@@ -247,15 +312,22 @@ def main():
     if args.serve:
         print()
         serve_failures = check_serve(args.serve, serve_reports(fresh_raw))
+    append_failures = 0
+    if args.append_gates:
+        print()
+        append_failures = check_append(args.append_gates,
+                                       batch_reports(fresh_raw))
 
     if regressions:
         print(f"\nWARNING: {regressions} group(s) regressed beyond "
               f"{args.tolerance:.0%}.")
-    if speedup_failures or serve_failures:
+    if speedup_failures or serve_failures or append_failures:
         if speedup_failures:
             print(f"\nFAIL: {speedup_failures} speedup gate(s) violated.")
         if serve_failures:
             print(f"\nFAIL: {serve_failures} serve gate(s) violated.")
+        if append_failures:
+            print(f"\nFAIL: {append_failures} append gate(s) violated.")
         return 1
     if regressions:
         return 1 if args.strict else 0

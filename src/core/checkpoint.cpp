@@ -114,6 +114,40 @@ std::vector<std::uint8_t> serialize_checkpoint(const CheckpointState& state) {
   w.pod(state.join_kernel.emitted);
   w.pod(state.join_kernel.repeats_fused);
 
+  // Version 4: the append-base sections ride only on the final checkpoint;
+  // per-level recovery files stay as small as they were under version 3.
+  w.pod(state.complete);
+  if (state.complete != 0) {
+    w.vec(state.domain_lo);
+    w.vec(state.domain_hi);
+    w.vec(state.hist_counts);
+    w.pod(static_cast<std::uint64_t>(state.memo.size()));
+    for (const AppendLevelMemo& m : state.memo) {
+      w.pod(m.level);
+      write_store(w, m.cdus);
+      std::vector<std::uint64_t> packed(m.parents.size());
+      for (std::size_t i = 0; i < m.parents.size(); ++i) {
+        packed[i] = (static_cast<std::uint64_t>(m.parents[i].first) << 32) |
+                    m.parents[i].second;
+      }
+      w.vec(packed);
+      w.vec(m.raw_to_unique);
+      w.pod(m.pending_raw_count);
+      w.pod(m.pending_join.buckets);
+      w.pod(m.pending_join.probes);
+      w.pod(m.pending_join.emitted);
+      w.pod(m.pending_join.repeats_fused);
+      w.pod(m.pending_join_kernel);
+      w.vec(m.counts);
+      w.vec(m.flags);
+    }
+    w.pod(static_cast<std::uint64_t>(state.provenance.size()));
+    for (const DataSegment& seg : state.provenance) {
+      w.str(seg.path);
+      w.pod(seg.records);
+    }
+  }
+
   std::vector<std::uint8_t> file;
   file.reserve(kCheckpointHeaderBytes + w.out.size());
   file.insert(file.end(), kCheckpointMagic, kCheckpointMagic + 8);
@@ -200,6 +234,52 @@ CheckpointState deserialize_checkpoint(const std::uint8_t* data,
     state.join_kernel.probes = r.pod<std::uint64_t>();
     state.join_kernel.emitted = r.pod<std::uint64_t>();
     state.join_kernel.repeats_fused = r.pod<std::uint64_t>();
+    state.complete = r.pod<std::uint8_t>();
+    require_input(state.complete <= 1, "checkpoint: bad complete flag");
+    if (state.complete != 0) {
+      state.domain_lo = r.vec<Value>();
+      state.domain_hi = r.vec<Value>();
+      require_input(state.domain_lo.size() == state.domain_hi.size(),
+                    "checkpoint: domain lo/hi size mismatch");
+      state.hist_counts = r.vec<Count>();
+      const auto nmemo = r.pod<std::uint64_t>();
+      require_input(nmemo <= 1u << 16, "checkpoint: implausible memo count");
+      state.memo.reserve(static_cast<std::size_t>(nmemo));
+      for (std::uint64_t i = 0; i < nmemo; ++i) {
+        AppendLevelMemo m;
+        m.level = r.pod<std::uint64_t>();
+        m.cdus = read_store(r);
+        const auto packed = r.vec<std::uint64_t>();
+        m.parents.resize(packed.size());
+        for (std::size_t j = 0; j < packed.size(); ++j) {
+          m.parents[j] = {static_cast<std::uint32_t>(packed[j] >> 32),
+                          static_cast<std::uint32_t>(packed[j])};
+        }
+        m.raw_to_unique = r.vec<std::uint32_t>();
+        m.pending_raw_count = r.pod<std::uint64_t>();
+        m.pending_join.buckets = r.pod<std::uint64_t>();
+        m.pending_join.probes = r.pod<std::uint64_t>();
+        m.pending_join.emitted = r.pod<std::uint64_t>();
+        m.pending_join.repeats_fused = r.pod<std::uint64_t>();
+        m.pending_join_kernel = r.pod<std::uint8_t>();
+        m.counts = r.vec<Count>();
+        m.flags = r.vec<std::uint8_t>();
+        require_input(m.counts.size() == m.cdus.size() &&
+                          m.flags.size() == m.cdus.size(),
+                      "checkpoint: memo counts/flags size mismatch");
+        state.memo.push_back(std::move(m));
+      }
+      const auto nseg = r.pod<std::uint64_t>();
+      require_input(nseg <= 1u << 16,
+                    "checkpoint: implausible provenance count");
+      state.provenance.reserve(static_cast<std::size_t>(nseg));
+      for (std::uint64_t i = 0; i < nseg; ++i) {
+        DataSegment seg;
+        seg.path = r.str();
+        seg.records = r.pod<std::uint64_t>();
+        state.provenance.push_back(std::move(seg));
+      }
+    }
   } catch (const InputError&) {
     throw;
   } catch (const Error& e) {
@@ -221,15 +301,18 @@ std::string checkpoint_file_path(const std::string& directory,
   return (std::filesystem::path(directory) / name).string();
 }
 
-void write_checkpoint_file(const std::string& directory,
-                           const CheckpointState& state) {
+namespace {
+
+/// Shared atomic write: serialize, write to `path` + ".tmp", rename.
+void write_checkpoint_bytes(const std::string& directory,
+                            const CheckpointState& state,
+                            const std::string& final_path) {
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(directory, ec);
   require(!ec, "checkpoint: cannot create directory " + directory);
 
   const std::vector<std::uint8_t> bytes = serialize_checkpoint(state);
-  const std::string final_path = checkpoint_file_path(directory, state.level);
   const std::string tmp_path = final_path + ".tmp";
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
@@ -243,6 +326,46 @@ void write_checkpoint_file(const std::string& directory,
   // CRC-valid checkpoint.
   fs::rename(tmp_path, final_path, ec);
   require(!ec, "checkpoint: cannot rename " + tmp_path + " to " + final_path);
+}
+
+}  // namespace
+
+void write_checkpoint_file(const std::string& directory,
+                           const CheckpointState& state) {
+  write_checkpoint_bytes(directory, state,
+                         checkpoint_file_path(directory, state.level));
+}
+
+std::string final_checkpoint_path(const std::string& directory) {
+  return (std::filesystem::path(directory) / "ckpt-final.bin").string();
+}
+
+void write_final_checkpoint(const std::string& directory,
+                            const CheckpointState& state) {
+  require(state.complete != 0,
+          "checkpoint: final checkpoint must have complete set");
+  write_checkpoint_bytes(directory, state, final_checkpoint_path(directory));
+}
+
+CheckpointScan load_final_checkpoint(const std::string& directory,
+                                     std::uint64_t fingerprint) {
+  CheckpointScan scan;
+  const std::string path = final_checkpoint_path(directory);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return scan;  // no final checkpoint: not an error
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  try {
+    CheckpointState state = deserialize_checkpoint(bytes.data(), bytes.size());
+    require_input(state.complete != 0,
+                  "checkpoint: final file is not marked complete");
+    require_input(fingerprint == 0 || state.fingerprint == fingerprint,
+                  "checkpoint: options/data fingerprint mismatch");
+    scan.state = std::move(state);
+  } catch (const InputError&) {
+    ++scan.discarded;
+  }
+  return scan;
 }
 
 CheckpointScan load_latest_checkpoint(const std::string& directory,

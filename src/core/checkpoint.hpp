@@ -9,18 +9,33 @@
 // possible recovery point for a grid/density algorithm, since the state is
 // dense-unit summaries (kilobytes), not data (gigabytes).
 //
-// File format (version 3, little-endian PODs):
+// File format (version 4, little-endian PODs):
 //   [0..7]   magic "MAFIACKP"
 //   [8..11]  uint32 format version
 //   [12..15] uint32 CRC-32 of the payload
 //   [16.. ]  payload: fingerprint, data shape, loop state (including the
 //            pending join-stats carried into the next level trace), grids,
 //            unit stores, level traces, registered maximal units,
-//            populate-kernel counters, join-kernel counters
+//            populate-kernel counters, join-kernel counters, and — when the
+//            `complete` flag is set — the append-base sections: attribute
+//            domains, the global fine histogram, one AppendLevelMemo per
+//            executed level, and the data-segment provenance
 // (Version 2 added the join-kernel work counters; version 3 added the
 // per-level populate-kernel id, bitmap-index footprint/AND-work counters,
-// and the unjoined-dense-unit count + capped printable list.  Older files
-// are discarded by the version check and the run restarts from level 1.)
+// and the unjoined-dense-unit count + capped printable list; version 4
+// added the `complete` flag and the append-base sections behind it.  Older
+// files are discarded by the version check and the run restarts from
+// level 1.)
+//
+// Two kinds of checkpoint file share the format:
+//   * per-level files "ckpt-level-NNNN.bin" (complete = 0): the recovery
+//     points written at each level boundary, scanned by
+//     load_latest_checkpoint for --resume;
+//   * the final file "ckpt-final.bin" (complete = 1): written once after
+//     the level loop finishes, carrying everything `pmafia append` needs
+//     to fold a new batch in without rescanning the base data — the
+//     domains and fine histogram (histogram reuse), and per-level memo
+//     entries with the global counts and dense flags (level reuse).
 //
 // Torn writes cannot produce a "valid" half-checkpoint: files are written
 // to a temp name and atomically renamed, and the CRC guards everything
@@ -53,7 +68,34 @@
 
 namespace mafia {
 
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+inline constexpr std::uint32_t kCheckpointVersion = 4;
+
+/// One data file a checkpointed run consumed, in concatenation order —
+/// `pmafia append` reloads the segments to reconstruct the base data.
+struct DataSegment {
+  std::string path;
+  std::uint64_t records = 0;
+};
+
+/// The entering state of one level-loop iteration plus its computed global
+/// counts and dense flags — the memo an append run replays: as long as the
+/// fresh flags of every earlier level match the stored ones, level k's
+/// candidate set is unchanged, so its counts are the stored global counts
+/// plus a batch-only populate pass.
+struct AppendLevelMemo {
+  std::uint64_t level = 1;
+  UnitStore cdus{1};
+  /// Join artifacts that produced `cdus` (empty/zero at level 1).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> parents;
+  std::vector<std::uint32_t> raw_to_unique;
+  std::uint64_t pending_raw_count = 0;
+  JoinStats pending_join;
+  std::uint8_t pending_join_kernel = 0;
+  /// Global populate counts (post-allreduce, CDU order) and the dense
+  /// flags identify produced from them (post-MDL when pruning is on).
+  std::vector<Count> counts;
+  std::vector<std::uint8_t> flags;
+};
 
 /// Everything the bottom-up loop needs to continue from a level boundary,
 /// plus the cumulative outputs accumulated so far.  `level` is the next
@@ -81,6 +123,26 @@ struct CheckpointState {
   std::vector<UnitStore> registered;
   PopulateKernelStats populate;
   JoinKernelStats join_kernel;
+
+  // ---- Append-base sections (serialized only when `complete` is set).
+  /// 1 for the final post-run checkpoint ("ckpt-final.bin"), 0 for the
+  /// per-level recovery files.
+  std::uint8_t complete = 0;
+  /// Attribute domains the grids were built on.  Empty when the run could
+  /// not record them (resumed runs restore grids, not the domain pass);
+  /// append then falls back to full scans.
+  std::vector<Value> domain_lo;
+  std::vector<Value> domain_hi;
+  /// Global fine histogram (dim-major, fine_bins cells per dim; see
+  /// HistogramBuilder).  Empty when unavailable (resumed or uniform-grid
+  /// runs); append then rebuilds the histogram from all records.
+  std::vector<Count> hist_counts;
+  /// One memo per executed level, contiguous from level 1.  Empty when the
+  /// run resumed mid-way (earlier levels were never executed here).
+  std::vector<AppendLevelMemo> memo;
+  /// Data files this state was computed from, in concatenation order
+  /// (copied from CheckpointConfig::provenance; filled by the CLI).
+  std::vector<DataSegment> provenance;
 };
 
 /// Hash of the options and data shape a checkpoint is only valid for.
@@ -117,8 +179,26 @@ struct CheckpointScan {
 
 /// Finds the highest-level checkpoint under `directory` that deserializes
 /// cleanly and matches `fingerprint`, falling back level-by-level past
-/// invalid files.  A missing directory is simply "no checkpoint".
+/// invalid files.  A missing directory is simply "no checkpoint".  Only
+/// per-level files are scanned; the final file is load_final_checkpoint's.
 [[nodiscard]] CheckpointScan load_latest_checkpoint(
+    const std::string& directory, std::uint64_t fingerprint);
+
+/// Path of the final (complete) checkpoint under `directory`.
+[[nodiscard]] std::string final_checkpoint_path(const std::string& directory);
+
+/// Atomically writes `state` (which must have `complete` set) as the final
+/// checkpoint under `directory`: temp file + rename, so a crash mid-write
+/// — including a SIGKILL mid-append — leaves the previous final state as
+/// the valid one and the append simply reruns.
+void write_final_checkpoint(const std::string& directory,
+                            const CheckpointState& state);
+
+/// Loads the final checkpoint under `directory` if present, valid,
+/// complete, and fingerprinted `fingerprint` (0 = accept any fingerprint).
+/// Invalid or mismatched files count as discarded, exactly like
+/// load_latest_checkpoint.
+[[nodiscard]] CheckpointScan load_final_checkpoint(
     const std::string& directory, std::uint64_t fingerprint);
 
 }  // namespace mafia

@@ -20,6 +20,36 @@ namespace mafia {
 
 namespace {
 
+/// True when `a` and `b` induce the same record-to-bin mapping: equal
+/// domains, edges, and fallback status per dimension.  Thresholds are
+/// deliberately excluded — they scale with the record count and only feed
+/// identify, which the append path always recomputes fresh.  This is the
+/// reuse precondition for stored per-unit counts: identical binning means
+/// the base records land in the same units they were counted in.
+bool grids_binning_equal(const GridSet& a, const GridSet& b) {
+  if (a.num_dims() != b.num_dims()) return false;
+  for (std::size_t j = 0; j < a.num_dims(); ++j) {
+    const DimensionGrid& x = a[j];
+    const DimensionGrid& y = b[j];
+    if (x.dim != y.dim || x.domain_lo != y.domain_lo ||
+        x.domain_hi != y.domain_hi ||
+        x.uniform_fallback != y.uniform_fallback || x.edges != y.edges) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Byte-level equality of two unit stores (same k, same dim/bin rows in
+/// the same order).
+bool stores_equal(const UnitStore& a, const UnitStore& b) {
+  if (a.k() != b.k() || a.size() != b.size()) return false;
+  for (std::size_t u = 0; u < a.size(); ++u) {
+    if (!a.equal(u, b, u)) return false;
+  }
+  return true;
+}
+
 /// One SPMD rank executing Algorithm 2.  All ranks run identical code; the
 /// only rank-dependent state is the data partition and the task-partition
 /// index ranges.  Everything globalized by a collective is bit-identical on
@@ -43,19 +73,45 @@ class MafiaWorker {
                                   static_cast<std::size_t>(p),
                                   static_cast<std::size_t>(rank));
 
-    // Resume is decided collectively (the checkpoint blob is broadcast), so
-    // either every rank restores the same level boundary or none does.
-    std::optional<CheckpointState> restored = maybe_resume();
-    if (restored) {
-      grids_ = std::move(restored->grids);
-      trace_ = std::move(restored->levels);
-      registered_ = std::move(restored->registered);
-      populate_stats_ = restored->populate;
-      join_stats_ = restored->join_kernel;
+    if (opt_.append) {
+      // Append mode: load the base run's final checkpoint, rebuild grids
+      // incrementally where the stored state allows, and run the level
+      // loop with the stored memo as an accelerator.  The loop body is the
+      // same as a fresh run's, so the result is bit-identical to a full
+      // rebuild on the concatenated data whether or not anything reuses.
+      const std::size_t batch =
+          static_cast<std::size_t>(n) -
+          static_cast<std::size_t>(opt_.append->base_records);
+      const BlockRange br = block_partition(batch, static_cast<std::size_t>(p),
+                                            static_cast<std::size_t>(rank));
+      my_batch_.begin =
+          static_cast<std::size_t>(opt_.append->base_records) + br.begin;
+      my_batch_.end =
+          static_cast<std::size_t>(opt_.append->base_records) + br.end;
+      append_setup();
+      build_grids_append();
+      collect_memo_ = true;
+      level_loop(nullptr);
+      write_final_state();
     } else {
-      build_grids();
+      // Resume is decided collectively (the checkpoint blob is broadcast),
+      // so either every rank restores the same level boundary or none does.
+      std::optional<CheckpointState> restored = maybe_resume();
+      if (restored) {
+        grids_ = std::move(restored->grids);
+        trace_ = std::move(restored->levels);
+        registered_ = std::move(restored->registered);
+        populate_stats_ = restored->populate;
+        join_stats_ = restored->join_kernel;
+      } else {
+        build_grids();
+      }
+      // A resumed run never saw the early levels, so its final checkpoint
+      // carries no append memo (append then falls back to full scans).
+      collect_memo_ = opt_.checkpoint.enabled() && !restored;
+      level_loop(restored ? &*restored : nullptr);
+      write_final_state();
     }
-    level_loop(restored ? &*restored : nullptr);
     {
       PhaseTracer::Scope sp(tracer_, "assemble");
       clusters_ = assemble_clusters(registered_);
@@ -79,6 +135,7 @@ class MafiaWorker {
   PopulateKernelStats populate_stats_;
   JoinKernelStats join_stats_;
   RecoveryInfo recovery_;
+  AppendStats append_stats_;
 
  private:
   // ----------------------------------------------------------- grid phase
@@ -116,6 +173,10 @@ class MafiaWorker {
       } else {
         grids_ = compute_uniform_grids(lo, hi, ug.xi, ug.tau_fraction, n);
       }
+      if (opt_.checkpoint.enabled()) {
+        domain_lo_ = lo;
+        domain_hi_ = hi;
+      }
       return;
     }
 
@@ -130,10 +191,203 @@ class MafiaWorker {
       });
       comm_.allreduce_sum(hist.counts());
     }
+    if (opt_.checkpoint.enabled()) {
+      domain_lo_ = lo;
+      domain_hi_ = hi;
+      hist_counts_ = hist.counts();  // global after the allreduce
+    }
     {
       PhaseTracer::Scope sp(tracer_, "grid");
       grids_ = compute_adaptive_grids(lo, hi, hist, n, opt_.grid);
     }
+  }
+
+  // ----------------------------------------------------------- append mode
+
+  /// Collective load of the base run's final checkpoint, fingerprinted for
+  /// the base record count (every result-affecting option must match the
+  /// base run; the record counts differ by exactly the batch).  Rank 0
+  /// reads, everyone receives the broadcast blob; an empty blob means no
+  /// usable base state, which is an input error on every rank — append
+  /// cannot proceed without the thing it appends to.
+  void append_setup() {
+    PhaseTracer::Scope sp(tracer_, "checkpoint");
+    recovery_.checkpoint_enabled = true;
+    append_stats_.performed = true;
+    const auto n_total = static_cast<std::uint64_t>(data_.num_records());
+    const auto dims = static_cast<std::uint32_t>(data_.num_dims());
+    const std::uint64_t base_fp =
+        checkpoint_fingerprint(opt_, opt_.append->base_records, dims);
+    // The final checkpoint this run writes covers the concatenated data.
+    fingerprint_ = checkpoint_fingerprint(opt_, n_total, dims);
+
+    std::vector<std::uint8_t> blob;
+    if (comm_.is_parent()) {
+      const CheckpointScan scan =
+          load_final_checkpoint(opt_.checkpoint.directory, base_fp);
+      recovery_.checkpoints_discarded =
+          static_cast<std::size_t>(scan.discarded);
+      if (scan.state) blob = serialize_checkpoint(*scan.state);
+    }
+    comm_.bcast(blob);
+    require_input(!blob.empty(),
+                  "append: no valid final checkpoint for the base data under " +
+                      opt_.checkpoint.directory +
+                      " (run a checkpointed cluster first, with matching "
+                      "options)");
+    append_base_ = deserialize_checkpoint(blob.data(), blob.size());
+  }
+
+  /// Grid phase of an append run.  Domains and the fine histogram are
+  /// exact under concatenation (min/max and integer sums are associative),
+  /// so when the stored state carries them only the batch is scanned;
+  /// otherwise the full concatenated data is — either way the inputs to
+  /// compute_adaptive_grids are bit-identical to a fresh run's, and so are
+  /// the grids.  The level-reuse chain is then armed only if the fresh
+  /// grids bin records exactly like the stored ones.
+  void build_grids_append() {
+    const std::size_t d = data_.num_dims();
+    const auto n = static_cast<Count>(data_.num_records());
+    const CheckpointState& base = *append_base_;
+    const bool have_base_domain =
+        base.domain_lo.size() == d && base.domain_hi.size() == d;
+
+    std::vector<Value> lo(d);
+    std::vector<Value> hi(d);
+    if (opt_.fixed_domain) {
+      std::fill(lo.begin(), lo.end(), opt_.fixed_domain->first);
+      std::fill(hi.begin(), hi.end(), opt_.fixed_domain->second);
+    } else {
+      PhaseTracer::Scope sp(tracer_, "histogram");
+      MinMaxAccumulator mm(d);
+      if (have_base_domain) {
+        scan_batch("histogram", [&](const Value* rows, std::size_t nrows) {
+          mm.accumulate(rows, nrows);
+        });
+      } else {
+        scan_local("histogram", [&](const Value* rows, std::size_t nrows) {
+          mm.accumulate(rows, nrows);
+        });
+      }
+      comm_.allreduce_min(mm.mins());
+      comm_.allreduce_max(mm.maxs());
+      lo = mm.mins();
+      hi = mm.maxs();
+      if (have_base_domain) {
+        // Fold the stored base extrema in: min/max are exact, so this
+        // equals a full scan of the concatenated data.
+        for (std::size_t j = 0; j < d; ++j) {
+          lo[j] = std::min(lo[j], base.domain_lo[j]);
+          hi[j] = std::max(hi[j], base.domain_hi[j]);
+        }
+      }
+    }
+
+    if (opt_.uniform_grid) {
+      PhaseTracer::Scope sp(tracer_, "grid");
+      const auto& ug = *opt_.uniform_grid;
+      if (!ug.bins_per_dim.empty()) {
+        require(ug.bins_per_dim.size() == d,
+                "MafiaOptions: bins_per_dim size mismatch");
+        grids_ = compute_uniform_grids(lo, hi, ug.bins_per_dim,
+                                       ug.tau_fraction, n);
+      } else {
+        grids_ = compute_uniform_grids(lo, hi, ug.xi, ug.tau_fraction, n);
+      }
+      domain_lo_ = lo;
+      domain_hi_ = hi;
+      arm_append_chain();
+      return;
+    }
+
+    HistogramBuilder hist(lo, hi, opt_.grid.fine_bins);
+    // Stored fine counts are reusable only if the histogram geometry is
+    // unchanged: same domains (cell widths) and same cell count.
+    const bool hist_incremental =
+        have_base_domain && lo == base.domain_lo && hi == base.domain_hi &&
+        base.hist_counts.size() == d * opt_.grid.fine_bins;
+    {
+      PhaseTracer::Scope sp(tracer_, "histogram");
+      if (hist_incremental) {
+        scan_batch("histogram", [&](const Value* rows, std::size_t nrows) {
+          hist.accumulate(rows, nrows);
+        });
+      } else {
+        scan_local("histogram", [&](const Value* rows, std::size_t nrows) {
+          hist.accumulate(rows, nrows);
+        });
+      }
+      comm_.allreduce_sum(hist.counts());
+      // Seed after the allreduce: the base counts are already global, so
+      // they must enter the sum exactly once, not once per rank.
+      if (hist_incremental) hist.seed_counts(base.hist_counts);
+    }
+    domain_lo_ = lo;
+    domain_hi_ = hi;
+    hist_counts_ = hist.counts();
+    {
+      PhaseTracer::Scope sp(tracer_, "grid");
+      grids_ = compute_adaptive_grids(lo, hi, hist, n, opt_.grid);
+    }
+    arm_append_chain();
+  }
+
+  /// Arms the level-reuse chain: stored per-level counts are valid only
+  /// when the fresh grids bin records exactly like the stored ones, and
+  /// the memo must cover the run from level 1 (resumed base runs don't).
+  void arm_append_chain() {
+    append_chain_ = !append_base_->memo.empty() &&
+                    append_base_->memo.front().level == 1 &&
+                    grids_binning_equal(grids_, append_base_->grids);
+  }
+
+  /// The stored memo entry for `level`, or nullptr.  Entries are pushed
+  /// once per executed level, so entry i covers level i + 1; the byte-level
+  /// store comparison is a defensive invariant check (the chain logic
+  /// guarantees it, corruption or a logic regression breaks the chain
+  /// instead of corrupting counts).
+  const AppendLevelMemo* base_memo(std::size_t level, const UnitStore& cdus) {
+    if (!append_chain_) return nullptr;
+    const auto& memo = append_base_->memo;
+    if (level > memo.size() || memo[level - 1].level != level) return nullptr;
+    const AppendLevelMemo* m = &memo[level - 1];
+    if (m->counts.size() != cdus.size() || !stores_equal(m->cdus, cdus)) {
+      append_chain_ = false;
+      return nullptr;
+    }
+    return m;
+  }
+
+  /// Writes the final (complete) checkpoint after the level loop: the
+  /// run's full outputs plus the append-base sections (domains, global
+  /// fine histogram, per-level memo, provenance).  Atomic rename, so a
+  /// kill at any point — including mid-append — leaves the previous final
+  /// state intact and the operation simply reruns.
+  void write_final_state() {
+    if (!opt_.checkpoint.enabled()) return;
+    PhaseTracer::Scope sp(tracer_, "checkpoint");
+    if (!comm_.is_parent()) return;
+    CheckpointState st;
+    st.fingerprint = fingerprint_;
+    st.num_records = static_cast<std::uint64_t>(data_.num_records());
+    st.num_dims = static_cast<std::uint32_t>(data_.num_dims());
+    st.level = trace_.empty() ? 1 : trace_.back().level;
+    st.grids = grids_;
+    st.levels = trace_;
+    st.registered = registered_;
+    st.populate = populate_stats_;
+    st.join_kernel = join_stats_;
+    st.complete = 1;
+    st.domain_lo = domain_lo_;
+    st.domain_hi = domain_hi_;
+    st.hist_counts = hist_counts_;
+    st.memo = memo_;
+    st.provenance.reserve(opt_.checkpoint.provenance.size());
+    for (const auto& [path, records] : opt_.checkpoint.provenance) {
+      st.provenance.push_back({path, records});
+    }
+    write_final_checkpoint(opt_.checkpoint.directory, st);
+    ++recovery_.checkpoints_written;
   }
 
   // ----------------------------------------------------------- level loop
@@ -182,6 +436,24 @@ class MafiaWorker {
 
     while (true) {
       check_cdu_budget(level, cdus.size(), cdus.k(), /*with_counts=*/true);
+      // Fresh memo entry: the entering state of this iteration (counts and
+      // flags are filled in once computed below).  This is what the final
+      // checkpoint hands to a future append run.
+      if (collect_memo_) {
+        AppendLevelMemo fm;
+        fm.level = level;
+        fm.cdus = cdus;
+        fm.parents = parents;
+        fm.raw_to_unique = raw_to_unique;
+        fm.pending_raw_count = pending_raw_count;
+        fm.pending_join = pending_join;
+        fm.pending_join_kernel = pending_join_kernel;
+        memo_.push_back(std::move(fm));
+      }
+      // Append reuse: with the chain intact this level's candidate set is
+      // provably the stored one, so its counts are the stored global
+      // counts plus a batch-only populate pass.
+      const AppendLevelMemo* base = base_memo(level, cdus);
       // ---- Populate candidates (data parallel): each rank scans its N/p
       // records in B-record chunks, then Reduce globalizes the counts.
       UnitPopulator populator(grids_, cdus, opt_.populate);
@@ -195,10 +467,23 @@ class MafiaWorker {
                        static_cast<std::size_t>(p))));
       {
         PhaseTracer::Scope sp(tracer_, "populate");
-        scan_local("populate", [&](const Value* rows, std::size_t nrows) {
-          populator.accumulate(rows, nrows);
-        });
+        if (base != nullptr) {
+          scan_batch("populate", [&](const Value* rows, std::size_t nrows) {
+            populator.accumulate(rows, nrows);
+          });
+        } else {
+          scan_local("populate", [&](const Value* rows, std::size_t nrows) {
+            populator.accumulate(rows, nrows);
+          });
+        }
         comm_.allreduce_sum(populator.counts());
+        // Seed AFTER the allreduce: the stored counts are already global,
+        // so they must enter the sum exactly once, not once per rank.
+        if (base != nullptr) populator.seed_counts(base->counts);
+      }
+      if (opt_.append) {
+        ++(base != nullptr ? append_stats_.levels_reused
+                           : append_stats_.levels_rerun);
       }
       // Merge kernel stats only after counts() finalized the scan (the
       // bitmap kernel's AND-work counter is filled by that finalization).
@@ -221,6 +506,23 @@ class MafiaWorker {
         }
       }
       if (opt_.mdl_pruning) apply_mdl_pruning(cdus, populator.counts(), flags);
+
+      // Append: compare the fresh dense flags against the stored ones.  Any
+      // divergence means the next level's candidate set differs from the
+      // stored run's, so the reuse chain ends here — every later level runs
+      // the real join and full scans.  Identical flags keep the chain
+      // intact (the join is a pure function of the dense set).
+      if (base != nullptr) {
+        for (std::size_t i = 0; i < flags.size(); ++i) {
+          append_stats_.units_promoted += (flags[i] != 0 && base->flags[i] == 0);
+          append_stats_.units_demoted += (flags[i] == 0 && base->flags[i] != 0);
+        }
+        if (flags != base->flags) append_chain_ = false;
+      }
+      if (collect_memo_) {
+        memo_.back().counts = populator.counts();
+        memo_.back().flags = flags;
+      }
 
       std::size_t ndu = 0;
       for (const std::uint8_t f : flags) ndu += (f != 0);
@@ -304,6 +606,33 @@ class MafiaWorker {
       // ---- Find candidate dense units for the next level (Algorithm 3).
       prev_dense = std::move(dense);
       ++level;
+      // Append: with the chain still intact the stored run generated this
+      // level from the identical dense set, so the join's entering state
+      // (unique CDUs, parents, dedup map, work counters) is replayed from
+      // the memo instead of recomputed — the join is a pure function of the
+      // dense set and the join rule, both unchanged.  The skipped
+      // record_unjoined is restored from the stored trace for the same
+      // reason.  When the memo has no entry for this level the stored run
+      // terminated here, and the real join below reproduces that
+      // termination identically.
+      if (append_chain_ && level <= append_base_->memo.size() &&
+          append_base_->memo[level - 1].level == level) {
+        const AppendLevelMemo& m = append_base_->memo[level - 1];
+        cdus = m.cdus;
+        parents = m.parents;
+        raw_to_unique = m.raw_to_unique;
+        pending_raw_count = m.pending_raw_count;
+        pending_join = m.pending_join;
+        pending_join_kernel = m.pending_join_kernel;
+        for (const LevelTrace& t : append_base_->levels) {
+          if (t.level == level - 1) {
+            trace_.back().unjoined_dus = t.unjoined_dus;
+            trace_.back().unjoined_units = t.unjoined_units;
+            break;
+          }
+        }
+        continue;
+      }
       // Kernel selection: the bucketed index needs a non-empty
       // sub-signature, so (k−1)-dim parents with k−1 == 1 (one global
       // bucket — all pair work on one rank) fall back to the pairwise
@@ -437,8 +766,10 @@ class MafiaWorker {
       // ---- Level boundary: the loop-carried state above is everything the
       // next iteration needs, so this is the recovery point.  Rank 0 writes;
       // every rank opens the phase scope (the trace exchange requires
-      // identical phase sets on all ranks).
-      if (opt_.checkpoint.enabled()) {
+      // identical phase sets on all ranks).  Append runs skip per-level
+      // writes — they publish one final checkpoint atomically at the end,
+      // so a crash mid-append leaves the base state untouched.
+      if (opt_.checkpoint.enabled() && !opt_.append) {
         PhaseTracer::Scope sp(tracer_, "checkpoint");
         if (comm_.is_parent()) {
           CheckpointState state;
@@ -584,6 +915,21 @@ class MafiaWorker {
     tracer_.add_io(phase, stats);
   }
 
+  /// scan_local over this rank's slice of the append batch only (the
+  /// records past base_records).  Used by every append-mode pass that
+  /// seeds from stored global state instead of rescanning the base data.
+  void scan_batch(const char* phase, const ChunkFn& fn) {
+    IoScanStats stats;
+    if (pipelined_) {
+      pipelined_->scan_with_stats(my_batch_.begin, my_batch_.end,
+                                  opt_.chunk_records, fn, stats);
+    } else {
+      timed_scan(data_, my_batch_.begin, my_batch_.end,
+                 opt_.chunk_records, fn, stats);
+    }
+    tracer_.add_io(phase, stats);
+  }
+
   /// Naive block boundaries (ablation alternative to Eq. 1).
   static std::vector<std::size_t> block_bounds(std::size_t total, int p) {
     std::vector<std::size_t> bounds(static_cast<std::size_t>(p) + 1);
@@ -617,6 +963,21 @@ class MafiaWorker {
   std::optional<PipelinedSource> pipelined_;
   BlockRange my_records_;
   std::uint64_t fingerprint_ = 0;
+
+  // Append-base sections recorded for the final checkpoint (checkpointed
+  // runs only): attribute domains, the global fine histogram, and the
+  // per-level memo a future append run seeds from.
+  bool collect_memo_ = false;
+  std::vector<Value> domain_lo_;
+  std::vector<Value> domain_hi_;
+  std::vector<Count> hist_counts_;
+  std::vector<AppendLevelMemo> memo_;
+
+  // Append-run state: this rank's slice of the new batch, the base run's
+  // final checkpoint, and whether the level-reuse chain is still intact.
+  BlockRange my_batch_;
+  std::optional<CheckpointState> append_base_;
+  bool append_chain_ = false;
 };
 
 }  // namespace
@@ -627,6 +988,10 @@ MafiaResult run_pmafia(const DataSource& data, const MafiaOptions& options,
   require(p >= 1, "run_pmafia: need at least one rank");
   require(data.num_records() > 0, "run_pmafia: empty data set");
   require(data.num_dims() >= 1, "run_pmafia: data has no dimensions");
+  require(!options.append ||
+              options.append->base_records <=
+                  static_cast<std::uint64_t>(data.num_records()),
+          "run_pmafia: append.base_records exceeds the data set");
 
   Timer total;
   MafiaResult result;
@@ -656,6 +1021,7 @@ MafiaResult run_pmafia(const DataSource& data, const MafiaOptions& options,
       wr.populate = worker.populate_stats_;
       wr.join_kernel = worker.join_stats_;
       wr.recovery = worker.recovery_;
+      wr.append = worker.append_stats_;
       comm.set_result(serialize_worker_result(wr));
       return;
     }
@@ -666,6 +1032,7 @@ MafiaResult run_pmafia(const DataSource& data, const MafiaOptions& options,
     result.populate_kernel = worker.populate_stats_;
     result.join_kernel = worker.join_stats_;
     result.recovery = worker.recovery_;
+    result.append = worker.append_stats_;
   }, run_options);
 
   if (options.mp.backend == mp::MpBackend::Process) {
@@ -681,6 +1048,7 @@ MafiaResult run_pmafia(const DataSource& data, const MafiaOptions& options,
     result.populate_kernel = wr.populate;
     result.join_kernel = wr.join_kernel;
     result.recovery = wr.recovery;
+    result.append = wr.append;
     result.clusters = assemble_clusters(wr.registered);
     std::erase_if(result.clusters, [&options](const Cluster& c) {
       return c.dims.size() < options.min_cluster_dims;

@@ -1,6 +1,7 @@
 #include "core/model_io.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -167,8 +168,11 @@ double read_double(ModelTokenizer& t, const char* what) {
 
 void save_model(const std::string& path, const GridSet& grids,
                 const std::vector<Cluster>& clusters) {
-  std::ofstream out(path, std::ios::trunc);
-  require(out.good(), "save_model: cannot open " + path);
+  // Write-then-rename so readers (a running `pmafia serve` reloading on
+  // SIGHUP) only ever see a complete model file, never a torn write.
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::trunc);
+  require(out.good(), "save_model: cannot open " + tmp);
   out << std::hexfloat;
 
   out << kMagic << " " << kVersion << "\n";
@@ -203,7 +207,11 @@ void save_model(const std::string& path, const GridSet& grids,
       out << "\n";
     }
   }
-  require(out.good(), "save_model: write failed for " + path);
+  out.flush();
+  require(out.good(), "save_model: write failed for " + tmp);
+  out.close();
+  require(std::rename(tmp.c_str(), path.c_str()) == 0,
+          "save_model: rename failed for " + path);
 }
 
 Model load_model(const std::string& path) {

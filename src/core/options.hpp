@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -36,7 +37,29 @@ struct CheckpointConfig {
   std::string directory;  ///< empty = checkpointing disabled
   bool resume = false;    ///< restore the latest valid checkpoint first
 
+  /// Data files the run consumes, in concatenation order, as (path,
+  /// records) pairs.  Recorded verbatim in the final checkpoint so
+  /// `pmafia append` can reconstruct the base data; the library never
+  /// opens these paths itself.  Filled by the CLI, optional elsewhere.
+  std::vector<std::pair<std::string, std::uint64_t>> provenance;
+
   [[nodiscard]] bool enabled() const { return !directory.empty(); }
+};
+
+/// Incremental append-batch mode: the run's data source holds the base
+/// records (the ones a previous checkpointed run clustered) followed by
+/// the new batch, and `base_records` marks the boundary.  The run loads
+/// the final checkpoint from CheckpointConfig::directory (fingerprinted
+/// for the base record count), seeds histograms and per-level unit counts
+/// from it, scans only the batch for every level whose candidate set is
+/// provably unchanged, and falls back to full scans from the first level
+/// whose dense-unit flags diverge — so the result is bit-identical to a
+/// full rebuild on the concatenated data by construction, and the memo
+/// only buys speed.  A new final checkpoint (fingerprinted for the
+/// concatenated count) is written at the end; per-level checkpoint writes
+/// are suppressed, so a crash mid-append leaves the base state intact.
+struct AppendConfig {
+  std::uint64_t base_records = 0;
 };
 
 /// SPMD transport configuration (mp/backend.hpp).  The backend changes how
@@ -176,6 +199,13 @@ struct MafiaOptions {
   /// change them — including switching --populate-kernel mid-run.
   CheckpointConfig checkpoint;
 
+  /// Incremental append-batch mode (see AppendConfig).  Requires a
+  /// checkpoint directory holding the base run's final checkpoint; mutually
+  /// exclusive with checkpoint.resume (an interrupted append is simply
+  /// rerun — the base state is never mutated until the final atomic
+  /// publish).
+  std::optional<AppendConfig> append;
+
   /// Graceful degradation: hard cap, in bytes, on one level's memory
   /// components — the CDU stores (dim/bin byte arrays plus the count
   /// vector) and the kernels' auxiliary structures (the populate bitmap
@@ -207,6 +237,14 @@ struct MafiaOptions {
     require(max_level >= 1, "MafiaOptions: max_level must be positive");
     require(!checkpoint.resume || checkpoint.enabled(),
             "MafiaOptions: resume requires a checkpoint directory");
+    if (append) {
+      require(checkpoint.enabled(),
+              "MafiaOptions: append requires a checkpoint directory");
+      require(!checkpoint.resume,
+              "MafiaOptions: append and resume are mutually exclusive");
+      require(append->base_records >= 1,
+              "MafiaOptions: append.base_records must be positive");
+    }
     require(mp.deadline_seconds >= 0.0,
             "MafiaOptions: mp.deadline_seconds must be non-negative");
     require(mp.shm_slot_bytes >= 64,

@@ -158,6 +158,13 @@ std::string render_report(const MafiaResult& result) {
        << " discarded\n";
   }
 
+  if (result.append.performed) {
+    os << "\nappend: " << result.append.levels_reused
+       << " level(s) reused (batch-only scan), " << result.append.levels_rerun
+       << " rerun; " << result.append.units_promoted << " unit(s) promoted, "
+       << result.append.units_demoted << " demoted\n";
+  }
+
   os << "\ncommunication (all ranks):\n";
   os << "  reduces " << result.comm.reduces << ", bcasts " << result.comm.bcasts
      << ", gathers " << result.comm.gathers << ", scatters "
@@ -268,6 +275,17 @@ std::string render_report_json(const MafiaResult& result,
   w.key("checkpoints_written").value(result.recovery.checkpoints_written);
   w.key("checkpoints_discarded").value(result.recovery.checkpoints_discarded);
   w.end_object();
+
+  // Incremental-append accounting (additive in pmafia-report-v1; present
+  // only for append runs so existing reports are byte-unchanged).
+  if (result.append.performed) {
+    w.key("append").begin_object();
+    w.key("levels_reused").value(result.append.levels_reused);
+    w.key("levels_rerun").value(result.append.levels_rerun);
+    w.key("units_promoted").value(result.append.units_promoted);
+    w.key("units_demoted").value(result.append.units_demoted);
+    w.end_object();
+  }
 
   // Per-phase view.  max_seconds is a cross-rank allreduce_max; min/mean
   // and the comm attribution come from the gathered per-rank trace and are

@@ -88,6 +88,20 @@ struct LevelTrace {
   return h;
 }
 
+/// Incremental append accounting (MafiaOptions::append).  A level is
+/// "reused" when its candidate set was proven unchanged and only the new
+/// batch was scanned (stored global counts seeded on top); "rerun" when a
+/// full data scan was required (first run of a new level, or the reuse
+/// chain broke upstream).  Promotions/demotions compare the fresh dense
+/// flags against the stored ones over the aligned candidate sets.
+struct AppendStats {
+  bool performed = false;  ///< the run executed in append mode
+  std::uint64_t levels_reused = 0;
+  std::uint64_t levels_rerun = 0;
+  std::uint64_t units_promoted = 0;  ///< not dense before, dense now
+  std::uint64_t units_demoted = 0;   ///< dense before, not dense now
+};
+
 /// Checkpoint/restart accounting for one run (core/checkpoint.hpp).
 struct RecoveryInfo {
   bool checkpoint_enabled = false;     ///< a checkpoint directory was set
@@ -137,6 +151,9 @@ struct MafiaResult {
 
   /// Checkpoint/restart accounting (zeros when checkpointing is off).
   RecoveryInfo recovery;
+
+  /// Incremental append accounting (performed = false off the append path).
+  AppendStats append;
 
   /// The I/O pipeline configuration the run used (copied from
   /// MafiaOptions::io).  The per-phase and total I/O accounting lives in

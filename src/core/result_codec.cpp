@@ -6,7 +6,7 @@ namespace mafia {
 
 namespace {
 
-constexpr std::uint32_t kWorkerResultVersion = 1;
+constexpr std::uint32_t kWorkerResultVersion = 2;  // v2: AppendStats tail
 
 }  // namespace
 
@@ -199,6 +199,11 @@ std::vector<std::uint8_t> serialize_worker_result(const WorkerResult& wr) {
   w.pod(static_cast<std::uint64_t>(wr.recovery.resume_level));
   w.pod(static_cast<std::uint64_t>(wr.recovery.checkpoints_written));
   w.pod(static_cast<std::uint64_t>(wr.recovery.checkpoints_discarded));
+  w.pod(static_cast<std::uint8_t>(wr.append.performed));
+  w.pod(wr.append.levels_reused);
+  w.pod(wr.append.levels_rerun);
+  w.pod(wr.append.units_promoted);
+  w.pod(wr.append.units_demoted);
   return std::move(w.out);
 }
 
@@ -272,6 +277,11 @@ WorkerResult deserialize_worker_result(const std::uint8_t* data,
         static_cast<std::size_t>(r.pod<std::uint64_t>());
     wr.recovery.checkpoints_discarded =
         static_cast<std::size_t>(r.pod<std::uint64_t>());
+    wr.append.performed = r.pod<std::uint8_t>() != 0;
+    wr.append.levels_reused = r.pod<std::uint64_t>();
+    wr.append.levels_rerun = r.pod<std::uint64_t>();
+    wr.append.units_promoted = r.pod<std::uint64_t>();
+    wr.append.units_demoted = r.pod<std::uint64_t>();
     require_input(r.at == r.size, "mp result: trailing garbage after payload");
   } catch (const Error& e) {
     // The blob never touches disk or the user: any parse failure is a

@@ -50,6 +50,7 @@ struct WorkerResult {
   PopulateKernelStats populate;
   JoinKernelStats join_kernel;
   RecoveryInfo recovery;
+  AppendStats append;
 };
 
 /// Serializes the blob rank 0 hands to Comm::set_result.

@@ -283,6 +283,52 @@ GeneratorConfig overlap(RecordIndex records, std::uint64_t seed) {
   return cfg;
 }
 
+GeneratorConfig drift_base(RecordIndex records, std::uint64_t seed) {
+  // 8 dims: a stationary anchor in dims {1,3,5} ([20,40], 20% extent,
+  // share 2/3 => dominance ~3.3) and a drifting cluster in dims {2,6}
+  // ([60,75], 15% extent, share 1/3 => dominance ~2.2).  Extents start on
+  // even offsets to align with 2-unit adaptive windows.
+  GeneratorConfig cfg;
+  cfg.num_dims = 8;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  cfg.clusters.push_back(
+      ClusterSpec::box({1, 3, 5}, {20, 20, 20}, {40, 40, 40}, 2.0));
+  cfg.clusters.push_back(ClusterSpec::box({2, 6}, {60, 60}, {75, 75}, 1.0));
+  return cfg;
+}
+
+GeneratorConfig drift_batch(RecordIndex records, std::uint64_t seed) {
+  // The appended slice of the stream: the anchor stays put, the drifting
+  // box has moved and grown ([60,75] -> [66,86]) and gained mass.
+  GeneratorConfig cfg;
+  cfg.num_dims = 8;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  cfg.clusters.push_back(
+      ClusterSpec::box({1, 3, 5}, {20, 20, 20}, {40, 40, 40}, 2.0));
+  cfg.clusters.push_back(ClusterSpec::box({2, 6}, {66, 66}, {86, 86}, 1.5));
+  return cfg;
+}
+
+GeneratorConfig drift_combined(RecordIndex records, std::uint64_t seed) {
+  // One-config stand-in for base + batch: the drifting cluster's swept
+  // footprint is the union of its base and drifted boxes.
+  GeneratorConfig cfg;
+  cfg.num_dims = 8;
+  cfg.num_records = records;
+  cfg.seed = seed;
+  cfg.clusters.push_back(
+      ClusterSpec::box({1, 3, 5}, {20, 20, 20}, {40, 40, 40}, 2.0));
+  ClusterSpec drift;
+  drift.dims = {2, 6};
+  drift.boxes.push_back(ClusterBox{{60, 60}, {75, 75}});
+  drift.boxes.push_back(ClusterBox{{66, 66}, {86, 86}});
+  drift.weight = 1.25;
+  cfg.clusters.push_back(std::move(drift));
+  return cfg;
+}
+
 GeneratorConfig mixed(RecordIndex records, std::uint64_t seed) {
   // 12 dims of three kinds: 0-5 continuous [0,100], 6-7 categorical with 5
   // levels each, 8-11 continuous [0,1000] (a 10x scale mismatch that sinks

@@ -88,6 +88,22 @@ namespace mafia::workloads {
 [[nodiscard]] GeneratorConfig overlap(RecordIndex records,
                                       std::uint64_t seed = 72);
 
+/// Streaming-drift pair (the `pmafia append` workload): drift_base plants
+/// a stationary anchor cluster in dims {1,3,5} plus a drifting cluster in
+/// dims {2,6}; drift_batch keeps the anchor put and shifts + grows the
+/// drifting box.  `pmafia generate --workload drift` emits both files so
+/// the append benches and golden tests replay base -> append -> compare.
+[[nodiscard]] GeneratorConfig drift_base(RecordIndex records,
+                                         std::uint64_t seed = 81);
+[[nodiscard]] GeneratorConfig drift_batch(RecordIndex records,
+                                          std::uint64_t seed = 83);
+
+/// The drift pair's combined footprint as one config (scoreboard view):
+/// the anchor plus the drifting cluster's full swept region (union of the
+/// base and drifted boxes).
+[[nodiscard]] GeneratorConfig drift_combined(RecordIndex records,
+                                             std::uint64_t seed = 81);
+
 /// Categorical + mixed-scale dims: 12 dims where 6-7 are categorical
 /// (5 levels each), 8-11 span [0,1000] (10x the others), and the two
 /// planted clusters each combine a continuous, a categorical, and a

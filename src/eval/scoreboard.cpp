@@ -56,7 +56,7 @@ void check_algorithms(const std::vector<std::string>& algorithms) {
 const std::vector<std::string>& workload_names() {
   static const std::vector<std::string> names = {
       "tab3-boundary", "lshape-boundary", "highdim-200", "overlap-shared",
-      "mixed-categorical"};
+      "mixed-categorical", "drift"};
   return names;
 }
 
@@ -100,6 +100,13 @@ Workload make_workload(const std::string& name, RecordIndex records,
     w.config = workloads::overlap(records, seed);
     w.hints.true_clusters = 2;
     w.hints.avg_cluster_dims = 4;
+  } else if (name == "drift") {
+    // The streaming-append workload's combined footprint: a stationary
+    // anchor plus a drifting cluster's swept (two-box) region — the data a
+    // base + `pmafia append` sequence ends up clustering.
+    w.config = workloads::drift_combined(records, seed);
+    w.hints.true_clusters = 2;
+    w.hints.avg_cluster_dims = 3;
   } else if (name == "mixed-categorical") {
     w.config = workloads::mixed(records, seed);
     w.hints.true_clusters = 2;

@@ -84,6 +84,24 @@ class HistogramBuilder {
     }
   }
 
+  /// Accumulates `base` element-wise into the counts — the append path
+  /// seeds a stored global histogram and scans only the new batch.  The
+  /// SPMD driver seeds AFTER the batch-only allreduce so every rank adds
+  /// the base exactly once.  Throws mafia::Error on Count overflow (the
+  /// appended total crossing the accumulator's range must fail loudly,
+  /// not wrap).
+  void seed_counts(std::span<const Count> base) {
+    require(base.size() == counts_.size(),
+            "HistogramBuilder::seed_counts: base size mismatch");
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] > std::numeric_limits<Count>::max() - base[i]) {
+        throw Error("HistogramBuilder: histogram accumulation overflowed",
+                    ErrorClass::Internal);
+      }
+      counts_[i] += base[i];
+    }
+  }
+
   [[nodiscard]] std::size_t fine_bins() const { return fine_bins_; }
   [[nodiscard]] std::size_t num_dims() const { return lo_.size(); }
 

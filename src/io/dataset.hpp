@@ -51,6 +51,14 @@ class Dataset {
     labels_.insert(labels_.end(), n, kUnlabeledLabel);
   }
 
+  /// Appends every record of `other`, labels included — the append-batch
+  /// path concatenates the base data and the new batch with this.
+  void append_rows(const Dataset& other) {
+    require(other.dims_ == dims_, "Dataset::append_rows: dimension mismatch");
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+    labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+  }
+
   /// Reserves capacity for `n` records.
   void reserve(RecordIndex n) {
     values_.reserve(static_cast<std::size_t>(n) * dims_);

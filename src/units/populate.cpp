@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <type_traits>
@@ -327,6 +328,22 @@ void UnitPopulator::accumulate(const Value* rows, std::size_t nrows) {
     }
   }
   if (bitmap_) nrows_seen_ += nrows;
+}
+
+void UnitPopulator::seed_counts(std::span<const Count> base) {
+  require(base.size() == counts_.size(),
+          "UnitPopulator::seed_counts: base size mismatch");
+  // Fold any pending bitmap rows first so the overflow check sees the
+  // final local contribution (addition commutes, but a late finalization
+  // could overflow silently after the guarded add).
+  finalize_bitmap_counts();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] > std::numeric_limits<Count>::max() - base[i]) {
+      throw Error("UnitPopulator: unit-count accumulation overflowed",
+                  ErrorClass::Internal);
+    }
+    counts_[i] += base[i];
+  }
 }
 
 void UnitPopulator::finalize_bitmap_counts() const {

@@ -45,6 +45,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "grid/grid_types.hpp"
@@ -128,6 +129,15 @@ class UnitPopulator {
   /// Folds `nrows` row-major records (width = grids.num_dims()) into the
   /// local counts.
   void accumulate(const Value* rows, std::size_t nrows);
+
+  /// Accumulates `base` element-wise into the counts — the append path's
+  /// accumulate-into-existing-counts entry point.  Valid for all three
+  /// kernels: counts_ is the unified additive accumulator (the bitmap
+  /// kernel's pending rows are finalized first, so seeding and scanning
+  /// commute).  The SPMD driver seeds the stored global counts AFTER the
+  /// batch-only allreduce, so every rank adds the base exactly once.
+  /// Throws mafia::Error when any sum would overflow Count.
+  void seed_counts(std::span<const Count> base);
 
   /// Local counts per CDU (index-aligned with the input store), mutable so
   /// the parallel driver can allreduce_sum in place.  Under the Bitmap

@@ -934,4 +934,91 @@ TEST_F(CliServe, SigkillLeavesNoOrphanAndSocketPathIsReusable) {
   std::remove(client_out.c_str());
 }
 
+TEST_F(CliServe, AppendThenSighupServesUpdatedModelAndBadReloadKeepsOld) {
+  // Re-cluster the base with a checkpoint directory so `pmafia append` has
+  // a base state, overwriting the model SetUp saved (same options).
+  const std::string ckpt = temp("mafia_cli_serve_ckpt");
+  auto [cl_status, cl_out] =
+      run_cli("cluster --data " + data_ + " --domain-lo 0 --domain-hi 100" +
+              " --checkpoint-dir " + ckpt + " --save " + model_);
+  ASSERT_EQ(cl_status, 0) << cl_out;
+
+  const pid_t pid = spawn_daemon();
+  ASSERT_GT(pid, 0) << slurp(daemon_out_);
+
+  // A new batch from the same planted distribution.
+  const std::string batch = temp("mafia_cli_serve_batch.bin");
+  ASSERT_EQ(run_cli("generate --out " + batch +
+                    " --dims 8 --records 1500 --seed 77"
+                    " --cluster 1,4:20:35 --cluster 2,5,7:60:72")
+                .first,
+            0);
+
+  // Incremental append rewrites the model file (atomically) while the
+  // daemon keeps serving; the grid flags must match the base run so the
+  // checkpoint fingerprint validates.
+  auto [ap_status, ap_out] =
+      run_cli("append --model " + model_ + " --checkpoint-dir " + ckpt +
+              " --data " + batch + " --domain-lo 0 --domain-hi 100");
+  ASSERT_EQ(ap_status, 0) << ap_out;
+  EXPECT_NE(ap_out.find("\nappend: "), std::string::npos) << ap_out;
+  EXPECT_NE(ap_out.find("model updated at "), std::string::npos) << ap_out;
+
+  // Polls `query --stats` until the traffic counter `key` reaches `want`.
+  const auto wait_for_counter = [&](const char* key, double want) {
+    for (int i = 0; i < 500; ++i) {
+      auto [s_status, s_out] =
+          run_cli("query --listen unix:" + sock_ + " --stats");
+      if (s_status == 0 &&
+          mafia::json_parse(s_out).at("traffic").at(key).number >= want) {
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  };
+
+  // SIGHUP swaps in the updated model.
+  ASSERT_EQ(::kill(pid, SIGHUP), 0);
+  ASSERT_TRUE(wait_for_counter("model_reloads", 1.0));
+
+  // Served labels on both segments must be byte-identical to offline
+  // assignment with the post-append model — together these cover every
+  // record of the concatenated data set.
+  const std::string served = temp("mafia_cli_serve_hot_served.csv");
+  const std::string offline = temp("mafia_cli_serve_hot_offline.csv");
+  for (const std::string& segment : {data_, batch}) {
+    auto [q_status, q_out] = run_cli("query --listen unix:" + sock_ +
+                                     " --data " + segment + " --out " + served);
+    ASSERT_EQ(q_status, 0) << q_out;
+    auto [a_status, a_out] = run_cli("assign --data " + segment + " --model " +
+                                     model_ + " --out " + offline);
+    ASSERT_EQ(a_status, 0) << a_out;
+    EXPECT_EQ(slurp(served), slurp(offline)) << "segment " << segment;
+  }
+
+  // A truncated model file must fail the reload and keep the old (updated)
+  // model serving.
+  const std::string batch_served = slurp(served);
+  {
+    std::ofstream trunc(model_, std::ios::trunc);
+    trunc << "pmafia-model";
+  }
+  ASSERT_EQ(::kill(pid, SIGHUP), 0);
+  ASSERT_TRUE(wait_for_counter("reload_failures", 1.0));
+  auto [q2_status, q2_out] = run_cli("query --listen unix:" + sock_ +
+                                     " --data " + batch + " --out " + served);
+  ASSERT_EQ(q2_status, 0) << q2_out;
+  EXPECT_EQ(slurp(served), batch_served);
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  wait_until_dead(pid);
+  EXPECT_FALSE(process_alive(pid));
+
+  std::filesystem::remove_all(ckpt);
+  std::remove(batch.c_str());
+  std::remove(served.c_str());
+  std::remove(offline.c_str());
+}
+
 }  // namespace

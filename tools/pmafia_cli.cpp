@@ -3,6 +3,7 @@
 // Subcommands:
 //   generate   build a synthetic data set (Section 5.1 generator)
 //   cluster    run pMAFIA (or CLIQUE) on a record/CSV file and report
+//   append     incrementally fold a new batch into a checkpointed model
 //   assign     label every record with its discovered cluster
 //   stage      split a shared record file into per-rank local partitions
 //   scoreboard run the planted-truth quality scoreboard over the zoo
@@ -10,7 +11,10 @@
 // Examples:
 //   pmafia generate --out data.bin --dims 10 --records 100000 \
 //          --cluster "1,4,7:30:45" --cluster "2,5:70:82" --seed 42
+//   pmafia generate --workload drift --out base.bin --append-out batch.bin
 //   pmafia cluster --data data.bin --ranks 4
+//   pmafia cluster --data base.bin --checkpoint-dir ckpt --save model.txt
+//   pmafia append --model model.txt --checkpoint-dir ckpt --data batch.bin
 //   pmafia cluster --data table.csv --algorithm clique --xi 10 --tau 0.01
 //   pmafia assign --data data.bin --out labels.csv
 //   pmafia stage --data data.bin --ranks 8 --prefix /scratch/local
@@ -33,10 +37,12 @@
 #include "clique/clique.hpp"
 #include "cluster/membership.hpp"
 #include "common/json.hpp"
+#include "core/checkpoint.hpp"
 #include "core/mafia.hpp"
 #include "core/model_io.hpp"
 #include "core/report.hpp"
 #include "datagen/generator.hpp"
+#include "datagen/workloads.hpp"
 #include "eval/scoreboard.hpp"
 #include "io/csv.hpp"
 #include "io/record_file.hpp"
@@ -316,17 +322,10 @@ MafiaOptions options_from_args(const Args& args) {
   return o;
 }
 
-int cmd_generate(const Args& args) {
-  GeneratorConfig cfg;
-  cfg.num_dims = static_cast<std::size_t>(args.get_int("dims", 10));
-  cfg.num_records = static_cast<RecordIndex>(args.get_int("records", 100000));
-  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  cfg.noise_fraction = args.get_double("noise", 0.10);
-  for (const std::string& spec : args.all("cluster")) {
-    cfg.clusters.push_back(parse_cluster(spec));
-  }
-  const Dataset data = generate(cfg);
-  const std::string out = args.get("out", "data.bin");
+/// Writes a generated data set by extension (.csv with label column, or
+/// record file), mirroring load_data's sniffing.
+void write_dataset(const std::string& out, const Dataset& data,
+                   std::size_t planted_clusters) {
   if (out.size() > 4 && out.compare(out.size() - 4, 4, ".csv") == 0) {
     CsvOptions co;
     co.last_column_is_label = true;
@@ -336,7 +335,38 @@ int cmd_generate(const Args& args) {
   }
   std::printf("wrote %llu records x %zu dims to %s (%zu planted clusters)\n",
               static_cast<unsigned long long>(data.num_records()),
-              data.num_dims(), out.c_str(), cfg.clusters.size());
+              data.num_dims(), out.c_str(), planted_clusters);
+}
+
+int cmd_generate(const Args& args) {
+  if (args.has("workload")) {
+    const std::string name = args.get("workload");
+    require(name == "drift",
+            "generate: --workload only supports 'drift' (base + append batch)");
+    const auto records = static_cast<RecordIndex>(args.get_int("records", 100000));
+    const auto batch_records = static_cast<RecordIndex>(
+        args.get_int("append-records", static_cast<long>(records / 4)));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 81));
+    const GeneratorConfig base_cfg = workloads::drift_base(records, seed);
+    // Distinct stream for the batch so base + batch never share records.
+    const GeneratorConfig batch_cfg =
+        workloads::drift_batch(batch_records, seed + 2);
+    write_dataset(args.get("out", "drift-base.bin"), generate(base_cfg),
+                  base_cfg.clusters.size());
+    write_dataset(args.get("append-out", "drift-batch.bin"),
+                  generate(batch_cfg), batch_cfg.clusters.size());
+    return 0;
+  }
+  GeneratorConfig cfg;
+  cfg.num_dims = static_cast<std::size_t>(args.get_int("dims", 10));
+  cfg.num_records = static_cast<RecordIndex>(args.get_int("records", 100000));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.noise_fraction = args.get_double("noise", 0.10);
+  for (const std::string& spec : args.all("cluster")) {
+    cfg.clusters.push_back(parse_cluster(spec));
+  }
+  const Dataset data = generate(cfg);
+  write_dataset(args.get("out", "data.bin"), data, cfg.clusters.size());
   return 0;
 }
 
@@ -358,7 +388,14 @@ int cmd_cluster(const Args& args) {
     }
     result = run_clique(source, co, ranks);
   } else {
-    result = run_pmafia(source, options_from_args(args), ranks);
+    MafiaOptions o = options_from_args(args);
+    if (o.checkpoint.enabled()) {
+      // Record where the data came from so `pmafia append` can rebuild the
+      // base data set from the final checkpoint alone.
+      o.checkpoint.provenance = {
+          {path, static_cast<std::uint64_t>(data.num_records())}};
+    }
+    result = run_pmafia(source, o, ranks);
   }
   std::fputs(render_report(result).c_str(), stdout);
   if (args.has("report-json")) {
@@ -370,6 +407,74 @@ int cmd_cluster(const Args& args) {
     save_model(args.get("save"), result.grids, result.clusters);
     std::printf("model saved to %s\n", args.get("save").c_str());
   }
+  return 0;
+}
+
+int cmd_append(const Args& args) {
+  const std::string batch_path = args.get("data");
+  require(!batch_path.empty(), "append: --data is required");
+  const std::string model_path = args.get("model");
+  require(!model_path.empty(), "append: --model is required");
+  MafiaOptions o = options_from_args(args);
+  require(o.checkpoint.enabled(), "append: --checkpoint-dir is required");
+  require(!o.checkpoint.resume, "append: --resume does not combine with append");
+
+  // The final checkpoint's provenance is the authoritative record of what
+  // the base model was built from.  Fingerprint 0 accepts any options here;
+  // the append run itself re-validates against the exact fingerprint.
+  const CheckpointScan scan =
+      load_final_checkpoint(o.checkpoint.directory, /*fingerprint=*/0);
+  require_input(scan.state.has_value(),
+                "append: no complete final checkpoint under " +
+                    o.checkpoint.directory +
+                    " (run `pmafia cluster --checkpoint-dir` first)");
+  const CheckpointState& state = *scan.state;
+  require_input(!state.provenance.empty(),
+                "append: final checkpoint carries no data provenance");
+
+  // Sanity-check the model we are about to replace before doing any work.
+  const Model model = load_model(model_path);
+  require_input(model.grids.num_dims() == state.num_dims,
+                "append: model dimensionality does not match the checkpoint");
+
+  // Rebuild the base data from the recorded segments, then concatenate the
+  // new batch.  Any drift between a segment file and its recorded record
+  // count means the base data changed out from under the checkpoint.
+  Dataset data = load_data(state.provenance[0].path);
+  for (std::size_t s = 1; s < state.provenance.size(); ++s) {
+    data.append_rows(load_data(state.provenance[s].path));
+  }
+  require_input(
+      static_cast<std::uint64_t>(data.num_records()) == state.num_records,
+      "append: base data segments no longer hold the checkpointed record "
+      "count");
+  const Dataset batch = load_data(batch_path);
+  require_input(batch.num_dims() == data.num_dims(),
+                "append: batch dimensionality does not match the base data");
+  data.append_rows(batch);
+
+  o.append = AppendConfig{state.num_records};
+  o.checkpoint.provenance.clear();
+  for (const DataSegment& seg : state.provenance) {
+    o.checkpoint.provenance.emplace_back(seg.path, seg.records);
+  }
+  o.checkpoint.provenance.emplace_back(
+      batch_path, static_cast<std::uint64_t>(batch.num_records()));
+
+  InMemorySource source(data);
+  const int ranks = static_cast<int>(args.get_int("ranks", 1));
+  const MafiaResult result = run_pmafia(source, o, ranks);
+  std::fputs(render_report(result).c_str(), stdout);
+  if (args.has("report-json")) {
+    const std::string out = args.get("report-json");
+    write_text_file_atomic(out, render_report_json(result) + "\n");
+    std::printf("report written to %s\n", out.c_str());
+  }
+  // Atomic rewrite (temp + rename inside save_model): a running
+  // `pmafia serve --model` sees either the old or the new model on SIGHUP,
+  // never a torn file.
+  save_model(model_path, result.grids, result.clusters);
+  std::printf("model updated at %s\n", model_path.c_str());
   return 0;
 }
 
@@ -611,10 +716,13 @@ int cmd_stage(const Args& args) {
 
 void usage() {
   std::fputs(
-      "usage: pmafia <generate|cluster|assign|serve|query|stage|scoreboard>"
-      " [--flag value]...\n"
+      "usage: pmafia <generate|cluster|append|assign|serve|query|stage|"
+      "scoreboard> [--flag value]...\n"
       "  generate --out F [--dims D] [--records N] [--seed S] [--noise F]\n"
       "           [--cluster dims:lo:hi]...          (repeatable)\n"
+      "           [--workload drift --append-out F2 [--append-records N2]]\n"
+      "           (drift: base file to --out, shifted/grown append batch\n"
+      "            to --append-out, for the streaming-append pipeline)\n"
       "  cluster  --data F [--ranks P] [--algorithm mafia|clique]\n"
       "           [--alpha A] [--beta B] [--fine-bins N] [--window-cells W]\n"
       "           [--noise-sigmas S] [--min-dims K] [--chunk B]\n"
@@ -632,6 +740,11 @@ void usage() {
       "            scatterv, send, recv)\n"
       "exit codes: 0 ok, 2 usage, 3 bad input, 4 resource limit,\n"
       "            5 injected fault, 1 internal error\n"
+      "  append   --model model.txt --checkpoint-dir DIR --data BATCH\n"
+      "           [--ranks P] [cluster flags] [--report-json report.json]\n"
+      "           (folds BATCH into the checkpointed model incrementally,\n"
+      "            rewrites model.txt atomically, refreshes the final\n"
+      "            checkpoint; bit-identical to a full rebuild)\n"
       "  assign   --data F [--out labels.csv] [--model model.txt |\n"
       "           --ranks P + grid flags]\n"
       "  serve    --model model.txt --listen unix:/path|tcp:HOST:PORT\n"
@@ -702,6 +815,7 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "cluster") return cmd_cluster(args);
+    if (cmd == "append") return cmd_append(args);
     if (cmd == "assign") return cmd_assign(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "query") return cmd_query(args);
